@@ -1,0 +1,28 @@
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --skip-micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/campus_mail.exe
+	dune exec examples/roaming_users.exe
+	dune exec examples/marketing_blast.exe
+	dune exec examples/directory_assistance.exe
+
+clean:
+	dune clean
