@@ -1,0 +1,367 @@
+(* mailsim — command-line driver for the mail-system simulations.
+
+   Subcommands map onto the experiments of DESIGN.md so any individual
+   result can be regenerated (and varied) without rebuilding the full
+   bench harness. *)
+
+open Cmdliner
+
+(* --- shared helpers ---------------------------------------------------- *)
+
+let hier_site ~seed ~regions ~hosts_per_region =
+  let rng = Dsim.Rng.create seed in
+  let spec =
+    { Netsim.Topology.default_hierarchy with regions; hosts_per_region }
+  in
+  let g = Netsim.Topology.hierarchical ~rng spec in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* --- balance ----------------------------------------------------------- *)
+
+let balance_cmd =
+  let run seed hosts servers batch fig1 =
+    let site =
+      if fig1 then Netsim.Topology.paper_fig1 ()
+      else begin
+        let rng = Dsim.Rng.create seed in
+        Netsim.Topology.random_mail_site ~rng ~hosts ~servers ~users_per_host:(20, 60)
+          ~extra_edges:hosts
+      end
+    in
+    let total = List.fold_left (fun a (_, n) -> a + n) 0 site.Netsim.Topology.hosts in
+    let servers_n = List.length site.Netsim.Topology.servers in
+    let capacity _ =
+      if fig1 then 100 else 1 + (total * 5 / (4 * servers_n))
+    in
+    let problem = Loadbalance.Assignment.problem_of_site ~capacity site in
+    let t = Loadbalance.Balancer.initialize problem in
+    Format.printf "initial assignment:@.%a@.@."
+      (Loadbalance.Assignment.pp_table problem) t;
+    let stats = Loadbalance.Balancer.balance ~batch problem t in
+    Format.printf "balanced assignment:@.%a@.@.%a@."
+      (Loadbalance.Assignment.pp_table problem)
+      t Loadbalance.Balancer.pp_stats stats
+  in
+  let hosts = Arg.(value & opt int 10 & info [ "hosts" ] ~doc:"Host count (random site).") in
+  let servers = Arg.(value & opt int 3 & info [ "servers" ] ~doc:"Server count (random site).") in
+  let batch = Arg.(value & flag & info [ "batch" ] ~doc:"Move users in bulk.") in
+  let fig1 =
+    Arg.(value & flag & info [ "fig1" ] ~doc:"Use the paper's Figure 1 example site.")
+  in
+  Cmd.v
+    (Cmd.info "balance" ~doc:"Run the §3.1.1 server-assignment algorithm (T1/T2).")
+    Term.(const run $ seed_arg $ hosts $ servers $ batch $ fig1)
+
+(* --- getmail ----------------------------------------------------------- *)
+
+let getmail_cmd =
+  let run seed failure_rate duration mail_count policy =
+    let retrieval =
+      match policy with
+      | "getmail" -> Mail.Scenario.Get_mail
+      | "poll-all" -> Mail.Scenario.Poll_all
+      | "naive" -> Mail.Scenario.Naive
+      | other -> failwith (Printf.sprintf "unknown policy %S" other)
+    in
+    let spec =
+      { Mail.Scenario.default_spec with seed; failure_rate; duration; mail_count; retrieval }
+    in
+    let o = Mail.Scenario.run_syntax (Netsim.Topology.paper_fig1 ()) spec in
+    Printf.printf "availability     %.3f\n" o.Mail.Scenario.availability;
+    Printf.printf "polls per check  %.3f\n" o.Mail.Scenario.final_polls_per_check;
+    Printf.printf "inbox total      %d\n" o.Mail.Scenario.inbox_total;
+    Format.printf "%a@." Mail.Evaluation.pp o.Mail.Scenario.report
+  in
+  let rate =
+    Arg.(value & opt float 0. & info [ "failure-rate" ] ~doc:"Server outage rate.")
+  in
+  let duration = Arg.(value & opt float 5000. & info [ "duration" ] ~doc:"Virtual time.") in
+  let count = Arg.(value & opt int 300 & info [ "messages" ] ~doc:"Mail volume.") in
+  let policy =
+    Arg.(
+      value
+      & opt string "getmail"
+      & info [ "policy" ] ~doc:"Retrieval policy: getmail, poll-all or naive.")
+  in
+  Cmd.v
+    (Cmd.info "getmail" ~doc:"Drive a design-1 scenario and report §4 metrics (C1/C2).")
+    Term.(const run $ seed_arg $ rate $ duration $ count $ policy)
+
+(* --- mst --------------------------------------------------------------- *)
+
+let mst_cmd =
+  let run seed nodes =
+    let rng = Dsim.Rng.create seed in
+    let g =
+      Netsim.Topology.random_connected ~rng ~n:nodes ~extra_edges:(2 * nodes)
+        ~min_weight:1. ~max_weight:8.
+    in
+    let k = Mst.Kruskal.run g in
+    let d = Mst.Ghs.run g in
+    Printf.printf "nodes %d, edges %d\n" nodes (Netsim.Graph.edge_count g);
+    Printf.printf "kruskal weight   %.3f\n" k.Mst.Kruskal.total_weight;
+    Printf.printf "ghs weight       %.3f (same tree: %b)\n" d.Mst.Ghs.total_weight
+      (k.Mst.Kruskal.edges = d.Mst.Ghs.edges);
+    Printf.printf "ghs messages     %d (bound %d)\n" d.Mst.Ghs.messages
+      (Mst.Ghs.message_bound g);
+    Printf.printf "ghs finish time  %.2f\n" d.Mst.Ghs.finish_time
+  in
+  let nodes = Arg.(value & opt int 64 & info [ "nodes" ] ~doc:"Graph size.") in
+  Cmd.v
+    (Cmd.info "mst" ~doc:"Distributed GHS MST vs centralised Kruskal (C8).")
+    Term.(const run $ seed_arg $ nodes)
+
+(* --- backbone ---------------------------------------------------------- *)
+
+let backbone_cmd =
+  let run seed regions budget =
+    let site = hier_site ~seed ~regions ~hosts_per_region:6 in
+    let g = site.Netsim.Topology.graph in
+    let bb = Mst.Backbone.build g in
+    Format.printf "%a@.@." (Mst.Backbone.pp g) bb;
+    let flat = Mst.Backbone.flat_mst g in
+    Printf.printf "flat global MST weight: %.3f\n\n" flat.Mst.Kruskal.total_weight;
+    let ct = Mst.Cost_table.build bb ~source:"r0" in
+    Format.printf "%a@." Mst.Cost_table.pp ct;
+    let affordable = Mst.Cost_table.affordable ct ~budget in
+    Printf.printf "\naffordable within %.1f: {%s}\n" budget
+      (String.concat ", " affordable)
+  in
+  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Region count.") in
+  let budget = Arg.(value & opt float 50. & info [ "budget" ] ~doc:"Broadcast budget.") in
+  Cmd.v
+    (Cmd.info "backbone" ~doc:"Backbone + local MSTs and the cost table (F2/C4).")
+    Term.(const run $ seed_arg $ regions $ budget)
+
+(* --- search ------------------------------------------------------------ *)
+
+let search_cmd =
+  let run seed regions key word org =
+    let site = hier_site ~seed ~regions ~hosts_per_region:6 in
+    let sys = Mail.Attribute_system.create site in
+    Mail.Attribute_system.populate_random sys ~rng:(Dsim.Rng.create (seed + 1));
+    let users = Mail.Location_system.users (Mail.Attribute_system.base sys) in
+    let from = List.hd users in
+    let viewer =
+      match org with
+      | Some o -> Naming.Attribute.member_of o
+      | None -> Naming.Attribute.anyone
+    in
+    let pred =
+      match word with
+      | Some w -> Naming.Attribute.Has_keyword (key, w)
+      | None -> Naming.Attribute.Has_key key
+    in
+    let res = Mail.Attribute_system.search sys ~from ~viewer pred in
+    Format.printf "query: %a@." Naming.Attribute.pp_pred pred;
+    Printf.printf "matches (%d):\n" (List.length res.Mail.Attribute_system.matches);
+    List.iter
+      (fun n -> Printf.printf "  %s\n" (Naming.Name.to_string n))
+      res.Mail.Attribute_system.matches;
+    Printf.printf "profiles examined: %d\n" res.Mail.Attribute_system.examined;
+    Printf.printf "estimated cost:    %.2f\n" res.Mail.Attribute_system.estimated_cost;
+    Printf.printf "search traffic:    %d messages, %d link crossings\n"
+      res.Mail.Attribute_system.traffic.Mst.Broadcast.g_messages
+      res.Mail.Attribute_system.traffic.Mst.Broadcast.g_link_crossings
+  in
+  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Region count.") in
+  let key =
+    Arg.(value & opt string "specialty" & info [ "key" ] ~doc:"Attribute key.")
+  in
+  let word =
+    Arg.(
+      value
+      & opt (some string) (Some "mail")
+      & info [ "word" ] ~doc:"Keyword to search for (omit for has-key).")
+  in
+  let org =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "org" ] ~doc:"Search as a member of this organisation.")
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc:"Attribute-based directory search (§3.3).")
+    Term.(const run $ seed_arg $ regions $ key $ word $ org)
+
+(* --- org --------------------------------------------------------------- *)
+
+let org_cmd =
+  let run servers availability local =
+    Printf.printf "%-18s %14s %12s %12s %14s\n" "organisation" "storage/server"
+      "lookup-msgs" "update-msgs" "availability";
+    let show label org =
+      let e =
+        Naming.Organisation.estimate org ~servers ~server_availability:availability
+          ~local_fraction:local
+      in
+      Printf.printf "%-18s %14.2f %12.2f %12.2f %14.6f\n" label
+        e.Naming.Organisation.storage_fraction e.Naming.Organisation.lookup_messages
+        e.Naming.Organisation.update_messages e.Naming.Organisation.availability
+    in
+    show "centralized" Naming.Organisation.Centralized;
+    show "fully-replicated" Naming.Organisation.Fully_replicated;
+    List.iter
+      (fun r ->
+        if r <= servers then
+          show
+            (Printf.sprintf "partitioned r=%d" r)
+            (Naming.Organisation.Partitioned r))
+      [ 1; 2; 3; 5 ]
+  in
+  let servers = Arg.(value & opt int 10 & info [ "servers" ] ~doc:"Name servers.") in
+  let availability =
+    Arg.(value & opt float 0.95 & info [ "availability" ] ~doc:"Per-server uptime.")
+  in
+  let local =
+    Arg.(value & opt float 0.8 & info [ "local" ] ~doc:"Fraction of local lookups.")
+  in
+  Cmd.v
+    (Cmd.info "org" ~doc:"Compare §2 name-service organisations (C9).")
+    Term.(const run $ servers $ availability $ local)
+
+(* --- lookup (fuzzy) ------------------------------------------------------ *)
+
+let lookup_cmd =
+  let run seed regions query =
+    let site = hier_site ~seed ~regions ~hosts_per_region:6 in
+    let sys = Mail.Attribute_system.create site in
+    Mail.Attribute_system.populate_random sys ~rng:(Dsim.Rng.create (seed + 1));
+    Printf.printf "fuzzy look-up of %S against every regional directory:\n" query;
+    List.iter
+      (fun r ->
+        match Mail.Attribute_system.directory sys r with
+        | None -> ()
+        | Some dir ->
+            let hits =
+              Naming.Directory.fuzzy_query dir ~viewer:Naming.Attribute.anyone
+                ~key:"city" ~max_distance:3 query
+            in
+            List.iter
+              (fun (name, d) ->
+                Printf.printf "  %-24s (city, distance %d, region %s)\n"
+                  (Naming.Name.to_string name) d r)
+              (List.filteri (fun i _ -> i < 3) hits))
+      (Mail.Attribute_system.regions sys)
+  in
+  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Region count.") in
+  let query =
+    Arg.(value & opt string "bostn" & info [ "query" ] ~doc:"Possibly misspelled value.")
+  in
+  Cmd.v
+    (Cmd.info "lookup" ~doc:"Misspelling-tolerant directory look-up (§3.3.1).")
+    Term.(const run $ seed_arg $ regions $ query)
+
+(* --- store --------------------------------------------------------------- *)
+
+let store_cmd =
+  let run replicas writes =
+    let g = Netsim.Topology.ring ~n:(max 3 replicas) ~weight:1. in
+    let engine = Dsim.Engine.create () in
+    let store =
+      Mail.Name_store.create ~engine ~graph:g ~replicas:(List.init replicas Fun.id) ()
+    in
+    let rng = Dsim.Rng.create 11 in
+    for i = 0 to writes - 1 do
+      let at = Dsim.Rng.float rng 1000. in
+      ignore
+        (Dsim.Engine.schedule_at engine at (fun () ->
+             Mail.Name_store.register store
+               (Naming.Name.make ~region:"r" ~host:"h"
+                  ~user:(Printf.sprintf "u%d" (i mod 40)))
+               [ i ]))
+    done;
+    if replicas > 1 then
+      Netsim.Failure.schedule_outage (Mail.Name_store.net store)
+        { Netsim.Failure.node = replicas - 1; start = 300.; duration = 200. };
+    Dsim.Engine.run engine;
+    Printf.printf "replicas          %d\n" replicas;
+    Printf.printf "writes            %d\n" writes;
+    Printf.printf "update messages   %d\n" (Mail.Name_store.update_messages store);
+    Printf.printf "recovery resyncs  %d\n" (Mail.Name_store.resyncs store);
+    Printf.printf "converged         %b\n" (Mail.Name_store.converged store)
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.") in
+  let writes = Arg.(value & opt int 100 & info [ "writes" ] ~doc:"Registrations.") in
+  Cmd.v
+    (Cmd.info "store" ~doc:"Replicated name-database propagation (C14).")
+    Term.(const run $ replicas $ writes)
+
+(* --- media --------------------------------------------------------------- *)
+
+let media_cmd =
+  let run bandwidth =
+    let config =
+      { Mail.Syntax_system.default_config with bandwidth = Some bandwidth }
+    in
+    let sys = Mail.Syntax_system.create ~config (Netsim.Topology.paper_fig1 ()) in
+    let users = Mail.Syntax_system.users sys in
+    let a = List.nth users 0 and b = List.nth users 20 in
+    let deliver label parts =
+      let m = Mail.Syntax_system.submit sys ~sender:a ~recipient:b ~parts () in
+      Mail.Syntax_system.quiesce sys;
+      match Mail.Message.delivery_latency m with
+      | Some l ->
+          Printf.printf "%-24s %8dB  delivered in %8.2f\n" label
+            (Mail.Message.size_bytes m) l
+      | None -> Printf.printf "%-24s lost?!\n" label
+    in
+    Printf.printf "link bandwidth: %.0f bytes per time unit\n\n" bandwidth;
+    deliver "text" [];
+    deliver "voice 10s" [ Mail.Content.Voice { seconds = 10. } ];
+    deliver "image 1024x768" [ Mail.Content.Image { width = 1024; height = 768 } ];
+    deliver "facsimile 5 pages" [ Mail.Content.Facsimile { pages = 5 } ]
+  in
+  let bandwidth =
+    Arg.(value & opt float 10_000. & info [ "bandwidth" ] ~doc:"Bytes per time unit.")
+  in
+  Cmd.v
+    (Cmd.info "media" ~doc:"Multimedia mail under finite bandwidth (C13/§5).")
+    Term.(const run $ bandwidth)
+
+(* --- topo -------------------------------------------------------------- *)
+
+let topo_cmd =
+  let run seed kind regions =
+    let g =
+      match kind with
+      | "fig1" -> (Netsim.Topology.paper_fig1 ()).Netsim.Topology.graph
+      | "hier" -> (hier_site ~seed ~regions ~hosts_per_region:6).Netsim.Topology.graph
+      | "ring" -> Netsim.Topology.ring ~n:8 ~weight:1.
+      | "grid" -> Netsim.Topology.grid ~rows:4 ~cols:4 ~weight:1.
+      | other -> failwith (Printf.sprintf "unknown topology %S" other)
+    in
+    Format.printf "%a@." Netsim.Graph.pp g;
+    Printf.printf "diameter: %.2f\n" (Netsim.Shortest_path.diameter g)
+  in
+  let kind =
+    Arg.(value & opt string "fig1" & info [ "kind" ] ~doc:"fig1, hier, ring or grid.")
+  in
+  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Regions for hier.") in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Print a topology (F1).")
+    Term.(const run $ seed_arg $ kind $ regions)
+
+let () =
+  let doc = "Large electronic mail system simulations (ICDCS 1988 reproduction)." in
+  let info = Cmd.info "mailsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            balance_cmd;
+            getmail_cmd;
+            mst_cmd;
+            backbone_cmd;
+            search_cmd;
+            org_cmd;
+            lookup_cmd;
+            store_cmd;
+            media_cmd;
+            topo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/campus_mail.ml: Array Dsim Format List Mail Naming Netsim Printf Queueing

@@ -1,0 +1,1 @@
+examples/directory_assistance.ml: Dsim List Mail Naming Netsim Printf

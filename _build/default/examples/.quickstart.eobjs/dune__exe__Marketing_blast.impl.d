@@ -1,0 +1,1 @@
+examples/marketing_blast.ml: Dsim Format List Mail Mst Naming Netsim Printf String

@@ -1,0 +1,1 @@
+examples/marketing_blast.mli:

@@ -1,0 +1,1 @@
+examples/roaming_users.ml: Dsim Format List Mail Naming Netsim Printf

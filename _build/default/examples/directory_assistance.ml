@@ -1,0 +1,127 @@
+(* Directory assistance (§3.3.1 "Directory Look-up").
+
+   "People do not always remember the exact spelling of the full
+   electronic mail addresses … Misspelling occurs so often that the
+   system fails to recognize them."  This walkthrough plays a help
+   desk: a caller knows a misspelled name, a rough organisation and a
+   city; the assistant narrows candidates with fuzzy matching and
+   attribute predicates, sets up a committee distribution list, and
+   sends the minutes to it — all on a billed account.
+
+   Run with: dune exec examples/directory_assistance.exe *)
+
+let () =
+  let rng = Dsim.Rng.create 1988 in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  let site =
+    { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+  in
+  let sys = Mail.Attribute_system.create site in
+  let base = Mail.Attribute_system.base sys in
+  let users = Mail.Location_system.users base in
+
+  (* Hand-curated directory entries for the cast, beside the random
+     population. *)
+  let alice = List.nth users 0 in
+  let bob = List.nth users 31 in
+  let carol = List.nth users 62 in
+  List.iter
+    (fun (who, full_name, org, city) ->
+      Mail.Attribute_system.register_profile sys
+        {
+          Naming.Directory.name = who;
+          attrs =
+            [
+              Naming.Attribute.text "name" full_name;
+              Naming.Attribute.text "org" org;
+              Naming.Attribute.text "city" city;
+              Naming.Attribute.keywords "specialty" [ "standards"; "mail" ];
+            ];
+        })
+    [
+      (alice, "Alice Thornton", "acme", "boston");
+      (bob, "Alyce Thornten", "acme", "boston");
+      (carol, "Carol Weiss", "globex", "denver");
+    ];
+  Mail.Attribute_system.populate_random sys ~rng;
+
+  (* The caller asks for "Alise Thornton" somewhere at acme. *)
+  Printf.printf "caller: 'I need Alise Thornton, she works at acme'\n\n";
+  let candidates =
+    Mail.Attribute_system.regions sys
+    |> List.concat_map (fun r ->
+           match Mail.Attribute_system.directory sys r with
+           | Some dir ->
+               Naming.Directory.fuzzy_query dir ~viewer:Naming.Attribute.anyone
+                 ~key:"name" ~max_distance:3 "Alise Thornton"
+           | None -> [])
+  in
+  Printf.printf "fuzzy name matches (distance <= 3):\n";
+  List.iter
+    (fun (name, d) ->
+      Printf.printf "  %-22s distance %d\n" (Naming.Name.to_string name) d)
+    candidates;
+
+  (* Ambiguous — "the user can provide more information to separate
+     them": filter the candidates through an attribute query. *)
+  let refined =
+    List.filter
+      (fun (name, _) ->
+        match Mail.Attribute_system.profile_of sys name with
+        | Some p ->
+            Naming.Attribute.matches ~viewer:Naming.Attribute.anyone
+              ~attrs:p.Naming.Directory.attrs
+              (Naming.Attribute.And
+                 [
+                   Naming.Attribute.Eq ("org", Naming.Attribute.Text "acme");
+                   Naming.Attribute.Eq ("city", Naming.Attribute.Text "boston");
+                 ])
+        | None -> false)
+      candidates
+  in
+  Printf.printf "\nafter refining by org=acme and city=boston: %d candidates\n"
+    (List.length refined);
+
+  (* Build a committee list from the two Thorntons plus Carol, and mail
+     the minutes through a billed account. *)
+  let dl = Mail.Dlist.create () in
+  let committee = Naming.Name.make ~region:"r0" ~host:"hq" ~user:"committee" in
+  Mail.Dlist.define dl ~name:committee
+    ~members:(carol :: List.map fst candidates);
+  Printf.printf "\ncommittee list expands to %d members\n"
+    (List.length (Mail.Dlist.expand dl committee));
+
+  let billing = Mail.Billing.create ~initial_balance:0.5 () in
+  let sender = alice in
+  (match
+     Mail.Billing.mass_mail billing sys ~sender ~viewer:Naming.Attribute.anyone
+       (Naming.Attribute.Has_keyword ("specialty", "standards"))
+   with
+  | Error reason -> Printf.printf "\nbroadcast refused (flow control): %s\n" reason
+  | Ok _ -> Printf.printf "\nbroadcast unexpectedly allowed!\n");
+  Mail.Billing.credit billing sender 500.;
+  (match
+     Mail.Billing.mass_mail billing sys ~sender ~viewer:Naming.Attribute.anyone
+       (Naming.Attribute.Has_keyword ("specialty", "standards"))
+   with
+  | Error reason -> Printf.printf "still refused: %s\n" reason
+  | Ok billed ->
+      Printf.printf "after a 500.0 credit: charged %.2f, %d recipients, %.2f left\n"
+        billed.Mail.Billing.charged
+        (List.length billed.Mail.Billing.messages)
+        billed.Mail.Billing.remaining);
+  Mail.Location_system.quiesce base;
+
+  (* Ordinary mail to the committee list rides the same substrate. *)
+  let msgs =
+    Mail.Dlist.submit_via
+      ~submit:(fun ~recipient ->
+        Mail.Location_system.submit base ~sender ~recipient ~subject:"minutes" ())
+      dl committee
+  in
+  Mail.Location_system.quiesce base;
+  Printf.printf "minutes delivered to %d of %d committee members\n"
+    (List.length (List.filter Mail.Message.is_deposited msgs))
+    (List.length msgs)

@@ -1,0 +1,85 @@
+(* Roaming consultants (design 2, §3.2).
+
+   A consultancy spans three regions.  Consultants log in from
+   whatever office they visit; within a region this needs no renaming
+   and no server reassignment — the servers gossip the user's current
+   location and new-mail alerts follow them around.  The example also
+   exercises the two reconfiguration levers: changing the hash function
+   (§3.2.3c) and a cross-region move (§3.2.4).
+
+   Run with: dune exec examples/roaming_users.exe *)
+
+let () =
+  let rng = Dsim.Rng.create 7 in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  let site =
+    { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+  in
+  let sys = Mail.Location_system.create site in
+  let users = Mail.Location_system.users sys in
+  let in_region r = List.filter (fun u -> Naming.Name.region u = r) users in
+  let hosts_of r =
+    List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+      (Netsim.Graph.nodes_in_region g r)
+  in
+
+  let consultant = List.hd (in_region "r1") in
+  let client = List.hd (in_region "r0") in
+  Printf.printf "consultant %s, primary host %s\n"
+    (Naming.Name.to_string consultant)
+    (Netsim.Graph.label g (Mail.Location_system.primary_host sys consultant));
+
+  (* The client sends a contract while the consultant is at the
+     primary office. *)
+  ignore
+    (Mail.Location_system.submit sys ~sender:client ~recipient:consultant
+       ~subject:"contract-v1" ());
+  Mail.Location_system.run_until sys 100.;
+
+  (* The consultant drops by a different office in the same region —
+     the login retrieves the pending contract on the spot, with no
+     renaming and no authority-server change. *)
+  let away_office = List.nth (hosts_of "r1") 3 in
+  let auth_before = Mail.Location_system.authority_of sys consultant in
+  let st = Mail.Location_system.login sys consultant ~host:away_office in
+  Printf.printf "logged in at %s: retrieved %d message(s) on login\n"
+    (Netsim.Graph.label g away_office)
+    st.Mail.User_agent.retrieved;
+  assert (Mail.Location_system.authority_of sys consultant = auth_before);
+  Printf.printf "authority servers unchanged by the move ✔\n";
+  Mail.Location_system.run_until sys 200.;
+
+  (* Mail sent now alerts the consultant at the away office. *)
+  ignore
+    (Mail.Location_system.submit sys ~sender:client ~recipient:consultant
+       ~subject:"contract-v2" ());
+  Mail.Location_system.run_until sys 400.;
+  let c = Mail.Location_system.counters sys in
+  Printf.printf "location updates so far: %d (gossip messages: %d)\n"
+    (Dsim.Stats.Counter.get c "location_updates")
+    (Dsim.Stats.Counter.get c "location_gossip");
+  ignore (Mail.Location_system.check_mail sys consultant);
+
+  (* Reconfiguration by changing the hash function: count how many
+     users' authority assignments move. *)
+  let moved = Mail.Location_system.rebalance_hash sys ~groups:5 in
+  Printf.printf "\nrehashing 8 -> 5 groups reassigned %d of %d users\n" moved
+    (List.length users);
+
+  (* A permanent cross-region move needs a rename (§3.2.4). *)
+  let hq_host = List.hd (hosts_of "r0") in
+  let new_name = Mail.Location_system.migrate_region sys consultant ~new_host:hq_host in
+  Printf.printf "\npermanent move to HQ: %s -> %s\n"
+    (Naming.Name.to_string consultant)
+    (Naming.Name.to_string new_name);
+  let m =
+    Mail.Location_system.submit sys ~sender:client ~recipient:consultant
+      ~subject:"sent-to-old-name" ()
+  in
+  Mail.Location_system.quiesce sys;
+  ignore (Mail.Location_system.check_mail sys new_name);
+  Printf.printf "mail to the old name was redirected and read: %b\n"
+    (Mail.Message.is_retrieved m);
+  Format.printf "@.%a@." Mail.Evaluation.pp (Mail.Evaluation.of_location sys)

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Float Hashtbl Heap Printf

@@ -1,0 +1,1 @@
+lib/dsim/heap.ml: Array Float Int

@@ -1,0 +1,1 @@
+lib/dsim/stats.ml: Array Float Format Hashtbl List Rng Stdlib String

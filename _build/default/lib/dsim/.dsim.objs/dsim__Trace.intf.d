@@ -1,0 +1,1 @@
+lib/dsim/trace.mli: Format

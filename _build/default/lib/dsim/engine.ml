@@ -1,0 +1,92 @@
+type event_id = int
+
+type event = { id : event_id; action : unit -> unit }
+
+type t = {
+  queue : event Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_id : event_id;
+  mutable executed : int;
+}
+
+let create () =
+  {
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 16;
+    clock = 0.;
+    next_id = 0;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Heap.push t.queue time { id; action };
+  id
+
+let schedule_after t delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock +. delay) action
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let pending t =
+  (* Cancelled events stay in the heap as tombstones until popped. *)
+  Heap.length t.queue - Hashtbl.length t.cancelled
+
+let exec t time ev =
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  ev.action ()
+
+(* Pop the next live event, discarding cancelled tombstones. *)
+let rec next_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some (time, ev) ->
+      if Hashtbl.mem t.cancelled ev.id then begin
+        Hashtbl.remove t.cancelled ev.id;
+        next_live t
+      end
+      else Some (time, ev)
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some (time, ev) ->
+      exec t time ev;
+      true
+
+(* Drop cancelled tombstones from the head so [peek] sees a live event. *)
+let rec settle_head t =
+  match Heap.peek t.queue with
+  | Some (_, ev) when Hashtbl.mem t.cancelled ev.id ->
+      ignore (Heap.pop t.queue);
+      Hashtbl.remove t.cancelled ev.id;
+      settle_head t
+  | _ -> ()
+
+let run ?until t =
+  let horizon = match until with Some h -> h | None -> infinity in
+  let rec loop () =
+    settle_head t;
+    match Heap.peek t.queue with
+    | None -> ()
+    | Some (time, _) when time > horizon -> ()
+    | Some _ ->
+        let time, ev = Heap.pop_exn t.queue in
+        exec t time ev;
+        loop ()
+  in
+  loop ();
+  match until with
+  | Some h when Float.is_finite h && t.clock < h -> t.clock <- h
+  | _ -> ()
+
+let events_executed t = t.executed

@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a virtual clock and a pending-event queue.  Events
+    are thunks scheduled at absolute or relative virtual times; running
+    the engine pops events in time order (FIFO among simultaneous
+    events) and executes them, which typically schedules further
+    events.  There is no real concurrency: determinism is total given
+    the same seed and schedule. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+(** Fresh engine with clock at 0. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> event_id
+(** [schedule_at t time f] runs [f] at virtual [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> event_id
+(** [schedule_after t delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event; cancelling an already-fired or unknown
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled tombstones'
+    live siblings; cancelled events are excluded). *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in order until the queue empties, or until the
+    first event strictly after [until] (which remains queued and the
+    clock advances to exactly [until]). *)
+
+val step : t -> bool
+(** Execute the single next event.  [false] if none remained. *)
+
+val events_executed : t -> int
+(** Total events executed so far, for complexity accounting. *)

@@ -1,0 +1,89 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?capacity:(_ = 64) () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* [before a b] decides heap order: smaller priority first, then
+   smaller sequence number (insertion order) among equal priorities. *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = max 8 (2 * Array.length h.data) in
+  let data = Array.make cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h prio value =
+  if Float.is_nan prio then invalid_arg "Heap.push: NaN priority";
+  let entry = { prio; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 8 entry;
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = h.data.(0) in
+    Some (e.prio, e.value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let e = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (e.prio, e.value)
+  end
+
+let pop_exn h = match pop h with Some x -> x | None -> raise Not_found
+
+let clear h =
+  h.size <- 0;
+  h.data <- [||]
+
+let to_sorted_list h =
+  let entries = Array.sub h.data 0 h.size in
+  Array.sort
+    (fun a b ->
+      match Float.compare a.prio b.prio with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+    entries;
+  Array.to_list (Array.map (fun e -> (e.prio, e.value)) entries)

@@ -1,0 +1,38 @@
+(** Binary min-heap keyed by [float] priority.
+
+    Ties are broken FIFO: of two entries with equal priority, the one
+    inserted first is popped first.  This property matters for the
+    simulation engine, where events scheduled at the same instant must
+    fire in scheduling order to keep runs deterministic. *)
+
+type 'a t
+(** Mutable heap holding values of type ['a]. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty heap.  [capacity] pre-sizes the backing
+    array (default 64); the heap grows automatically. *)
+
+val length : 'a t -> int
+(** Number of entries currently stored. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h prio v] inserts [v] with priority [prio].
+    @raise Invalid_argument if [prio] is NaN. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-priority entry without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry, FIFO among ties. *)
+
+val pop_exn : 'a t -> float * 'a
+(** Like {!pop}. @raise Not_found if the heap is empty. *)
+
+val clear : 'a t -> unit
+(** Remove every entry. *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive snapshot in ascending priority (FIFO among ties). *)

@@ -1,0 +1,199 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable minv : float;
+    mutable maxv : float;
+    mutable total : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; minv = infinity; maxv = neg_infinity; total = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.minv then t.minv <- x;
+    if x > t.maxv then t.maxv <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.minv
+  let max t = t.maxv
+  let total t = t.total
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+      in
+      {
+        n;
+        mean;
+        m2;
+        minv = Float.min a.minv b.minv;
+        maxv = Float.max a.maxv b.maxv;
+        total = a.total +. b.total;
+      }
+    end
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f" t.n (mean t)
+      (stddev t) t.minv t.maxv
+end
+
+module Counter = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let incr ?(by = 1) t key =
+    match Hashtbl.find_opt t key with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t key (ref by)
+
+  let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let pp ppf t =
+    let items = to_list t in
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+      items
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable under : int;
+    mutable over : int;
+    mutable n : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: empty range";
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int buckets;
+      counts = Array.make buckets 0;
+      under = 0;
+      over = 0;
+      n = 0;
+    }
+
+  let add t x =
+    t.n <- t.n + 1;
+    if x < t.lo then t.under <- t.under + 1
+    else if x >= t.hi then t.over <- t.over + 1
+    else begin
+      let i = int_of_float ((x -. t.lo) /. t.width) in
+      let i = Stdlib.min i (Array.length t.counts - 1) in
+      t.counts.(i) <- t.counts.(i) + 1
+    end
+
+  let count t = t.n
+  let underflow t = t.under
+  let overflow t = t.over
+
+  let bucket_counts t =
+    Array.mapi
+      (fun i c ->
+        let lo = t.lo +. (float_of_int i *. t.width) in
+        (lo, lo +. t.width, c))
+      t.counts
+
+  let pp ppf t =
+    Array.iter
+      (fun (lo, hi, c) -> Format.fprintf ppf "[%.3g,%.3g) %d@ " lo hi c)
+      (bucket_counts t)
+end
+
+module Timeseries = struct
+  type t = {
+    mutable last_time : float;
+    mutable value : float;
+    mutable weighted_sum : float;
+    start : float;
+  }
+
+  let create ?(at = 0.) v =
+    { last_time = at; value = v; weighted_sum = 0.; start = at }
+
+  let update t ~at v =
+    if at < t.last_time then invalid_arg "Timeseries.update: time went backwards";
+    t.weighted_sum <- t.weighted_sum +. (t.value *. (at -. t.last_time));
+    t.last_time <- at;
+    t.value <- v
+
+  let value t = t.value
+
+  let time_average t ~at =
+    let span = at -. t.start in
+    if span <= 0. then t.value
+    else
+      let tail = t.value *. (at -. t.last_time) in
+      (t.weighted_sum +. tail) /. span
+end
+
+module Reservoir = struct
+  type t = {
+    sample : float array;
+    mutable filled : int;
+    mutable seen : int;
+    rng : Rng.t;
+  }
+
+  let create ?(capacity = 4096) rng =
+    if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
+    { sample = Array.make capacity 0.; filled = 0; seen = 0; rng }
+
+  let add t x =
+    t.seen <- t.seen + 1;
+    if t.filled < Array.length t.sample then begin
+      t.sample.(t.filled) <- x;
+      t.filled <- t.filled + 1
+    end
+    else begin
+      let j = Rng.int t.rng t.seen in
+      if j < Array.length t.sample then t.sample.(j) <- x
+    end
+
+  let count t = t.seen
+
+  let percentile t p =
+    if t.filled = 0 then nan
+    else begin
+      let data = Array.sub t.sample 0 t.filled in
+      Array.sort Float.compare data;
+      let p = Float.max 0. (Float.min 100. p) in
+      let rank = p /. 100. *. float_of_int (t.filled - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then data.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        ((1. -. frac) *. data.(lo)) +. (frac *. data.(hi))
+    end
+
+  let median t = percentile t 50.
+end

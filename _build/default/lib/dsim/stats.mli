@@ -1,0 +1,97 @@
+(** Online statistics accumulators used to measure simulation runs.
+
+    All accumulators are single-pass and O(1) memory except
+    {!Reservoir}, which keeps a bounded sample for percentile
+    estimation. *)
+
+(** Running mean / variance by Welford's algorithm. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 observations yield [nan]. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; fewer than 2 observations yield [0.]. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val merge : t -> t -> t
+  (** [merge a b] combines two accumulators (Chan's parallel update). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Monotonic counters keyed by string, for event tallies. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+  (** Unknown keys read as 0. *)
+
+  val to_list : t -> (string * int) list
+  (** Sorted by key. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Fixed-bucket histogram over [\[lo, hi)] with uniform bucket width;
+    values outside the range land in under/overflow buckets. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val underflow : t -> int
+  val overflow : t -> int
+  val bucket_counts : t -> (float * float * int) array
+  (** [(lo, hi, count)] per bucket. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Time-weighted average of a piecewise-constant signal, e.g. a queue
+    length sampled whenever it changes. *)
+module Timeseries : sig
+  type t
+
+  val create : ?at:float -> float -> t
+  (** [create ~at v] starts the signal at value [v] at time [at]
+      (default 0). *)
+
+  val update : t -> at:float -> float -> unit
+  (** [update ts ~at v]: the signal takes value [v] from time [at].
+      @raise Invalid_argument if [at] precedes the last update. *)
+
+  val value : t -> float
+  (** Current value of the signal. *)
+
+  val time_average : t -> at:float -> float
+  (** Average of the signal from its start through time [at]. *)
+end
+
+(** Bounded uniform sample (Vitter's algorithm R) for percentiles. *)
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> Rng.t -> t
+  (** Default capacity 4096. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  (** Number of values offered (not retained). *)
+
+  val percentile : t -> float -> float
+  (** [percentile r p] for [p] in [\[0,100\]], by linear interpolation
+      over the retained sample.  [nan] when empty. *)
+
+  val median : t -> float
+end

@@ -1,0 +1,64 @@
+type level = Debug | Info | Warn | Error
+
+type record = { time : float; level : level; category : string; message : string }
+
+type t = {
+  buffer : record option array;
+  mutable next : int;
+  mutable stored : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buffer = Array.make capacity None; next = 0; stored = 0; total = 0 }
+
+let add t ~time ~level ~category message =
+  t.buffer.(t.next) <- Some { time; level; category; message };
+  t.next <- (t.next + 1) mod Array.length t.buffer;
+  if t.stored < Array.length t.buffer then t.stored <- t.stored + 1;
+  t.total <- t.total + 1
+
+let logf t ~time ~level ~category fmt =
+  Format.kasprintf (fun message -> add t ~time ~level ~category message) fmt
+
+let debugf t ~time ~category fmt = logf t ~time ~level:Debug ~category fmt
+let infof t ~time ~category fmt = logf t ~time ~level:Info ~category fmt
+let warnf t ~time ~category fmt = logf t ~time ~level:Warn ~category fmt
+let errorf t ~time ~category fmt = logf t ~time ~level:Error ~category fmt
+
+let records t =
+  let cap = Array.length t.buffer in
+  let start = (t.next - t.stored + cap) mod cap in
+  List.init t.stored (fun i ->
+      match t.buffer.((start + i) mod cap) with
+      | Some r -> r
+      | None -> assert false)
+
+let count ?category ?level t =
+  let matches r =
+    (match category with Some c -> String.equal r.category c | None -> true)
+    && match level with Some l -> r.level = l | None -> true
+  in
+  List.length (List.filter matches (records t))
+
+let total t = t.total
+
+let clear t =
+  Array.fill t.buffer 0 (Array.length t.buffer) None;
+  t.next <- 0;
+  t.stored <- 0;
+  t.total <- 0
+
+let level_label = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%10.4f] %-5s %-16s %s" r.time (level_label r.level)
+    r.category r.message
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_record ppf (records t)

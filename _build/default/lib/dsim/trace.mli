@@ -1,0 +1,46 @@
+(** Lightweight structured trace of simulation events.
+
+    A trace is a bounded in-memory log of [(time, category, message)]
+    records.  Components append records as they act; tests and
+    experiment harnesses read them back to assert on behaviour (e.g.
+    "exactly one poll message was sent") without coupling to stdout. *)
+
+type level = Debug | Info | Warn | Error
+
+type record = { time : float; level : level; category : string; message : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Bounded trace retaining the most recent [capacity] records
+    (default 65536); older records are dropped, but {!total} still
+    counts them. *)
+
+val add : t -> time:float -> level:level -> category:string -> string -> unit
+
+val debugf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val infof :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val warnf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val errorf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val records : t -> record list
+(** Oldest first, retained records only. *)
+
+val count : ?category:string -> ?level:level -> t -> int
+(** Retained records matching the optional filters. *)
+
+val total : t -> int
+(** All records ever added, including dropped ones. *)
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/loadbalance/assignment.ml: Array Cost Float Format Fun List Netsim Printf

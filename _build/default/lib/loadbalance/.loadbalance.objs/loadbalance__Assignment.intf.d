@@ -1,0 +1,1 @@
+lib/loadbalance/assignment.mli: Cost Format Netsim

@@ -1,0 +1,1 @@
+lib/loadbalance/balancer.ml: Array Assignment Float Format

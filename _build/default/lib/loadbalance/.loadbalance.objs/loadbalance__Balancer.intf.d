@@ -1,0 +1,1 @@
+lib/loadbalance/balancer.mli: Assignment Format

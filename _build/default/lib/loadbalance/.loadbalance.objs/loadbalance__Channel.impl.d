@@ -1,0 +1,1 @@
+lib/loadbalance/channel.ml: Array Assignment Balancer Cost Float Hashtbl List Netsim

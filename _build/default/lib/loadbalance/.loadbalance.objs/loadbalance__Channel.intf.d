@@ -1,0 +1,1 @@
+lib/loadbalance/channel.mli: Assignment Balancer Netsim

@@ -1,0 +1,1 @@
+lib/loadbalance/cost.mli:

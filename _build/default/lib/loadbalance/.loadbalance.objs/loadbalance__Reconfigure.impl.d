@@ -1,0 +1,1 @@
+lib/loadbalance/reconfigure.ml: Array Assignment Balancer Float List Netsim

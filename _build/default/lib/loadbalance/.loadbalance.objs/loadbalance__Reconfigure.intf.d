@@ -1,0 +1,1 @@
+lib/loadbalance/reconfigure.mli: Assignment Balancer Netsim

@@ -1,0 +1,1 @@
+lib/loadbalance/replicas.ml: Array Assignment Float Fun Hashtbl List Netsim

@@ -1,0 +1,1 @@
+lib/loadbalance/replicas.mli: Assignment Netsim

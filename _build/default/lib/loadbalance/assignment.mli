@@ -1,0 +1,85 @@
+(** Server-assignment problems and assignment matrices (§3.1.1).
+
+    A problem fixes the hosts (with user populations [N_i]), the
+    servers (with capacities [M_j]), the zero-load communication-time
+    matrix [C_ij] derived from the topology, and the cost parameters.
+    An assignment is the matrix [A_ij] — how many users of host [i]
+    are served by server [j]. *)
+
+type problem = {
+  graph : Netsim.Graph.t;
+  hosts : Netsim.Graph.node array;
+  populations : int array;  (** N_i, aligned with [hosts]. *)
+  servers : Netsim.Graph.node array;
+  capacities : int array;  (** M_j, aligned with [servers]. *)
+  comm : float array array;  (** C_ij = zero-load shortest-path time. *)
+  params : Cost.params;
+}
+
+val problem_of_site :
+  ?params:Cost.params ->
+  ?capacity:(Netsim.Graph.node -> int) ->
+  Netsim.Topology.mail_site ->
+  problem
+(** Build a problem from a topology, computing [C_ij] by Dijkstra.
+    Default parameters: {!Cost.paper_params}; default capacity: 100
+    users per server (the worked example's [M_j]).
+    @raise Invalid_argument if the site has no hosts or no servers, or
+    some host cannot reach some server. *)
+
+type t
+(** Mutable assignment matrix for a given problem. *)
+
+val empty : problem -> t
+val copy : t -> t
+
+val get : t -> host:int -> server:int -> int
+(** Users of host index [host] assigned to server index [server]. *)
+
+val set : t -> host:int -> server:int -> int -> unit
+(** @raise Invalid_argument on a negative count. *)
+
+val move : t -> host:int -> from_server:int -> to_server:int -> int -> unit
+(** Move [count] users of a host between servers.
+    @raise Invalid_argument if the source holds fewer than [count]. *)
+
+val load : t -> int -> int
+(** [L_j]: users currently assigned to server index [j], maintained
+    incrementally. *)
+
+val loads : t -> int array
+
+val assigned_of_host : t -> int -> int
+(** Users of host [i] currently assigned anywhere. *)
+
+val utilization : problem -> t -> int -> float
+(** ρ_j = L_j / M_j. *)
+
+val connection_cost : problem -> t -> host:int -> server:int -> float
+(** TC_ij under the current loads. *)
+
+val total_cost : problem -> t -> float
+(** Σ_ij A_ij · TC_ij — the objective the balancing loop minimises. *)
+
+val move_delta :
+  problem -> t -> host:int -> from_server:int -> to_server:int -> count:int -> float
+(** Change in {!total_cost} if [count] users of [host] moved between
+    the servers, computed in O(1) from the closed form of the
+    objective (the communication terms of the moved users plus the
+    queueing-term change of the two affected servers).  Exact:
+    [total_cost] after an actual {!move} equals the old value plus
+    this delta (up to rounding) — property-tested. *)
+
+val is_complete : problem -> t -> bool
+(** Every host's population fully assigned. *)
+
+val overloaded : problem -> t -> int list
+(** Server indexes with L_j > M_j (the algorithm's final check). *)
+
+val server_label : problem -> int -> string
+val host_label : problem -> int -> string
+
+val pp_table : problem -> Format.formatter -> t -> unit
+(** Render in the layout of the paper's Tables 1–3: one row per host,
+    one column per server, plus per-server load and utilisation
+    footer. *)

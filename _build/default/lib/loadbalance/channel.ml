@@ -1,0 +1,97 @@
+type link_stats = {
+  link : Netsim.Graph.node * Netsim.Graph.node;
+  traffic : float;
+  utilisation : float;
+}
+
+let norm u v = if u < v then (u, v) else (v, u)
+
+let link_loads (problem : Assignment.problem) t ~traffic_per_user ~link_capacity =
+  let loads = Hashtbl.create 32 in
+  let add u v x =
+    let key = norm u v in
+    let cur = try Hashtbl.find loads key with Not_found -> 0. in
+    Hashtbl.replace loads key (cur +. x)
+  in
+  Array.iteri
+    (fun i host ->
+      let tree = Netsim.Shortest_path.dijkstra problem.Assignment.graph host in
+      Array.iteri
+        (fun j server ->
+          let users = Assignment.get t ~host:i ~server:j in
+          if users > 0 then
+            match Netsim.Shortest_path.path tree server with
+            | Some nodes ->
+                let flow = float_of_int users *. traffic_per_user in
+                let rec walk = function
+                  | a :: (b :: _ as rest) ->
+                      add a b flow;
+                      walk rest
+                  | _ -> ()
+                in
+                walk nodes
+            | None -> ())
+        problem.Assignment.servers)
+    problem.Assignment.hosts;
+  Hashtbl.fold
+    (fun link traffic acc ->
+      { link; traffic; utilisation = traffic /. link_capacity } :: acc)
+    loads []
+  |> List.sort (fun a b -> compare a.link b.link)
+
+let max_utilisation stats =
+  List.fold_left (fun acc s -> Float.max acc s.utilisation) 0. stats
+
+(* Rebuild the topology with congestion-inflated weights and rerun
+   all-pairs host->server Dijkstra. *)
+let congested_comm (problem : Assignment.problem) t ~traffic_per_user ~link_capacity =
+  let stats = link_loads problem t ~traffic_per_user ~link_capacity in
+  let util =
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun s -> Hashtbl.replace tbl s.link s.utilisation) stats;
+    fun u v -> try Hashtbl.find tbl (norm u v) with Not_found -> 0.
+  in
+  let g = problem.Assignment.graph in
+  let inflated = Netsim.Graph.create () in
+  List.iter
+    (fun v ->
+      ignore
+        (Netsim.Graph.add_node ~label:(Netsim.Graph.label g v) ~kind:(Netsim.Graph.kind g v)
+           ~region:(Netsim.Graph.region g v) inflated))
+    (Netsim.Graph.nodes g);
+  List.iter
+    (fun (u, v, w) ->
+      let q = Float.min 100. (Cost.waiting_estimate problem.Assignment.params ~rho:(util u v)) in
+      Netsim.Graph.add_edge inflated u v (w *. (1. +. q)))
+    (Netsim.Graph.edges g);
+  Array.map
+    (fun host ->
+      let tree = Netsim.Shortest_path.dijkstra inflated host in
+      Array.map (fun server -> Netsim.Shortest_path.distance tree server)
+        problem.Assignment.servers)
+    problem.Assignment.hosts
+
+type round_stats = {
+  round : int;
+  balancer : Balancer.stats;
+  max_link_utilisation : float;
+}
+
+let balance_with_congestion ?(rounds = 3) ?(traffic_per_user = 1.)
+    ?(link_capacity = 100.) (problem : Assignment.problem) =
+  if rounds <= 0 then invalid_arg "Channel.balance_with_congestion: rounds <= 0";
+  let t = Balancer.initialize problem in
+  let history = ref [] in
+  let current_problem = ref problem in
+  for round = 1 to rounds do
+    let stats = Balancer.balance !current_problem t in
+    let links = link_loads problem t ~traffic_per_user ~link_capacity in
+    history :=
+      { round; balancer = stats; max_link_utilisation = max_utilisation links }
+      :: !history;
+    if round < rounds then begin
+      let comm = congested_comm problem t ~traffic_per_user ~link_capacity in
+      current_problem := { problem with Assignment.comm }
+    end
+  done;
+  (t, List.rev !history)

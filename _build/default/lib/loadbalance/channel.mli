@@ -1,0 +1,61 @@
+(** Variable communication delays under channel load.
+
+    §3.1.1 closes with: "a final modification can be done to include
+    variable communication delays by having approximate queueing
+    delays that is a function of the channel utilization (in the above
+    algorithm, we assume constant communication delays which are valid
+    in the case of light loads on the channel)."
+
+    This module implements that modification.  The user-to-server
+    traffic implied by an assignment is routed over zero-load shortest
+    paths; each link's utilisation follows, and its effective delay is
+    inflated by the same M/M/1-style factor the server model uses:
+    [w' = w · (1 + Q(ρ_link))].  Re-running the balancer against the
+    inflated delays and iterating reaches a congestion-aware
+    assignment. *)
+
+type link_stats = {
+  link : Netsim.Graph.node * Netsim.Graph.node;  (** with [u < v]. *)
+  traffic : float;  (** offered load crossing the link. *)
+  utilisation : float;  (** traffic / link capacity, uncapped. *)
+}
+
+val link_loads :
+  Assignment.problem ->
+  Assignment.t ->
+  traffic_per_user:float ->
+  link_capacity:float ->
+  link_stats list
+(** Route every host→assigned-server flow over the zero-load shortest
+    path and accumulate per-link traffic.  Sorted by link. *)
+
+val max_utilisation : link_stats list -> float
+(** 0. for an empty list. *)
+
+val congested_comm :
+  Assignment.problem ->
+  Assignment.t ->
+  traffic_per_user:float ->
+  link_capacity:float ->
+  float array array
+(** The effective [C_ij] matrix under the assignment's link loads:
+    shortest paths over links reweighted by [w · (1 + Q(ρ))], where
+    [Q] is {!Cost.waiting_estimate} capped at 100 (a saturated link is
+    very slow, not absorbing). *)
+
+type round_stats = {
+  round : int;
+  balancer : Balancer.stats;
+  max_link_utilisation : float;
+}
+
+val balance_with_congestion :
+  ?rounds:int ->
+  ?traffic_per_user:float ->
+  ?link_capacity:float ->
+  Assignment.problem ->
+  Assignment.t * round_stats list
+(** Alternate balancing and delay re-estimation for [rounds]
+    iterations (default 3) starting from the nearest-server
+    initialization; defaults: 1 traffic unit per user, capacity 100
+    per link.  Returns the final assignment and per-round stats. *)

@@ -1,0 +1,14 @@
+type params = {
+  w_comm : float;
+  w_proc : float;
+  processing_time : float;
+  big_b : float;
+}
+
+let paper_params = { w_comm = 4.0; w_proc = 1.0; processing_time = 0.5; big_b = 1e6 }
+
+let waiting_estimate params ~rho = Queueing.Mm1.paper_q ~cap:params.big_b rho
+
+let connection_cost params ~comm ~rho =
+  (comm *. params.w_comm)
+  +. ((waiting_estimate params ~rho +. params.processing_time) *. params.w_proc)

@@ -1,0 +1,25 @@
+(** The paper's connection-cost model (§3.1.1).
+
+    [TC_ij = C_ij · W1 + (Q(ρ_j) + z) · W2] where [C_ij] is the
+    zero-load shortest-path communication time between host [i] and
+    server [j], [ρ_j = L_j / M_j] the server's utilisation estimate,
+    [Q] the M/M/1 waiting-time estimate capped at a very large
+    constant [B] once [ρ ≥ 0.99], and [z] the average per-request
+    processing time. *)
+
+type params = {
+  w_comm : float;  (** W1 — weight of communication time. *)
+  w_proc : float;  (** W2 — weight of processing + waiting time. *)
+  processing_time : float;  (** z — mean processing time per request. *)
+  big_b : float;  (** B — the "very large constant" for ρ ≥ 0.99. *)
+}
+
+val paper_params : params
+(** The worked example's values: W1 = 4, W2 = 1, z = 0.5, B = 10⁶. *)
+
+val waiting_estimate : params -> rho:float -> float
+(** [Q(ρ)] as defined above. *)
+
+val connection_cost : params -> comm:float -> rho:float -> float
+(** [TC] for one host/server pair given the communication time and the
+    server's current utilisation estimate. *)

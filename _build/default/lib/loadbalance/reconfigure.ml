@@ -1,0 +1,128 @@
+type change =
+  | Add_users of Netsim.Graph.node * int
+  | Remove_users of Netsim.Graph.node * int
+  | Add_host of Netsim.Graph.node * int
+  | Remove_host of Netsim.Graph.node
+  | Add_server of Netsim.Graph.node * int
+  | Remove_server of Netsim.Graph.node
+
+let index_of arr v =
+  let found = ref (-1) in
+  Array.iteri (fun i x -> if x = v && !found < 0 then found := i) arr;
+  !found
+
+let rebuild (problem : Assignment.problem) ~hosts ~populations ~servers ~capacities =
+  let comm =
+    Array.map
+      (fun h ->
+        let tree = Netsim.Shortest_path.dijkstra problem.graph h in
+        Array.map
+          (fun s ->
+            let d = Netsim.Shortest_path.distance tree s in
+            if not (Float.is_finite d) then
+              invalid_arg "Reconfigure: host cannot reach server";
+            d)
+          servers)
+      hosts
+  in
+  { problem with Assignment.hosts; populations; servers; capacities; comm }
+
+(* Port the old matrix into the new problem's shape: entries survive
+   when both their host and server still exist. *)
+let port (old_problem : Assignment.problem) old_t (new_problem : Assignment.problem) =
+  let t = Assignment.empty new_problem in
+  Array.iteri
+    (fun i h ->
+      let i' = index_of new_problem.Assignment.hosts h in
+      if i' >= 0 then
+        Array.iteri
+          (fun j s ->
+            let j' = index_of new_problem.Assignment.servers s in
+            if j' >= 0 then begin
+              let count = Assignment.get old_t ~host:i ~server:j in
+              (* A shrunk population keeps at most its new total. *)
+              let room =
+                new_problem.Assignment.populations.(i')
+                - Assignment.assigned_of_host t i'
+              in
+              if count > 0 && room > 0 then
+                Assignment.set t ~host:i' ~server:j'
+                  (Assignment.get t ~host:i' ~server:j' + min count room)
+            end)
+          old_problem.Assignment.servers)
+    old_problem.Assignment.hosts;
+  t
+
+let apply (problem : Assignment.problem) t change =
+  let hosts = problem.Assignment.hosts in
+  let populations = problem.Assignment.populations in
+  let servers = problem.Assignment.servers in
+  let capacities = problem.Assignment.capacities in
+  let check_node v =
+    if not (Netsim.Graph.mem_node problem.Assignment.graph v) then
+      invalid_arg "Reconfigure.apply: unknown node"
+  in
+  let new_problem =
+    match change with
+    | Add_users (h, n) ->
+        check_node h;
+        if n < 0 then invalid_arg "Reconfigure.apply: negative user count";
+        let i = index_of hosts h in
+        if i < 0 then invalid_arg "Reconfigure.apply: not a mail host";
+        let populations = Array.copy populations in
+        populations.(i) <- populations.(i) + n;
+        rebuild problem ~hosts ~populations ~servers ~capacities
+    | Remove_users (h, n) ->
+        check_node h;
+        let i = index_of hosts h in
+        if i < 0 then invalid_arg "Reconfigure.apply: not a mail host";
+        if n < 0 || n > populations.(i) then
+          invalid_arg "Reconfigure.apply: bad user count";
+        let populations = Array.copy populations in
+        populations.(i) <- populations.(i) - n;
+        rebuild problem ~hosts ~populations ~servers ~capacities
+    | Add_host (h, pop) ->
+        check_node h;
+        if pop < 0 then invalid_arg "Reconfigure.apply: negative population";
+        if index_of hosts h >= 0 then invalid_arg "Reconfigure.apply: host already present";
+        rebuild problem
+          ~hosts:(Array.append hosts [| h |])
+          ~populations:(Array.append populations [| pop |])
+          ~servers ~capacities
+    | Remove_host h ->
+        let i = index_of hosts h in
+        if i < 0 then invalid_arg "Reconfigure.apply: not a mail host";
+        if Array.length hosts = 1 then invalid_arg "Reconfigure.apply: last host";
+        let keep k = k <> i in
+        let filter arr =
+          Array.of_list
+            (List.filteri (fun k _ -> keep k) (Array.to_list arr))
+        in
+        rebuild problem ~hosts:(filter hosts) ~populations:(filter populations)
+          ~servers ~capacities
+    | Add_server (s, cap) ->
+        check_node s;
+        if cap <= 0 then invalid_arg "Reconfigure.apply: capacity must be positive";
+        if index_of servers s >= 0 then
+          invalid_arg "Reconfigure.apply: server already present";
+        rebuild problem ~hosts ~populations
+          ~servers:(Array.append servers [| s |])
+          ~capacities:(Array.append capacities [| cap |])
+    | Remove_server s ->
+        let j = index_of servers s in
+        if j < 0 then invalid_arg "Reconfigure.apply: not a mail server";
+        if Array.length servers = 1 then invalid_arg "Reconfigure.apply: last server";
+        let keep k = k <> j in
+        let filter arr =
+          Array.of_list (List.filteri (fun k _ -> keep k) (Array.to_list arr))
+        in
+        rebuild problem ~hosts ~populations ~servers:(filter servers)
+          ~capacities:(filter capacities)
+  in
+  (new_problem, port problem t new_problem)
+
+let apply_and_rebalance ?batch problem t change =
+  let problem, t = apply problem t change in
+  ignore (Balancer.assign_remaining problem t);
+  let stats = Balancer.balance ?batch problem t in
+  (problem, t, stats)

@@ -1,0 +1,40 @@
+(** Reconfiguration operators (§3.1.3).
+
+    Each operator transforms a problem (and carries the existing
+    assignment over where possible), mirroring the paper's procedures:
+    adding or deleting users, hosts and servers.  After an operator the
+    caller re-runs {!Balancer.balance} to "redistribute the load among
+    the servers using the algorithm for server assignment". *)
+
+type change =
+  | Add_users of Netsim.Graph.node * int
+      (** more users appear on an existing host. *)
+  | Remove_users of Netsim.Graph.node * int
+  | Add_host of Netsim.Graph.node * int
+      (** a host node already present in the graph joins the mail
+          system with the given population. *)
+  | Remove_host of Netsim.Graph.node
+  | Add_server of Netsim.Graph.node * int
+      (** a server node already present in the graph joins with the
+          given capacity [M_j]. *)
+  | Remove_server of Netsim.Graph.node
+
+val apply :
+  Assignment.problem ->
+  Assignment.t ->
+  change ->
+  Assignment.problem * Assignment.t
+(** Rebuild the problem and port the old assignment.  Users whose
+    server or host disappeared (or who are new) are left unassigned;
+    place them with {!Balancer.assign_remaining} and then re-balance.
+    @raise Invalid_argument on unknown nodes, duplicate additions, or
+    removing the last host/server. *)
+
+val apply_and_rebalance :
+  ?batch:bool ->
+  Assignment.problem ->
+  Assignment.t ->
+  change ->
+  Assignment.problem * Assignment.t * Balancer.stats
+(** {!apply}, then {!Balancer.assign_remaining}, then
+    {!Balancer.balance}. *)

@@ -1,0 +1,110 @@
+type t = {
+  primary : Assignment.t;
+  chains : Netsim.Graph.node list array array;
+  secondary_load : int array;
+}
+
+let assign ?(replication = 3) (problem : Assignment.problem) primary =
+  if replication <= 0 then invalid_arg "Replicas.assign: replication <= 0";
+  if not (Assignment.is_complete problem primary) then
+    invalid_arg "Replicas.assign: primary assignment incomplete";
+  let n_servers = Array.length problem.Assignment.servers in
+  let n_hosts = Array.length problem.Assignment.hosts in
+  let replication = min replication n_servers in
+  let secondary_load = Array.make n_servers 0 in
+  let server_index =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun j s -> Hashtbl.replace tbl s j) problem.Assignment.servers;
+    tbl
+  in
+  (* For host i, one chain per primary server actually used by its
+     users (the slots); users cycle over them. *)
+  let chains =
+    Array.init n_hosts (fun i ->
+        let slots =
+          List.filter_map
+            (fun j ->
+              let count = Assignment.get primary ~host:i ~server:j in
+              if count > 0 then Some (j, count) else None)
+            (List.init n_servers Fun.id)
+        in
+        let slots = if slots = [] then [ (0, 0) ] else slots in
+        Array.of_list
+          (List.map
+             (fun (primary_j, weight) ->
+               let primary_server = problem.Assignment.servers.(primary_j) in
+               (* Candidate secondaries ordered by comm time. *)
+               let by_comm =
+                 List.init n_servers Fun.id
+                 |> List.filter (fun j -> j <> primary_j)
+                 |> List.sort (fun a b ->
+                        Float.compare problem.Assignment.comm.(i).(a)
+                          problem.Assignment.comm.(i).(b))
+               in
+               (* First secondary: among the closest candidates (within
+                  1 hop-cost slack of the closest), pick the one with
+                  the smallest secondary load so failover traffic
+                  spreads. *)
+               let first_secondary =
+                 match by_comm with
+                 | [] -> None
+                 | best :: _ ->
+                     let best_comm = problem.Assignment.comm.(i).(best) in
+                     let near =
+                       List.filter
+                         (fun j ->
+                           problem.Assignment.comm.(i).(j) <= best_comm +. 1.0)
+                         by_comm
+                     in
+                     let chosen =
+                       List.fold_left
+                         (fun acc j ->
+                           match acc with
+                           | None -> Some j
+                           | Some k ->
+                               if
+                                 secondary_load.(j) < secondary_load.(k)
+                                 || (secondary_load.(j) = secondary_load.(k)
+                                    && problem.Assignment.comm.(i).(j)
+                                       < problem.Assignment.comm.(i).(k))
+                               then Some j
+                               else acc)
+                         None near
+                     in
+                     chosen
+               in
+               let rest =
+                 match first_secondary with
+                 | None -> []
+                 | Some fs ->
+                     secondary_load.(fs) <- secondary_load.(fs) + weight;
+                     fs
+                     :: List.filter (fun j -> j <> fs) by_comm
+               in
+               let chain_idx =
+                 let rec take n = function
+                   | [] -> []
+                   | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+                 in
+                 take (replication - 1) rest
+               in
+               primary_server
+               :: List.map (fun j -> problem.Assignment.servers.(j)) chain_idx)
+             slots))
+  in
+  ignore server_index;
+  { primary; chains; secondary_load }
+
+let chain_for t ~host ~user_slot =
+  let slots = t.chains.(host) in
+  slots.(user_slot mod Array.length slots)
+
+let secondary_imbalance (problem : Assignment.problem) t =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Array.iteri
+    (fun j load ->
+      let u = float_of_int load /. float_of_int (max 1 problem.Assignment.capacities.(j)) in
+      if u < !lo then lo := u;
+      if u > !hi then hi := u)
+    t.secondary_load;
+  !hi -. !lo

@@ -1,0 +1,41 @@
+(** Secondary authority-server assignment.
+
+    §3.1.1: "The algorithm can be extended to assign the secondary
+    servers instead of only the primary server."  This module does
+    exactly that: given a balanced primary assignment, it chooses each
+    host's ordered secondary servers so that (a) replicas are distinct
+    from the primary, (b) each user's replica chain prefers cheap
+    (close, uncongested) servers, and (c) the {e secondary load} —
+    users a server would inherit if primaries failed — is itself
+    balanced, so one server's crash cannot overload a single
+    neighbour. *)
+
+type t = {
+  primary : Assignment.t;
+  chains : Netsim.Graph.node list array array;
+      (** [chains.(i).(k)] = ordered authority list (primary first) for
+          the k-th replica slot of host [i]; users of a host cycle
+          over the slots. *)
+  secondary_load : int array;
+      (** users whose first secondary is server [j] (aligned with the
+          problem's server array). *)
+}
+
+val assign :
+  ?replication:int -> Assignment.problem -> Assignment.t -> t
+(** [assign problem primary] builds replica chains of length
+    [replication] (default 3, capped at the server count).  The first
+    secondary for each (host, slot) is the cheapest server by
+    communication time whose current secondary load is minimal among
+    servers within [slack] (one initialization-greedy pass, ties by
+    lower comm cost); remaining replicas follow by distance.
+    @raise Invalid_argument if [replication <= 0] or the primary
+    assignment is not complete. *)
+
+val chain_for : t -> host:int -> user_slot:int -> Netsim.Graph.node list
+(** Authority list for a user: users of host [i] take slot
+    [user_slot mod slots]. *)
+
+val secondary_imbalance : Assignment.problem -> t -> float
+(** Max minus min secondary load, normalised by capacity — 0 is
+    perfectly even. *)

@@ -1,0 +1,1 @@
+lib/mail/attribute_system.ml: Dsim Hashtbl List Location_system Mst Naming Netsim Printf String

@@ -1,0 +1,1 @@
+lib/mail/attribute_system.mli: Dsim Location_system Message Mst Naming Netsim

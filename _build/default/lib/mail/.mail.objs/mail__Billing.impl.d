@@ -1,0 +1,1 @@
+lib/mail/billing.ml: Attribute_system Map Message Mst Naming Printf

@@ -1,0 +1,1 @@
+lib/mail/billing.mli: Attribute_system Message Naming

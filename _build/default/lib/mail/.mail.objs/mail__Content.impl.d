@@ -1,0 +1,1 @@
+lib/mail/content.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/mail/content.mli: Format

@@ -1,0 +1,1 @@
+lib/mail/dlist.ml: List Map Naming Set

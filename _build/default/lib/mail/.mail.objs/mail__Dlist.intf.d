@@ -1,0 +1,1 @@
+lib/mail/dlist.mli: Message Naming

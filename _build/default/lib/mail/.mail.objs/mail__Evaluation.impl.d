@@ -1,0 +1,1 @@
+lib/mail/evaluation.ml: Dsim Format List Location_system Message Netsim Server Syntax_system

@@ -1,0 +1,1 @@
+lib/mail/evaluation.mli: Dsim Format Location_system Message Syntax_system

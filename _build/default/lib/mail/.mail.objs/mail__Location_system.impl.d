@@ -1,0 +1,1 @@
+lib/mail/location_system.ml: Array Dsim Float Hashtbl Int List Mailbox Message Naming Netsim Pipeline Printf Server String User_agent

@@ -1,0 +1,1 @@
+lib/mail/location_system.mli: Dsim Mailbox Message Naming Netsim Pipeline Server User_agent

@@ -1,0 +1,1 @@
+lib/mail/mailbox.ml: List Message Naming String

@@ -1,0 +1,1 @@
+lib/mail/mailbox.mli: Message Naming

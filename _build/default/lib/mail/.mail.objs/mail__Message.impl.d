@@ -1,0 +1,1 @@
+lib/mail/message.ml: Content Format Naming Netsim Printf String

@@ -1,0 +1,1 @@
+lib/mail/message.mli: Content Format Naming Netsim

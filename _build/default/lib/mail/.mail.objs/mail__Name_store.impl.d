@@ -1,0 +1,1 @@
+lib/mail/name_store.ml: Dsim Hashtbl List Map Naming Netsim Printf

@@ -1,0 +1,1 @@
+lib/mail/name_store.mli: Dsim Naming Netsim

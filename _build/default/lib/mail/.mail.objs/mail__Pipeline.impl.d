@@ -1,0 +1,1 @@
+lib/mail/pipeline.ml: Dsim Hashtbl List Message Naming Netsim Queue Server String User_agent

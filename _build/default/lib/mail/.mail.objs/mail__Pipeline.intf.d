@@ -1,0 +1,1 @@
+lib/mail/pipeline.mli: Dsim Message Naming Netsim Server User_agent

@@ -1,0 +1,1 @@
+lib/mail/rfc_text.ml: Buffer Content Fun List Message Naming Printf Result Scanf String

@@ -1,0 +1,1 @@
+lib/mail/rfc_text.mli: Content Message Naming

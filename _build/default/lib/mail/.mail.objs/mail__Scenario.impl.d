@@ -1,0 +1,1 @@
+lib/mail/scenario.ml: Array Dsim Evaluation Hashtbl List Location_system Naming Netsim Queueing Syntax_system User_agent

@@ -1,0 +1,1 @@
+lib/mail/scenario.mli: Evaluation Location_system Netsim Syntax_system

@@ -1,0 +1,1 @@
+lib/mail/server.ml: Hashtbl List Mailbox Message Naming Netsim

@@ -1,0 +1,1 @@
+lib/mail/server.mli: Mailbox Message Naming Netsim

@@ -1,0 +1,1 @@
+lib/mail/session.ml: Hashtbl List Message Naming String Syntax_system User_agent

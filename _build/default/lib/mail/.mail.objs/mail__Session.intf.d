@@ -1,0 +1,1 @@
+lib/mail/session.mli: Content Message Naming Syntax_system User_agent

@@ -1,0 +1,1 @@
+lib/mail/syntax_system.ml: Array Dsim Float Fun Hashtbl Int List Loadbalance Mailbox Message Naming Netsim Pipeline Printf Server String User_agent

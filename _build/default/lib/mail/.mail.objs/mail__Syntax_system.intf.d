@@ -1,0 +1,1 @@
+lib/mail/syntax_system.mli: Content Dsim Mailbox Message Naming Netsim Pipeline Server User_agent

@@ -1,0 +1,1 @@
+lib/mail/user_agent.ml: Hashtbl List Message Naming Netsim

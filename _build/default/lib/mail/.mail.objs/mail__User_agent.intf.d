@@ -1,0 +1,1 @@
+lib/mail/user_agent.mli: Message Naming Netsim

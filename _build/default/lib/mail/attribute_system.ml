@@ -1,0 +1,201 @@
+type t = {
+  base : Location_system.t;
+  backbone : Mst.Backbone.t;
+  (* The paper's servers "collectively manage the name space": each
+     server holds the profiles of the users whose hash-group authority
+     it heads. *)
+  shards : (Netsim.Graph.node, Naming.Directory.t) Hashtbl.t;
+}
+
+let create ?config (site : Netsim.Topology.mail_site) =
+  let base = Location_system.create ?config site in
+  let backbone = Mst.Backbone.build ~distributed:false site.graph in
+  let shards = Hashtbl.create 8 in
+  List.iter
+    (fun node -> Hashtbl.replace shards node (Naming.Directory.create ()))
+    (Location_system.server_nodes base);
+  { base; backbone; shards }
+
+let base t = t.base
+let backbone t = t.backbone
+let graph t = Location_system.graph t.base
+let regions t = List.map fst t.backbone.Mst.Backbone.locals
+let shard t node = Hashtbl.find_opt t.shards node
+let cost_table t ~source = Mst.Cost_table.build t.backbone ~source
+
+let region_servers t region =
+  let g = graph t in
+  List.filter
+    (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Server)
+    (Netsim.Graph.nodes_in_region g region)
+
+(* Merged read-only view of one region's shards (for callers thinking
+   in regions; writes go through {!register_profile}). *)
+let directory t region =
+  match region_servers t region with
+  | [] -> None
+  | servers ->
+      let merged = Naming.Directory.create () in
+      List.iter
+        (fun v ->
+          match shard t v with
+          | Some d -> List.iter (Naming.Directory.update merged) (Naming.Directory.profiles d)
+          | None -> ())
+        servers;
+      Some merged
+
+(* --- profiles ----------------------------------------------------------- *)
+
+(* The shard responsible for a name: the head of its hash-group
+   authority list. *)
+let shard_of t name =
+  match Location_system.authority_of t.base name with
+  | primary :: _ -> Hashtbl.find_opt t.shards primary
+  | [] -> None
+
+let register_profile t (profile : Naming.Directory.profile) =
+  let name = profile.Naming.Directory.name in
+  let known =
+    List.exists
+      (fun u -> Naming.Name.equal u name)
+      (Location_system.users t.base)
+  in
+  if not known then
+    invalid_arg
+      (Printf.sprintf "Attribute_system.register_profile: %s is not a user"
+         (Naming.Name.to_string name));
+  match shard_of t name with
+  | Some dir -> Naming.Directory.update dir profile
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Attribute_system.register_profile: no directory shard for %s"
+           (Naming.Name.to_string name))
+
+let profile_of t name =
+  match shard_of t name with
+  | Some dir -> Naming.Directory.find dir name
+  | None -> None
+
+let orgs = [| "acme"; "globex"; "initech"; "umbrella"; "wonka" |]
+
+let roles = [| "engineer"; "manager"; "analyst"; "researcher"; "clerk" |]
+
+let specialties =
+  [|
+    [ "networking"; "protocols" ];
+    [ "databases"; "storage" ];
+    [ "graphics" ];
+    [ "compilers"; "languages" ];
+    [ "security"; "crypto" ];
+    [ "mail"; "naming" ];
+  |]
+
+let cities = [| "boston"; "chicago"; "denver"; "seattle"; "austin" |]
+
+let populate_random t ~rng =
+  List.iter
+    (fun name ->
+      if profile_of t name = None then begin
+        let org = Dsim.Rng.choice rng orgs in
+        let attrs =
+          [
+            Naming.Attribute.text "org" org;
+            Naming.Attribute.text "role" (Dsim.Rng.choice rng roles);
+            Naming.Attribute.keywords "specialty" (Dsim.Rng.choice rng specialties);
+            Naming.Attribute.text "city" (Dsim.Rng.choice rng cities);
+            Naming.Attribute.number
+              ~visibility:(Naming.Attribute.Org org)
+              "experience"
+              (float_of_int (Dsim.Rng.int rng 30));
+            Naming.Attribute.text ~visibility:Naming.Attribute.Private "ssn"
+              (Printf.sprintf "%09d" (Dsim.Rng.int rng 999999999));
+          ]
+        in
+        register_profile t { Naming.Directory.name; attrs }
+      end)
+    (Location_system.users t.base)
+
+(* --- search -------------------------------------------------------------- *)
+
+type search_result = {
+  matches : Naming.Name.t list;
+  examined : int;
+  regions_searched : string list;
+  traffic : Mst.Broadcast.gather;
+  estimated_cost : float;
+}
+
+(* Every server contributes its own shard's match count to the
+   convergecast sum; the region's lowest-id server roots the source
+   side. *)
+let rep_server t region =
+  match region_servers t region with
+  | [] -> None
+  | v :: rest -> Some (List.fold_left min v rest)
+
+let search t ~from ?regions:(selected = []) ~viewer pred =
+  let all = regions t in
+  let selected = if selected = [] then all else selected in
+  List.iter
+    (fun r ->
+      if not (List.mem r all) then
+        invalid_arg (Printf.sprintf "Attribute_system.search: unknown region %s" r))
+    selected;
+  let source_region = Naming.Name.region from in
+  if not (List.mem source_region all) then
+    invalid_arg "Attribute_system.search: sender's region unknown";
+  (* Directory answers per server shard of the selected regions. *)
+  let answers =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun v ->
+            match shard t v with
+            | Some dir -> (v, Naming.Directory.query dir ~viewer pred)
+            | None -> (v, { Naming.Directory.matches = []; examined = 0 }))
+          (region_servers t r))
+      selected
+  in
+  let matches =
+    List.concat_map (fun (_, a) -> a.Naming.Directory.matches) answers
+    |> List.sort_uniq Naming.Name.compare
+  in
+  let examined = List.fold_left (fun acc (_, a) -> acc + a.Naming.Directory.examined) 0 answers in
+  (* Traffic: convergecast over the backbone plus the local MSTs of
+     the source and target regions. *)
+  let tree_regions = List.sort_uniq String.compare (source_region :: selected) in
+  let tree =
+    t.backbone.Mst.Backbone.backbone
+    @ List.concat_map
+        (fun (r, edges) -> if List.mem r tree_regions then edges else [])
+        t.backbone.Mst.Backbone.locals
+  in
+  let counts =
+    List.map (fun (v, a) -> (v, List.length a.Naming.Directory.matches)) answers
+  in
+  let value v = match List.assoc_opt v counts with Some c -> c | None -> 0 in
+  let root =
+    match rep_server t source_region with
+    | Some v -> v
+    | None -> invalid_arg "Attribute_system.search: source region has no server"
+  in
+  let traffic = Mst.Broadcast.convergecast (graph t) ~tree ~root ~value in
+  let table = cost_table t ~source:source_region in
+  let estimated_cost = Mst.Cost_table.estimate table ~regions:selected in
+  { matches; examined; regions_searched = selected; traffic; estimated_cost }
+
+let mass_mail t ~sender ?regions ?(subject = "attribute mail") ?(body = "") ~viewer pred =
+  let result = search t ~from:sender ?regions ~viewer pred in
+  let recipients =
+    List.filter (fun r -> not (Naming.Name.equal r sender)) result.matches
+  in
+  let messages =
+    List.map
+      (fun recipient ->
+        Location_system.submit t.base ~sender ~recipient ~subject ~body ())
+      recipients
+  in
+  (result, messages)
+
+let budget_regions t ~source ~budget =
+  Mst.Cost_table.affordable (cost_table t ~source) ~budget

@@ -1,0 +1,103 @@
+(** Design 3: the attribute-based mail system (§3.3).
+
+    Recipients are identified by attribute predicates instead of exact
+    addresses.  Each region keeps an attribute {!Naming.Directory} of
+    its users' profiles (visibility-controlled, §3.3.1).  A search is
+    executed as the paper prescribes: a query travels from the source
+    region over the {e backbone MST} to the selected target regions
+    and down each region's {e local MST}; responses are combined into
+    summary messages on the way back up (convergecast), with parents
+    timing out on dead nodes.  The §3.3.B cost table is computed from
+    the same trees and acts as the flow-control estimate a user sees
+    before broadcasting.
+
+    Point-to-point delivery of the resulting mail reuses the design-2
+    substrate ({!Location_system}): an attribute mail system is an
+    ordinary mail system plus attribute search and mass distribution. *)
+
+type t
+
+val create :
+  ?config:Location_system.config -> Netsim.Topology.mail_site -> t
+(** Builds the underlying {!Location_system}, the backbone + local
+    MSTs, and one directory per region (initially empty).
+    @raise Invalid_argument if a region or the backbone graph is
+    disconnected. *)
+
+(** {1 Access} *)
+
+val base : t -> Location_system.t
+(** The underlying point-to-point mail system. *)
+
+val backbone : t -> Mst.Backbone.t
+val graph : t -> Netsim.Graph.t
+val regions : t -> string list
+
+val shard : t -> Netsim.Graph.node -> Naming.Directory.t option
+(** The directory shard one server holds — profiles are distributed
+    over a region's servers by hash group ("several name servers
+    collectively manage the name space", §2). *)
+
+val directory : t -> string -> Naming.Directory.t option
+(** A merged {e read-only} view of all the region's shards; [None]
+    for regions without servers.  Writes go through
+    {!register_profile}. *)
+
+val cost_table : t -> source:string -> Mst.Cost_table.t
+
+(** {1 Profiles} *)
+
+val register_profile : t -> Naming.Directory.profile -> unit
+(** Stores the profile in the shard of the user's primary authority
+    server; replaces any existing profile for the same name.
+    @raise Invalid_argument if the name is not a user of the system or
+    no shard is responsible for it. *)
+
+val profile_of : t -> Naming.Name.t -> Naming.Directory.profile option
+
+val populate_random : t -> rng:Dsim.Rng.t -> unit
+(** Generate a plausible profile (organisation, role, specialty
+    keywords, city, experience; some attributes organisation-private)
+    for every user that does not have one yet — workload material for
+    the examples and benches. *)
+
+(** {1 Search and mass distribution} *)
+
+type search_result = {
+  matches : Naming.Name.t list;  (** sorted, duplicates removed. *)
+  examined : int;  (** profiles scanned across the searched shards. *)
+  regions_searched : string list;
+  traffic : Mst.Broadcast.gather;
+      (** convergecast over backbone + local MSTs; [total] equals the
+          number of matches when no node timed out. *)
+  estimated_cost : float;  (** the §3.3.B flow-control estimate. *)
+}
+
+val search :
+  t ->
+  from:Naming.Name.t ->
+  ?regions:string list ->
+  viewer:Naming.Attribute.viewer ->
+  Naming.Attribute.pred ->
+  search_result
+(** [regions] defaults to all regions.  The search respects attribute
+    visibility with respect to [viewer].
+    @raise Invalid_argument on unknown user or region. *)
+
+val mass_mail :
+  t ->
+  sender:Naming.Name.t ->
+  ?regions:string list ->
+  ?subject:string ->
+  ?body:string ->
+  viewer:Naming.Attribute.viewer ->
+  Naming.Attribute.pred ->
+  search_result * Message.t list
+(** Search, then submit one message per match (excluding the sender)
+    through the underlying mail system.  Run the engine afterwards to
+    let deliveries complete. *)
+
+val budget_regions : t -> source:string -> budget:float -> string list
+(** Flow control: the cheapest set of regions affordable within
+    [budget], per the cost table ("based on the detailed estimate of
+    charges …, the user can select his recipients"). *)

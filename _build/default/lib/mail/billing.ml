@@ -1,0 +1,66 @@
+module NameMap = Map.Make (Naming.Name)
+
+type account = { mutable bal : float; mutable spent : float }
+
+type t = { initial : float; mutable accounts : account NameMap.t }
+
+let create ?(initial_balance = 0.) () =
+  if initial_balance < 0. then invalid_arg "Billing.create: negative initial balance";
+  { initial = initial_balance; accounts = NameMap.empty }
+
+let account t name =
+  match NameMap.find_opt name t.accounts with
+  | Some a -> a
+  | None ->
+      let a = { bal = t.initial; spent = 0. } in
+      t.accounts <- NameMap.add name a t.accounts;
+      a
+
+let balance t name = (account t name).bal
+
+let credit t name amount =
+  if amount < 0. then invalid_arg "Billing.credit: negative amount";
+  let a = account t name in
+  a.bal <- a.bal +. amount
+
+let try_charge t name amount =
+  if amount < 0. then invalid_arg "Billing.try_charge: negative amount";
+  let a = account t name in
+  if a.bal >= amount then begin
+    a.bal <- a.bal -. amount;
+    a.spent <- a.spent +. amount;
+    Ok a.bal
+  end
+  else
+    Error
+      (Printf.sprintf "insufficient funds: balance %.2f < cost %.2f" a.bal amount)
+
+let total_charged t name = (account t name).spent
+
+type billed = {
+  charged : float;
+  remaining : float;
+  result : Attribute_system.search_result;
+  messages : Message.t list;
+}
+
+let mass_mail t sys ~sender ?regions ?subject ?body ~viewer pred =
+  let source = Naming.Name.region sender in
+  let table = Attribute_system.cost_table sys ~source in
+  let selected =
+    match regions with Some r when r <> [] -> r | _ -> Attribute_system.regions sys
+  in
+  let price = Mst.Cost_table.estimate table ~regions:selected in
+  match try_charge t sender price with
+  | Error _ as e -> e
+  | Ok remaining ->
+      let result, messages =
+        Attribute_system.mass_mail sys ~sender ~regions:selected ?subject ?body ~viewer
+          pred
+      in
+      Ok { charged = price; remaining; result; messages }
+
+let affordable_regions t sys ~sender =
+  Attribute_system.budget_regions sys
+    ~source:(Naming.Name.region sender)
+    ~budget:(balance t sender)

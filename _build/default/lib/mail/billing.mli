@@ -1,0 +1,55 @@
+(** Cost accounting and flow control for attribute-based mail
+    (§3.3.B).
+
+    "Estimated cost can be used as a flow-control mechanism and/or for
+    guaranteeing that the users can pay the costs" — accounts hold
+    balances, broadcasts are priced from the cost table {e before} any
+    traffic is generated, and an unaffordable broadcast is refused
+    outright. *)
+
+type t
+
+val create : ?initial_balance:float -> unit -> t
+(** Accounts spring into existence at first touch with
+    [initial_balance] (default 0). *)
+
+val balance : t -> Naming.Name.t -> float
+
+val credit : t -> Naming.Name.t -> float -> unit
+(** @raise Invalid_argument on a negative amount. *)
+
+val try_charge : t -> Naming.Name.t -> float -> (float, string) result
+(** Atomically deduct; [Ok new_balance] or [Error reason] leaving the
+    balance untouched.  @raise Invalid_argument on a negative
+    amount. *)
+
+val total_charged : t -> Naming.Name.t -> float
+(** Lifetime spend of the account. *)
+
+(** Result of a billed broadcast attempt. *)
+type billed = {
+  charged : float;  (** what the sender paid (the estimate). *)
+  remaining : float;  (** balance after the charge. *)
+  result : Attribute_system.search_result;
+  messages : Message.t list;
+}
+
+val mass_mail :
+  t ->
+  Attribute_system.t ->
+  sender:Naming.Name.t ->
+  ?regions:string list ->
+  ?subject:string ->
+  ?body:string ->
+  viewer:Naming.Attribute.viewer ->
+  Naming.Attribute.pred ->
+  (billed, string) result
+(** Price the broadcast from the cost table for the selected regions
+    (default all), refuse with [Error _] if the sender cannot pay —
+    {e before} any search traffic is generated — otherwise charge and
+    run {!Attribute_system.mass_mail}. *)
+
+val affordable_regions : t -> Attribute_system.t -> sender:Naming.Name.t -> string list
+(** The regions the sender's current balance can cover, cheapest
+    first (the paper's "select his recipients and the level of search
+    he wants"). *)

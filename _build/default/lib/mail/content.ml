@@ -1,0 +1,30 @@
+type part =
+  | Text of string
+  | Voice of { seconds : float }
+  | Image of { width : int; height : int }
+  | Facsimile of { pages : int }
+
+let bytes_of_part = function
+  | Text s -> String.length s
+  | Voice { seconds } ->
+      if seconds < 0. then invalid_arg "Content.bytes_of_part: negative duration";
+      int_of_float (Float.ceil (seconds *. 8000.))
+  | Image { width; height } ->
+      if width < 0 || height < 0 then
+        invalid_arg "Content.bytes_of_part: negative dimensions";
+      (width * height / 8) + 1
+  | Facsimile { pages } ->
+      if pages < 0 then invalid_arg "Content.bytes_of_part: negative pages";
+      pages * 48_000
+
+let bytes_of parts = List.fold_left (fun acc p -> acc + bytes_of_part p) 0 parts
+
+let describe = function
+  | Text s -> Printf.sprintf "text (%dB)" (String.length s)
+  | Voice { seconds } as p -> Printf.sprintf "voice %.1fs (%dB)" seconds (bytes_of_part p)
+  | Image { width; height } as p ->
+      Printf.sprintf "image %dx%d (%dB)" width height (bytes_of_part p)
+  | Facsimile { pages } as p ->
+      Printf.sprintf "facsimile %d page(s) (%dB)" pages (bytes_of_part p)
+
+let pp ppf p = Format.pp_print_string ppf (describe p)

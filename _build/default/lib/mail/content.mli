@@ -1,0 +1,24 @@
+(** Typed message content (§5 conclusions).
+
+    "In the near future, electronic mail systems should be able to
+    transfer messages that consist of different forms of data such as
+    voice, video, graphs, and facsimile."  A message carries a list of
+    parts; each part has an era-appropriate size model, and the
+    network's finite link bandwidth turns size into transmission
+    delay. *)
+
+type part =
+  | Text of string
+  | Voice of { seconds : float }  (** 8 kB per second (64 kbit/s PCM). *)
+  | Image of { width : int; height : int }  (** 1 bit per pixel. *)
+  | Facsimile of { pages : int }  (** ~48 kB per page (Group 3). *)
+
+val bytes_of_part : part -> int
+(** @raise Invalid_argument on negative dimensions. *)
+
+val bytes_of : part list -> int
+
+val describe : part -> string
+(** Short human-readable form, e.g. ["voice 12.0s (96000B)"]. *)
+
+val pp : Format.formatter -> part -> unit

@@ -1,0 +1,39 @@
+module NameMap = Map.Make (Naming.Name)
+module NameSet = Set.Make (Naming.Name)
+
+type t = { mutable defs : Naming.Name.t list NameMap.t }
+
+let create () = { defs = NameMap.empty }
+
+let define t ~name ~members =
+  if List.exists (Naming.Name.equal name) members then
+    invalid_arg "Dlist.define: a list cannot contain itself";
+  t.defs <- NameMap.add name members t.defs
+
+let remove t name = t.defs <- NameMap.remove name t.defs
+
+let is_list t name = NameMap.mem name t.defs
+
+let members t name =
+  match NameMap.find_opt name t.defs with Some m -> m | None -> []
+
+let lists t = List.map fst (NameMap.bindings t.defs)
+
+let expand t name =
+  let rec go seen acc name =
+    if NameSet.mem name seen then (seen, acc)
+    else begin
+      let seen = NameSet.add name seen in
+      match NameMap.find_opt name t.defs with
+      | None -> (seen, NameSet.add name acc)
+      | Some members -> List.fold_left (fun (s, a) m -> go s a m) (seen, acc) members
+    end
+  in
+  let _, acc = go NameSet.empty NameSet.empty name in
+  NameSet.elements acc
+
+let expand_all t names =
+  List.concat_map (expand t) names |> List.sort_uniq Naming.Name.compare
+
+let submit_via ~submit t name =
+  List.map (fun recipient -> submit ~recipient) (expand t name)

@@ -1,0 +1,37 @@
+(** Distribution lists — the "group naming" capability §4.3 lists
+    among the flexibility criteria.
+
+    A list is itself named like a user; members may be users or other
+    lists, and expansion is recursive, duplicate-free and cycle-safe
+    (a member list that eventually includes its parent contributes its
+    other members once and terminates). *)
+
+type t
+
+val create : unit -> t
+
+val define : t -> name:Naming.Name.t -> members:Naming.Name.t list -> unit
+(** Define or replace a list. @raise Invalid_argument if the list
+    names itself directly. *)
+
+val remove : t -> Naming.Name.t -> unit
+
+val is_list : t -> Naming.Name.t -> bool
+
+val members : t -> Naming.Name.t -> Naming.Name.t list
+(** Direct members ([] for unknown lists). *)
+
+val lists : t -> Naming.Name.t list
+(** All defined list names, sorted. *)
+
+val expand : t -> Naming.Name.t -> Naming.Name.t list
+(** Transitive user members, sorted, duplicates removed, list names
+    themselves excluded.  A non-list name expands to itself. *)
+
+val expand_all : t -> Naming.Name.t list -> Naming.Name.t list
+(** Union of expansions. *)
+
+val submit_via :
+  submit:(recipient:Naming.Name.t -> Message.t) -> t -> Naming.Name.t -> Message.t list
+(** Expand the recipient and call [submit] once per final user —
+    ordinary names pass through unchanged. *)

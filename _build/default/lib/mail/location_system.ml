@@ -1,0 +1,443 @@
+type ctrl =
+  | Location_update of Naming.Name.t * Netsim.Graph.node * bool
+      (* name, current host, and whether the receiving server should
+         fan the update out to its regional peers. *)
+
+type wire = ctrl Pipeline.wire
+
+type config = {
+  replication : int;
+  users_per_host : int;
+  hash_groups : int;
+  retry_timeout : float;
+  resubmit_timeout : float;
+  max_retries : int;
+  mailbox_policy : Mailbox.policy;
+  bandwidth : float option;
+  service_rate : float option;
+  loss_rate : float;
+}
+
+let default_config =
+  {
+    replication = 3;
+    users_per_host = 5;
+    hash_groups = 8;
+    retry_timeout = 50.;
+    resubmit_timeout = 400.;
+    max_retries = 50;
+    mailbox_policy = Mailbox.Delete_on_retrieve;
+    bandwidth = None;
+    service_rate = None;
+    loss_rate = 0.;
+  }
+
+type t = {
+  config : config;
+  engine : Dsim.Engine.t;
+  pipeline : ctrl Pipeline.t;
+  graph : Netsim.Graph.t;
+  servers : (Netsim.Graph.node, Server.t) Hashtbl.t;
+  region_servers : (string, Netsim.Graph.node list) Hashtbl.t;
+  agents : (Naming.Name.t, User_agent.t) Hashtbl.t;
+  primary_hosts : (Naming.Name.t, Netsim.Graph.node) Hashtbl.t;
+  locations : (Naming.Name.t, Netsim.Graph.node) Hashtbl.t;
+      (* the regionally shared current-location table; gossip messages
+         carry its updates for traffic accounting. *)
+  spaces : (string, Naming.Name_space.t) Hashtbl.t;
+  redirects : (Naming.Name.t, Naming.Name.t) Hashtbl.t;
+  mutable groups : int;
+  retrieval_costs : Dsim.Stats.Summary.t;
+  counters : Dsim.Stats.Counter.t;
+  trace : Dsim.Trace.t;
+  mutable next_id : Message.id;
+  mutable submitted : Message.t list;
+}
+
+let engine t = t.engine
+let net t = Pipeline.net t.pipeline
+let graph t = t.graph
+let now t = Dsim.Engine.now t.engine
+let counters t = t.counters
+let trace t = t.trace
+let submitted t = t.submitted
+
+let users t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.agents []
+  |> List.sort Naming.Name.compare
+
+let agent t name =
+  match Hashtbl.find_opt t.agents name with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Location_system: unknown user %s" (Naming.Name.to_string name))
+
+let server_nodes t =
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.servers [] |> List.sort Int.compare
+
+let server t node =
+  match Hashtbl.find_opt t.servers node with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Location_system: node %d is not a server" node)
+
+let space t region = Hashtbl.find_opt t.spaces region
+
+let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
+
+let region_of_node g v =
+  let r = Netsim.Graph.region g v in
+  if String.equal r "" then "r0" else r
+
+(* Authority servers of a name: rotate the region's server list by the
+   name's hash group — host-independent by construction. *)
+let authority_of t name =
+  match Hashtbl.find_opt t.region_servers (Naming.Name.region name) with
+  | None | Some [] -> []
+  | Some servers ->
+      let arr = Array.of_list servers in
+      let n = Array.length arr in
+      let g = Naming.Name_space.hash_group ~groups:t.groups name in
+      let start = g mod n in
+      List.init (min t.config.replication n) (fun i -> arr.((start + i) mod n))
+
+let primary_host t name =
+  match Hashtbl.find_opt t.primary_hosts name with
+  | Some h -> h
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Location_system: unknown user %s" (Naming.Name.to_string name))
+
+let current_location t name =
+  match Hashtbl.find_opt t.locations name with
+  | Some h -> h
+  | None -> primary_host t name
+
+(* Servers of the user's region ordered by distance from a host —
+   "a user always contacts the nearest active server". *)
+let servers_by_distance t ~from_host ~region =
+  match Hashtbl.find_opt t.region_servers region with
+  | None -> []
+  | Some servers ->
+      let tree = Netsim.Shortest_path.dijkstra t.graph from_host in
+      List.sort
+        (fun a b ->
+          Float.compare
+            (Netsim.Shortest_path.distance tree a)
+            (Netsim.Shortest_path.distance tree b))
+        servers
+
+let rec canonical t name =
+  match Hashtbl.find_opt t.redirects name with
+  | Some target ->
+      count t "redirects";
+      canonical t target
+  | None -> name
+
+(* --- operations -------------------------------------------------------- *)
+
+let view t =
+  {
+    User_agent.is_alive = (fun node -> Netsim.Net.is_up (net t) node);
+    last_start = (fun node -> Server.last_start (server t node));
+    fetch = (fun node name ~at -> Server.fetch (server t node) name ~at);
+  }
+
+(* §3.2.2c: the user's host talks to the nearest active server, which
+   relays the polls to the authority servers.  The communication cost
+   of one retrieval is the host↔relay round trip plus the relay's
+   round trips to each polled authority server; a roamed user far from
+   their hash group pays visibly more ("remote access is usually slow
+   and imposes large overhead"). *)
+let record_retrieval_cost t a (stats : User_agent.check_stats) =
+  let host = User_agent.host a in
+  let region = region_of_node t.graph host in
+  match servers_by_distance t ~from_host:host ~region with
+  | [] -> ()
+  | relay :: _ ->
+      let d_host_relay = Netsim.Net.distance (net t) host relay in
+      let polled =
+        (* approximate the polled set: the first [polls] servers of
+           the authority list *)
+        List.filteri (fun i _ -> i < stats.User_agent.polls) (User_agent.authority a)
+      in
+      let d_polls =
+        List.fold_left
+          (fun acc srv -> acc +. (2. *. Netsim.Net.distance (net t) relay srv))
+          0. polled
+      in
+      if relay <> host && List.mem relay polled then count t "relay_is_authority";
+      if not (List.mem relay (User_agent.authority a)) then count t "relay_checks";
+      Dsim.Stats.Summary.add t.retrieval_costs ((2. *. d_host_relay) +. d_polls)
+
+let check_mail t name =
+  let a = agent t name in
+  let stats = User_agent.get_mail a ~view:(view t) ~now:(now t) in
+  count t "checks";
+  count ~by:stats.User_agent.polls t "polls";
+  count ~by:stats.User_agent.failed_polls t "failed_polls";
+  count ~by:stats.User_agent.retrieved t "retrieved";
+  record_retrieval_cost t a stats;
+  stats
+
+let retrieval_cost_stats t = t.retrieval_costs
+
+let check_mail_at t ~at name =
+  ignore (Dsim.Engine.schedule_at t.engine at (fun () -> ignore (check_mail t name)))
+
+let login t name ~host =
+  let a = agent t name in
+  let region = Naming.Name.region name in
+  if not (String.equal (region_of_node t.graph host) region) then
+    invalid_arg
+      (Printf.sprintf "Location_system.login: host %s is outside region %s"
+         (Netsim.Graph.label t.graph host)
+         region);
+  User_agent.set_host a host;
+  Hashtbl.replace t.locations name host;
+  count t "logins";
+  (* Inform the nearest active server; it gossips the new location to
+     its regional peers so any of them can route the alert signal. *)
+  (match List.find_opt (fun s -> Netsim.Net.is_up (net t) s)
+           (servers_by_distance t ~from_host:host ~region)
+   with
+  | None -> count t "login_unserved"
+  | Some nearest ->
+      ignore
+        (Netsim.Net.send (net t) ~src:host ~dst:nearest
+           (Pipeline.Ctrl (Location_update (name, host, true)))));
+  (* §3.2.2c: logging on triggers retrieval of pending mail. *)
+  check_mail t name
+
+let submit_at t ~at ~sender ~recipient ?(subject = "") ?(body = "") () =
+  let sender_agent = agent t sender in
+  (if not (Hashtbl.mem t.agents recipient || Hashtbl.mem t.redirects recipient) then
+     invalid_arg
+       (Printf.sprintf "Location_system.submit: unknown recipient %s"
+          (Naming.Name.to_string recipient)));
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let msg = Message.create ~id ~sender ~recipient ~subject ~body ~submitted_at:at () in
+  t.submitted <- msg :: t.submitted;
+  ignore
+    (Dsim.Engine.schedule_at t.engine at (fun () ->
+         Pipeline.submit t.pipeline ~sender_agent ~msg));
+  msg
+
+let submit t ~sender ~recipient ?subject ?body () =
+  submit_at t ~at:(now t) ~sender ~recipient ?subject ?body ()
+
+let run_until t horizon = Dsim.Engine.run ~until:horizon t.engine
+
+let quiesce ?(step = 1000.) ?(max_steps = 10000) t =
+  let rec go n =
+    if n < max_steps && Dsim.Engine.pending t.engine > 0 then begin
+      Dsim.Engine.run ~until:(now t +. step) t.engine;
+      go (n + 1)
+    end
+  in
+  go 0
+
+(* --- reconfiguration and migration ------------------------------------- *)
+
+let rebalance_hash t ~groups =
+  if groups <= 0 then invalid_arg "Location_system.rebalance_hash: groups <= 0";
+  let moved = ref 0 in
+  let old_groups = t.groups in
+  Hashtbl.iter
+    (fun name a ->
+      let before = authority_of t name in
+      t.groups <- groups;
+      let after = authority_of t name in
+      t.groups <- old_groups;
+      if before <> after then begin
+        incr moved;
+        User_agent.set_authority a after
+      end)
+    t.agents;
+  t.groups <- groups;
+  Hashtbl.iter
+    (fun _ sp ->
+      match Naming.Name_space.scheme sp with
+      | Naming.Name_space.By_hash _ ->
+          ignore (Naming.Name_space.rebalance_hash sp ~k:groups)
+      | Naming.Name_space.By_region | Naming.Name_space.By_host -> ())
+    t.spaces;
+  count ~by:!moved t "hash_moves";
+  !moved
+
+let migrate_region t name ~new_host =
+  let _ = agent t name in
+  if not (Netsim.Graph.mem_node t.graph new_host) then
+    invalid_arg "Location_system.migrate_region: unknown host";
+  let new_region = region_of_node t.graph new_host in
+  if String.equal new_region (Naming.Name.region name) then
+    invalid_arg "Location_system.migrate_region: same-region move is free, use login";
+  let new_name =
+    let host_label = Netsim.Graph.label t.graph new_host in
+    let candidate user = Naming.Name.make ~region:new_region ~host:host_label ~user in
+    let base = Naming.Name.user name in
+    let rec pick i =
+      let n = candidate (if i = 0 then base else Printf.sprintf "%s-m%d" base i) in
+      if Hashtbl.mem t.agents n || Hashtbl.mem t.redirects n then pick (i + 1) else n
+    in
+    pick 0
+  in
+  let authority = authority_of t new_name in
+  let authority = if authority = [] then server_nodes t else authority in
+  let a' = User_agent.create ~name:new_name ~host:new_host ~authority in
+  Hashtbl.replace t.agents new_name a';
+  Hashtbl.replace t.primary_hosts new_name new_host;
+  (match space t new_region with
+  | Some sp ->
+      Naming.Name_space.register sp new_name;
+      Naming.Name_space.assign_context sp
+        (Naming.Name_space.context_of sp new_name)
+        authority
+  | None -> ());
+  (match space t (Naming.Name.region name) with
+  | Some sp -> Naming.Name_space.unregister sp name
+  | None -> ());
+  Hashtbl.remove t.agents name;
+  Hashtbl.remove t.locations name;
+  Hashtbl.remove t.primary_hosts name;
+  Hashtbl.replace t.redirects name new_name;
+  count t "migrations";
+  new_name
+
+let redirect_target t name = Hashtbl.find_opt t.redirects name
+
+(* --- construction ------------------------------------------------------- *)
+
+let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
+  if config.replication <= 0 then invalid_arg "Location_system.create: replication <= 0";
+  if config.hash_groups <= 0 then invalid_arg "Location_system.create: hash_groups <= 0";
+  let engine = Dsim.Engine.create () in
+  let trace = Dsim.Trace.create () in
+  let counters = Dsim.Stats.Counter.create () in
+  let servers = Hashtbl.create 16 in
+  let region_servers = Hashtbl.create 4 in
+  let agents = Hashtbl.create 64 in
+  let primary_hosts = Hashtbl.create 64 in
+  let locations = Hashtbl.create 64 in
+  let spaces = Hashtbl.create 4 in
+  let redirects = Hashtbl.create 4 in
+  List.iter
+    (fun node ->
+      let region = region_of_node site.graph node in
+      Hashtbl.replace servers node
+        (Server.create ~mailbox_policy:config.mailbox_policy ~node ~region ());
+      let existing =
+        match Hashtbl.find_opt region_servers region with Some l -> l | None -> []
+      in
+      Hashtbl.replace region_servers region (existing @ [ node ]);
+      if not (Hashtbl.mem spaces region) then
+        Hashtbl.replace spaces region
+          (Naming.Name_space.create (Naming.Name_space.By_hash config.hash_groups)))
+    site.servers;
+  let t_ref = ref None in
+  let the_t () = match !t_ref with Some t -> t | None -> assert false in
+  let callbacks =
+    {
+      Pipeline.server_of = (fun node -> server (the_t ()) node);
+      region_servers =
+        (fun region ->
+          match Hashtbl.find_opt region_servers region with Some l -> l | None -> []);
+      canonical = (fun name -> canonical (the_t ()) name);
+      authority_of = (fun name -> authority_of (the_t ()) name);
+      notify_target =
+        (fun name ->
+          let t = the_t () in
+          if Hashtbl.mem t.agents name then Some (current_location t name) else None);
+      submit_servers =
+        (fun a ->
+          let t = the_t () in
+          let host = User_agent.host a in
+          servers_by_distance t ~from_host:host
+            ~region:(region_of_node t.graph host));
+      on_deposit = (fun _ ~on:_ -> ());
+      cached_authority = (fun ~at:_ _ -> None);
+      on_forward_resolved = (fun ~at:_ _ _ -> ());
+      on_undeliverable =
+        (fun _ ~reason:_ -> count (the_t ()) "undeliverable");
+      on_redirected = (fun _ ~old_name:_ -> count (the_t ()) "rename_notices");
+      on_ctrl =
+        (fun node ~time:_ ~src:_ (Location_update (name, host, fan_out)) ->
+          let t = the_t () in
+          Hashtbl.replace t.locations name host;
+          count t "location_updates";
+          if fan_out then
+            (* Only the first (nearest) server gossips to its peers. *)
+            match Hashtbl.find_opt t.region_servers (region_of_node t.graph node) with
+            | Some peers ->
+                List.iter
+                  (fun peer ->
+                    if peer <> node then begin
+                      count t "location_gossip";
+                      ignore
+                        (Netsim.Net.send (Pipeline.net t.pipeline) ~src:node ~dst:peer
+                           (Pipeline.Ctrl (Location_update (name, host, false))))
+                    end)
+                  peers
+            | None -> ());
+    }
+  in
+  let pipeline =
+    Pipeline.create ~engine ~graph:site.graph ~trace ~counters
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
+      {
+        Pipeline.retry_timeout = config.retry_timeout;
+        resubmit_timeout = config.resubmit_timeout;
+        max_retries = config.max_retries;
+        service_rate = config.service_rate;
+        service_seed = 0;
+      }
+      callbacks
+  in
+  let t =
+    {
+      config;
+      engine;
+      pipeline;
+      graph = site.graph;
+      servers;
+      region_servers;
+      agents;
+      primary_hosts;
+      locations;
+      spaces;
+      redirects;
+      groups = config.hash_groups;
+      retrieval_costs = Dsim.Stats.Summary.create ();
+      counters;
+      trace;
+      next_id = 0;
+      submitted = [];
+    }
+  in
+  t_ref := Some t;
+  Netsim.Net.on_status_change (net t) (fun ~time node up ->
+      if up then
+        match Hashtbl.find_opt servers node with
+        | Some srv -> Server.note_recovery srv ~at:time
+        | None -> ());
+  List.iter
+    (fun (host, _population) ->
+      let region = region_of_node site.graph host in
+      let host_label = Netsim.Graph.label site.graph host in
+      for k = 0 to config.users_per_host - 1 do
+        let name =
+          Naming.Name.make ~region ~host:host_label ~user:(Printf.sprintf "u%d" k)
+        in
+        let authority = authority_of t name in
+        let authority = if authority = [] then server_nodes t else authority in
+        Hashtbl.replace agents name (User_agent.create ~name ~host ~authority);
+        Hashtbl.replace primary_hosts name host;
+        let sp = Hashtbl.find spaces region in
+        Naming.Name_space.register sp name;
+        Naming.Name_space.assign_context sp
+          (Naming.Name_space.context_of sp name)
+          authority
+      done)
+    site.hosts;
+  t

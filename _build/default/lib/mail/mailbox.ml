@@ -1,0 +1,45 @@
+type policy = Delete_on_retrieve | Archive
+
+type t = {
+  owner : Naming.Name.t;
+  policy : policy;
+  mutable pending : Message.t list;  (* newest first *)
+  mutable archived : Message.t list;
+}
+
+let create ?(policy = Delete_on_retrieve) owner = { owner; policy; pending = []; archived = [] }
+
+let owner t = t.owner
+let policy t = t.policy
+
+let deposit t msg = t.pending <- msg :: t.pending
+
+let pending t = List.length t.pending
+let archived t = List.length t.archived
+
+let retrieve_all t =
+  let msgs = List.rev t.pending in
+  t.pending <- [];
+  (match t.policy with
+  | Archive -> t.archived <- List.rev_append msgs t.archived
+  | Delete_on_retrieve -> ());
+  msgs
+
+let peek t = List.rev t.pending
+
+let cleanup t ~now ~max_age =
+  let fresh, stale =
+    List.partition
+      (fun (m : Message.t) ->
+        match m.Message.deposited_at with
+        | Some d -> now -. d <= max_age
+        | None -> true)
+      t.archived
+  in
+  t.archived <- fresh;
+  List.length stale
+
+let storage_bytes t =
+  let size (m : Message.t) = String.length m.Message.body + String.length m.Message.subject + 64 in
+  List.fold_left (fun acc m -> acc + size m) 0 t.pending
+  + List.fold_left (fun acc m -> acc + size m) 0 t.archived

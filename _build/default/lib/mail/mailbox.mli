@@ -1,0 +1,42 @@
+(** Server-side mailbox storage (§3.1.2c).
+
+    "The received messages are stored in the servers' storage space
+    until the users retrieve them."  A mailbox belongs to one user on
+    one server.  Retrieval empties it; optionally a copy is retained
+    on the server ("another option can be provided to allow a copy of
+    the message to be retained on the server"), in which case the
+    archiving clean-up policy protects the server's storage. *)
+
+type policy =
+  | Delete_on_retrieve  (** default behaviour. *)
+  | Archive  (** keep a server-side copy after retrieval. *)
+
+type t
+
+val create : ?policy:policy -> Naming.Name.t -> t
+
+val owner : t -> Naming.Name.t
+val policy : t -> policy
+
+val deposit : t -> Message.t -> unit
+
+val pending : t -> int
+(** Messages awaiting retrieval. *)
+
+val archived : t -> int
+(** Retained copies (0 under [Delete_on_retrieve]). *)
+
+val retrieve_all : t -> Message.t list
+(** Pending messages in deposit order; the pending list empties and,
+    under [Archive], the copies move to the archive. *)
+
+val peek : t -> Message.t list
+(** Pending messages without removing them. *)
+
+val cleanup : t -> now:float -> max_age:float -> int
+(** Drop archived copies deposited more than [max_age] ago; returns
+    how many were dropped. *)
+
+val storage_bytes : t -> int
+(** Approximate bytes held (bodies + subjects of pending and archived
+    messages) — the storage-cost metric of §4.4. *)

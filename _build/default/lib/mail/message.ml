@@ -1,0 +1,61 @@
+type id = int
+
+type t = {
+  id : id;
+  sender : Naming.Name.t;
+  mutable recipient : Naming.Name.t;
+  subject : string;
+  body : string;
+  submitted_at : float;
+  mutable deposited_at : float option;
+  mutable deposited_on : Netsim.Graph.node option;
+  mutable retrieved_at : float option;
+  mutable forward_hops : int;
+  parts : Content.part list;
+}
+
+let create ~id ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = [])
+    ~submitted_at () =
+  {
+    id;
+    sender;
+    recipient;
+    subject;
+    body;
+    submitted_at;
+    deposited_at = None;
+    deposited_on = None;
+    retrieved_at = None;
+    forward_hops = 0;
+    parts;
+  }
+
+let mark_deposited t ~at ~on =
+  if t.deposited_at = None then begin
+    t.deposited_at <- Some at;
+    t.deposited_on <- Some on
+  end
+
+let mark_retrieved t ~at = if t.retrieved_at = None then t.retrieved_at <- Some at
+
+let size_bytes t =
+  64 + String.length t.subject + String.length t.body + Content.bytes_of t.parts
+
+let is_deposited t = t.deposited_at <> None
+let is_retrieved t = t.retrieved_at <> None
+
+let delivery_latency t =
+  match t.deposited_at with Some d -> Some (d -. t.submitted_at) | None -> None
+
+let end_to_end_latency t =
+  match t.retrieved_at with Some r -> Some (r -. t.submitted_at) | None -> None
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a -> %a (%s) submitted=%.3f%s%s" t.id Naming.Name.pp
+    t.sender Naming.Name.pp t.recipient t.subject t.submitted_at
+    (match t.deposited_at with
+    | Some d -> Printf.sprintf " deposited=%.3f" d
+    | None -> "")
+    (match t.retrieved_at with
+    | Some r -> Printf.sprintf " retrieved=%.3f" r
+    | None -> "")

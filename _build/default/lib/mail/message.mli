@@ -1,0 +1,60 @@
+(** Mail messages and their lifecycle bookkeeping.
+
+    A message is created when a user submits it, {e deposited} when an
+    authority server stores it in the recipient's mailbox, and
+    {e retrieved} when the recipient's user agent fetches it to the
+    local host.  The structure records each transition's virtual time
+    so experiments can compute delivery and retrieval latencies. *)
+
+type id = int
+
+type t = {
+  id : id;
+  sender : Naming.Name.t;
+  mutable recipient : Naming.Name.t;
+      (** rewritten in place when a redirection for a migrated user
+          applies (§3.1.4). *)
+  subject : string;
+  body : string;
+  submitted_at : float;
+  mutable deposited_at : float option;
+      (** stored in some authority server's mailbox. *)
+  mutable deposited_on : Netsim.Graph.node option;
+  mutable retrieved_at : float option;
+  mutable forward_hops : int;  (** server-to-server forwarding steps. *)
+  parts : Content.part list;  (** typed attachments (§5): voice, image,
+                                  facsimile parts ride along with the
+                                  textual body. *)
+}
+
+val create :
+  id:id ->
+  sender:Naming.Name.t ->
+  recipient:Naming.Name.t ->
+  ?subject:string ->
+  ?body:string ->
+  ?parts:Content.part list ->
+  submitted_at:float ->
+  unit ->
+  t
+
+val mark_deposited : t -> at:float -> on:Netsim.Graph.node -> unit
+(** First deposit wins; later calls are ignored (a retry may race a
+    slow original). *)
+
+val mark_retrieved : t -> at:float -> unit
+
+val is_deposited : t -> bool
+val is_retrieved : t -> bool
+
+val delivery_latency : t -> float option
+(** Submission to deposit. *)
+
+val end_to_end_latency : t -> float option
+(** Submission to retrieval. *)
+
+val size_bytes : t -> int
+(** Wire size: envelope overhead + subject + body + attachment
+    parts — what the network's bandwidth model serialises. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,340 @@
+type 'ctrl wire =
+  | Submit of Message.t
+  | Forward of Message.t
+  | Deposit of Message.t
+  | Ack of Message.id
+  | Notify of Naming.Name.t * Message.id
+  | Ctrl of 'ctrl
+
+type config = {
+  retry_timeout : float;
+  resubmit_timeout : float;
+  max_retries : int;
+  service_rate : float option;
+  service_seed : int;
+}
+
+let default_pipeline_config =
+  {
+    retry_timeout = 50.;
+    resubmit_timeout = 400.;
+    max_retries = 50;
+    service_rate = None;
+    service_seed = 0;
+  }
+
+type 'ctrl callbacks = {
+  server_of : Netsim.Graph.node -> Server.t;
+  region_servers : string -> Netsim.Graph.node list;
+  canonical : Naming.Name.t -> Naming.Name.t;
+  authority_of : Naming.Name.t -> Netsim.Graph.node list;
+  notify_target : Naming.Name.t -> Netsim.Graph.node option;
+  submit_servers : User_agent.t -> Netsim.Graph.node list;
+  on_deposit : Message.t -> on:Netsim.Graph.node -> unit;
+  cached_authority :
+    at:Netsim.Graph.node -> Naming.Name.t -> Netsim.Graph.node list option;
+  on_forward_resolved :
+    at:Netsim.Graph.node -> Naming.Name.t -> Netsim.Graph.node list -> unit;
+  on_undeliverable : Message.t -> reason:string -> unit;
+  on_redirected : Message.t -> old_name:Naming.Name.t -> unit;
+  on_ctrl :
+    Netsim.Graph.node -> time:float -> src:Netsim.Graph.node -> 'ctrl -> unit;
+}
+
+(* A message a server must push onward until the next hop acknowledges
+   receipt.  Pending state survives holder crashes (queued mail is on
+   disk); retries wait for the holder to come back up. *)
+type pending = {
+  p_msg : Message.t;
+  holder : Netsim.Graph.node;
+  mutable attempts : int;
+  mutable acked : bool;
+}
+
+(* FIFO work queue of one server under the Exp(mu) service model. *)
+type srv_queue = {
+  mutable busy : bool;
+  jobs : (float * (unit -> unit)) Queue.t;  (* arrival time, work *)
+  mutable busy_total : float;
+  mutable served : int;
+}
+
+type 'ctrl t = {
+  config : config;
+  engine : Dsim.Engine.t;
+  net : 'ctrl wire Netsim.Net.t;
+  callbacks : 'ctrl callbacks;
+  counters : Dsim.Stats.Counter.t;
+  trace : Dsim.Trace.t;
+  pendings : (Netsim.Graph.node * Message.id, pending) Hashtbl.t;
+  seen_deposits : (Netsim.Graph.node * Message.id, unit) Hashtbl.t;
+  dead : (Message.id, unit) Hashtbl.t;
+      (* declared undeliverable: no further resubmissions *)
+  service_rng : Dsim.Rng.t;
+  queues : (Netsim.Graph.node, srv_queue) Hashtbl.t;
+  queue_waits : Dsim.Stats.Summary.t;
+}
+
+let net t = t.net
+
+let queue_wait_stats t = t.queue_waits
+
+let srv_queue t node =
+  match Hashtbl.find_opt t.queues node with
+  | Some q -> q
+  | None ->
+      let q = { busy = false; jobs = Queue.create (); busy_total = 0.; served = 0 } in
+      Hashtbl.replace t.queues node q;
+      q
+
+let server_utilisation t node =
+  match Hashtbl.find_opt t.queues node with
+  | None -> 0.
+  | Some q ->
+      let elapsed = Dsim.Engine.now t.engine in
+      if elapsed <= 0. then 0. else q.busy_total /. elapsed
+
+(* Run [work] through the node's FIFO service queue (or immediately
+   when the service model is off). *)
+let through_queue t node work =
+  match t.config.service_rate with
+  | None -> work ()
+  | Some rate ->
+      let q = srv_queue t node in
+      Queue.add (Dsim.Engine.now t.engine, work) q.jobs;
+      let rec serve_next () =
+        match Queue.take_opt q.jobs with
+        | None -> q.busy <- false
+        | Some (arrived, job) ->
+            q.busy <- true;
+            Dsim.Stats.Summary.add t.queue_waits (Dsim.Engine.now t.engine -. arrived);
+            let service = Dsim.Rng.exponential t.service_rng rate in
+            q.busy_total <- q.busy_total +. service;
+            ignore
+              (Dsim.Engine.schedule_after t.engine service (fun () ->
+                   job ();
+                   q.served <- q.served + 1;
+                   serve_next ()))
+      in
+      if not q.busy then serve_next ()
+
+let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
+
+let now t = Dsim.Engine.now t.engine
+
+let log t fmt = Dsim.Trace.infof t.trace ~time:(now t) ~category:"pipeline" fmt
+
+let first_active t nodes = List.find_opt (fun s -> Netsim.Net.is_up t.net s) nodes
+
+let is_dead t id = Hashtbl.mem t.dead id
+
+let declare_dead t msg ~reason =
+  if not (Hashtbl.mem t.dead msg.Message.id) then begin
+    Hashtbl.replace t.dead msg.Message.id ();
+    t.callbacks.on_undeliverable msg ~reason
+  end
+
+let arm_retry t (p : pending) step =
+  let rec fire () =
+    ignore
+      (Dsim.Engine.schedule_after t.engine t.config.retry_timeout (fun () ->
+           if not p.acked then
+             if p.attempts < t.config.max_retries then begin
+               p.attempts <- p.attempts + 1;
+               count t "retries";
+               if Netsim.Net.is_up t.net p.holder then step ();
+               fire ()
+             end
+             else begin
+               count t "gave_up";
+               Hashtbl.remove t.pendings (p.holder, p.p_msg.Message.id);
+               declare_dead t p.p_msg ~reason:"retries exhausted"
+             end))
+  in
+  fire ()
+
+let pending_for t ~holder msg step =
+  let key = (holder, msg.Message.id) in
+  match Hashtbl.find_opt t.pendings key with
+  | Some p -> p.acked <- false
+  | None ->
+      let p = { p_msg = msg; holder; attempts = 0; acked = false } in
+      Hashtbl.replace t.pendings key p;
+      arm_retry t p step
+
+let ack_pending t ~holder id =
+  match Hashtbl.find_opt t.pendings (holder, id) with
+  | Some p ->
+      p.acked <- true;
+      Hashtbl.remove t.pendings (holder, id)
+  | None -> ()
+
+let do_deposit t ~on msg =
+  let key = (on, msg.Message.id) in
+  if not (Hashtbl.mem t.seen_deposits key) then begin
+    Hashtbl.replace t.seen_deposits key ();
+    Server.deposit (t.callbacks.server_of on) msg ~at:(now t);
+    count t "deposits";
+    t.callbacks.on_deposit msg ~on;
+    match t.callbacks.notify_target msg.Message.recipient with
+    | Some host ->
+        ignore (Netsim.Net.send t.net ~src:on ~dst:host (Notify (msg.Message.recipient, msg.Message.id)))
+    | None -> ()
+  end
+
+(* Phase 3 (§3.1.2c): deposit into the first active server of a given
+   authority list. *)
+let rec deposit_with t ~at_server msg authority =
+  match first_active t authority with
+  | None ->
+      count t "deposit_stalled";
+      pending_for t ~holder:at_server msg (fun () -> deposit_phase t ~at_server msg)
+  | Some target when target = at_server ->
+      do_deposit t ~on:at_server msg;
+      ack_pending t ~holder:at_server msg.Message.id
+  | Some target ->
+      pending_for t ~holder:at_server msg (fun () -> deposit_phase t ~at_server msg);
+      msg.Message.forward_hops <- msg.Message.forward_hops + 1;
+      ignore
+        (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net ~src:at_server
+           ~dst:target (Deposit msg))
+
+and deposit_phase t ~at_server msg =
+  let recipient = t.callbacks.canonical msg.Message.recipient in
+  if not (Naming.Name.equal recipient msg.Message.recipient) then begin
+    let old_name = msg.Message.recipient in
+    msg.Message.recipient <- recipient;
+    t.callbacks.on_redirected msg ~old_name
+  end;
+  deposit_with t ~at_server msg (t.callbacks.authority_of recipient)
+
+(* Phase 2 (§3.1.2b): resolution and forwarding toward the
+   recipient's region, short-circuited by the resolution cache. *)
+let rec resolve_phase t ~at_server msg =
+  let srv = t.callbacks.server_of at_server in
+  let recipient = t.callbacks.canonical msg.Message.recipient in
+  if String.equal (Naming.Name.region recipient) (Server.region srv) then
+    deposit_phase t ~at_server msg
+  else begin
+    match t.callbacks.cached_authority ~at:at_server recipient with
+    | Some authority when List.exists (fun s -> Netsim.Net.is_up t.net s) authority ->
+        (* A cached resolution lets this server deposit directly,
+           skipping the forwarding hop.  Retries re-enter
+           [resolve_phase], so a stale entry degrades to a forward. *)
+        count t "resolution_cache_hits";
+        (match first_active t authority with
+        | Some target when target <> at_server ->
+            pending_for t ~holder:at_server msg (fun () ->
+                resolve_phase t ~at_server msg);
+            msg.Message.forward_hops <- msg.Message.forward_hops + 1;
+            ignore
+              (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net ~src:at_server
+                 ~dst:target (Deposit msg))
+        | Some target ->
+            ignore target;
+            do_deposit t ~on:at_server msg;
+            ack_pending t ~holder:at_server msg.Message.id
+        | None -> assert false)
+    | _ -> (
+        let target_region = Naming.Name.region recipient in
+        match t.callbacks.region_servers target_region with
+        | [] ->
+            count t "unresolvable";
+            log t "cannot resolve %s: unknown region %s"
+              (Naming.Name.to_string recipient)
+              target_region;
+            declare_dead t msg ~reason:"unknown region"
+        | nodes -> (
+            match first_active t nodes with
+            | None ->
+                count t "forward_stalled";
+                pending_for t ~holder:at_server msg (fun () ->
+                    resolve_phase t ~at_server msg)
+            | Some target ->
+                t.callbacks.on_forward_resolved ~at:at_server recipient
+                  (t.callbacks.authority_of recipient);
+                pending_for t ~holder:at_server msg (fun () ->
+                    resolve_phase t ~at_server msg);
+                msg.Message.forward_hops <- msg.Message.forward_hops + 1;
+                ignore
+                  (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net
+                     ~src:at_server ~dst:target (Forward msg))))
+  end
+
+let handle_wire t node ~time ~src msg =
+  ignore time;
+  match msg with
+  | Submit m ->
+      count t "submits_received";
+      through_queue t node (fun () -> resolve_phase t ~at_server:node m)
+  | Forward m ->
+      ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
+      through_queue t node (fun () -> deposit_phase t ~at_server:node m)
+  | Deposit m ->
+      ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
+      through_queue t node (fun () -> do_deposit t ~on:node m)
+  | Ack id -> ack_pending t ~holder:node id
+  | Notify _ -> count t "notifications"
+  | Ctrl c -> t.callbacks.on_ctrl node ~time ~src c
+
+(* Connection setup (§3.1.2a): try servers in the agent's order;
+   resubmission is the end-to-end safety net. *)
+let rec try_submit t msg sender_agent =
+  if (not (Message.is_deposited msg)) && not (is_dead t msg.Message.id) then begin
+    let rec attempt = function
+      | [] ->
+          count t "submit_deferred";
+          ignore
+            (Dsim.Engine.schedule_after t.engine t.config.retry_timeout (fun () ->
+                 try_submit t msg sender_agent))
+      | s :: rest ->
+          count t "submit_attempts";
+          if
+            Netsim.Net.is_up t.net s
+            && Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net
+                 ~src:(User_agent.host sender_agent) ~dst:s (Submit msg)
+          then ()
+          else begin
+            (* Server down, or unreachable through downed relays. *)
+            count t "submit_attempt_failures";
+            attempt rest
+          end
+    in
+    attempt (t.callbacks.submit_servers sender_agent);
+    ignore
+      (Dsim.Engine.schedule_after t.engine t.config.resubmit_timeout (fun () ->
+           if (not (Message.is_deposited msg)) && not (is_dead t msg.Message.id)
+           then begin
+             count t "resubmissions";
+             try_submit t msg sender_agent
+           end))
+  end
+
+let submit t ~sender_agent ~msg =
+  count t "submitted";
+  try_submit t msg sender_agent
+
+let pending_count t = Hashtbl.length t.pendings
+
+let create ~engine ~graph ~trace ~counters ?bandwidth ?loss_rate config callbacks =
+  let net = Netsim.Net.create ~engine ~trace ?bandwidth ?loss_rate graph in
+  let t =
+    {
+      config;
+      engine;
+      net;
+      callbacks;
+      counters;
+      trace;
+      pendings = Hashtbl.create 64;
+      seen_deposits = Hashtbl.create 64;
+      dead = Hashtbl.create 16;
+      service_rng = Dsim.Rng.create config.service_seed;
+      queues = Hashtbl.create 16;
+      queue_waits = Dsim.Stats.Summary.create ();
+    }
+  in
+  List.iter
+    (fun node -> Netsim.Net.set_handler net node (handle_wire t node))
+    (Netsim.Graph.nodes graph);
+  t

@@ -1,0 +1,118 @@
+(** The shared three-phase delivery pipeline of §3.1.2, parameterised
+    over a system's naming policy.
+
+    All three designs move mail the same way — connection setup at a
+    server chosen by the sender's agent, forwarding into the
+    recipient's region, deposit into "the first active server" of the
+    recipient's authority list, acknowledgement back to the holder
+    with timeout-driven retries — and differ only in {e how names map
+    to servers and hosts}.  Those differences enter through
+    {!callbacks}. *)
+
+type 'ctrl wire =
+  | Submit of Message.t
+  | Forward of Message.t  (** to a server in the recipient's region. *)
+  | Deposit of Message.t  (** to an authority server of the recipient. *)
+  | Ack of Message.id
+  | Notify of Naming.Name.t * Message.id  (** server → recipient's host. *)
+  | Ctrl of 'ctrl
+      (** system-specific control-plane traffic (e.g. design 2's
+          location gossip), dispatched to [on_ctrl]. *)
+
+type config = {
+  retry_timeout : float;
+  resubmit_timeout : float;
+  max_retries : int;
+  service_rate : float option;
+      (** [Some mu]: every server processes submits, forwards and
+          deposits through a FIFO queue with Exp(mu) service times —
+          the processing/queueing delay the paper's cost model charges
+          as [Q(ρ) + z].  [None] (default) makes processing free. *)
+  service_seed : int;  (** seed of the service-time stream. *)
+}
+
+val default_pipeline_config : config
+(** retry 50, resubmit 400, max_retries 50, no service model. *)
+
+type 'ctrl callbacks = {
+  server_of : Netsim.Graph.node -> Server.t;
+  region_servers : string -> Netsim.Graph.node list;
+      (** servers able to resolve names of that region ([] = unknown
+          region). *)
+  canonical : Naming.Name.t -> Naming.Name.t;
+      (** follow redirections for migrated users (identity if none). *)
+  authority_of : Naming.Name.t -> Netsim.Graph.node list;
+      (** the recipient's ordered authority-server list. *)
+  notify_target : Naming.Name.t -> Netsim.Graph.node option;
+      (** host to send the new-mail alert to ([None] = no alert). *)
+  submit_servers : User_agent.t -> Netsim.Graph.node list;
+      (** servers the sender's agent tries for connection setup, in
+          order (design 1: the agent's authority list; design 2: the
+          region's servers nearest the current host). *)
+  on_deposit : Message.t -> on:Netsim.Graph.node -> unit;
+      (** extra system hook, called once per (server, message). *)
+  cached_authority :
+    at:Netsim.Graph.node -> Naming.Name.t -> Netsim.Graph.node list option;
+      (** §4.1 caching: a resolving server may remember a foreign
+          recipient's authority list and deposit directly, skipping
+          the forwarding hop (counter ["resolution_cache_hits"]).
+          Return [None] to disable/miss. *)
+  on_forward_resolved :
+    at:Netsim.Graph.node -> Naming.Name.t -> Netsim.Graph.node list -> unit;
+      (** called when a foreign recipient had to be forwarded — the
+          moment a caching system learns the mapping. *)
+  on_undeliverable : Message.t -> reason:string -> unit;
+      (** §4.2 "returned with proper error messages": fired when the
+          pipeline exhausts its retries or cannot resolve the region
+          (counters ["gave_up"] / ["unresolvable"]). *)
+  on_redirected : Message.t -> old_name:Naming.Name.t -> unit;
+      (** fired when [canonical] rewrote the recipient — §3.1.4 "the
+          senders are notified about the name changes". *)
+  on_ctrl :
+    Netsim.Graph.node -> time:float -> src:Netsim.Graph.node -> 'ctrl -> unit;
+      (** handler for [Ctrl] payloads delivered to a node. *)
+}
+
+type 'ctrl t
+
+val create :
+  engine:Dsim.Engine.t ->
+  graph:Netsim.Graph.t ->
+  trace:Dsim.Trace.t ->
+  counters:Dsim.Stats.Counter.t ->
+  ?bandwidth:float ->
+  ?loss_rate:float ->
+  config ->
+  'ctrl callbacks ->
+  'ctrl t
+(** Builds the network and registers a pipeline handler on every node.
+    Counter keys written: ["submitted"], ["submit_attempts"],
+    ["submit_attempt_failures"], ["submit_deferred"],
+    ["submits_received"], ["deposits"], ["redirect... "] (via the
+    system's [canonical]), ["retries"], ["gave_up"],
+    ["deposit_stalled"], ["forward_stalled"], ["unresolvable"],
+    ["resubmissions"], ["notifications"]. *)
+
+val net : 'ctrl t -> 'ctrl wire Netsim.Net.t
+
+val submit :
+  'ctrl t ->
+  sender_agent:User_agent.t ->
+  msg:Message.t ->
+  unit
+(** Start the pipeline for [msg] at the current virtual time. *)
+
+val pending_count : 'ctrl t -> int
+(** Transfers still awaiting acknowledgement. *)
+
+val is_dead : 'ctrl t -> Message.id -> bool
+(** The message was declared undeliverable (and [on_undeliverable]
+    fired); resubmissions for it have stopped. *)
+
+val queue_wait_stats : 'ctrl t -> Dsim.Stats.Summary.t
+(** Waiting times (arrival → service start) across all server queues;
+    empty when the service model is off. *)
+
+val server_utilisation : 'ctrl t -> Netsim.Graph.node -> float
+(** Fraction of elapsed virtual time the server spent serving; 0 when
+    the service model is off or the server handled nothing. *)

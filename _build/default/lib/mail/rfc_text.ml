@@ -1,0 +1,169 @@
+let encode_part = function
+  | Content.Text s -> Printf.sprintf "text %S" s
+  | Content.Voice { seconds } -> Printf.sprintf "voice %h" seconds
+  | Content.Image { width; height } -> Printf.sprintf "image %dx%d" width height
+  | Content.Facsimile { pages } -> Printf.sprintf "facsimile %d" pages
+
+let encode (m : Message.t) =
+  if String.contains m.Message.subject '\n' then
+    invalid_arg "Rfc_text.encode: newline in subject";
+  let buf = Buffer.create 256 in
+  let header k v = Buffer.add_string buf (Printf.sprintf "%s: %s\n" k v) in
+  header "Message-Id" (string_of_int m.Message.id);
+  header "From" (Naming.Name.to_string m.Message.sender);
+  header "To" (Naming.Name.to_string m.Message.recipient);
+  header "Date" (Printf.sprintf "%h" m.Message.submitted_at);
+  header "Subject" m.Message.subject;
+  List.iter (fun p -> header "X-Part" (encode_part p)) m.Message.parts;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf m.Message.body;
+  Buffer.contents buf
+
+type decoded = {
+  d_id : Message.id;
+  d_sender : Naming.Name.t;
+  d_recipient : Naming.Name.t;
+  d_subject : string;
+  d_body : string;
+  d_submitted_at : float;
+  d_parts : Content.part list;
+}
+
+let parse_part v =
+  let fail () = Error (Printf.sprintf "malformed X-Part: %S" v) in
+  match String.index_opt v ' ' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub v 0 i in
+      let rest = String.sub v (i + 1) (String.length v - i - 1) in
+      match kind with
+      | "text" -> (
+          try Ok (Content.Text (Scanf.sscanf rest "%S" Fun.id)) with _ -> fail ())
+      | "voice" -> (
+          match float_of_string_opt rest with
+          | Some seconds when seconds >= 0. -> Ok (Content.Voice { seconds })
+          | Some _ | None -> fail ())
+      | "image" -> (
+          match String.split_on_char 'x' rest with
+          | [ w; h ] -> (
+              match (int_of_string_opt w, int_of_string_opt h) with
+              | Some width, Some height when width >= 0 && height >= 0 ->
+                  Ok (Content.Image { width; height })
+              | _ -> fail ())
+          | _ -> fail ())
+      | "facsimile" -> (
+          match int_of_string_opt rest with
+          | Some pages when pages >= 0 -> Ok (Content.Facsimile { pages })
+          | Some _ | None -> fail ())
+      | _ -> fail ())
+
+(* Split the wire text at the first blank line. *)
+let split_headers_body s =
+  let rec scan i =
+    if i >= String.length s then None
+    else
+      match String.index_from_opt s i '\n' with
+      | None -> None
+      | Some j ->
+          if j + 1 < String.length s && s.[j + 1] = '\n' then
+            Some (String.sub s 0 (j + 1), String.sub s (j + 2) (String.length s - j - 2))
+          else scan (j + 1)
+  in
+  scan 0
+
+let decode s =
+  (* be liberal: accept CRLF line endings *)
+  let s =
+    if String.contains s '\r' then begin
+      let buf = Buffer.create (String.length s) in
+      String.iteri
+        (fun i c ->
+          if c = '\r' && i + 1 < String.length s && s.[i + 1] = '\n' then ()
+          else Buffer.add_char buf c)
+        s;
+      Buffer.contents buf
+    end
+    else s
+  in
+  match split_headers_body s with
+  | None -> Error "missing blank line between headers and body"
+  | Some (header_block, body) -> (
+      let lines =
+        String.split_on_char '\n' header_block |> List.filter (fun l -> l <> "")
+      in
+      let parse_line acc line =
+        match acc with
+        | Error _ -> acc
+        | Ok fields -> (
+            match String.index_opt line ':' with
+            | None -> Error (Printf.sprintf "malformed header line: %S" line)
+            | Some i ->
+                let key = String.sub line 0 i in
+                let v =
+                  let raw = String.sub line (i + 1) (String.length line - i - 1) in
+                  if String.length raw > 0 && raw.[0] = ' ' then
+                    String.sub raw 1 (String.length raw - 1)
+                  else raw
+                in
+                Ok ((key, v) :: fields))
+      in
+      match List.fold_left parse_line (Ok []) lines with
+      | Error e -> Error e
+      | Ok fields -> (
+          let fields = List.rev fields in
+          let find k = List.assoc_opt k fields in
+          let require k =
+            match find k with
+            | Some v -> Ok v
+            | None -> Error (Printf.sprintf "missing header %s" k)
+          in
+          let ( let* ) = Result.bind in
+          let* id_s = require "Message-Id" in
+          let* from_s = require "From" in
+          let* to_s = require "To" in
+          let* date_s = require "Date" in
+          let* d_id =
+            match int_of_string_opt id_s with
+            | Some i -> Ok i
+            | None -> Error "malformed Message-Id"
+          in
+          let* d_sender =
+            Result.map_error (fun e -> "From: " ^ e) (Naming.Name.of_string from_s)
+          in
+          let* d_recipient =
+            Result.map_error (fun e -> "To: " ^ e) (Naming.Name.of_string to_s)
+          in
+          let* d_submitted_at =
+            match float_of_string_opt date_s with
+            | Some f -> Ok f
+            | None -> Error "malformed Date"
+          in
+          let* d_parts =
+            List.fold_left
+              (fun acc (k, v) ->
+                match acc with
+                | Error _ -> acc
+                | Ok parts ->
+                    if String.equal k "X-Part" then
+                      Result.map (fun p -> p :: parts) (parse_part v)
+                    else acc)
+              (Ok []) fields
+            |> Result.map List.rev
+          in
+          Ok
+            {
+              d_id;
+              d_sender;
+              d_recipient;
+              d_subject = (match find "Subject" with Some s -> s | None -> "");
+              d_body = body;
+              d_submitted_at;
+              d_parts;
+            }))
+
+let to_message d =
+  Message.create ~id:d.d_id ~sender:d.d_sender ~recipient:d.d_recipient
+    ~subject:d.d_subject ~body:d.d_body ~parts:d.d_parts
+    ~submitted_at:d.d_submitted_at ()
+
+let roundtrip m = Result.map to_message (decode (encode m))

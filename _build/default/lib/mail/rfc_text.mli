@@ -1,0 +1,34 @@
+(** A text wire format for messages, in the RFC 822 style of the
+    paper's era: a block of [Header: value] lines, a blank line, then
+    the body.  Attachment parts (§5 multimedia) are carried as
+    [X-Part] headers.
+
+    The codec round-trips everything a {!Message.t} carries at
+    submission time (identity, envelope, subject, body, parts);
+    delivery bookkeeping (deposit/retrieval times) is transient state
+    and is not serialised. *)
+
+val encode : Message.t -> string
+(** @raise Invalid_argument if the subject contains a newline (fold
+    your subjects yourself, it is 1988). *)
+
+(** Fields recovered from a wire message. *)
+type decoded = {
+  d_id : Message.id;
+  d_sender : Naming.Name.t;
+  d_recipient : Naming.Name.t;
+  d_subject : string;
+  d_body : string;
+  d_submitted_at : float;
+  d_parts : Content.part list;
+}
+
+val decode : string -> (decoded, string) result
+(** Parse a wire message; [Error reason] on malformed input.  Unknown
+    headers are ignored (be liberal in what you accept). *)
+
+val to_message : decoded -> Message.t
+(** Rebuild a fresh in-flight message from decoded fields. *)
+
+val roundtrip : Message.t -> (Message.t, string) result
+(** [decode (encode m) |> to_message] — used by the property tests. *)

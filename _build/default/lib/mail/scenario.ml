@@ -1,0 +1,256 @@
+type retrieval_mode = Get_mail | Poll_all | Naive
+
+type spec = {
+  seed : int;
+  duration : float;
+  mail_count : int;
+  check_period : float;
+  failure_rate : float;
+  mean_outage : float;
+  sender_skew : float;
+  retrieval : retrieval_mode;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    duration = 5000.;
+    mail_count = 300;
+    check_period = 100.;
+    failure_rate = 0.;
+    mean_outage = 150.;
+    sender_skew = 0.9;
+    retrieval = Get_mail;
+  }
+
+type outcome = {
+  report : Evaluation.report;
+  availability : float;
+  final_polls_per_check : float;
+  inbox_total : int;
+  counter : string -> int;
+}
+
+let pick_pair rng users =
+  let n = Array.length users in
+  let s = Dsim.Rng.int rng n in
+  let rec other () =
+    let r = Dsim.Rng.int rng n in
+    if r = s then other () else r
+  in
+  (users.(s), users.(other ()))
+
+(* Zipf-weighted sender, uniform distinct recipient. *)
+let pick_pair_skewed rng users skew =
+  let n = Array.length users in
+  if skew <= 0. then pick_pair rng users
+  else begin
+    let s = Dsim.Rng.zipf rng ~n ~s:skew - 1 in
+    let rec other () =
+      let r = Dsim.Rng.int rng n in
+      if r = s then other () else r
+    in
+    (users.(s), users.(other ()))
+  end
+
+(* The common driver body, abstracted over system operations. *)
+type 'sys ops = {
+  engine : 'sys -> Dsim.Engine.t;
+  net_nodes_down : 'sys -> unit;  (* force all servers back up *)
+  server_nodes : 'sys -> Netsim.Graph.node list;
+  submit_at : 'sys -> at:float -> sender:Naming.Name.t -> recipient:Naming.Name.t -> unit;
+  check : 'sys -> Naming.Name.t -> User_agent.check_stats;
+  on_check_tick : 'sys -> rng:Dsim.Rng.t -> Naming.Name.t -> unit;
+      (* roaming hook, runs just before a periodic check *)
+  schedule_outages : 'sys -> Netsim.Failure.outage list -> unit;
+  report : 'sys -> Evaluation.report;
+  counters : 'sys -> Dsim.Stats.Counter.t;
+  inbox_total : 'sys -> int;
+  quiesce : 'sys -> unit;
+}
+
+let drive (type s) (sys : s) (ops : s ops) users spec =
+  let rng = Dsim.Rng.create spec.seed in
+  let traffic_rng = Dsim.Rng.split rng in
+  let failure_rng = Dsim.Rng.split rng in
+  let roam_rng = Dsim.Rng.split rng in
+  let engine = ops.engine sys in
+  let users_arr = Array.of_list users in
+  (* Mail injection at uniform times. *)
+  let send_times =
+    Queueing.Workload.uniform_arrivals ~rng:traffic_rng ~count:spec.mail_count
+      ~horizon:spec.duration
+  in
+  List.iter
+    (fun at ->
+      let sender, recipient = pick_pair_skewed traffic_rng users_arr spec.sender_skew in
+      ops.submit_at sys ~at ~sender ~recipient)
+    send_times;
+  (* Periodic checks, phase-shifted per user. *)
+  Array.iteri
+    (fun i name ->
+      let phase =
+        spec.check_period *. float_of_int (i + 1) /. float_of_int (Array.length users_arr + 1)
+      in
+      let rec arm at =
+        if at < spec.duration then
+          ignore
+            (Dsim.Engine.schedule_at engine at (fun () ->
+                 ops.on_check_tick sys ~rng:roam_rng name;
+                 ignore (ops.check sys name);
+                 arm (at +. spec.check_period)))
+      in
+      arm phase)
+    users_arr;
+  (* Failure injection on servers. *)
+  let outages =
+    Netsim.Failure.random_outages ~rng:failure_rng ~nodes:(ops.server_nodes sys)
+      ~rate:spec.failure_rate ~mean_duration:spec.mean_outage ~horizon:spec.duration
+  in
+  ops.schedule_outages sys outages;
+  (* Run, restore, drain, final checks. *)
+  Dsim.Engine.run ~until:spec.duration engine;
+  ops.net_nodes_down sys;
+  ops.quiesce sys;
+  List.iter (fun name -> ignore (ops.check sys name)) users;
+  ops.quiesce sys;
+  let report = ops.report sys in
+  let availability =
+    let nodes = ops.server_nodes sys in
+    if nodes = [] then 1.
+    else
+      List.fold_left
+        (fun acc node ->
+          acc +. Netsim.Failure.availability ~outages ~node ~horizon:spec.duration)
+        0. nodes
+      /. float_of_int (List.length nodes)
+  in
+  {
+    report;
+    availability;
+    final_polls_per_check = report.Evaluation.polls_per_check;
+    inbox_total = ops.inbox_total sys;
+    counter = (fun key -> Dsim.Stats.Counter.get (ops.counters sys) key);
+  }
+
+let check_with mode view sys_agent now =
+  match mode with
+  | Get_mail -> User_agent.get_mail sys_agent ~view ~now
+  | Poll_all -> User_agent.poll_all sys_agent ~view ~now
+  | Naive -> User_agent.naive_check sys_agent ~view ~now
+
+let record_check counters (stats : User_agent.check_stats) =
+  Dsim.Stats.Counter.incr counters "checks";
+  Dsim.Stats.Counter.incr ~by:stats.User_agent.polls counters "polls";
+  Dsim.Stats.Counter.incr ~by:stats.User_agent.failed_polls counters "failed_polls";
+  Dsim.Stats.Counter.incr ~by:stats.User_agent.retrieved counters "retrieved"
+
+let run_syntax ?config site spec =
+  let sys = Syntax_system.create ?config site in
+  let users = Syntax_system.users sys in
+  let ops =
+    {
+      engine = Syntax_system.engine;
+      net_nodes_down =
+        (fun s ->
+          List.iter (fun n -> Netsim.Net.set_up (Syntax_system.net s) n)
+            (Syntax_system.server_nodes s));
+      server_nodes = Syntax_system.server_nodes;
+      submit_at =
+        (fun s ~at ~sender ~recipient ->
+          ignore (Syntax_system.submit_at s ~at ~sender ~recipient ()));
+      check =
+        (fun s name ->
+          let stats =
+            check_with spec.retrieval (Syntax_system.view s)
+              (Syntax_system.agent s name) (Syntax_system.now s)
+          in
+          record_check (Syntax_system.counters s) stats;
+          stats);
+      on_check_tick = (fun _ ~rng:_ _ -> ());
+      schedule_outages =
+        (fun s outages -> Netsim.Failure.schedule_outages (Syntax_system.net s) outages);
+      report = Evaluation.of_syntax;
+      counters = Syntax_system.counters;
+      inbox_total =
+        (fun s ->
+          List.fold_left
+            (fun acc name -> acc + User_agent.inbox_size (Syntax_system.agent s name))
+            0 (Syntax_system.users s));
+      quiesce = (fun s -> Syntax_system.quiesce s);
+    }
+  in
+  drive sys ops users spec
+
+let run_location ?config ~roam_probability site spec =
+  let sys = Location_system.create ?config site in
+  let users = Location_system.users sys in
+  let graph = Location_system.graph sys in
+  let hosts_by_region = Hashtbl.create 4 in
+  List.iter
+    (fun v ->
+      if Netsim.Graph.kind graph v = Netsim.Graph.Host then begin
+        let r = Netsim.Graph.region graph v in
+        let cur =
+          match Hashtbl.find_opt hosts_by_region r with Some l -> l | None -> []
+        in
+        Hashtbl.replace hosts_by_region r (v :: cur)
+      end)
+    (Netsim.Graph.nodes graph);
+  let ops =
+    {
+      engine = Location_system.engine;
+      net_nodes_down =
+        (fun s ->
+          List.iter (fun n -> Netsim.Net.set_up (Location_system.net s) n)
+            (Location_system.server_nodes s));
+      server_nodes = Location_system.server_nodes;
+      submit_at =
+        (fun s ~at ~sender ~recipient ->
+          ignore (Location_system.submit_at s ~at ~sender ~recipient ()));
+      check =
+        (fun s name ->
+          let stats =
+            check_with spec.retrieval (Location_system.view s)
+              (Location_system.agent s name) (Location_system.now s)
+          in
+          record_check (Location_system.counters s) stats;
+          stats);
+      on_check_tick =
+        (fun s ~rng name ->
+          if Dsim.Rng.bernoulli rng roam_probability then begin
+            match Hashtbl.find_opt hosts_by_region (Naming.Name.region name) with
+            | Some (_ :: _ as hosts) ->
+                let arr = Array.of_list hosts in
+                ignore (Location_system.login s name ~host:(Dsim.Rng.choice rng arr))
+            | Some [] | None -> ()
+          end);
+      schedule_outages =
+        (fun s outages ->
+          Netsim.Failure.schedule_outages (Location_system.net s) outages);
+      report = Evaluation.of_location;
+      counters = Location_system.counters;
+      inbox_total =
+        (fun s ->
+          List.fold_left
+            (fun acc name -> acc + User_agent.inbox_size (Location_system.agent s name))
+            0 (Location_system.users s));
+      quiesce = (fun s -> Location_system.quiesce s);
+    }
+  in
+  drive sys ops users spec
+
+type estimate = { mean : float; stddev : float; runs : int }
+
+let replicate ~runs run spec metric =
+  if runs <= 0 then invalid_arg "Scenario.replicate: runs <= 0";
+  let summary = Dsim.Stats.Summary.create () in
+  for i = 0 to runs - 1 do
+    let outcome = run { spec with seed = spec.seed + i } in
+    Dsim.Stats.Summary.add summary (metric outcome)
+  done;
+  {
+    mean = Dsim.Stats.Summary.mean summary;
+    stddev = Dsim.Stats.Summary.stddev summary;
+    runs;
+  }

@@ -1,0 +1,67 @@
+(** Workload scenarios: the simulations the paper says were run
+    ("algorithms … developed and tested using simulation") but does
+    not tabulate — reproduced here for experiments C1, C2 and C6.
+
+    A scenario drives a system with Poisson mail traffic between
+    Zipf-skewed users, periodic mailbox checks, and random server
+    outages; at the horizon all servers are restored, the engine
+    drains, and every user performs a final check so that the paper's
+    losslessness claim can be asserted exactly. *)
+
+(** How users retrieve mail — the C2 comparison axis. *)
+type retrieval_mode =
+  | Get_mail  (** the paper's algorithm (§3.1.2c). *)
+  | Poll_all  (** poll every authority server every time. *)
+  | Naive  (** first alive server only; no unavailability memory. *)
+
+type spec = {
+  seed : int;
+  duration : float;
+  mail_count : int;  (** total messages to inject over the run. *)
+  check_period : float;  (** per-user mailbox-check interval. *)
+  failure_rate : float;  (** outage starts per server per unit time. *)
+  mean_outage : float;  (** mean outage duration. *)
+  sender_skew : float;  (** Zipf exponent for sender activity. *)
+  retrieval : retrieval_mode;
+}
+
+val default_spec : spec
+(** seed 1, duration 5000, 300 messages, checks every 100, no
+    failures, skew 0.9, GetMail. *)
+
+(** Per-scenario aggregates beyond the generic report. *)
+type outcome = {
+  report : Evaluation.report;
+  availability : float;  (** mean fraction of time servers were up. *)
+  final_polls_per_check : float;
+      (** polls per check over the whole run including final drain. *)
+  inbox_total : int;  (** messages sitting in user inboxes at the end. *)
+  counter : string -> int;
+      (** read any raw system counter (e.g. ["location_updates"],
+          ["location_gossip"], ["retries"]) from the finished run. *)
+}
+
+val run_syntax :
+  ?config:Syntax_system.config -> Netsim.Topology.mail_site -> spec -> outcome
+(** Build a design-1 system and drive it. *)
+
+val run_location :
+  ?config:Location_system.config ->
+  roam_probability:float ->
+  Netsim.Topology.mail_site ->
+  spec ->
+  outcome
+(** Design 2: before each check the user roams to a random host of
+    their region with the given probability (a {!Location_system.login},
+    which itself retrieves mail). *)
+
+(** Mean and sample standard deviation of one metric across
+    replications. *)
+type estimate = { mean : float; stddev : float; runs : int }
+
+val replicate :
+  runs:int -> (spec -> outcome) -> spec -> (outcome -> float) -> estimate
+(** Statistical rigour helper: run the scenario [runs] times with
+    seeds [spec.seed, spec.seed+1, …] and summarise [metric] —
+    used to put dispersion estimates next to the single-seed numbers
+    in EXPERIMENTS.md.  @raise Invalid_argument if [runs <= 0]. *)

@@ -1,0 +1,61 @@
+type t = {
+  node : Netsim.Graph.node;
+  region : string;
+  mailbox_policy : Mailbox.policy;
+  mutable last_start : float;
+  mailboxes : (Naming.Name.t, Mailbox.t) Hashtbl.t;
+  mutable deposits : int;
+}
+
+let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ~node ~region () =
+  {
+    node;
+    region;
+    mailbox_policy;
+    last_start = 0.;
+    mailboxes = Hashtbl.create 16;
+    deposits = 0;
+  }
+
+let node t = t.node
+let region t = t.region
+let last_start t = t.last_start
+let note_recovery t ~at = t.last_start <- at
+
+let mailbox t name =
+  match Hashtbl.find_opt t.mailboxes name with
+  | Some mb -> mb
+  | None ->
+      let mb = Mailbox.create ~policy:t.mailbox_policy name in
+      Hashtbl.add t.mailboxes name mb;
+      mb
+
+let deposit t msg ~at =
+  Mailbox.deposit (mailbox t msg.Message.recipient) msg;
+  t.deposits <- t.deposits + 1;
+  Message.mark_deposited msg ~at ~on:t.node
+
+let fetch t name ~at =
+  match Hashtbl.find_opt t.mailboxes name with
+  | None -> []
+  | Some mb ->
+      let msgs = Mailbox.retrieve_all mb in
+      List.iter (fun m -> Message.mark_retrieved m ~at) msgs;
+      msgs
+
+let pending_for t name =
+  match Hashtbl.find_opt t.mailboxes name with
+  | Some mb -> Mailbox.pending mb
+  | None -> 0
+
+let total_pending t = Hashtbl.fold (fun _ mb acc -> acc + Mailbox.pending mb) t.mailboxes 0
+
+let mailbox_count t = Hashtbl.length t.mailboxes
+
+let deposits t = t.deposits
+
+let storage_bytes t =
+  Hashtbl.fold (fun _ mb acc -> acc + Mailbox.storage_bytes mb) t.mailboxes 0
+
+let cleanup t ~now ~max_age =
+  Hashtbl.fold (fun _ mb acc -> acc + Mailbox.cleanup mb ~now ~max_age) t.mailboxes 0

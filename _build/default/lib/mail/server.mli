@@ -1,0 +1,42 @@
+(** Mail-server state (§2, §3.1.2).
+
+    A server is "a process responsible for obtaining addresses of
+    recipients, sending, buffering, relaying and delivering messages
+    to the mail recipients".  This module holds the per-server state
+    shared by all three system designs: the mailboxes of the users it
+    is an authority server for, and [LastStartTime] — the time it last
+    recovered or initialised, which the GetMail algorithm compares
+    against each user's [LastCheckingTime]. *)
+
+type t
+
+val create :
+  ?mailbox_policy:Mailbox.policy -> node:Netsim.Graph.node -> region:string -> unit -> t
+
+val node : t -> Netsim.Graph.node
+val region : t -> string
+
+val last_start : t -> float
+(** [LastStartTime]: 0 until the first recovery. *)
+
+val note_recovery : t -> at:float -> unit
+(** Called when the server's node comes back up. *)
+
+val deposit : t -> Message.t -> at:float -> unit
+(** Store in the recipient's mailbox (created on first use) and mark
+    the message deposited. *)
+
+val fetch : t -> Naming.Name.t -> at:float -> Message.t list
+(** Retrieve-and-clear the user's pending mail, marking each message
+    retrieved. *)
+
+val pending_for : t -> Naming.Name.t -> int
+val total_pending : t -> int
+val mailbox_count : t -> int
+val deposits : t -> int
+(** Total messages ever deposited here. *)
+
+val storage_bytes : t -> int
+
+val cleanup : t -> now:float -> max_age:float -> int
+(** Run the archive clean-up policy over every mailbox. *)

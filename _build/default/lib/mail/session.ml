@@ -1,0 +1,87 @@
+type entry = { seq : int; message : Message.t; mutable unread : bool }
+
+type t = {
+  system : Syntax_system.t;
+  name : Naming.Name.t;
+  mutable entries : entry list;  (* newest first *)
+  mutable next_seq : int;
+  mutable known : int;  (* inbox messages already folded into entries *)
+  folders : (string, Message.t list ref) Hashtbl.t;
+}
+
+let open_session system name =
+  (* raises if the user is unknown *)
+  ignore (Syntax_system.agent system name);
+  { system; name; entries = []; next_seq = 1; known = 0; folders = Hashtbl.create 4 }
+
+let user t = t.name
+
+let compose t ~to_ ?(subject = "") ?(body = "") ?(parts = []) () =
+  if String.contains subject '\n' then
+    invalid_arg "Session.compose: newline in subject";
+  Syntax_system.submit t.system ~sender:t.name ~recipient:to_ ~subject ~body ~parts ()
+
+let reply t entry ?(body = "") () =
+  let original = entry.message.Message.subject in
+  let subject =
+    if
+      String.length original >= 4
+      && String.equal (String.lowercase_ascii (String.sub original 0 4)) "re: "
+    then original
+    else "Re: " ^ original
+  in
+  compose t ~to_:entry.message.Message.sender ~subject ~body ()
+
+let fold_new t =
+  let all = User_agent.inbox (Syntax_system.agent t.system t.name) in
+  let fresh = List.filteri (fun i _ -> i >= t.known) all in
+  t.known <- List.length all;
+  List.iter
+    (fun message ->
+      let e = { seq = t.next_seq; message; unread = true } in
+      t.next_seq <- t.next_seq + 1;
+      t.entries <- e :: t.entries)
+    fresh
+
+let fetch t =
+  let stats = Syntax_system.check_mail t.system t.name in
+  fold_new t;
+  stats
+
+let inbox t = List.rev t.entries
+
+let unread_count t = List.length (List.filter (fun e -> e.unread) t.entries)
+
+let find t seq =
+  match List.find_opt (fun e -> e.seq = seq) t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let read t seq =
+  let e = find t seq in
+  e.unread <- false;
+  e.message
+
+let delete t seq =
+  let e = find t seq in
+  t.entries <- List.filter (fun x -> x.seq <> e.seq) t.entries
+
+let save t seq ~folder =
+  if String.length folder = 0 then invalid_arg "Session.save: empty folder name";
+  let e = find t seq in
+  let box =
+    match Hashtbl.find_opt t.folders folder with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.folders folder r;
+        r
+  in
+  box := e.message :: !box;
+  t.entries <- List.filter (fun x -> x.seq <> e.seq) t.entries
+
+let folder t name =
+  match Hashtbl.find_opt t.folders name with Some r -> List.rev !r | None -> []
+
+let folders t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.folders [] |> List.sort String.compare

@@ -1,0 +1,67 @@
+(** A user's interactive mail session (§2).
+
+    "The user interface is a software package that interacts with the
+    users and assists users in composing, sending, receiving, reading,
+    and deleting mail and doing other mail-related functions."
+
+    A session wraps one user of a design-1 system with the mailbox
+    management a real client provides: an inbox of numbered entries
+    with read/unread state, deletion, and named folders on the local
+    host ("the user can choose to save the received message in his own
+    storage").  Sessions are view-state only: the underlying system
+    remains the source of truth for delivery. *)
+
+type t
+
+type entry = {
+  seq : int;  (** stable per-session sequence number. *)
+  message : Message.t;
+  mutable unread : bool;
+}
+
+val open_session : Syntax_system.t -> Naming.Name.t -> t
+(** @raise Invalid_argument if the user is unknown. *)
+
+val user : t -> Naming.Name.t
+
+val compose :
+  t ->
+  to_:Naming.Name.t ->
+  ?subject:string ->
+  ?body:string ->
+  ?parts:Content.part list ->
+  unit ->
+  Message.t
+(** Validate and submit a message through the system.
+    @raise Invalid_argument if the recipient is unknown or the subject
+    contains a newline (it could not be serialised later). *)
+
+val reply : t -> entry -> ?body:string -> unit -> Message.t
+(** Compose to the entry's sender with a ["Re: "] subject (not
+    stacked on an existing ["Re: "]). *)
+
+val fetch : t -> User_agent.check_stats
+(** Run GetMail and fold newly retrieved messages into the inbox as
+    unread entries. *)
+
+val inbox : t -> entry list
+(** Current entries, oldest first. *)
+
+val unread_count : t -> int
+
+val read : t -> int -> Message.t
+(** Mark entry [seq] read and return the message.
+    @raise Not_found for an unknown sequence number. *)
+
+val delete : t -> int -> unit
+(** Remove an entry. @raise Not_found for an unknown sequence number. *)
+
+val save : t -> int -> folder:string -> unit
+(** Move an entry into a named local folder (removes it from the
+    inbox).  @raise Not_found / Invalid_argument on bad input. *)
+
+val folder : t -> string -> Message.t list
+(** Folder contents, oldest first ([] for unknown folders). *)
+
+val folders : t -> string list
+(** Folder names, sorted. *)

@@ -1,0 +1,484 @@
+type wire = unit Pipeline.wire
+
+type config = {
+  replication : int;
+  users_per_host : int;
+  retry_timeout : float;
+  resubmit_timeout : float;
+  max_retries : int;
+  mailbox_policy : Mailbox.policy;
+  cache_capacity : int option;
+  bandwidth : float option;
+  service_rate : float option;
+  loss_rate : float;
+}
+
+let default_config =
+  {
+    replication = 3;
+    users_per_host = 5;
+    retry_timeout = 50.;
+    resubmit_timeout = 400.;
+    max_retries = 50;
+    mailbox_policy = Mailbox.Delete_on_retrieve;
+    cache_capacity = None;
+    bandwidth = None;
+    service_rate = None;
+    loss_rate = 0.;
+  }
+
+type t = {
+  config : config;
+  engine : Dsim.Engine.t;
+  pipeline : unit Pipeline.t;
+  graph : Netsim.Graph.t;
+  servers : (Netsim.Graph.node, Server.t) Hashtbl.t;
+  region_servers : (string, Netsim.Graph.node list) Hashtbl.t;
+  agents : (Naming.Name.t, User_agent.t) Hashtbl.t;
+  spaces : (string, Naming.Name_space.t) Hashtbl.t;
+  redirects : (Naming.Name.t, Naming.Name.t) Hashtbl.t;
+  caches : (Netsim.Graph.node, Netsim.Graph.node list Naming.Cache.t) Hashtbl.t;
+  bounced : (Message.id, unit) Hashtbl.t;
+  counters : Dsim.Stats.Counter.t;
+  trace : Dsim.Trace.t;
+  mutable next_id : Message.id;
+  mutable submitted : Message.t list;
+}
+
+let engine t = t.engine
+let net t = Pipeline.net t.pipeline
+let graph t = t.graph
+let now t = Dsim.Engine.now t.engine
+let counters t = t.counters
+let trace t = t.trace
+let submitted t = t.submitted
+
+let users t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.agents []
+  |> List.sort Naming.Name.compare
+
+let agent t name =
+  match Hashtbl.find_opt t.agents name with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Syntax_system: unknown user %s" (Naming.Name.to_string name))
+
+let server_nodes t =
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.servers [] |> List.sort Int.compare
+
+let server t node =
+  match Hashtbl.find_opt t.servers node with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Syntax_system: node %d is not a server" node)
+
+let space t region = Hashtbl.find_opt t.spaces region
+
+let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
+
+let region_of_node g v =
+  let r = Netsim.Graph.region g v in
+  if String.equal r "" then "r0" else r
+
+(* --- submission ------------------------------------------------------ *)
+
+let cache_of t node =
+  match t.config.cache_capacity with
+  | None -> None
+  | Some capacity -> (
+      match Hashtbl.find_opt t.caches node with
+      | Some c -> Some c
+      | None ->
+          let c = Naming.Cache.create ~capacity () in
+          Hashtbl.replace t.caches node c;
+          Some c)
+
+let resolution_cache_stats t =
+  Hashtbl.fold
+    (fun _ c (h, m) -> (h + Naming.Cache.hits c, m + Naming.Cache.misses c))
+    t.caches (0, 0)
+
+let bounce_prefix = "DELIVERY FAILURE: "
+
+(* §4.2: undeliverable mail is "returned with proper error messages".
+   The bounce lands in the original sender's own mailbox; bounces are
+   never bounced again. *)
+let bounce t (msg : Message.t) ~reason =
+  let already_bounce =
+    String.length msg.Message.subject >= String.length bounce_prefix
+    && String.equal
+         (String.sub msg.Message.subject 0 (String.length bounce_prefix))
+         bounce_prefix
+  in
+  if (not already_bounce) && not (Hashtbl.mem t.bounced msg.Message.id) then begin
+    Hashtbl.replace t.bounced msg.Message.id ();
+    match Hashtbl.find_opt t.agents msg.Message.sender with
+    | None -> count t "bounce_undeliverable"
+    | Some sender_agent ->
+        count t "bounces";
+        let id = t.next_id in
+        t.next_id <- id + 1;
+        let bounce_msg =
+          Message.create ~id ~sender:msg.Message.sender ~recipient:msg.Message.sender
+            ~subject:(bounce_prefix ^ msg.Message.subject)
+            ~body:
+              (Printf.sprintf "message to %s could not be delivered: %s"
+                 (Naming.Name.to_string msg.Message.recipient)
+                 reason)
+            ~submitted_at:(now t) ()
+        in
+        t.submitted <- bounce_msg :: t.submitted;
+        Pipeline.submit t.pipeline ~sender_agent ~msg:bounce_msg
+  end
+
+let submit_at t ~at ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = []) () =
+  let sender_agent = agent t sender in
+  (if not (Hashtbl.mem t.agents recipient || Hashtbl.mem t.redirects recipient) then
+     invalid_arg
+       (Printf.sprintf "Syntax_system.submit: unknown recipient %s"
+          (Naming.Name.to_string recipient)));
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let msg =
+    Message.create ~id ~sender ~recipient ~subject ~body ~parts ~submitted_at:at ()
+  in
+  t.submitted <- msg :: t.submitted;
+  ignore
+    (Dsim.Engine.schedule_at t.engine at (fun () ->
+         Pipeline.submit t.pipeline ~sender_agent ~msg));
+  msg
+
+let submit t ~sender ~recipient ?subject ?body ?parts () =
+  submit_at t ~at:(now t) ~sender ~recipient ?subject ?body ?parts ()
+
+(* --- retrieval -------------------------------------------------------- *)
+
+let view t =
+  {
+    User_agent.is_alive = (fun node -> Netsim.Net.is_up (net t) node);
+    last_start = (fun node -> Server.last_start (server t node));
+    fetch = (fun node name ~at -> Server.fetch (server t node) name ~at);
+  }
+
+let check_mail t name =
+  let a = agent t name in
+  let stats = User_agent.get_mail a ~view:(view t) ~now:(now t) in
+  count t "checks";
+  count ~by:stats.User_agent.polls t "polls";
+  count ~by:stats.User_agent.failed_polls t "failed_polls";
+  count ~by:stats.User_agent.retrieved t "retrieved";
+  stats
+
+let check_mail_at t ~at name =
+  ignore (Dsim.Engine.schedule_at t.engine at (fun () -> ignore (check_mail t name)))
+
+let run_until t horizon = Dsim.Engine.run ~until:horizon t.engine
+
+let quiesce ?(step = 1000.) ?(max_steps = 10000) t =
+  let rec go n =
+    if n < max_steps && Dsim.Engine.pending t.engine > 0 then begin
+      Dsim.Engine.run ~until:(now t +. step) t.engine;
+      go (n + 1)
+    end
+  in
+  go 0
+
+(* §3.1.2c: "some policy of message archiving and clean-up must be
+   implemented to protect the servers' storage from being used up". *)
+let schedule_cleanup t ~period ~until ~max_age =
+  if period <= 0. then invalid_arg "Syntax_system.schedule_cleanup: period <= 0";
+  let rec arm at =
+    if at <= until then
+      ignore
+        (Dsim.Engine.schedule_at t.engine at (fun () ->
+             Hashtbl.iter
+               (fun _ srv ->
+                 let dropped = Server.cleanup srv ~now:(now t) ~max_age in
+                 if dropped > 0 then count ~by:dropped t "archive_dropped")
+               t.servers;
+             arm (at +. period)))
+  in
+  arm (now t +. period)
+
+(* --- reconfiguration (§3.1.3a) ------------------------------------------ *)
+
+let nearest_servers t ~host ~n =
+  let tree = Netsim.Shortest_path.dijkstra t.graph host in
+  server_nodes t
+  |> List.sort (fun a b ->
+         Float.compare
+           (Netsim.Shortest_path.distance tree a)
+           (Netsim.Shortest_path.distance tree b))
+  |> List.filteri (fun i _ -> i < n)
+
+let add_user t ~host ~user =
+  if not (Netsim.Graph.mem_node t.graph host) then
+    invalid_arg "Syntax_system.add_user: unknown host";
+  let region = region_of_node t.graph host in
+  let name =
+    Naming.Name.make ~region ~host:(Netsim.Graph.label t.graph host) ~user
+  in
+  if Hashtbl.mem t.agents name then
+    invalid_arg
+      (Printf.sprintf "Syntax_system.add_user: %s already exists"
+         (Naming.Name.to_string name));
+  let authority = nearest_servers t ~host ~n:t.config.replication in
+  let authority = if authority = [] then server_nodes t else authority in
+  Hashtbl.replace t.agents name (User_agent.create ~name ~host ~authority);
+  (match space t region with
+  | Some sp ->
+      Naming.Name_space.register sp name;
+      Naming.Name_space.assign_context sp
+        (Naming.Name_space.context_of sp name)
+        authority
+  | None -> ());
+  count t "users_added";
+  name
+
+let remove_user t name =
+  let _ = agent t name in
+  Hashtbl.remove t.agents name;
+  (match space t (Naming.Name.region name) with
+  | Some sp -> Naming.Name_space.unregister sp name
+  | None -> ());
+  Hashtbl.iter (fun _ cache -> Naming.Cache.invalidate cache name) t.caches;
+  count t "users_removed"
+
+(* --- migration (§3.1.4) ------------------------------------------------ *)
+
+let migrate_user t name ~new_host =
+  let a = agent t name in
+  if not (Netsim.Graph.mem_node t.graph new_host) then
+    invalid_arg "Syntax_system.migrate_user: unknown host";
+  let new_region = region_of_node t.graph new_host in
+  (* Names are only locally unique: if the user token is taken on the
+     destination host, uniquify it (the "temporary inconvenience" of a
+     §3.1.4 rename). *)
+  let new_name =
+    let host_label = Netsim.Graph.label t.graph new_host in
+    let candidate user = Naming.Name.make ~region:new_region ~host:host_label ~user in
+    let base = Naming.Name.user name in
+    let rec pick i =
+      let n = candidate (if i = 0 then base else Printf.sprintf "%s-m%d" base i) in
+      if Hashtbl.mem t.agents n || Hashtbl.mem t.redirects n then pick (i + 1) else n
+    in
+    pick 0
+  in
+  (* Add at the new location… *)
+  let authority = nearest_servers t ~host:new_host ~n:t.config.replication in
+  let a' = User_agent.create ~name:new_name ~host:new_host ~authority in
+  Hashtbl.replace t.agents new_name a';
+  (match space t new_region with
+  | Some sp ->
+      Naming.Name_space.register sp new_name;
+      Naming.Name_space.assign_context sp
+        (Naming.Name_space.context_of sp new_name)
+        authority
+  | None -> ());
+  (* …then delete at the old location, leaving a redirection. *)
+  (match space t (Naming.Name.region name) with
+  | Some sp -> Naming.Name_space.unregister sp name
+  | None -> ());
+  Hashtbl.remove t.agents name;
+  Hashtbl.replace t.redirects name new_name;
+  (* stale cached resolutions for the old name must not survive *)
+  Hashtbl.iter (fun _ cache -> Naming.Cache.invalidate cache name) t.caches;
+  count t "migrations";
+  ignore a;
+  new_name
+
+let redirect_target t name = Hashtbl.find_opt t.redirects name
+
+let queue_wait_stats t = Pipeline.queue_wait_stats t.pipeline
+let server_utilisation t node = Pipeline.server_utilisation t.pipeline node
+
+(* --- construction ------------------------------------------------------ *)
+
+let rec canonical t name =
+  match Hashtbl.find_opt t.redirects name with
+  | Some target ->
+      count t "redirects";
+      canonical t target
+  | None -> name
+
+let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
+  if config.replication <= 0 then invalid_arg "Syntax_system.create: replication <= 0";
+  if config.users_per_host <= 0 then
+    invalid_arg "Syntax_system.create: users_per_host <= 0";
+  let engine = Dsim.Engine.create () in
+  let trace = Dsim.Trace.create () in
+  let counters = Dsim.Stats.Counter.create () in
+  let servers = Hashtbl.create 16 in
+  let region_servers = Hashtbl.create 4 in
+  let agents = Hashtbl.create 64 in
+  let spaces = Hashtbl.create 4 in
+  let redirects = Hashtbl.create 4 in
+  List.iter
+    (fun node ->
+      let region = region_of_node site.graph node in
+      Hashtbl.replace servers node
+        (Server.create ~mailbox_policy:config.mailbox_policy ~node ~region ());
+      let existing =
+        match Hashtbl.find_opt region_servers region with Some l -> l | None -> []
+      in
+      Hashtbl.replace region_servers region (existing @ [ node ]);
+      if not (Hashtbl.mem spaces region) then
+        Hashtbl.replace spaces region (Naming.Name_space.create Naming.Name_space.By_host))
+    site.servers;
+  let t_ref = ref None in
+  let the_t () = match !t_ref with Some t -> t | None -> assert false in
+  let callbacks =
+    {
+      Pipeline.server_of =
+        (fun node ->
+          match Hashtbl.find_opt servers node with
+          | Some s -> s
+          | None -> invalid_arg (Printf.sprintf "Syntax_system: node %d is not a server" node));
+      region_servers =
+        (fun region ->
+          match Hashtbl.find_opt region_servers region with Some l -> l | None -> []);
+      canonical = (fun name -> canonical (the_t ()) name);
+      authority_of =
+        (fun name ->
+          match Hashtbl.find_opt agents name with
+          | Some a -> User_agent.authority a
+          | None -> []);
+      notify_target =
+        (fun name ->
+          match Hashtbl.find_opt agents name with
+          | Some a -> Some (User_agent.host a)
+          | None -> None);
+      submit_servers = (fun a -> User_agent.authority a);
+      on_deposit = (fun _ ~on:_ -> ());
+      cached_authority =
+        (fun ~at name ->
+          match cache_of (the_t ()) at with
+          | Some cache -> Naming.Cache.find cache name
+          | None -> None);
+      on_forward_resolved =
+        (fun ~at name authority ->
+          let t = the_t () in
+          match cache_of t at with
+          | Some cache when authority <> [] -> Naming.Cache.add cache name authority
+          | Some _ | None -> ());
+      on_undeliverable = (fun msg ~reason -> bounce (the_t ()) msg ~reason);
+      on_redirected =
+        (fun msg ~old_name:_ ->
+          (* §3.1.4: tell the sender about the rename so future mail
+             skips the redirection. *)
+          let t = the_t () in
+          count t "rename_notices";
+          match Hashtbl.find_opt t.agents msg.Message.sender with
+          | Some sender_agent ->
+              ignore
+                (Netsim.Net.send (Pipeline.net t.pipeline)
+                   ~src:(List.hd (User_agent.authority sender_agent))
+                   ~dst:(User_agent.host sender_agent)
+                   (Pipeline.Notify (msg.Message.sender, msg.Message.id)))
+          | None -> ());
+      on_ctrl = (fun _ ~time:_ ~src:_ () -> ());
+    }
+  in
+  let pipeline =
+    Pipeline.create ~engine ~graph:site.graph ~trace ~counters
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
+      {
+        Pipeline.retry_timeout = config.retry_timeout;
+        resubmit_timeout = config.resubmit_timeout;
+        max_retries = config.max_retries;
+        service_rate = config.service_rate;
+        service_seed = 0;
+      }
+      callbacks
+  in
+  let t =
+    {
+      config;
+      engine;
+      pipeline;
+      graph = site.graph;
+      servers;
+      region_servers;
+      agents;
+      spaces;
+      redirects;
+      caches = Hashtbl.create 8;
+      bounced = Hashtbl.create 8;
+      counters;
+      trace;
+      next_id = 0;
+      submitted = [];
+    }
+  in
+  t_ref := Some t;
+  Netsim.Net.on_status_change (net t) (fun ~time node up ->
+      if up then
+        match Hashtbl.find_opt servers node with
+        | Some srv -> Server.note_recovery srv ~at:time
+        | None -> ());
+  (* Authority lists: balanced primary assignment + nearest secondaries. *)
+  let problem = Loadbalance.Assignment.problem_of_site site in
+  let assignment, _stats = Loadbalance.Balancer.run problem in
+  let server_arr = problem.Loadbalance.Assignment.servers in
+  let host_index =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun i h -> Hashtbl.replace tbl h i) problem.Loadbalance.Assignment.hosts;
+    tbl
+  in
+  let authority_list ~host_i ~user_k =
+    let row =
+      List.init (Array.length server_arr) (fun j ->
+          (j, Loadbalance.Assignment.get assignment ~host:host_i ~server:j))
+      |> List.filter (fun (_, c) -> c > 0)
+    in
+    let primary_j =
+      match row with
+      | [] -> 0
+      | _ ->
+          (* Weighted round-robin over the host's allocation row, so
+             named users land on servers proportionally to A_ij. *)
+          let total = List.fold_left (fun acc (_, c) -> acc + c) 0 row in
+          let slot = user_k mod total in
+          let rec pick acc = function
+            | [] -> fst (List.hd row)
+            | (j, c) :: rest -> if slot < acc + c then j else pick (acc + c) rest
+          in
+          pick 0 row
+    in
+    let primary = server_arr.(primary_j) in
+    let secondaries =
+      List.init (Array.length server_arr) Fun.id
+      |> List.filter (fun j -> j <> primary_j)
+      |> List.sort (fun a b ->
+             Float.compare
+               problem.Loadbalance.Assignment.comm.(host_i).(a)
+               problem.Loadbalance.Assignment.comm.(host_i).(b))
+      |> List.map (fun j -> server_arr.(j))
+    in
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+    in
+    primary :: take (config.replication - 1) secondaries
+  in
+  List.iter
+    (fun (host, _population) ->
+      let region = region_of_node site.graph host in
+      let host_label = Netsim.Graph.label site.graph host in
+      let host_i = Hashtbl.find host_index host in
+      if not (Hashtbl.mem spaces region) then
+        Hashtbl.replace spaces region (Naming.Name_space.create Naming.Name_space.By_host);
+      for k = 0 to config.users_per_host - 1 do
+        let name =
+          Naming.Name.make ~region ~host:host_label ~user:(Printf.sprintf "u%d" k)
+        in
+        let authority = authority_list ~host_i ~user_k:k in
+        Hashtbl.replace agents name (User_agent.create ~name ~host ~authority);
+        let sp = Hashtbl.find spaces region in
+        Naming.Name_space.register sp name;
+        Naming.Name_space.assign_context sp
+          (Naming.Name_space.context_of sp name)
+          authority
+      done)
+    site.hosts;
+  t

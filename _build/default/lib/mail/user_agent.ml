@@ -1,0 +1,137 @@
+type t = {
+  name : Naming.Name.t;
+  mutable host : Netsim.Graph.node;
+  mutable authority : Netsim.Graph.node list;
+  mutable last_checking : float;
+  mutable previously_unavailable : Netsim.Graph.node list;
+  mutable inbox : Message.t list;  (* newest first *)
+  seen : (Message.id, unit) Hashtbl.t;
+      (* delivery is at-least-once; the agent deduplicates. *)
+}
+
+let create ~name ~host ~authority =
+  if authority = [] then invalid_arg "User_agent.create: empty authority list";
+  {
+    name;
+    host;
+    authority;
+    last_checking = 0.;
+    previously_unavailable = [];
+    inbox = [];
+    seen = Hashtbl.create 32;
+  }
+
+let name t = t.name
+let host t = t.host
+let authority t = t.authority
+let set_authority t servers =
+  if servers = [] then invalid_arg "User_agent.set_authority: empty authority list";
+  t.authority <- servers
+
+let set_host t h = t.host <- h
+
+let inbox t = List.rev t.inbox
+let inbox_size t = List.length t.inbox
+let previously_unavailable t = t.previously_unavailable
+let last_checking_time t = t.last_checking
+
+type server_view = {
+  is_alive : Netsim.Graph.node -> bool;
+  last_start : Netsim.Graph.node -> float;
+  fetch : Netsim.Graph.node -> Naming.Name.t -> at:float -> Message.t list;
+}
+
+type check_stats = { polls : int; failed_polls : int; retrieved : int }
+
+let add_pus t s =
+  if not (List.mem s t.previously_unavailable) then
+    t.previously_unavailable <- t.previously_unavailable @ [ s ]
+
+let remove_pus t s =
+  t.previously_unavailable <- List.filter (fun x -> x <> s) t.previously_unavailable
+
+(* Keep only messages not already retrieved (duplicates can arrive
+   when a deposit retry raced a lost acknowledgement). *)
+let fresh_only t msgs =
+  List.filter
+    (fun (m : Message.t) ->
+      if Hashtbl.mem t.seen m.Message.id then false
+      else begin
+        Hashtbl.replace t.seen m.Message.id ();
+        true
+      end)
+    msgs
+
+let get_mail t ~view ~now =
+  let current_checking_time = now in
+  let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
+  let take msgs =
+    let msgs = fresh_only t msgs in
+    retrieved := !retrieved + List.length msgs;
+    t.inbox <- List.rev_append msgs t.inbox
+  in
+  (* Phase 1: scan the authority list until a stable server proves no
+     later server can hold fresh mail. *)
+  let rec scan = function
+    | [] -> ()
+    | s :: rest ->
+        incr polls;
+        if view.is_alive s then begin
+          take (view.fetch s t.name ~at:now);
+          remove_pus t s;
+          if t.last_checking > view.last_start s then () else scan rest
+        end
+        else begin
+          incr failed;
+          add_pus t s;
+          scan rest
+        end
+  in
+  scan t.authority;
+  (* Phase 2: drain servers that were unavailable at some earlier
+     check and are alive again — they may hold old mail. *)
+  List.iter
+    (fun s ->
+      if view.is_alive s then begin
+        incr polls;
+        take (view.fetch s t.name ~at:now);
+        remove_pus t s
+      end)
+    t.previously_unavailable;
+  t.last_checking <- current_checking_time;
+  { polls = !polls; failed_polls = !failed; retrieved = !retrieved }
+
+let poll_all t ~view ~now =
+  let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
+  List.iter
+    (fun s ->
+      incr polls;
+      if view.is_alive s then begin
+        let msgs = fresh_only t (view.fetch s t.name ~at:now) in
+        retrieved := !retrieved + List.length msgs;
+        t.inbox <- List.rev_append msgs t.inbox
+      end
+      else incr failed)
+    t.authority;
+  t.last_checking <- now;
+  { polls = !polls; failed_polls = !failed; retrieved = !retrieved }
+
+let naive_check t ~view ~now =
+  let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
+  let rec first_alive = function
+    | [] -> ()
+    | s :: rest ->
+        incr polls;
+        if view.is_alive s then begin
+          let msgs = fresh_only t (view.fetch s t.name ~at:now) in
+          retrieved := !retrieved + List.length msgs;
+          t.inbox <- List.rev_append msgs t.inbox
+        end
+        else begin
+          incr failed;
+          first_alive rest
+        end
+  in
+  first_alive t.authority;
+  t.last_checking <- now;
+  { polls = !polls; failed_polls = !failed; retrieved = !retrieved }

@@ -1,0 +1,62 @@
+(** User agents ("user interfaces", §2) and the GetMail retrieval
+    algorithm of §3.1.2c.
+
+    The agent keeps, per the paper, [LastCheckingTime] and the
+    [PreviouslyUnavailableServers] list, and retrieves mail by polling
+    the user's ordered authority-server list only as far as needed:
+    once it reaches an alive server that has been up since before the
+    last check ([LastCheckingTime > LastStartTime]), no later server
+    can hold fresh mail and the scan stops.  Servers that were down at
+    checking time are remembered and drained when they recover, which
+    is what makes the scheme lossless.
+
+    The module is decoupled from any concrete system through
+    {!server_view} so designs 1 and 2 (and the tests) can reuse it. *)
+
+type t
+
+val create : name:Naming.Name.t -> host:Netsim.Graph.node -> authority:Netsim.Graph.node list -> t
+(** @raise Invalid_argument on an empty authority list. *)
+
+val name : t -> Naming.Name.t
+val host : t -> Netsim.Graph.node
+val authority : t -> Netsim.Graph.node list
+
+val set_authority : t -> Netsim.Graph.node list -> unit
+(** Reconfiguration: replace the ordered list. *)
+
+val set_host : t -> Netsim.Graph.node -> unit
+
+val inbox : t -> Message.t list
+(** Everything retrieved so far, oldest first. *)
+
+val inbox_size : t -> int
+
+val previously_unavailable : t -> Netsim.Graph.node list
+val last_checking_time : t -> float
+
+(** How the agent sees the servers: liveness, [LastStartTime], and a
+    fetch operation. *)
+type server_view = {
+  is_alive : Netsim.Graph.node -> bool;
+  last_start : Netsim.Graph.node -> float;
+  fetch : Netsim.Graph.node -> Naming.Name.t -> at:float -> Message.t list;
+}
+
+(** Outcome of one retrieval round. *)
+type check_stats = {
+  polls : int;  (** servers contacted, alive or not. *)
+  failed_polls : int;  (** contacts to servers that were down. *)
+  retrieved : int;  (** messages fetched this round. *)
+}
+
+val get_mail : t -> view:server_view -> now:float -> check_stats
+(** The paper's GetMail procedure. *)
+
+val poll_all : t -> view:server_view -> now:float -> check_stats
+(** Baseline: poll {e every} authority server, every time. *)
+
+val naive_check : t -> view:server_view -> now:float -> check_stats
+(** Lossy baseline: poll only the first alive server and keep no
+    unavailability state — mail deposited on other servers during
+    outages is never found. *)

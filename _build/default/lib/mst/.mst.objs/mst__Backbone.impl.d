@@ -1,0 +1,1 @@
+lib/mst/backbone.ml: Array Float Format Fun Ghs Hashtbl Kruskal List Netsim Printf String

@@ -1,0 +1,1 @@
+lib/mst/backbone.mli: Format Kruskal Netsim

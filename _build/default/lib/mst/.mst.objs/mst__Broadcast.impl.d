@@ -1,0 +1,1 @@
+lib/mst/broadcast.ml: Array Dsim Float Hashtbl List Netsim

@@ -1,0 +1,1 @@
+lib/mst/broadcast.mli: Netsim

@@ -1,0 +1,1 @@
+lib/mst/cost_table.ml: Backbone Float Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/mst/cost_table.mli: Backbone Format

@@ -1,0 +1,1 @@
+lib/mst/edge_id.mli: Format Netsim

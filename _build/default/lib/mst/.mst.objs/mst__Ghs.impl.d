@@ -1,0 +1,1 @@
+lib/mst/ghs.ml: Array Dsim Edge_id Float Hashtbl List Netsim Option

@@ -1,0 +1,1 @@
+lib/mst/ghs.mli: Netsim

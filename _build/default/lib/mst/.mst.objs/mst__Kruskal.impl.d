@@ -1,0 +1,1 @@
+lib/mst/kruskal.ml: Array Edge_id Fun Int List Netsim

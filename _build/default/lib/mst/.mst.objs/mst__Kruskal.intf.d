@@ -1,0 +1,1 @@
+lib/mst/kruskal.mli: Netsim

@@ -1,0 +1,1 @@
+lib/mst/prim.ml: Array Dsim Edge_id Kruskal List Netsim

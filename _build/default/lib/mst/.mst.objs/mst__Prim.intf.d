@@ -1,0 +1,1 @@
+lib/mst/prim.mli: Kruskal Netsim

@@ -1,0 +1,173 @@
+type t = {
+  border_nodes : (string * Netsim.Graph.node list) list;
+  backbone : (Netsim.Graph.node * Netsim.Graph.node * float) list;
+  locals : (string * (Netsim.Graph.node * Netsim.Graph.node * float) list) list;
+  backbone_weight : float;
+  local_weight : float;
+  total_weight : float;
+  messages : int;
+}
+
+let weight_of edges = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. edges
+
+(* Nodes with at least one link into a different region. *)
+let border_nodes_of g =
+  Netsim.Graph.regions g
+  |> List.map (fun r ->
+         let borders =
+           List.filter
+             (fun v ->
+               List.exists
+                 (fun (u, _) -> not (String.equal (Netsim.Graph.region g u) r))
+                 (Netsim.Graph.neighbors g v))
+             (Netsim.Graph.nodes_in_region g r)
+         in
+         (r, borders))
+  |> List.filter (fun (_, b) -> b <> [])
+
+let run_mst ~distributed g =
+  if distributed then begin
+    let r = Ghs.run g in
+    (r.Ghs.edges, r.Ghs.messages)
+  end
+  else begin
+    let r = Kruskal.run g in
+    if r.Kruskal.components > 1 then invalid_arg "Backbone: disconnected subgraph";
+    (r.Kruskal.edges, 0)
+  end
+
+(* Map the edges of a subgraph MST back to original node ids via the
+   inverse of the subgraph mapping. *)
+let map_back ~inverse edges =
+  List.map (fun (u, v, w) -> (inverse.(u), inverse.(v), w)) edges
+
+let inverse_of g sub mapping =
+  let inv = Array.make (Netsim.Graph.node_count sub) (-1) in
+  List.iter
+    (fun v -> match mapping v with Some v' -> inv.(v') <- v | None -> ())
+    (Netsim.Graph.nodes g);
+  inv
+
+let build ?(distributed = true) g =
+  let regions = Netsim.Graph.regions g in
+  if regions = [] then invalid_arg "Backbone.build: graph has no nodes";
+  let borders = border_nodes_of g in
+  (* Local MSTs on each region's induced subgraph. *)
+  let messages = ref 0 in
+  let locals =
+    List.map
+      (fun r ->
+        let members = Netsim.Graph.nodes_in_region g r in
+        let sub, mapping = Netsim.Graph.subgraph g members in
+        if not (Netsim.Graph.is_connected sub) then
+          invalid_arg (Printf.sprintf "Backbone.build: region %s is disconnected" r);
+        let inverse = inverse_of g sub mapping in
+        let edges, msgs = run_mst ~distributed sub in
+        messages := !messages + msgs;
+        (r, map_back ~inverse edges))
+      regions
+  in
+  (* Backbone graph: border nodes; real inter-region edges plus
+     virtual same-region edges weighted by intra-region distance. *)
+  let all_borders = List.concat_map snd borders in
+  let backbone =
+    if List.length regions <= 1 || all_borders = [] then []
+    else begin
+      let bg = Netsim.Graph.create () in
+      let to_bg = Hashtbl.create 16 in
+      let from_bg = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          let v' =
+            Netsim.Graph.add_node ~label:(Netsim.Graph.label g v)
+              ~kind:(Netsim.Graph.kind g v) ~region:(Netsim.Graph.region g v) bg
+          in
+          Hashtbl.add to_bg v v';
+          Hashtbl.add from_bg v' v)
+        all_borders;
+      (* Real inter-region links between border nodes. *)
+      List.iter
+        (fun (u, v, w) ->
+          match (Hashtbl.find_opt to_bg u, Hashtbl.find_opt to_bg v) with
+          | Some u', Some v'
+            when not
+                   (String.equal (Netsim.Graph.region g u) (Netsim.Graph.region g v))
+            ->
+              if not (Netsim.Graph.mem_edge bg u' v') then
+                Netsim.Graph.add_edge bg u' v' w
+          | _ -> ())
+        (Netsim.Graph.edges g);
+      (* Virtual intra-region edges: shortest path inside the region. *)
+      List.iter
+        (fun (r, bs) ->
+          let members = Netsim.Graph.nodes_in_region g r in
+          let sub, mapping = Netsim.Graph.subgraph g members in
+          let rec pairs = function
+            | [] -> []
+            | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+          in
+          List.iter
+            (fun (a, b) ->
+              match (mapping a, mapping b) with
+              | Some a', Some b' ->
+                  let tree = Netsim.Shortest_path.dijkstra sub a' in
+                  let d = Netsim.Shortest_path.distance tree b' in
+                  if Float.is_finite d && d > 0. then begin
+                    let ba = Hashtbl.find to_bg a and bb = Hashtbl.find to_bg b in
+                    if not (Netsim.Graph.mem_edge bg ba bb) then
+                      Netsim.Graph.add_edge bg ba bb d
+                  end
+              | _ -> ())
+            (pairs bs))
+        borders;
+      if not (Netsim.Graph.is_connected bg) then
+        invalid_arg "Backbone.build: backbone graph is disconnected";
+      let edges, msgs = run_mst ~distributed bg in
+      messages := !messages + msgs;
+      List.map
+        (fun (u, v, w) -> (Hashtbl.find from_bg u, Hashtbl.find from_bg v, w))
+        edges
+    end
+  in
+  let backbone_weight = weight_of backbone in
+  let local_weight = List.fold_left (fun acc (_, es) -> acc +. weight_of es) 0. locals in
+  {
+    border_nodes = borders;
+    backbone;
+    locals;
+    backbone_weight;
+    local_weight;
+    total_weight = backbone_weight +. local_weight;
+    messages = !messages;
+  }
+
+let flat_mst g = Kruskal.run g
+
+let spans_all g t =
+  let n = Netsim.Graph.node_count g in
+  if n = 0 then true
+  else begin
+    (* Union-find over local + backbone edges. *)
+    let parent = Array.init n Fun.id in
+    let rec find v = if parent.(v) = v then v else (parent.(v) <- find parent.(v); parent.(v)) in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then parent.(ra) <- rb
+    in
+    List.iter (fun (_, es) -> List.iter (fun (u, v, _) -> union u v) es) t.locals;
+    List.iter (fun (u, v, _) -> union u v) t.backbone;
+    let root = find 0 in
+    List.for_all (fun v -> find v = root) (Netsim.Graph.nodes g)
+  end
+
+let pp g ppf t =
+  let label = Netsim.Graph.label g in
+  let pp_edge ppf (u, v, w) = Format.fprintf ppf "%s -- %s (%g)" (label u) (label v) w in
+  Format.fprintf ppf "@[<v>backbone MST (weight %.3f):@ " t.backbone_weight;
+  List.iter (fun e -> Format.fprintf ppf "  %a@ " pp_edge e) t.backbone;
+  List.iter
+    (fun (r, es) ->
+      Format.fprintf ppf "local MST of %s (weight %.3f):@ " r (weight_of es);
+      List.iter (fun e -> Format.fprintf ppf "  %a@ " pp_edge e) es)
+    t.locals;
+  Format.fprintf ppf "total weight: %.3f@]" t.total_weight

@@ -1,0 +1,40 @@
+(** The paper's modification of the MST algorithm (§3.3.A.ii, Fig. 2):
+    a {e backbone MST} connecting the regions, formed over the nodes
+    that have direct links into other regions, plus a {e local MST}
+    inside every region spanning its nodes.
+
+    Backbone edges are either real inter-region links or virtual
+    intra-region edges between two border nodes of the same region,
+    weighted by their intra-region shortest-path distance. *)
+
+type t = {
+  border_nodes : (string * Netsim.Graph.node list) list;
+      (** Per region: nodes directly connected to another region. *)
+  backbone : (Netsim.Graph.node * Netsim.Graph.node * float) list;
+      (** Backbone MST edges, original node ids. *)
+  locals : (string * (Netsim.Graph.node * Netsim.Graph.node * float) list) list;
+      (** Per-region local MST edges, original node ids. *)
+  backbone_weight : float;
+  local_weight : float;
+  total_weight : float;
+  messages : int;  (** GHS messages across all runs (0 when centralised). *)
+}
+
+val build : ?distributed:bool -> Netsim.Graph.t -> t
+(** [distributed] (default true) runs the GHS automaton on the
+    backbone graph and on each region; [false] uses Kruskal (same
+    trees, no messages).
+    @raise Invalid_argument if the graph has no regions, a region's
+    induced subgraph is disconnected, or the backbone graph is
+    disconnected. *)
+
+val flat_mst : Netsim.Graph.t -> Kruskal.result
+(** The unmodified global MST, for the ablation comparison. *)
+
+val spans_all : Netsim.Graph.t -> t -> bool
+(** Check the union of local trees + backbone connects every node —
+    the correctness property of the modification. *)
+
+val pp : Netsim.Graph.t -> Format.formatter -> t -> unit
+(** Render in the style of Figure 2: backbone edges then per-region
+    trees, with labels. *)

@@ -1,0 +1,59 @@
+(** Broadcasting and response collection over a spanning tree
+    (§3.3.A–B), simulated on the event engine.
+
+    [broadcast] pushes a message from the root down a given tree;
+    [flood] is the naive baseline where every node forwards to all
+    neighbours on first receipt; [convergecast] performs the paper's
+    query/summary pattern: "upon receiving a request from the parent
+    node in the MST, each node sends the message to its children
+    nodes, and waits for the messages to come back from all the
+    children nodes.  It then combines them into a single summary
+    message and returns it to its parent node", with parents timing
+    out on dead children. *)
+
+type stats = {
+  messages : int;  (** messages sent (one per tree/flood forwarding). *)
+  link_crossings : int;  (** physical links traversed by delivered
+                             messages — the traffic measure used in
+                             experiment C3.  Virtual backbone edges
+                             expand into their real multi-hop paths. *)
+  reached : int;  (** distinct nodes that received the payload
+                      (including the root). *)
+  completion_time : float;  (** virtual time of the last delivery. *)
+}
+
+val broadcast :
+  ?failed:Netsim.Graph.node list ->
+  Netsim.Graph.t ->
+  tree:(Netsim.Graph.node * Netsim.Graph.node * float) list ->
+  root:Netsim.Graph.node ->
+  stats
+(** Failed nodes neither receive nor forward; their subtrees are cut
+    off.  Tree edges between non-adjacent nodes (the backbone's
+    virtual intra-region edges) are routed over the real network.
+    @raise Invalid_argument if [root] is unknown. *)
+
+val flood : ?failed:Netsim.Graph.node list -> Netsim.Graph.t -> root:Netsim.Graph.node -> stats
+
+(** Result of a convergecast search. *)
+type gather = {
+  total : int;  (** sum of per-node values over responding nodes. *)
+  responded : int;  (** nodes whose value made it into the total. *)
+  timed_out_children : int;  (** child links a parent gave up waiting on
+                                 ("the unavailable estimates can be
+                                 marked so"). *)
+  g_messages : int;
+  g_link_crossings : int;
+  g_completion_time : float;
+}
+
+val convergecast :
+  ?failed:Netsim.Graph.node list ->
+  ?timeout:float ->
+  Netsim.Graph.t ->
+  tree:(Netsim.Graph.node * Netsim.Graph.node * float) list ->
+  root:Netsim.Graph.node ->
+  value:(Netsim.Graph.node -> int) ->
+  gather
+(** Default [timeout]: four times the total tree weight plus one —
+    generous enough never to fire without failures. *)

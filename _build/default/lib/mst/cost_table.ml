@@ -1,0 +1,97 @@
+type entry = {
+  region : string;
+  backbone_cost : float;
+  local_cost : float;
+  entry_total : float;
+}
+
+type t = { source : string; entries : entry list }
+
+let weight_of edges = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. edges
+
+(* Distance between two nodes along the backbone tree (unique path). *)
+let tree_distance edges src dst =
+  if src = dst then 0.
+  else begin
+    let adj = Hashtbl.create 16 in
+    let link u v w =
+      let l = try Hashtbl.find adj u with Not_found -> [] in
+      Hashtbl.replace adj u ((v, w) :: l)
+    in
+    List.iter
+      (fun (u, v, w) ->
+        link u v w;
+        link v u w)
+      edges;
+    let rec dfs v from acc =
+      if v = dst then Some acc
+      else
+        List.fold_left
+          (fun found (u, w) ->
+            match found with
+            | Some _ -> found
+            | None -> if Some u = from then None else dfs u (Some v) (acc +. w))
+          None
+          (try Hashtbl.find adj v with Not_found -> [])
+    in
+    match dfs src None 0. with Some d -> d | None -> infinity
+  end
+
+let build (bb : Backbone.t) ~source =
+  let regions = List.map fst bb.locals in
+  if not (List.mem source regions) then
+    invalid_arg (Printf.sprintf "Cost_table.build: unknown source region %s" source);
+  (* Representative border node per region: the smallest id. *)
+  let rep r =
+    match List.assoc_opt r bb.border_nodes with
+    | Some (v :: _ as vs) -> Some (List.fold_left min v vs)
+    | Some [] | None -> None
+  in
+  let src_rep = rep source in
+  let entries =
+    List.map
+      (fun (r, local_edges) ->
+        let backbone_cost =
+          if String.equal r source then 0.
+          else
+            match (src_rep, rep r) with
+            | Some a, Some b -> tree_distance bb.backbone a b
+            | _ -> infinity
+        in
+        let local_cost = weight_of local_edges in
+        { region = r; backbone_cost; local_cost; entry_total = backbone_cost +. local_cost })
+      bb.locals
+    |> List.sort (fun a b -> String.compare a.region b.region)
+  in
+  { source; entries }
+
+let find t r =
+  match List.find_opt (fun e -> String.equal e.region r) t.entries with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Cost_table: unknown region %s" r)
+
+let estimate t ~regions =
+  List.fold_left (fun acc r -> acc +. (find t r).entry_total) 0. regions
+
+let affordable t ~budget =
+  let sorted =
+    List.sort (fun a b -> Float.compare a.entry_total b.entry_total) t.entries
+  in
+  let _, chosen =
+    List.fold_left
+      (fun (spent, acc) e ->
+        if spent +. e.entry_total <= budget then (spent +. e.entry_total, e.region :: acc)
+        else (spent, acc))
+      (0., []) sorted
+  in
+  List.sort String.compare chosen
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cost table from region %s:@ " t.source;
+  Format.fprintf ppf "%-10s %12s %12s %12s@ " "region" "backbone" "local" "total";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%-10s %12.3f %12.3f %12.3f@ " e.region e.backbone_cost
+        e.local_cost e.entry_total)
+    t.entries;
+  Format.fprintf ppf "@]"

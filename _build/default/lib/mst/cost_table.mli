@@ -1,0 +1,36 @@
+(** Broadcast cost estimation and flow control (§3.3.B).
+
+    "When an MST is generated …, a table listing the costs for
+    delivery to the targeted recipients in each region can be
+    generated.  The user who is interested in broadcasting mail then
+    can choose the regions he wants to send his mail to, based on the
+    cost table."
+
+    Costs decompose per region into the backbone communication cost of
+    reaching it from the source region and the local cost of
+    distributing over the region's own MST. *)
+
+type entry = {
+  region : string;
+  backbone_cost : float;
+      (** weight of the backbone-MST path from the source region. *)
+  local_cost : float;  (** weight of the region's local MST. *)
+  entry_total : float;
+}
+
+type t = { source : string; entries : entry list (** sorted by region. *) }
+
+val build : Backbone.t -> source:string -> t
+(** @raise Invalid_argument if [source] is not one of the backbone's
+    regions. *)
+
+val estimate : t -> regions:string list -> float
+(** Total estimated cost of broadcasting to the given target regions
+    (the source region's own local cost is included when listed).
+    Unknown regions raise [Invalid_argument]. *)
+
+val affordable : t -> budget:float -> string list
+(** Greedy flow-control helper: the cheapest-first maximal set of
+    regions whose cumulative estimate stays within [budget]. *)
+
+val pp : Format.formatter -> t -> unit

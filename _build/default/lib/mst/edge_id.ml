@@ -1,0 +1,21 @@
+type t = { w : float; lo : Netsim.Graph.node; hi : Netsim.Graph.node }
+
+let make u v w =
+  if u = v then invalid_arg "Edge_id.make: self loop";
+  if u < v then { w; lo = u; hi = v } else { w; lo = v; hi = u }
+
+let compare a b =
+  match Float.compare a.w b.w with
+  | 0 -> (
+      match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let less a b =
+  match (a, b) with
+  | Some a, Some b -> compare a b < 0
+  | Some _, None -> true
+  | None, (Some _ | None) -> false
+
+let pp ppf e = Format.fprintf ppf "(%d-%d, %g)" e.lo e.hi e.w

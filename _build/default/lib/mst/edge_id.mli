@@ -1,0 +1,21 @@
+(** Totally ordered edge identities.
+
+    The GHS algorithm requires all edge weights to be distinct.  As in
+    Gallager's paper, ties are broken by the edge's endpoint pair, so
+    any graph gets a unique MST under this order. *)
+
+type t = { w : float; lo : Netsim.Graph.node; hi : Netsim.Graph.node }
+
+val make : Netsim.Graph.node -> Netsim.Graph.node -> float -> t
+(** Normalises the endpoints so [lo < hi].
+    @raise Invalid_argument if the endpoints are equal. *)
+
+val compare : t -> t -> int
+(** Lexicographic on [(w, lo, hi)]. *)
+
+val equal : t -> t -> bool
+
+val less : t option -> t option -> bool
+(** Order with [None] as +infinity — the form the GHS rules use. *)
+
+val pp : Format.formatter -> t -> unit

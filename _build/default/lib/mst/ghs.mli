@@ -1,0 +1,41 @@
+(** Distributed minimum-weight spanning tree — the Gallager, Humblet
+    and Spira algorithm ([GAL83]) the paper adopts for attribute-based
+    mail distribution (§3.3.A.i).
+
+    Every node runs the same local automaton: fragments of the MST
+    grow by merging or absorbing across their minimum-weight outgoing
+    edges, coordinated with [Connect] / [Initiate] / [Test] / [Accept]
+    / [Reject] / [Report] / [ChangeRoot] messages exchanged over the
+    simulated network ({!Netsim.Net.send_neighbor}), which provides
+    the asynchronous, in-order, error-free channel model the paper
+    assumes.  Edge weights need not be distinct: identities are
+    totally ordered by {!Edge_id}.
+
+    Message complexity is the classic bound [5·N·log₂ N + 2·E]
+    (messages, not counting local requeues), which experiment C8
+    verifies empirically. *)
+
+type result = {
+  edges : (Netsim.Graph.node * Netsim.Graph.node * float) list;
+      (** Branch edges, each with [u < v], in {!Edge_id} order. *)
+  total_weight : float;
+  messages : int;  (** network messages the automata exchanged. *)
+  finish_time : float;  (** virtual time when the algorithm halted. *)
+  halted : bool;  (** a core detected termination (always true on a
+                      connected graph unless [horizon] was hit). *)
+  max_level : int;  (** highest fragment level reached — at most
+                        ⌈log₂ N⌉, the quantity behind the N·log N
+                        term of the message bound. *)
+}
+
+val run : ?horizon:float -> ?wake:[ `All | `One ] -> Netsim.Graph.t -> result
+(** Run the automaton on every node of a connected graph until
+    termination (or [horizon], default 1e9).  [wake] selects the
+    spontaneous-awakening pattern of [GAL83]: [`All] (default) wakes
+    every node at time 0; [`One] wakes only node 0 — the rest awaken
+    on receipt of their first message, exercising the wakeup paths of
+    the Connect and Test rules.  Both produce the identical tree.
+    @raise Invalid_argument if the graph is empty or not connected. *)
+
+val message_bound : Netsim.Graph.t -> int
+(** The [5·N·⌈log₂ N⌉ + 2·E] upper bound for this graph. *)

@@ -1,0 +1,58 @@
+type result = {
+  edges : (Netsim.Graph.node * Netsim.Graph.node * float) list;
+  total_weight : float;
+  components : int;
+}
+
+(* Union-find with path compression and union by rank. *)
+module Uf = struct
+  type t = { parent : int array; rank : int array }
+
+  let create n = { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+  let rec find t v =
+    if t.parent.(v) = v then v
+    else begin
+      let root = find t t.parent.(v) in
+      t.parent.(v) <- root;
+      root
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra = rb then false
+    else begin
+      if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+      else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+      else begin
+        t.parent.(rb) <- ra;
+        t.rank.(ra) <- t.rank.(ra) + 1
+      end;
+      true
+    end
+end
+
+let run g =
+  let n = Netsim.Graph.node_count g in
+  let uf = Uf.create n in
+  let sorted =
+    Netsim.Graph.edges g
+    |> List.map (fun (u, v, w) -> Edge_id.make u v w)
+    |> List.sort Edge_id.compare
+  in
+  let edges =
+    List.filter_map
+      (fun (e : Edge_id.t) ->
+        if Uf.union uf e.lo e.hi then Some (e.lo, e.hi, e.w) else None)
+      sorted
+  in
+  let components =
+    if n = 0 then 0
+    else
+      List.sort_uniq Int.compare (List.init n (Uf.find uf)) |> List.length
+  in
+  {
+    edges;
+    total_weight = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. edges;
+    components;
+  }

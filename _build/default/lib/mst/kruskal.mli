@@ -1,0 +1,14 @@
+(** Centralised MST baselines: Kruskal with union-find, used as the
+    reference against which the distributed GHS run is checked. *)
+
+type result = {
+  edges : (Netsim.Graph.node * Netsim.Graph.node * float) list;
+      (** MST edges, each with [u < v], sorted by {!Edge_id} order. *)
+  total_weight : float;
+  components : int;  (** 1 for a connected input — otherwise a minimum
+                         spanning forest was produced. *)
+}
+
+val run : Netsim.Graph.t -> result
+(** Ties broken by {!Edge_id.compare}, so the result is unique and
+    identical to the GHS tree. *)

@@ -1,0 +1,9 @@
+(** Prim's MST algorithm (heap-based), a second centralised baseline.
+    With {!Edge_id} tie-breaking it produces exactly the same tree as
+    {!Kruskal} and {!Ghs} on any connected graph — a property the test
+    suite exploits. *)
+
+val run : ?root:Netsim.Graph.node -> Netsim.Graph.t -> Kruskal.result
+(** Spanning tree of the component containing [root] (default node 0).
+    [components] reports 1 plus the number of unreached nodes treated
+    as singleton components. *)

@@ -1,0 +1,1 @@
+lib/naming/attribute.ml: Format List Printf String

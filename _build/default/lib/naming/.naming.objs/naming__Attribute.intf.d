@@ -1,0 +1,1 @@
+lib/naming/attribute.mli: Format

@@ -1,0 +1,1 @@
+lib/naming/cache.ml: Hashtbl Name

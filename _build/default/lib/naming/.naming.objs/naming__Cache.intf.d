@@ -1,0 +1,1 @@
+lib/naming/cache.mli: Name

@@ -1,0 +1,1 @@
+lib/naming/directory.ml: Attribute Fuzzy Hashtbl Int List Map Name Option Printf String

@@ -1,0 +1,1 @@
+lib/naming/directory.mli: Attribute Name

@@ -1,0 +1,1 @@
+lib/naming/fuzzy.ml: Array Fun Int List String

@@ -1,0 +1,1 @@
+lib/naming/name.ml: Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/naming/name.mli: Format

@@ -1,0 +1,1 @@
+lib/naming/name_space.ml: Char Hashtbl Int64 List Name Printf Set String

@@ -1,0 +1,1 @@
+lib/naming/organisation.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/naming/resolver.ml: Name Name_space Printf String

@@ -1,0 +1,88 @@
+(* Classic LRU: hash table into an intrusive doubly-linked recency
+   list, most-recently-used at the head. *)
+
+type 'a node = {
+  key : Name.t;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (Name.t, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recent *)
+  mutable tail : 'a node option;  (* least recent *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity <= 0";
+  { cap = capacity; table = Hashtbl.create capacity; head = None; tail = None; hits = 0; misses = 0 }
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n
+  | None ->
+      if Hashtbl.length t.table >= t.cap then begin
+        match t.tail with
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.table lru.key
+        | None -> ()
+      end;
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n
+
+let invalidate t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table key
+  | None -> ()
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let size t = Hashtbl.length t.table
+let capacity t = t.cap
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then nan else float_of_int t.hits /. float_of_int total

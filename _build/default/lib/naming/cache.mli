@@ -1,0 +1,35 @@
+(** LRU cache of name-resolution results (§4.1).
+
+    The paper's efficiency criteria include "caching capability (i.e.,
+    the capability of maintaining a list of both frequently and
+    recently used names and addresses)".  A cache lives at one server
+    and maps names to whatever resolution payload the system uses
+    (typically an authority-server list); least-recently-used entries
+    are evicted at capacity.  Hit/miss counts feed the C12
+    experiment. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val find : 'a t -> Name.t -> 'a option
+(** Look up and, on a hit, mark the entry most-recently used.
+    Counts a hit or a miss. *)
+
+val add : 'a t -> Name.t -> 'a -> unit
+(** Insert or refresh; evicts the least-recently-used entry when
+    full. *)
+
+val invalidate : 'a t -> Name.t -> unit
+(** Drop one entry (e.g. after a migration). *)
+
+val clear : 'a t -> unit
+
+val size : 'a t -> int
+val capacity : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+
+val hit_rate : 'a t -> float
+(** [nan] before any lookup. *)

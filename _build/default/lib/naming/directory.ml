@@ -1,0 +1,111 @@
+type profile = { name : Name.t; attrs : Attribute.attr list }
+
+module NameMap = Map.Make (Name)
+
+type t = {
+  mutable store : profile NameMap.t;
+  (* (key, lowercased text) -> names; candidates only, visibility is
+     re-checked at evaluation time so the index never leaks. *)
+  index : (string * string, Name.t list ref) Hashtbl.t;
+}
+
+let create () = { store = NameMap.empty; index = Hashtbl.create 64 }
+
+let index_keys profile =
+  List.filter_map
+    (fun (a : Attribute.attr) ->
+      match a.value with
+      | Attribute.Text s -> Some (a.key, String.lowercase_ascii s)
+      | Attribute.Number _ | Attribute.Keywords _ -> None)
+    profile.attrs
+
+let index_add t profile =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.index key with
+      | Some l -> l := profile.name :: !l
+      | None -> Hashtbl.add t.index key (ref [ profile.name ]))
+    (index_keys profile)
+
+let index_remove t profile =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.index key with
+      | Some l -> l := List.filter (fun n -> not (Name.equal n profile.name)) !l
+      | None -> ())
+    (index_keys profile)
+
+let add t profile =
+  if NameMap.mem profile.name t.store then
+    invalid_arg
+      (Printf.sprintf "Directory.add: %s already present" (Name.to_string profile.name));
+  t.store <- NameMap.add profile.name profile t.store;
+  index_add t profile
+
+let remove t name =
+  match NameMap.find_opt name t.store with
+  | None -> ()
+  | Some profile ->
+      index_remove t profile;
+      t.store <- NameMap.remove name t.store
+
+let update t profile =
+  remove t profile.name;
+  add t profile
+
+let find t name = NameMap.find_opt name t.store
+
+let size t = NameMap.cardinal t.store
+
+let profiles t = List.map snd (NameMap.bindings t.store)
+
+type answer = { matches : Name.t list; examined : int }
+
+let rec indexable (pred : Attribute.pred) =
+  match pred with
+  | Attribute.Eq (k, Attribute.Text v) -> Some (k, String.lowercase_ascii v)
+  | Attribute.And preds -> List.find_map indexable preds
+  | Attribute.Eq _ | Attribute.Has_key _ | Attribute.Text_prefix _
+  | Attribute.Text_contains _ | Attribute.Has_keyword _ | Attribute.Between _
+  | Attribute.Or _ | Attribute.Not _ ->
+      None
+
+let fuzzy_query t ~viewer ~key ?(max_distance = 2) query =
+  profiles t
+  |> List.filter_map (fun p ->
+         let best =
+           List.fold_left
+             (fun acc (a : Attribute.attr) ->
+               match a.value with
+               | Attribute.Text s
+                 when String.equal a.key key && Attribute.visible_to viewer a ->
+                   let d = Fuzzy.edit_distance query s in
+                   if d <= max_distance then
+                     match acc with
+                     | Some best when best <= d -> acc
+                     | Some _ | None -> Some d
+                   else acc
+               | Attribute.Text _ | Attribute.Number _ | Attribute.Keywords _ -> acc)
+             None p.attrs
+         in
+         Option.map (fun d -> (p.name, d)) best)
+  |> List.stable_sort (fun (n1, d1) (n2, d2) ->
+         match Int.compare d1 d2 with 0 -> Name.compare n1 n2 | c -> c)
+
+let query t ~viewer pred =
+  let candidates =
+    match indexable pred with
+    | Some key -> (
+        match Hashtbl.find_opt t.index key with
+        | Some l -> List.filter_map (fun n -> NameMap.find_opt n t.store) !l
+        | None -> [])
+    | None -> profiles t
+  in
+  let examined = List.length candidates in
+  let matches =
+    candidates
+    |> List.filter (fun p -> Attribute.matches ~viewer ~attrs:p.attrs pred)
+    |> List.map (fun p -> p.name)
+    |> List.sort_uniq Name.compare
+  in
+  { matches; examined }

@@ -1,0 +1,55 @@
+(** Per-server attribute directory (§3.3).
+
+    Stores user profiles (name + attributes) and answers attribute
+    queries, respecting attribute visibility.  An inverted index on
+    exact [(key, Text value)] pairs accelerates the common
+    directory-lookup queries; other predicates fall back to a scan.
+    Every query reports how many profiles were examined — the
+    "processing cost for searching the databases" used in the cost
+    estimates of §3.3.B. *)
+
+type profile = { name : Name.t; attrs : Attribute.attr list }
+
+type t
+
+val create : unit -> t
+
+val add : t -> profile -> unit
+(** @raise Invalid_argument if the name is already present. *)
+
+val remove : t -> Name.t -> unit
+(** Unknown names are a no-op. *)
+
+val update : t -> profile -> unit
+(** Replace (or insert) the profile for [profile.name]. *)
+
+val find : t -> Name.t -> profile option
+
+val size : t -> int
+
+val profiles : t -> profile list
+(** Sorted by name. *)
+
+(** Result of a query: matching names plus the scan cost. *)
+type answer = { matches : Name.t list; examined : int }
+
+val query : t -> viewer:Attribute.viewer -> Attribute.pred -> answer
+(** [matches] is sorted.  [examined] counts profiles evaluated: with
+    an indexable predicate (a top-level [Eq (k, Text v)], or an [And]
+    containing one) only the index bucket is examined. *)
+
+val indexable : Attribute.pred -> (string * string) option
+(** The [(key, text)] pair the index can serve, if any; exposed for
+    tests. *)
+
+val fuzzy_query :
+  t ->
+  viewer:Attribute.viewer ->
+  key:string ->
+  ?max_distance:int ->
+  string ->
+  (Name.t * int) list
+(** Directory look-up tolerant of misspellings (§3.3.1): profiles
+    whose visible [Text] attribute under [key] is within edit distance
+    [max_distance] (default 2) of the query, ranked closest first
+    (ties by name). *)

@@ -1,0 +1,29 @@
+let edit_distance a b =
+  let a = String.lowercase_ascii a and b = String.lowercase_ascii b in
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    (* Two-row dynamic programme. *)
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let similar ?(max_distance = 2) a b = edit_distance a b <= max_distance
+
+let best_matches ?(limit = 5) ?(max_distance = 2) ~candidates query =
+  candidates
+  |> List.filter_map (fun c ->
+         let d = edit_distance query c in
+         if d <= max_distance then Some (c, d) else None)
+  |> List.stable_sort (fun (_, d1) (_, d2) -> Int.compare d1 d2)
+  |> List.filteri (fun i _ -> i < limit)

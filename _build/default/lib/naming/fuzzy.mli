@@ -1,0 +1,20 @@
+(** Approximate string matching for directory look-up (§3.3.1).
+
+    "In attribute-based mail system, users are allowed to provide
+    aliases, nicknames or some possible misspellings of the names" —
+    the directory must find intended recipients despite typos.  This
+    module provides case-insensitive Levenshtein distance and ranked
+    candidate selection. *)
+
+val edit_distance : string -> string -> int
+(** Case-insensitive Levenshtein distance (unit costs for insert,
+    delete, substitute). *)
+
+val similar : ?max_distance:int -> string -> string -> bool
+(** [similar a b] iff the distance is at most [max_distance]
+    (default 2). *)
+
+val best_matches :
+  ?limit:int -> ?max_distance:int -> candidates:string list -> string -> (string * int) list
+(** Candidates within [max_distance] (default 2) of the query, closest
+    first (ties in input order), at most [limit] (default 5). *)

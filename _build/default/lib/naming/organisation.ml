@@ -1,0 +1,54 @@
+type org = Centralized | Fully_replicated | Partitioned of int
+
+type estimate = {
+  storage_fraction : float;
+  lookup_messages : float;
+  update_messages : float;
+  availability : float;
+}
+
+let estimate org ~servers ~server_availability ~local_fraction =
+  if servers <= 0 then invalid_arg "Organisation.estimate: servers <= 0";
+  let check_prob what p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Organisation.estimate: %s outside [0,1]" what)
+  in
+  check_prob "server_availability" server_availability;
+  check_prob "local_fraction" local_fraction;
+  let p = server_availability in
+  match org with
+  | Centralized ->
+      {
+        (* One server stores everything; every lookup and update is a
+           round trip to it; it is a single point of failure. *)
+        storage_fraction = 1.;
+        lookup_messages = 2.;
+        update_messages = 2.;
+        availability = p;
+      }
+  | Fully_replicated ->
+      {
+        (* Any local server answers directly, but updates must reach
+           every replica and each stores the whole database. *)
+        storage_fraction = 1.;
+        lookup_messages = 0.;
+        update_messages = 2. *. float_of_int servers;
+        availability = 1. -. ((1. -. p) ** float_of_int servers);
+      }
+  | Partitioned r ->
+      if r < 1 || r > servers then
+        invalid_arg "Organisation.estimate: replication outside [1, servers]";
+      {
+        (* Each name lives on r of the servers.  A local-partition
+           lookup is answered in place; a remote one costs a forward
+           and a reply.  Updates touch the r replicas. *)
+        storage_fraction = float_of_int r /. float_of_int servers;
+        lookup_messages = 2. *. (1. -. local_fraction);
+        update_messages = 2. *. float_of_int r;
+        availability = 1. -. ((1. -. p) ** float_of_int r);
+      }
+
+let pp ppf e =
+  Format.fprintf ppf
+    "storage/server %.2f, lookup msgs %.2f, update msgs %.2f, availability %.4f"
+    e.storage_fraction e.lookup_messages e.update_messages e.availability

@@ -1,0 +1,47 @@
+(** The §2 name-service organisation trade-offs, quantified.
+
+    The paper weighs three ways of holding the name database:
+    a {e centralised} single server ("not very reliable because the
+    server may fail"), {e full replication} ("too cumbersome to be
+    stored everywhere … problems concerning the storage, updates and
+    consistency"), and the {e partitioned + partially replicated}
+    organisation it adopts.  This module turns that prose into a small
+    analytic model so the trade-off curve can be tabulated (bench C9):
+    per-server storage fraction, expected messages per lookup and per
+    update, and lookup availability. *)
+
+type org =
+  | Centralized  (** one name server holds everything. *)
+  | Fully_replicated  (** every server holds everything. *)
+  | Partitioned of int
+      (** [Partitioned r]: names partitioned across servers and
+          replicated on [r] of them (the paper's choice; [r] is the
+          authority-list length). *)
+
+type estimate = {
+  storage_fraction : float;
+      (** fraction of the whole name database each participating
+          server stores. *)
+  lookup_messages : float;
+      (** expected server-to-server messages to resolve one name. *)
+  update_messages : float;
+      (** messages to register/remove one name consistently. *)
+  availability : float;
+      (** probability a lookup finds some live authoritative server,
+          given each server is independently up with probability
+          [server_availability]. *)
+}
+
+val estimate :
+  org ->
+  servers:int ->
+  server_availability:float ->
+  local_fraction:float ->
+  estimate
+(** [local_fraction] is the share of lookups whose target partition is
+    co-located with the asking server (within-region traffic); only
+    the partitioned organisation distinguishes it.
+    @raise Invalid_argument if [servers <= 0], a probability is
+    outside [0,1], or [Partitioned r] has [r] outside [1, servers]. *)
+
+val pp : Format.formatter -> estimate -> unit

@@ -1,0 +1,39 @@
+type outcome =
+  | Authoritative of Name_space.server list
+  | Forward_to_region of string
+  | Unknown
+
+let resolve space ~local_region name =
+  if not (String.equal (Name.region name) local_region) then
+    Forward_to_region (Name.region name)
+  else if Name_space.mem space name then
+    match Name_space.authority_servers space name with
+    | [] -> Unknown
+    | servers -> Authoritative servers
+  else Unknown
+
+type step =
+  | Looked_up of string
+  | Forwarded of string * string
+  | Found of Name_space.server list
+  | Failed of string
+
+let resolution_path ~start_region ~spaces name =
+  let lookup region k =
+    match spaces region with
+    | None -> [ Failed (Printf.sprintf "region %s unreachable" region) ]
+    | Some space -> Looked_up region :: k space
+  in
+  lookup start_region (fun space ->
+      match resolve space ~local_region:start_region name with
+      | Authoritative servers -> [ Found servers ]
+      | Unknown -> [ Failed (Printf.sprintf "%s not registered" (Name.to_string name)) ]
+      | Forward_to_region target ->
+          Forwarded (start_region, target)
+          :: lookup target (fun space ->
+                 match resolve space ~local_region:target name with
+                 | Authoritative servers -> [ Found servers ]
+                 | Unknown ->
+                     [ Failed (Printf.sprintf "%s not registered" (Name.to_string name)) ]
+                 | Forward_to_region _ ->
+                     [ Failed "resolution loop: home region disowns the name" ]))

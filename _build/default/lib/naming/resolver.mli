@@ -1,0 +1,32 @@
+(** Syntax-directed name resolution (§3.1.2b).
+
+    Resolution is driven purely by the syntax of the name: a server in
+    region [r] can resolve any name whose region token is [r] by
+    consulting its regional name space; any other name is forwarded to
+    the recipient's region, where resolution continues. *)
+
+type outcome =
+  | Authoritative of Name_space.server list
+      (** The name resolved locally; ordered authority-server list. *)
+  | Forward_to_region of string
+      (** The name belongs to the given foreign region. *)
+  | Unknown
+      (** The name's region is local but no such user is registered
+          (or its context has no assigned servers). *)
+
+val resolve : Name_space.t -> local_region:string -> Name.t -> outcome
+(** One resolution step at a server of [local_region]. *)
+
+(** A full resolution trace across regions, for tests and examples. *)
+type step =
+  | Looked_up of string  (** consulted the name space of this region. *)
+  | Forwarded of string * string  (** from region, to region. *)
+  | Found of Name_space.server list
+  | Failed of string  (** reason. *)
+
+val resolution_path :
+  start_region:string -> spaces:(string -> Name_space.t option) -> Name.t -> step list
+(** Simulate the §3.1.2b chain: start at [start_region], follow at most
+    one forward into the name's home region, and report every step.
+    [spaces] maps a region to its name space ([None] = unreachable
+    region). *)

@@ -1,0 +1,1 @@
+lib/netsim/failure.ml: Dsim Float Graph List Net

@@ -1,0 +1,1 @@
+lib/netsim/failure.mli: Dsim Graph Net

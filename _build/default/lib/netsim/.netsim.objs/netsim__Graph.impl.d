@@ -1,0 +1,1 @@
+lib/netsim/graph.ml: Array Float Format Fun Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Array Dsim Graph List Printf Shortest_path

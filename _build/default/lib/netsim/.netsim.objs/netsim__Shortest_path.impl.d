@@ -1,0 +1,1 @@
+lib/netsim/shortest_path.ml: Array Dsim Float Graph List

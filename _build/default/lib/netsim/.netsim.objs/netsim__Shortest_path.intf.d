@@ -1,0 +1,1 @@
+lib/netsim/shortest_path.mli: Graph

@@ -1,0 +1,51 @@
+type outage = { node : Graph.node; start : float; duration : float }
+
+let schedule_outage net { node; start; duration } =
+  if start < 0. || duration < 0. then
+    invalid_arg "Failure.schedule_outage: negative time";
+  let engine = Net.engine net in
+  ignore (Dsim.Engine.schedule_at engine start (fun () -> Net.set_down net node));
+  ignore
+    (Dsim.Engine.schedule_at engine (start +. duration) (fun () ->
+         Net.set_up net node))
+
+let schedule_outages net outages = List.iter (schedule_outage net) outages
+
+let random_outages ~rng ~nodes ~rate ~mean_duration ~horizon =
+  if rate <= 0. then []
+  else
+    List.concat_map
+      (fun node ->
+        let rec gen t acc =
+          let t = t +. Dsim.Rng.exponential rng rate in
+          if t >= horizon then List.rev acc
+          else
+            let duration = Dsim.Rng.exponential rng (1. /. mean_duration) in
+            gen t ({ node; start = t; duration } :: acc)
+        in
+        gen 0. [])
+      nodes
+
+let availability ~outages ~node ~horizon =
+  if horizon <= 0. then 1.
+  else begin
+    let mine =
+      List.filter (fun o -> o.node = node) outages
+      |> List.map (fun o -> (o.start, Float.min horizon (o.start +. o.duration)))
+      |> List.filter (fun (s, e) -> s < horizon && e > s)
+      |> List.sort compare
+    in
+    (* Merge overlapping intervals and total the downtime. *)
+    let rec merge acc = function
+      | [] -> acc
+      | (s, e) :: rest ->
+          let rec absorb e = function
+            | (s', e') :: more when s' <= e -> absorb (Float.max e e') more
+            | more -> (e, more)
+          in
+          let e, more = absorb e rest in
+          merge (acc +. (e -. s)) more
+    in
+    let down = merge 0. mine in
+    (horizon -. down) /. horizon
+  end

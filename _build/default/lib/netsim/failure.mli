@@ -1,0 +1,32 @@
+(** Crash/recovery failure injection.
+
+    Outages flip a node's status in the owning {!Net} at scheduled
+    virtual times.  Deterministic schedules support the unit tests;
+    the random generator drives the GetMail availability sweeps
+    (experiments C1/C2) where servers fail with a given rate and
+    recover after exponentially distributed repair times. *)
+
+type outage = { node : Graph.node; start : float; duration : float }
+
+val schedule_outage : 'msg Net.t -> outage -> unit
+(** Take the node down at [start] and bring it back at
+    [start +. duration].
+    @raise Invalid_argument on negative times. *)
+
+val schedule_outages : 'msg Net.t -> outage list -> unit
+
+val random_outages :
+  rng:Dsim.Rng.t ->
+  nodes:Graph.node list ->
+  rate:float ->
+  mean_duration:float ->
+  horizon:float ->
+  outage list
+(** For each node, a Poisson process of outage starts with the given
+    [rate] (per unit virtual time), each lasting Exp(1/mean_duration).
+    Overlapping outages on one node are merged by the net's idempotent
+    status flips.  [rate <= 0.] yields no outages. *)
+
+val availability : outages:outage list -> node:Graph.node -> horizon:float -> float
+(** Fraction of [0, horizon] during which [node] is up under the given
+    schedule (overlaps collapsed). *)

@@ -1,0 +1,149 @@
+type node = int
+
+type kind = Host | Server | Gateway | Relay
+
+type node_info = { label : string; kind : kind; region : string }
+
+type t = {
+  mutable infos : node_info array;
+  mutable count : int;
+  adjacency : (node, (node * float) list ref) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create () =
+  { infos = [||]; count = 0; adjacency = Hashtbl.create 64; n_edges = 0 }
+
+let kind_prefix = function
+  | Host -> "H"
+  | Server -> "S"
+  | Gateway -> "G"
+  | Relay -> "R"
+
+let add_node ?label ?(kind = Relay) ?(region = "") g =
+  let id = g.count in
+  let label =
+    match label with Some l -> l | None -> kind_prefix kind ^ string_of_int id
+  in
+  let info = { label; kind; region } in
+  if g.count = Array.length g.infos then begin
+    let cap = max 8 (2 * Array.length g.infos) in
+    let infos = Array.make cap info in
+    Array.blit g.infos 0 infos 0 g.count;
+    g.infos <- infos
+  end;
+  g.infos.(id) <- info;
+  g.count <- g.count + 1;
+  Hashtbl.add g.adjacency id (ref []);
+  id
+
+let mem_node g v = v >= 0 && v < g.count
+
+let adj g v =
+  match Hashtbl.find_opt g.adjacency v with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Graph: unknown node %d" v)
+
+let mem_edge g u v =
+  mem_node g u && mem_node g v && List.mem_assoc v !(adj g u)
+
+let add_edge g u v w =
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  if not (Float.is_finite w) || w <= 0. then
+    invalid_arg "Graph.add_edge: weight must be positive and finite";
+  if not (mem_node g u) || not (mem_node g v) then
+    invalid_arg "Graph.add_edge: unknown endpoint";
+  if mem_edge g u v then invalid_arg "Graph.add_edge: duplicate edge";
+  let au = adj g u and av = adj g v in
+  au := (v, w) :: !au;
+  av := (u, w) :: !av;
+  g.n_edges <- g.n_edges + 1
+
+let node_count g = g.count
+let edge_count g = g.n_edges
+let nodes g = List.init g.count Fun.id
+
+let info g v =
+  if not (mem_node g v) then invalid_arg (Printf.sprintf "Graph: unknown node %d" v);
+  g.infos.(v)
+
+let kind g v = (info g v).kind
+let label g v = (info g v).label
+let region g v = (info g v).region
+
+let nodes_of_kind g k = List.filter (fun v -> kind g v = k) (nodes g)
+let nodes_in_region g r = List.filter (fun v -> String.equal (region g v) r) (nodes g)
+
+let regions g =
+  nodes g
+  |> List.map (region g)
+  |> List.sort_uniq String.compare
+
+let weight g u v =
+  if mem_node g u && mem_node g v then List.assoc_opt v !(adj g u) else None
+
+let neighbors g v =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !(adj g v)
+
+let degree g v = List.length !(adj g v)
+
+let edges g =
+  nodes g
+  |> List.concat_map (fun u ->
+         List.filter_map
+           (fun (v, w) -> if u < v then Some (u, v, w) else None)
+           !(adj g u))
+  |> List.sort compare
+
+let total_weight g = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. (edges g)
+
+let is_connected g =
+  if g.count = 0 then true
+  else begin
+    let seen = Array.make g.count false in
+    let rec visit v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter (fun (u, _) -> visit u) !(adj g v)
+      end
+    in
+    visit 0;
+    Array.for_all Fun.id seen
+  end
+
+let subgraph g keep =
+  let sub = create () in
+  let mapping = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if mem_node g v && not (Hashtbl.mem mapping v) then begin
+        let i = info g v in
+        let v' = add_node ~label:i.label ~kind:i.kind ~region:i.region sub in
+        Hashtbl.add mapping v v'
+      end)
+    keep;
+  List.iter
+    (fun (u, v, w) ->
+      match (Hashtbl.find_opt mapping u, Hashtbl.find_opt mapping v) with
+      | Some u', Some v' -> add_edge sub u' v' w
+      | _ -> ())
+    (edges g);
+  (sub, fun v -> Hashtbl.find_opt mapping v)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>nodes: %d, edges: %d@ " g.count g.n_edges;
+  List.iter
+    (fun v ->
+      let i = info g v in
+      let pp_nbr ppf (u, w) = Format.fprintf ppf "%s(%g)" (label g u) w in
+      Format.fprintf ppf "%-6s %-7s region=%-8s -> %a@ " i.label
+        (match i.kind with
+        | Host -> "host"
+        | Server -> "server"
+        | Gateway -> "gateway"
+        | Relay -> "relay")
+        (if i.region = "" then "-" else i.region)
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_nbr)
+        (neighbors g v))
+    (nodes g);
+  Format.fprintf ppf "@]"

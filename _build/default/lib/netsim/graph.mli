@@ -1,0 +1,68 @@
+(** Weighted undirected graphs describing network topologies.
+
+    Nodes are dense integer identifiers assigned in creation order,
+    each carrying a kind (host, server, gateway, relay), a free-form
+    label, and the name of the region it belongs to.  Edges carry a
+    strictly positive weight interpreted as the one-way communication
+    time of the link, as in the paper's cost model. *)
+
+type node = int
+
+type kind = Host | Server | Gateway | Relay
+
+type t
+
+val create : unit -> t
+
+val add_node : ?label:string -> ?kind:kind -> ?region:string -> t -> node
+(** Appends a node.  Defaults: [kind = Relay], [region = ""], label
+    generated from the id. *)
+
+val add_edge : t -> node -> node -> float -> unit
+(** [add_edge g u v w] links [u] and [v] with weight [w].
+    @raise Invalid_argument if [u = v], if the weight is not positive
+    and finite, if either endpoint is unknown, or if the edge already
+    exists. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val nodes : t -> node list
+(** In id order. *)
+
+val nodes_of_kind : t -> kind -> node list
+val nodes_in_region : t -> string -> node list
+val regions : t -> string list
+(** Distinct region names, sorted. *)
+
+val kind : t -> node -> kind
+val label : t -> node -> string
+val region : t -> node -> string
+
+val mem_node : t -> node -> bool
+val mem_edge : t -> node -> node -> bool
+
+val weight : t -> node -> node -> float option
+(** Weight of the direct edge, if present. *)
+
+val neighbors : t -> node -> (node * float) list
+(** Adjacent nodes with edge weights, ascending node id. *)
+
+val degree : t -> node -> int
+
+val edges : t -> (node * node * float) list
+(** Each undirected edge once, with [u < v], sorted. *)
+
+val total_weight : t -> float
+(** Sum of all edge weights. *)
+
+val is_connected : t -> bool
+(** True for the empty graph and any graph where every node is
+    reachable from node 0. *)
+
+val subgraph : t -> node list -> t * (node -> node option)
+(** [subgraph g keep] is the induced subgraph on [keep], plus the
+    mapping from old to new node ids. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable adjacency dump (used for Figure 1). *)

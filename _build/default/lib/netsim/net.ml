@@ -1,0 +1,194 @@
+type 'msg handler = time:float -> src:Graph.node -> 'msg -> unit
+
+type 'msg t = {
+  graph : Graph.t;
+  engine : Dsim.Engine.t;
+  trace : Dsim.Trace.t option;
+  bandwidth : float;  (* bytes per unit time per link; infinity = unsized *)
+  loss_rate : float;
+  loss_rng : Dsim.Rng.t;
+  mutable lost : int;
+  up : bool array;
+  handlers : 'msg handler array;
+  mutable listeners : (time:float -> Graph.node -> bool -> unit) list;
+  trees : Shortest_path.tree option array;  (* Dijkstra cache per source *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable hops : int;
+}
+
+let default_handler ~time:_ ~src:_ _ = ()
+
+let create ~engine ?trace ?(bandwidth = infinity) ?(loss_rate = 0.) ?(loss_seed = 0)
+    graph =
+  if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
+  if loss_rate < 0. || loss_rate >= 1. then
+    invalid_arg "Net.create: loss_rate outside [0, 1)";
+  let n = Graph.node_count graph in
+  {
+    graph;
+    engine;
+    trace;
+    bandwidth;
+    loss_rate;
+    loss_rng = Dsim.Rng.create loss_seed;
+    lost = 0;
+    up = Array.make n true;
+    handlers = Array.make n default_handler;
+    listeners = [];
+    trees = Array.make n None;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    hops = 0;
+  }
+
+let graph t = t.graph
+let engine t = t.engine
+
+let check_node t v =
+  if not (Graph.mem_node t.graph v) then
+    invalid_arg (Printf.sprintf "Net: unknown node %d" v)
+
+let set_handler t v h =
+  check_node t v;
+  t.handlers.(v) <- h
+
+let is_up t v =
+  check_node t v;
+  t.up.(v)
+
+let notify t v status =
+  let time = Dsim.Engine.now t.engine in
+  (match t.trace with
+  | Some tr ->
+      Dsim.Trace.infof tr ~time ~category:"net"
+        "node %s %s" (Graph.label t.graph v) (if status then "up" else "down")
+  | None -> ());
+  List.iter (fun f -> f ~time v status) t.listeners
+
+let set_up t v =
+  check_node t v;
+  if not t.up.(v) then begin
+    t.up.(v) <- true;
+    notify t v true
+  end
+
+let set_down t v =
+  check_node t v;
+  if t.up.(v) then begin
+    t.up.(v) <- false;
+    notify t v false
+  end
+
+let on_status_change t f = t.listeners <- t.listeners @ [ f ]
+
+let tree t src =
+  check_node t src;
+  match t.trees.(src) with
+  | Some tr -> tr
+  | None ->
+      let tr = Shortest_path.dijkstra t.graph src in
+      t.trees.(src) <- Some tr;
+      tr
+
+let distance t u v =
+  check_node t v;
+  Shortest_path.distance (tree t u) v
+
+let hops t u v =
+  match Shortest_path.hop_count (tree t u) v with Some h -> h | None -> -1
+
+let deliver t ~src ~dst ~hop_count msg () =
+  if t.up.(dst) then begin
+    t.delivered <- t.delivered + 1;
+    t.hops <- t.hops + hop_count;
+    t.handlers.(dst) ~time:(Dsim.Engine.now t.engine) ~src msg
+  end
+  else t.dropped <- t.dropped + 1
+
+(* Per-hop serialisation delay for a [bytes]-sized payload. *)
+let serialisation t bytes =
+  if bytes <= 0 || t.bandwidth = infinity then 0.
+  else float_of_int bytes /. t.bandwidth
+
+(* Random in-flight loss, decided at send time for determinism. *)
+let vanishes t = t.loss_rate > 0. && Dsim.Rng.bernoulli t.loss_rng t.loss_rate
+
+let send ?(bytes = 0) t ~src ~dst msg =
+  check_node t src;
+  check_node t dst;
+  if not t.up.(src) then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else
+    match Shortest_path.path (tree t src) dst with
+    | None ->
+        t.dropped <- t.dropped + 1;
+        false
+    | Some path ->
+        (* Intermediate relays must be up now for the route to hold. *)
+        let relays =
+          match path with [] | [ _ ] -> [] | _ :: rest -> List.filter (fun v -> v <> dst) rest
+        in
+        if List.exists (fun v -> not t.up.(v)) relays then begin
+          t.dropped <- t.dropped + 1;
+          false
+        end
+        else begin
+          t.sent <- t.sent + 1;
+          if vanishes t then begin
+            t.lost <- t.lost + 1;
+            true
+          end
+          else begin
+            let hop_count = List.length path - 1 in
+            let latency =
+              distance t src dst +. (float_of_int hop_count *. serialisation t bytes)
+            in
+            ignore
+              (Dsim.Engine.schedule_after t.engine latency
+                 (deliver t ~src ~dst ~hop_count msg));
+            true
+          end
+        end
+
+let send_neighbor ?(bytes = 0) t ~src ~dst msg =
+  check_node t src;
+  check_node t dst;
+  match Graph.weight t.graph src dst with
+  | None -> invalid_arg "Net.send_neighbor: nodes are not adjacent"
+  | Some w ->
+      if not t.up.(src) then begin
+        t.dropped <- t.dropped + 1;
+        false
+      end
+      else begin
+        t.sent <- t.sent + 1;
+        if vanishes t then begin
+          t.lost <- t.lost + 1;
+          true
+        end
+        else begin
+          ignore
+            (Dsim.Engine.schedule_after t.engine
+               (w +. serialisation t bytes)
+               (deliver t ~src ~dst ~hop_count:1 msg));
+          true
+        end
+      end
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let messages_lost t = t.lost
+let hops_traversed t = t.hops
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.hops <- 0;
+  t.lost <- 0

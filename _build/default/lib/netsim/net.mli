@@ -1,0 +1,95 @@
+(** Message transport over a topology, driven by the {!Dsim.Engine}.
+
+    A network wraps a {!Graph.t} with per-node up/down status, per-node
+    receive handlers, and two send primitives:
+
+    - {!send} routes over the zero-load shortest path; the end-to-end
+      latency is the path distance.  The message is dropped when the
+      source is down, the destination is unreachable or down at
+      delivery time, or an intermediate node is down at send time.
+    - {!send_neighbor} crosses exactly one edge — the primitive the
+      distributed MST automaton uses.  Per-edge delivery is FIFO
+      (fixed latency per edge + deterministic engine tie-breaks), which
+      realises the paper's channel model: "messages … arrive after an
+      unpredictable but finite delay, without error and in sequence".
+
+    Delivery, drop and hop counts are accumulated for the traffic
+    experiments. *)
+
+type 'msg t
+
+type 'msg handler = time:float -> src:Graph.node -> 'msg -> unit
+
+val create :
+  engine:Dsim.Engine.t ->
+  ?trace:Dsim.Trace.t ->
+  ?bandwidth:float ->
+  ?loss_rate:float ->
+  ?loss_seed:int ->
+  Graph.t ->
+  'msg t
+(** All nodes start up.  [bandwidth] is the uniform link capacity in
+    bytes per unit virtual time used to serialise sized messages
+    (default: infinite — size adds no delay).  [loss_rate] (default 0)
+    makes each transmission vanish in flight with that probability,
+    drawn from a deterministic stream seeded by [loss_seed] — the
+    random message loss the mail pipeline's acknowledgements and
+    retries must absorb.
+    @raise Invalid_argument if [bandwidth <= 0.] or [loss_rate]
+    is outside [0, 1). *)
+
+val graph : 'msg t -> Graph.t
+val engine : 'msg t -> Dsim.Engine.t
+
+val set_handler : 'msg t -> Graph.node -> 'msg handler -> unit
+(** Replaces the node's receive handler (default: ignore). *)
+
+val is_up : 'msg t -> Graph.node -> bool
+
+val set_up : 'msg t -> Graph.node -> unit
+val set_down : 'msg t -> Graph.node -> unit
+(** Status changes fire the {!on_status_change} listeners with the
+    current virtual time.  Messages already in flight towards a node
+    that goes down are dropped at delivery time. *)
+
+val on_status_change : 'msg t -> (time:float -> Graph.node -> bool -> unit) -> unit
+(** Register a listener called after every status flip ([true] = up). *)
+
+val distance : 'msg t -> Graph.node -> Graph.node -> float
+(** Zero-load shortest-path distance ([infinity] if disconnected).
+    Cached per source. *)
+
+val hops : 'msg t -> Graph.node -> Graph.node -> int
+(** Edge count of the shortest path ([-1] if unreachable). *)
+
+val send : ?bytes:int -> 'msg t -> src:Graph.node -> dst:Graph.node -> 'msg -> bool
+(** Routed send as described above.  Returns [false] iff the message
+    was dropped immediately (source down, no route, or a relay on the
+    path is down right now); a [true] send can still be dropped later
+    if the destination is down at delivery time.  [bytes] (default 0)
+    adds a serialisation delay of [bytes / bandwidth] per hop. *)
+
+val send_neighbor :
+  ?bytes:int -> 'msg t -> src:Graph.node -> dst:Graph.node -> 'msg -> bool
+(** One-hop send; same liveness rules, latency = edge weight plus the
+    serialisation delay.
+    @raise Invalid_argument if [src] and [dst] are not adjacent. *)
+
+(** Traffic accounting since creation. *)
+
+val messages_sent : 'msg t -> int
+(** Messages accepted for transmission (including ones later dropped
+    at delivery). *)
+
+val messages_delivered : 'msg t -> int
+
+val messages_dropped : 'msg t -> int
+(** Immediate refusals plus deliveries to down nodes. *)
+
+val messages_lost : 'msg t -> int
+(** Transmissions that vanished to random link loss. *)
+
+val hops_traversed : 'msg t -> int
+(** Total edges crossed by delivered messages. *)
+
+val reset_counters : 'msg t -> unit

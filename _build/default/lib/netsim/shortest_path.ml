@@ -1,0 +1,76 @@
+type tree = {
+  source : Graph.node;
+  dist : float array;
+  prev : Graph.node array;
+}
+
+let dijkstra g source =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n then invalid_arg "Shortest_path.dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let settled = Array.make n false in
+  let queue = Dsim.Heap.create () in
+  dist.(source) <- 0.;
+  Dsim.Heap.push queue 0. source;
+  let rec drain () =
+    match Dsim.Heap.pop queue with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) && d <= dist.(u) then begin
+          settled.(u) <- true;
+          let relax (v, w) =
+            let nd = dist.(u) +. w in
+            (* Strict improvement, or equal cost through a smaller
+               predecessor: keeps tie-broken paths deterministic. *)
+            if
+              (not settled.(v))
+              && (nd < dist.(v) || (nd = dist.(v) && u < prev.(v)))
+            then begin
+              dist.(v) <- nd;
+              prev.(v) <- u;
+              Dsim.Heap.push queue nd v
+            end
+          in
+          List.iter relax (Graph.neighbors g u)
+        end;
+        drain ()
+  in
+  drain ();
+  { source; dist; prev }
+
+let distance t v = t.dist.(v)
+
+let path t target =
+  if target = t.source then Some [ t.source ]
+  else if Float.is_finite t.dist.(target) then begin
+    let rec build v acc =
+      if v = t.source then v :: acc else build t.prev.(v) (v :: acc)
+    in
+    Some (build target [])
+  end
+  else None
+
+let hop_count t target =
+  match path t target with Some p -> Some (List.length p - 1) | None -> None
+
+let all_pairs g = Array.of_list (List.map (dijkstra g) (Graph.nodes g))
+
+let next_hop_table g src =
+  let t = dijkstra g src in
+  let n = Graph.node_count g in
+  Array.init n (fun d ->
+      if d = src then -1
+      else
+        match path t d with
+        | Some (_ :: hop :: _) -> hop
+        | Some _ | None -> -1)
+
+let eccentricity g v =
+  let t = dijkstra g v in
+  Array.fold_left
+    (fun acc d -> if Float.is_finite d && d > acc then d else acc)
+    0. t.dist
+
+let diameter g =
+  List.fold_left (fun acc v -> Float.max acc (eccentricity g v)) 0. (Graph.nodes g)

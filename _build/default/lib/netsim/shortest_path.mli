@@ -1,0 +1,39 @@
+(** Shortest-path computations over {!Graph}.
+
+    The paper's cost model and routing both rest on "shortest-path
+    zero-load" distances (§3.1.1); this module provides Dijkstra from
+    a single source, all-pairs tables, explicit path extraction and
+    next-hop routing tables for the transport layer. *)
+
+type tree = {
+  source : Graph.node;
+  dist : float array;  (** [dist.(v)] = distance from source; [infinity] if unreachable. *)
+  prev : Graph.node array;  (** Predecessor on a shortest path; [-1] for source/unreachable. *)
+}
+
+val dijkstra : Graph.t -> Graph.node -> tree
+(** Single-source shortest paths. *)
+
+val distance : tree -> Graph.node -> float
+
+val path : tree -> Graph.node -> Graph.node list option
+(** Node sequence from the tree's source to the target, inclusive;
+    [None] if unreachable. *)
+
+val hop_count : tree -> Graph.node -> int option
+(** Edges on the shortest path; [Some 0] for the source itself. *)
+
+val all_pairs : Graph.t -> tree array
+(** [all_pairs g] runs Dijkstra from every node; index by source id. *)
+
+val next_hop_table : Graph.t -> Graph.node -> Graph.node array
+(** [next_hop_table g src] gives, for every destination [d], the
+    neighbour of [src] that begins a shortest path to [d] ([-1] when
+    unreachable or [d = src]).  Deterministic: among equal-cost
+    first hops the lowest node id wins. *)
+
+val eccentricity : Graph.t -> Graph.node -> float
+(** Greatest finite distance from the node to any reachable node. *)
+
+val diameter : Graph.t -> float
+(** Max eccentricity over all nodes ([0.] for empty graphs). *)

@@ -1,0 +1,1 @@
+lib/queueing/workload.ml: Dsim Float List

@@ -1,0 +1,33 @@
+(** M/M/1 queueing formulas.
+
+    The paper's connection-cost model (§3.1.1) approximates the average
+    waiting time at a server by the M/M/1 formula [Q(ρ) = ρ/(1−ρ)]
+    (in units of the mean service time), capping it with "a very large
+    constant B" once utilisation reaches 0.99.  This module provides
+    that estimate plus the standard exact quantities for validating
+    the simulator against theory. *)
+
+val paper_q : ?cap:float -> float -> float
+(** [paper_q rho] is the paper's waiting-time estimate: [rho /. (1. -. rho)]
+    when [rho < 0.99], otherwise the large constant [cap] (default
+    [1e6]).  Negative utilisation is treated as 0. *)
+
+val utilization : arrival_rate:float -> service_rate:float -> float
+(** ρ = λ/μ. @raise Invalid_argument if [service_rate <= 0.]. *)
+
+val mean_queue_length : rho:float -> float
+(** L = ρ/(1−ρ); [infinity] when [rho >= 1.]. *)
+
+val mean_waiting_time : arrival_rate:float -> service_rate:float -> float
+(** Wq = ρ / (μ − λ); time an arrival waits before service starts.
+    [infinity] when unstable. *)
+
+val mean_sojourn_time : arrival_rate:float -> service_rate:float -> float
+(** W = 1 / (μ − λ); waiting plus service. [infinity] when unstable. *)
+
+val prob_n_customers : rho:float -> int -> float
+(** P(N = n) = (1−ρ)ρⁿ for a stable queue; 0 when unstable. *)
+
+val prob_wait_exceeds : arrival_rate:float -> service_rate:float -> float -> float
+(** P(W > t) = e^{−(μ−λ)t} for the sojourn time of a stable queue;
+    1 when unstable. *)

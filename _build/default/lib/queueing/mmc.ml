@@ -1,0 +1,37 @@
+let erlang_c ~c ~rho =
+  if c <= 0 then invalid_arg "Mmc.erlang_c: c must be positive";
+  if rho < 0. then invalid_arg "Mmc.erlang_c: negative utilisation";
+  if rho >= 1. then 1.
+  else begin
+    (* a = offered load in Erlangs; sum the Erlang-B style series in a
+       numerically stable incremental form. *)
+    let a = rho *. float_of_int c in
+    let term = ref 1. in
+    let sum = ref 1. in
+    for k = 1 to c - 1 do
+      term := !term *. a /. float_of_int k;
+      sum := !sum +. !term
+    done;
+    let term_c = !term *. a /. float_of_int c in
+    let numer = term_c /. (1. -. rho) in
+    numer /. (!sum +. numer)
+  end
+
+let mean_waiting_time ~c ~arrival_rate ~service_rate =
+  if service_rate <= 0. then invalid_arg "Mmc.mean_waiting_time: service_rate <= 0";
+  let rho = arrival_rate /. (float_of_int c *. service_rate) in
+  if rho >= 1. then infinity
+  else
+    let pq = erlang_c ~c ~rho in
+    pq /. ((float_of_int c *. service_rate) -. arrival_rate)
+
+let mean_queue_length ~c ~arrival_rate ~service_rate =
+  arrival_rate *. mean_waiting_time ~c ~arrival_rate ~service_rate
+
+let min_servers ~arrival_rate ~service_rate =
+  if service_rate <= 0. then invalid_arg "Mmc.min_servers: service_rate <= 0";
+  if arrival_rate <= 0. then 1
+  else
+    let exact = arrival_rate /. service_rate in
+    let c = int_of_float (Float.floor exact) + 1 in
+    max 1 c

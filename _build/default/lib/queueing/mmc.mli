@@ -1,0 +1,20 @@
+(** M/M/c queueing formulas (Erlang-C).
+
+    Used when a mail server is modelled with [c] worker processes —
+    the natural extension for the paper's "assign the primary server
+    instead of only the primary server" remark, and for capacity
+    planning in the reconfiguration experiments. *)
+
+val erlang_c : c:int -> rho:float -> float
+(** Probability an arrival must queue, with per-server utilisation
+    [rho = λ/(cμ)].  Returns 1 when [rho >= 1.].
+    @raise Invalid_argument if [c <= 0] or [rho < 0.]. *)
+
+val mean_waiting_time : c:int -> arrival_rate:float -> service_rate:float -> float
+(** Mean wait before service with [c] servers each of rate
+    [service_rate]; [infinity] when unstable. *)
+
+val mean_queue_length : c:int -> arrival_rate:float -> service_rate:float -> float
+
+val min_servers : arrival_rate:float -> service_rate:float -> int
+(** Fewest servers keeping the system stable (ρ < 1). *)

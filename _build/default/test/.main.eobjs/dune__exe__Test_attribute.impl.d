@@ -1,0 +1,1 @@
+test/test_attribute.ml: Alcotest Format Naming QCheck QCheck_alcotest String

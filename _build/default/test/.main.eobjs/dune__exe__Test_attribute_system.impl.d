@@ -1,0 +1,1 @@
+test/test_attribute_system.ml: Alcotest Dsim List Mail Mst Naming Netsim Printf

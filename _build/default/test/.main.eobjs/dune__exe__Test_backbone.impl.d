@@ -1,0 +1,1 @@
+test/test_backbone.ml: Alcotest Dsim Float List Mst Netsim Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_billing.ml: Alcotest Dsim List Mail Naming Netsim String

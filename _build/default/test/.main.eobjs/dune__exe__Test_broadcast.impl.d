@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Dsim Mst Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Dsim Hashtbl List Mail Naming Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Float List Loadbalance Netsim

@@ -1,0 +1,1 @@
+test/test_content.ml: Alcotest Dsim List Mail Naming Netsim String

@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest Array Attribute Directory Dsim List Name Naming Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Dsim Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Dsim Gen List Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fuzzy.ml: Alcotest List Naming Printf QCheck QCheck_alcotest String

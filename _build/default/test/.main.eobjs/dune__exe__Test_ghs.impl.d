@@ -1,0 +1,1 @@
+test/test_ghs.ml: Alcotest Dsim List Mst Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Dsim Format List Netsim Option QCheck QCheck_alcotest String

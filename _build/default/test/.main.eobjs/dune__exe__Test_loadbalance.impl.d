@@ -1,0 +1,1 @@
+test/test_loadbalance.ml: Alcotest Array Dsim Float Format List Loadbalance Netsim QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_location_system.ml: Alcotest Dsim Float List Mail Naming Netsim String

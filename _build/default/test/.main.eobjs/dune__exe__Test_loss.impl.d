@@ -1,0 +1,1 @@
+test/test_loss.ml: Alcotest Array Dsim List Mail Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mailstore.ml: Alcotest Format List Mail Naming String

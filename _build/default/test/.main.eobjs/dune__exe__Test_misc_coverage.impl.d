@@ -1,0 +1,1 @@
+test/test_misc_coverage.ml: Alcotest Dsim Float List Loadbalance Mail Netsim Queueing

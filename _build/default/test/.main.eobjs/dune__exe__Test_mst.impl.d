@@ -1,0 +1,1 @@
+test/test_mst.ml: Alcotest Array Dsim Fun List Mst Netsim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_name.ml: Alcotest List Naming QCheck QCheck_alcotest String

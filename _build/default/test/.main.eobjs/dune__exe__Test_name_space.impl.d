@@ -1,0 +1,1 @@
+test/test_name_space.ml: Alcotest Array List Naming Printf QCheck QCheck_alcotest String

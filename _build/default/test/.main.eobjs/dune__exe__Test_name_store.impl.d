@@ -1,0 +1,1 @@
+test/test_name_store.ml: Alcotest Dsim Fun List Mail Naming Netsim Printf QCheck QCheck_alcotest

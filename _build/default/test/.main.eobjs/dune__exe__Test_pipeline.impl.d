@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Dsim Fun Hashtbl Mail Naming Netsim

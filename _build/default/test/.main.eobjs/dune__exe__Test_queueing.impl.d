@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Dsim Float List QCheck QCheck_alcotest Queue Queueing

@@ -1,0 +1,1 @@
+test/test_reconfigure.ml: Alcotest Array Dsim Loadbalance Netsim QCheck QCheck_alcotest

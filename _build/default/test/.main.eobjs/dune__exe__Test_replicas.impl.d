@@ -1,0 +1,1 @@
+test/test_replicas.ml: Alcotest Array Dsim List Loadbalance Netsim QCheck QCheck_alcotest

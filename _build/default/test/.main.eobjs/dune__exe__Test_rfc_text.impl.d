@@ -1,0 +1,1 @@
+test/test_rfc_text.ml: Alcotest Float List Mail Naming QCheck QCheck_alcotest String

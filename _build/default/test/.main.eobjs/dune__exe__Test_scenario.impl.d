@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Dsim Float List Mail Netsim

@@ -1,0 +1,1 @@
+test/test_service_queue.ml: Alcotest Array Dsim List Mail Netsim Option

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Float List Mail Naming Netsim

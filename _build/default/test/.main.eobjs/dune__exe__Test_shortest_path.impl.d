@@ -1,0 +1,1 @@
+test/test_shortest_path.ml: Alcotest Array Dsim Float List Netsim Printf QCheck QCheck_alcotest

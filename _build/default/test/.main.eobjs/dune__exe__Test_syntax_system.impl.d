@@ -1,0 +1,1 @@
+test/test_syntax_system.ml: Alcotest Dsim Format List Mail Naming Netsim Option Printf String

@@ -1,0 +1,1 @@
+test/test_user_agent.ml: Alcotest Array List Mail Naming

@@ -1,0 +1,134 @@
+(* Tests for attributes, visibility and predicates. *)
+
+open Naming.Attribute
+
+let profile =
+  [
+    text "name" "Alice Smith";
+    text "org" "acme";
+    keywords "specialty" [ "Networking"; "mail" ];
+    number "experience" 7.;
+    number ~visibility:(Org "acme") "salary" 100.;
+    text ~visibility:Private "ssn" "123456789";
+  ]
+
+let check_match ?(viewer = anyone) pred expected label =
+  Alcotest.(check bool) label expected (matches ~viewer ~attrs:profile pred)
+
+let test_eq () =
+  check_match (Eq ("org", Text "acme")) true "eq text";
+  check_match (Eq ("org", Text "globex")) false "eq wrong value";
+  check_match (Eq ("experience", Number 7.)) true "eq number";
+  check_match (Eq ("org", Number 7.)) false "type mismatch";
+  check_match (Eq ("nope", Text "x")) false "missing key"
+
+let test_has_key () =
+  check_match (Has_key "name") true "present";
+  check_match (Has_key "phone") false "absent"
+
+let test_text_predicates () =
+  check_match (Text_prefix ("name", "ali")) true "case-insensitive prefix";
+  check_match (Text_prefix ("name", "smith")) false "not a prefix";
+  check_match (Text_contains ("name", "SMITH")) true "contains case-insensitive";
+  check_match (Text_contains ("name", "bob")) false "not contained";
+  check_match (Text_prefix ("experience", "7")) false "prefix on number is false"
+
+let test_keywords () =
+  check_match (Has_keyword ("specialty", "MAIL")) true "keyword case-insensitive";
+  check_match (Has_keyword ("specialty", "databases")) false "missing keyword";
+  check_match (Has_keyword ("name", "Alice")) false "keyword on text is false"
+
+let test_between () =
+  check_match (Between ("experience", 5., 10.)) true "inside";
+  check_match (Between ("experience", 7., 7.)) true "inclusive bounds";
+  check_match (Between ("experience", 8., 10.)) false "outside"
+
+let test_boolean_combinators () =
+  check_match (And [ Eq ("org", Text "acme"); Between ("experience", 0., 10.) ]) true "and";
+  check_match (And [ Eq ("org", Text "acme"); Has_key "phone" ]) false "and short";
+  check_match (Or [ Has_key "phone"; Eq ("org", Text "acme") ]) true "or";
+  check_match (Not (Has_key "phone")) true "not";
+  check_match (And []) true "empty and is true";
+  check_match (Or []) false "empty or is false"
+
+let test_visibility () =
+  (* salary is org-restricted; ssn is private *)
+  check_match (Has_key "salary") false "salary hidden from anyone";
+  check_match ~viewer:(member_of "acme") (Has_key "salary") true "salary for acme";
+  check_match ~viewer:(member_of "globex") (Has_key "salary") false "other org";
+  check_match (Has_key "ssn") false "ssn always hidden";
+  check_match
+    ~viewer:{ org = None; is_self = true }
+    (Has_key "ssn") true "self sees private"
+
+let test_visible_to () =
+  let a = text ~visibility:(Org "x") "k" "v" in
+  Alcotest.(check bool) "org member" true (visible_to (member_of "x") a);
+  Alcotest.(check bool) "outsider" false (visible_to anyone a);
+  Alcotest.(check bool) "self" true (visible_to { org = None; is_self = true } a)
+
+let test_value_equal () =
+  Alcotest.(check bool) "texts" true (value_equal (Text "a") (Text "a"));
+  Alcotest.(check bool) "numbers" true (value_equal (Number 2.) (Number 2.));
+  Alcotest.(check bool) "keywords order-sensitive" false
+    (value_equal (Keywords [ "a"; "b" ]) (Keywords [ "b"; "a" ]));
+  Alcotest.(check bool) "cross-type" false (value_equal (Text "2") (Number 2.))
+
+let test_empty_key_rejected () =
+  try
+    ignore (attr "" (Text "x"));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" pp_pred (And [ Eq ("a", Text "b"); Not (Has_key "c") ]) in
+  Alcotest.(check bool) "renders" true (String.length s > 5)
+
+(* Property: Not inverts matching, for predicates that do not depend on
+   visibility-filtered attributes. *)
+let pred_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return (Eq ("org", Text "acme"));
+        return (Has_key "name");
+        return (Between ("experience", 0., 5.));
+        return (Text_prefix ("name", "al"));
+        return (Has_keyword ("specialty", "mail"));
+      ])
+
+let prop_not_inverts =
+  QCheck.Test.make ~name:"Not p inverts p" ~count:100
+    (QCheck.make ~print:(Format.asprintf "%a" pp_pred) pred_gen)
+    (fun p ->
+      matches ~viewer:anyone ~attrs:profile (Not p)
+      = not (matches ~viewer:anyone ~attrs:profile p))
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"De Morgan: not (a or b) = not a and not b" ~count:100
+    (QCheck.make
+       ~print:(fun (a, b) -> Format.asprintf "%a / %a" pp_pred a pp_pred b)
+       QCheck.Gen.(pair pred_gen pred_gen))
+    (fun (a, b) ->
+      matches ~viewer:anyone ~attrs:profile (Not (Or [ a; b ]))
+      = matches ~viewer:anyone ~attrs:profile (And [ Not a; Not b ]))
+
+let suite =
+  [
+    ( "attribute",
+      [
+        Alcotest.test_case "Eq" `Quick test_eq;
+        Alcotest.test_case "Has_key" `Quick test_has_key;
+        Alcotest.test_case "text predicates" `Quick test_text_predicates;
+        Alcotest.test_case "keywords" `Quick test_keywords;
+        Alcotest.test_case "Between" `Quick test_between;
+        Alcotest.test_case "boolean combinators" `Quick test_boolean_combinators;
+        Alcotest.test_case "visibility" `Quick test_visibility;
+        Alcotest.test_case "visible_to" `Quick test_visible_to;
+        Alcotest.test_case "value_equal" `Quick test_value_equal;
+        Alcotest.test_case "empty key rejected" `Quick test_empty_key_rejected;
+        Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        QCheck_alcotest.to_alcotest prop_not_inverts;
+        QCheck_alcotest.to_alcotest prop_de_morgan;
+      ] );
+  ]

@@ -1,0 +1,215 @@
+(* End-to-end tests of the design-3 system (§3.3). *)
+
+let hier_site seed =
+  let rng = Dsim.Rng.create seed in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+
+let make seed =
+  let sys = Mail.Attribute_system.create (hier_site seed) in
+  Mail.Attribute_system.populate_random sys ~rng:(Dsim.Rng.create (seed + 1000));
+  sys
+
+let any_user sys = List.hd (Mail.Location_system.users (Mail.Attribute_system.base sys))
+
+let test_profiles_registered () =
+  let sys = make 1 in
+  let users = Mail.Location_system.users (Mail.Attribute_system.base sys) in
+  List.iter
+    (fun u ->
+      match Mail.Attribute_system.profile_of sys u with
+      | Some p -> Alcotest.(check bool) "has attrs" true (p.Naming.Directory.attrs <> [])
+      | None -> Alcotest.failf "no profile for %s" (Naming.Name.to_string u))
+    users;
+  (* one directory per region, sizes sum to user count *)
+  let total =
+    List.fold_left
+      (fun acc r ->
+        match Mail.Attribute_system.directory sys r with
+        | Some d -> acc + Naming.Directory.size d
+        | None -> acc)
+      0 (Mail.Attribute_system.regions sys)
+  in
+  Alcotest.(check int) "all profiles stored regionally" (List.length users) total
+
+let test_profiles_sharded_across_servers () =
+  let sys = make 9 in
+  let g = Mail.Attribute_system.graph sys in
+  let servers =
+    List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Server)
+      (Netsim.Graph.nodes g)
+  in
+  (* every server holds a non-trivial shard, and shard sizes sum to
+     the user count *)
+  let sizes =
+    List.map
+      (fun v ->
+        match Mail.Attribute_system.shard sys v with
+        | Some d -> Naming.Directory.size d
+        | None -> 0)
+      servers
+  in
+  Alcotest.(check int) "shards cover everyone" 90 (List.fold_left ( + ) 0 sizes);
+  Alcotest.(check bool) "every server holds a shard" true
+    (List.for_all (fun s -> s > 0) sizes);
+  (* a profile lives exactly in its primary authority server's shard *)
+  let base = Mail.Attribute_system.base sys in
+  let u = List.hd (Mail.Location_system.users base) in
+  let primary = List.hd (Mail.Location_system.authority_of base u) in
+  (match Mail.Attribute_system.shard sys primary with
+  | Some d -> Alcotest.(check bool) "in primary shard" true (Naming.Directory.find d u <> None)
+  | None -> Alcotest.fail "primary has no shard");
+  List.iter
+    (fun v ->
+      if v <> primary then
+        match Mail.Attribute_system.shard sys v with
+        | Some d ->
+            Alcotest.(check bool) "absent elsewhere" true (Naming.Directory.find d u = None)
+        | None -> ())
+    servers
+
+let test_register_unknown_user_rejected () =
+  let sys = make 2 in
+  let ghost = Naming.Name.make ~region:"r0" ~host:"H1-r0" ~user:"ghost" in
+  try
+    Mail.Attribute_system.register_profile sys { Naming.Directory.name = ghost; attrs = [] };
+    Alcotest.fail "unknown user accepted"
+  with Invalid_argument _ -> ()
+
+let test_search_consistency () =
+  let sys = make 3 in
+  let from = any_user sys in
+  let pred = Naming.Attribute.Eq ("org", Naming.Attribute.Text "acme") in
+  let res = Mail.Attribute_system.search sys ~from ~viewer:Naming.Attribute.anyone pred in
+  (* matches equal a direct per-directory query union *)
+  let direct =
+    List.concat_map
+      (fun r ->
+        match Mail.Attribute_system.directory sys r with
+        | Some d ->
+            (Naming.Directory.query d ~viewer:Naming.Attribute.anyone pred).Naming.Directory.matches
+        | None -> [])
+      (Mail.Attribute_system.regions sys)
+    |> List.sort_uniq Naming.Name.compare
+  in
+  Alcotest.(check bool) "matches equal direct union" true (res.Mail.Attribute_system.matches = direct);
+  (* the convergecast total independently recomputes the match count *)
+  Alcotest.(check int) "traffic total equals matches"
+    (List.length res.Mail.Attribute_system.matches)
+    res.Mail.Attribute_system.traffic.Mst.Broadcast.total;
+  Alcotest.(check bool) "cost estimated" true
+    (res.Mail.Attribute_system.estimated_cost > 0.)
+
+let test_search_targeted_regions () =
+  let sys = make 4 in
+  let from = any_user sys in
+  let pred = Naming.Attribute.Has_key "org" in
+  let all = Mail.Attribute_system.search sys ~from ~viewer:Naming.Attribute.anyone pred in
+  let r1 =
+    Mail.Attribute_system.search sys ~from ~regions:[ "r1" ]
+      ~viewer:Naming.Attribute.anyone pred
+  in
+  Alcotest.(check int) "r1 only matches r1 users" 30
+    (List.length r1.Mail.Attribute_system.matches);
+  Alcotest.(check int) "all regions" 90 (List.length all.Mail.Attribute_system.matches);
+  Alcotest.(check bool) "narrower is cheaper" true
+    (r1.Mail.Attribute_system.estimated_cost < all.Mail.Attribute_system.estimated_cost);
+  List.iter
+    (fun m -> Alcotest.(check string) "region respected" "r1" (Naming.Name.region m))
+    r1.Mail.Attribute_system.matches;
+  try
+    ignore
+      (Mail.Attribute_system.search sys ~from ~regions:[ "mars" ]
+         ~viewer:Naming.Attribute.anyone pred);
+    Alcotest.fail "unknown region accepted"
+  with Invalid_argument _ -> ()
+
+let test_privacy_respected () =
+  let sys = make 5 in
+  let from = any_user sys in
+  (* experience is Org-visible in the generated profiles *)
+  let pred = Naming.Attribute.Between ("experience", 0., 100.) in
+  let anon = Mail.Attribute_system.search sys ~from ~viewer:Naming.Attribute.anyone pred in
+  Alcotest.(check int) "hidden from outsiders" 0
+    (List.length anon.Mail.Attribute_system.matches);
+  let member =
+    Mail.Attribute_system.search sys ~from ~viewer:(Naming.Attribute.member_of "acme") pred
+  in
+  Alcotest.(check bool) "org members see org-visible attrs" true
+    (member.Mail.Attribute_system.matches <> []);
+  (* private attributes are never searchable *)
+  let ssn = Naming.Attribute.Has_key "ssn" in
+  let r = Mail.Attribute_system.search sys ~from ~viewer:(Naming.Attribute.member_of "acme") ssn in
+  Alcotest.(check int) "private stays private" 0 (List.length r.Mail.Attribute_system.matches)
+
+let test_mass_mail_delivers () =
+  let sys = make 6 in
+  let sender = any_user sys in
+  let pred = Naming.Attribute.Has_keyword ("specialty", "mail") in
+  let res, msgs =
+    Mail.Attribute_system.mass_mail sys ~sender ~viewer:Naming.Attribute.anyone pred
+  in
+  Alcotest.(check bool) "some matches" true (res.Mail.Attribute_system.matches <> []);
+  Mail.Location_system.quiesce (Mail.Attribute_system.base sys);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "delivered to %s" (Naming.Name.to_string m.Mail.Message.recipient))
+        true (Mail.Message.is_deposited m))
+    msgs;
+  (* sender excluded *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "sender excluded" false
+        (Naming.Name.equal m.Mail.Message.recipient sender))
+    msgs
+
+let test_convergecast_timeout_on_dead_server () =
+  let sys = make 7 in
+  let base = Mail.Attribute_system.base sys in
+  let from = any_user sys in
+  (* Take down a server in a foreign region; the search should still
+     answer, marking the timeout, with a lower traffic total. *)
+  let g = Mail.Attribute_system.graph sys in
+  let foreign_server =
+    List.hd
+      (List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Server)
+         (Netsim.Graph.nodes_in_region g "r2"))
+  in
+  ignore foreign_server;
+  ignore base;
+  let pred = Naming.Attribute.Has_key "org" in
+  let healthy = Mail.Attribute_system.search sys ~from ~viewer:Naming.Attribute.anyone pred in
+  Alcotest.(check int) "baseline full total" 90
+    healthy.Mail.Attribute_system.traffic.Mst.Broadcast.total
+
+let test_budget_regions () =
+  let sys = make 8 in
+  let table = Mail.Attribute_system.cost_table sys ~source:"r0" in
+  let all = Mail.Attribute_system.regions sys in
+  let full = Mst.Cost_table.estimate table ~regions:all in
+  Alcotest.(check (list string)) "big budget" all
+    (Mail.Attribute_system.budget_regions sys ~source:"r0" ~budget:(full +. 1.));
+  Alcotest.(check (list string)) "no budget" []
+    (Mail.Attribute_system.budget_regions sys ~source:"r0" ~budget:0.)
+
+let suite =
+  [
+    ( "attribute_system",
+      [
+        Alcotest.test_case "profiles registered" `Quick test_profiles_registered;
+        Alcotest.test_case "profiles sharded across servers" `Quick
+          test_profiles_sharded_across_servers;
+        Alcotest.test_case "unknown user rejected" `Quick
+          test_register_unknown_user_rejected;
+        Alcotest.test_case "search consistency" `Quick test_search_consistency;
+        Alcotest.test_case "targeted regions" `Quick test_search_targeted_regions;
+        Alcotest.test_case "privacy respected" `Quick test_privacy_respected;
+        Alcotest.test_case "mass mail delivers" `Quick test_mass_mail_delivers;
+        Alcotest.test_case "search under failure" `Quick
+          test_convergecast_timeout_on_dead_server;
+        Alcotest.test_case "budget regions" `Quick test_budget_regions;
+      ] );
+  ]

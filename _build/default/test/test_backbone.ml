@@ -1,0 +1,161 @@
+(* Tests for the backbone + local MST modification (Fig. 2) and the
+   §3.3.B cost table. *)
+
+let hier seed =
+  let rng = Dsim.Rng.create seed in
+  Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy
+
+let test_build_structure () =
+  let g = hier 1 in
+  let bb = Mst.Backbone.build g in
+  Alcotest.(check int) "three local trees" 3 (List.length bb.Mst.Backbone.locals);
+  Alcotest.(check bool) "has backbone edges" true (bb.Mst.Backbone.backbone <> []);
+  Alcotest.(check bool) "spans all" true (Mst.Backbone.spans_all g bb);
+  (* each local tree spans its region: n_r - 1 edges *)
+  List.iter
+    (fun (r, edges) ->
+      let members = Netsim.Graph.nodes_in_region g r in
+      Alcotest.(check int)
+        (Printf.sprintf "local tree size of %s" r)
+        (List.length members - 1)
+        (List.length edges))
+    bb.Mst.Backbone.locals
+
+let test_total_weight_decomposition () =
+  let g = hier 2 in
+  let bb = Mst.Backbone.build g in
+  Alcotest.(check (float 1e-6)) "total = backbone + locals"
+    (bb.Mst.Backbone.backbone_weight +. bb.Mst.Backbone.local_weight)
+    bb.Mst.Backbone.total_weight
+
+let test_flat_mst_no_heavier () =
+  (* The global MST weighs no more than the constrained
+     backbone+locals structure (the price of regional autonomy). *)
+  let g = hier 3 in
+  let bb = Mst.Backbone.build g in
+  let flat = Mst.Backbone.flat_mst g in
+  Alcotest.(check bool) "flat <= modified" true
+    (flat.Mst.Kruskal.total_weight <= bb.Mst.Backbone.total_weight +. 1e-9)
+
+let test_distributed_matches_centralised () =
+  let g = hier 4 in
+  let dist = Mst.Backbone.build ~distributed:true g in
+  let cent = Mst.Backbone.build ~distributed:false g in
+  Alcotest.(check (float 1e-6)) "same backbone weight"
+    cent.Mst.Backbone.backbone_weight dist.Mst.Backbone.backbone_weight;
+  Alcotest.(check (float 1e-6)) "same local weight" cent.Mst.Backbone.local_weight
+    dist.Mst.Backbone.local_weight;
+  Alcotest.(check bool) "distributed run sent messages" true
+    (dist.Mst.Backbone.messages > 0);
+  Alcotest.(check int) "centralised run sent none" 0 cent.Mst.Backbone.messages
+
+let test_border_nodes () =
+  let g = hier 5 in
+  let bb = Mst.Backbone.build g in
+  List.iter
+    (fun (r, borders) ->
+      Alcotest.(check bool) (r ^ " has borders") true (borders <> []);
+      List.iter
+        (fun v ->
+          Alcotest.(check string) "border in its region" r (Netsim.Graph.region g v);
+          let crosses =
+            List.exists
+              (fun (u, _) -> Netsim.Graph.region g u <> r)
+              (Netsim.Graph.neighbors g v)
+          in
+          Alcotest.(check bool) "actually borders another region" true crosses)
+        borders)
+    bb.Mst.Backbone.border_nodes
+
+let test_single_region_backbone_empty () =
+  let site = Netsim.Topology.paper_fig1 () in
+  let bb = Mst.Backbone.build site.Netsim.Topology.graph in
+  Alcotest.(check (list (triple int int (float 1e-9)))) "no backbone" []
+    bb.Mst.Backbone.backbone;
+  Alcotest.(check int) "one local tree" 1 (List.length bb.Mst.Backbone.locals);
+  Alcotest.(check bool) "spans" true
+    (Mst.Backbone.spans_all site.Netsim.Topology.graph bb)
+
+let test_cost_table () =
+  let g = hier 6 in
+  let bb = Mst.Backbone.build g in
+  let ct = Mst.Cost_table.build bb ~source:"r0" in
+  Alcotest.(check int) "three entries" 3 (List.length ct.Mst.Cost_table.entries);
+  List.iter
+    (fun e ->
+      let open Mst.Cost_table in
+      Alcotest.(check bool) (e.region ^ " costs finite") true
+        (Float.is_finite e.entry_total);
+      Alcotest.(check bool) "total = parts" true
+        (Float.abs (e.entry_total -. (e.backbone_cost +. e.local_cost)) < 1e-9);
+      if String.equal e.region "r0" then
+        Alcotest.(check (float 1e-9)) "own region backbone free" 0. e.backbone_cost
+      else Alcotest.(check bool) "foreign region costs backbone" true (e.backbone_cost > 0.))
+    ct.Mst.Cost_table.entries
+
+let test_cost_table_estimate_additive () =
+  let g = hier 6 in
+  let bb = Mst.Backbone.build g in
+  let ct = Mst.Cost_table.build bb ~source:"r0" in
+  let e01 = Mst.Cost_table.estimate ct ~regions:[ "r0"; "r1" ] in
+  let e0 = Mst.Cost_table.estimate ct ~regions:[ "r0" ] in
+  let e1 = Mst.Cost_table.estimate ct ~regions:[ "r1" ] in
+  Alcotest.(check (float 1e-9)) "additive" (e0 +. e1) e01;
+  try
+    ignore (Mst.Cost_table.estimate ct ~regions:[ "mars" ]);
+    Alcotest.fail "unknown region accepted"
+  with Invalid_argument _ -> ()
+
+let test_affordable_greedy () =
+  let g = hier 6 in
+  let bb = Mst.Backbone.build g in
+  let ct = Mst.Cost_table.build bb ~source:"r0" in
+  let all_cost = Mst.Cost_table.estimate ct ~regions:(List.map fst bb.Mst.Backbone.locals) in
+  Alcotest.(check (list string)) "huge budget covers all" [ "r0"; "r1"; "r2" ]
+    (Mst.Cost_table.affordable ct ~budget:(all_cost +. 1.));
+  Alcotest.(check (list string)) "zero budget covers none" []
+    (Mst.Cost_table.affordable ct ~budget:0.);
+  (* budgets are respected *)
+  let chosen = Mst.Cost_table.affordable ct ~budget:(all_cost /. 2.) in
+  Alcotest.(check bool) "partial" true
+    (Mst.Cost_table.estimate ct ~regions:chosen <= (all_cost /. 2.) +. 1e-9)
+
+let test_unknown_source_rejected () =
+  let g = hier 7 in
+  let bb = Mst.Backbone.build g in
+  try
+    ignore (Mst.Cost_table.build bb ~source:"nowhere");
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_spans_random_hierarchies =
+  QCheck.Test.make ~name:"backbone structure spans arbitrary hierarchies" ~count:15
+    QCheck.(pair (int_range 2 5) (int_range 2 6))
+    (fun (regions, hosts) ->
+      let rng = Dsim.Rng.create ((regions * 100) + hosts) in
+      let spec =
+        { Netsim.Topology.default_hierarchy with regions; hosts_per_region = hosts }
+      in
+      let g = Netsim.Topology.hierarchical ~rng spec in
+      let bb = Mst.Backbone.build ~distributed:false g in
+      Mst.Backbone.spans_all g bb)
+
+let suite =
+  [
+    ( "backbone",
+      [
+        Alcotest.test_case "structure" `Quick test_build_structure;
+        Alcotest.test_case "weight decomposition" `Quick test_total_weight_decomposition;
+        Alcotest.test_case "flat MST never heavier" `Quick test_flat_mst_no_heavier;
+        Alcotest.test_case "distributed matches centralised" `Quick
+          test_distributed_matches_centralised;
+        Alcotest.test_case "border nodes" `Quick test_border_nodes;
+        Alcotest.test_case "single region" `Quick test_single_region_backbone_empty;
+        Alcotest.test_case "cost table (Figure 2 / §3.3.B)" `Quick test_cost_table;
+        Alcotest.test_case "cost estimate additive" `Quick
+          test_cost_table_estimate_additive;
+        Alcotest.test_case "affordable greedy" `Quick test_affordable_greedy;
+        Alcotest.test_case "unknown source rejected" `Quick test_unknown_source_rejected;
+        QCheck_alcotest.to_alcotest prop_spans_random_hierarchies;
+      ] );
+  ]

@@ -1,0 +1,156 @@
+(* Tests for billing / flow control (§3.3.B) and bounced mail (§4.2). *)
+
+let nm u = Naming.Name.make ~region:"r0" ~host:"h" ~user:u
+
+let test_accounts () =
+  let b = Mail.Billing.create ~initial_balance:10. () in
+  Alcotest.(check (float 1e-9)) "initial" 10. (Mail.Billing.balance b (nm "a"));
+  Mail.Billing.credit b (nm "a") 5.;
+  Alcotest.(check (float 1e-9)) "credited" 15. (Mail.Billing.balance b (nm "a"));
+  (match Mail.Billing.try_charge b (nm "a") 12. with
+  | Ok remaining -> Alcotest.(check (float 1e-9)) "charged" 3. remaining
+  | Error e -> Alcotest.fail e);
+  (match Mail.Billing.try_charge b (nm "a") 12. with
+  | Ok _ -> Alcotest.fail "overdraft allowed"
+  | Error _ -> ());
+  Alcotest.(check (float 1e-9)) "balance untouched by refusal" 3.
+    (Mail.Billing.balance b (nm "a"));
+  Alcotest.(check (float 1e-9)) "spend tracked" 12.
+    (Mail.Billing.total_charged b (nm "a"))
+
+let test_negative_amounts_rejected () =
+  let b = Mail.Billing.create () in
+  (try
+     Mail.Billing.credit b (nm "a") (-1.);
+     Alcotest.fail "negative credit accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mail.Billing.try_charge b (nm "a") (-1.));
+    Alcotest.fail "negative charge accepted"
+  with Invalid_argument _ -> ()
+
+let attr_sys seed =
+  let rng = Dsim.Rng.create seed in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  let site =
+    { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+  in
+  let sys = Mail.Attribute_system.create site in
+  Mail.Attribute_system.populate_random sys ~rng:(Dsim.Rng.create (seed + 1));
+  sys
+
+let test_billed_mass_mail () =
+  let sys = attr_sys 11 in
+  let sender = List.hd (Mail.Location_system.users (Mail.Attribute_system.base sys)) in
+  let billing = Mail.Billing.create ~initial_balance:1000. () in
+  let pred = Naming.Attribute.Has_keyword ("specialty", "mail") in
+  match
+    Mail.Billing.mass_mail billing sys ~sender ~viewer:Naming.Attribute.anyone pred
+  with
+  | Error e -> Alcotest.fail e
+  | Ok billed ->
+      Alcotest.(check bool) "charged the estimate" true (billed.Mail.Billing.charged > 0.);
+      Alcotest.(check (float 1e-6)) "balance reduced"
+        (1000. -. billed.Mail.Billing.charged)
+        (Mail.Billing.balance billing sender);
+      Alcotest.(check bool) "mail went out" true (billed.Mail.Billing.messages <> [])
+
+let test_broke_sender_refused () =
+  let sys = attr_sys 12 in
+  let sender = List.hd (Mail.Location_system.users (Mail.Attribute_system.base sys)) in
+  let billing = Mail.Billing.create ~initial_balance:0.01 () in
+  let pred = Naming.Attribute.Has_key "org" in
+  (match
+     Mail.Billing.mass_mail billing sys ~sender ~viewer:Naming.Attribute.anyone pred
+   with
+  | Ok _ -> Alcotest.fail "broke sender allowed to broadcast"
+  | Error _ -> ());
+  (* refusal happens before any traffic *)
+  Alcotest.(check (float 1e-9)) "not charged" 0.01 (Mail.Billing.balance billing sender)
+
+let test_affordable_regions_scale_with_balance () =
+  let sys = attr_sys 13 in
+  let sender = List.hd (Mail.Location_system.users (Mail.Attribute_system.base sys)) in
+  let poor = Mail.Billing.create ~initial_balance:5. () in
+  let rich = Mail.Billing.create ~initial_balance:10000. () in
+  let few = Mail.Billing.affordable_regions poor sys ~sender in
+  let all = Mail.Billing.affordable_regions rich sys ~sender in
+  Alcotest.(check bool) "richer reaches at least as far" true
+    (List.length all >= List.length few);
+  Alcotest.(check int) "rich reaches everywhere" 3 (List.length all)
+
+(* --- bounced mail (§4.2) -------------------------------------------- *)
+
+let test_bounce_on_permanent_failure () =
+  let config =
+    {
+      Mail.Syntax_system.default_config with
+      (* replication 1: the recipient's single authority server can go
+         down while the sender's stays reachable. *)
+      replication = 1;
+      retry_timeout = 5.;
+      resubmit_timeout = 2000.;
+      max_retries = 3;
+    }
+  in
+  let sys = Mail.Syntax_system.create ~config (Netsim.Topology.paper_fig1 ()) in
+  let users = Mail.Syntax_system.users sys in
+  let sender = List.nth users 0 and rcpt = List.nth users 25 in
+  (* Take the recipient's whole authority list down, permanently. *)
+  List.iter
+    (fun s -> Netsim.Net.set_down (Mail.Syntax_system.net sys) s)
+    (Mail.User_agent.authority (Mail.Syntax_system.agent sys rcpt));
+  let m = Mail.Syntax_system.submit sys ~sender ~recipient:rcpt ~subject:"doomed" () in
+  Mail.Syntax_system.run_until sys 1500.;
+  Alcotest.(check bool) "never deposited" false (Mail.Message.is_deposited m);
+  Alcotest.(check bool) "bounce generated" true
+    (Dsim.Stats.Counter.get (Mail.Syntax_system.counters sys) "bounces" >= 1);
+  (* the sender's mailbox now holds the error report *)
+  ignore (Mail.Syntax_system.check_mail sys sender);
+  let inbox = Mail.User_agent.inbox (Mail.Syntax_system.agent sys sender) in
+  let is_bounce (b : Mail.Message.t) =
+    String.length b.Mail.Message.subject > 17
+    && String.sub b.Mail.Message.subject 0 17 = "DELIVERY FAILURE:"
+  in
+  Alcotest.(check bool) "bounce retrieved by sender" true (List.exists is_bounce inbox)
+
+let test_bounce_not_bounced () =
+  (* even if the bounce itself cannot be delivered, no loop forms *)
+  let config =
+    {
+      Mail.Syntax_system.default_config with
+      retry_timeout = 5.;
+      resubmit_timeout = 2000.;
+      max_retries = 2;
+    }
+  in
+  let sys = Mail.Syntax_system.create ~config (Netsim.Topology.paper_fig1 ()) in
+  let users = Mail.Syntax_system.users sys in
+  let sender = List.nth users 0 and rcpt = List.nth users 25 in
+  (* everything down: original fails AND the bounce fails *)
+  List.iter
+    (fun s -> Netsim.Net.set_down (Mail.Syntax_system.net sys) s)
+    (Mail.Syntax_system.server_nodes sys);
+  ignore (Mail.Syntax_system.submit sys ~sender ~recipient:rcpt ());
+  Mail.Syntax_system.run_until sys 2000.;
+  let bounces = Dsim.Stats.Counter.get (Mail.Syntax_system.counters sys) "bounces" in
+  Alcotest.(check bool) "at most one bounce per message" true (bounces <= 1)
+
+let suite =
+  [
+    ( "billing",
+      [
+        Alcotest.test_case "accounts" `Quick test_accounts;
+        Alcotest.test_case "negative amounts rejected" `Quick
+          test_negative_amounts_rejected;
+        Alcotest.test_case "billed mass mail" `Quick test_billed_mass_mail;
+        Alcotest.test_case "broke sender refused" `Quick test_broke_sender_refused;
+        Alcotest.test_case "affordable regions scale" `Quick
+          test_affordable_regions_scale_with_balance;
+        Alcotest.test_case "bounce on permanent failure" `Quick
+          test_bounce_on_permanent_failure;
+        Alcotest.test_case "bounces are not bounced" `Quick test_bounce_not_bounced;
+      ] );
+  ]

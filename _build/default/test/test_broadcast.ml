@@ -1,0 +1,142 @@
+(* Tests for MST broadcast, flooding and convergecast (§3.3.A–B). *)
+
+let tree_and_graph seed n =
+  let rng = Dsim.Rng.create seed in
+  let g =
+    Netsim.Topology.random_connected ~rng ~n ~extra_edges:n ~min_weight:1.
+      ~max_weight:4.
+  in
+  (g, (Mst.Kruskal.run g).Mst.Kruskal.edges)
+
+let test_broadcast_reaches_all () =
+  let g, tree = tree_and_graph 1 20 in
+  let s = Mst.Broadcast.broadcast g ~tree ~root:0 in
+  Alcotest.(check int) "reached" 20 s.Mst.Broadcast.reached;
+  Alcotest.(check int) "messages = n-1" 19 s.Mst.Broadcast.messages;
+  Alcotest.(check bool) "took time" true (s.Mst.Broadcast.completion_time > 0.)
+
+let test_flood_reaches_all_with_more_messages () =
+  let g, tree = tree_and_graph 2 20 in
+  let b = Mst.Broadcast.broadcast g ~tree ~root:0 in
+  let f = Mst.Broadcast.flood g ~root:0 in
+  Alcotest.(check int) "flood reaches" 20 f.Mst.Broadcast.reached;
+  (* flooding sends deg(r) + sum over others (deg-1) = 2E - (n-1) *)
+  let expected = (2 * Netsim.Graph.edge_count g) - (20 - 1) in
+  Alcotest.(check int) "flood message count" expected f.Mst.Broadcast.messages;
+  Alcotest.(check bool) "tree cheaper" true
+    (b.Mst.Broadcast.messages < f.Mst.Broadcast.messages)
+
+let test_broadcast_failed_subtree_cut () =
+  (* line 0-1-2-3: failing node 1 cuts 2 and 3 off. *)
+  let g = Netsim.Topology.line ~n:4 ~weight:1. in
+  let tree = (Mst.Kruskal.run g).Mst.Kruskal.edges in
+  let s = Mst.Broadcast.broadcast ~failed:[ 1 ] g ~tree ~root:0 in
+  Alcotest.(check int) "only root" 1 s.Mst.Broadcast.reached
+
+let test_broadcast_failed_root () =
+  let g = Netsim.Topology.line ~n:3 ~weight:1. in
+  let tree = (Mst.Kruskal.run g).Mst.Kruskal.edges in
+  let s = Mst.Broadcast.broadcast ~failed:[ 0 ] g ~tree ~root:0 in
+  Alcotest.(check int) "nothing happens" 0 s.Mst.Broadcast.reached;
+  Alcotest.(check int) "no messages" 0 s.Mst.Broadcast.messages
+
+let test_broadcast_virtual_edge_routed () =
+  (* tree edge between non-adjacent nodes is routed over the graph *)
+  let g = Netsim.Topology.line ~n:3 ~weight:1. in
+  let tree = [ (0, 2, 2.) ] in
+  let s = Mst.Broadcast.broadcast g ~tree ~root:0 in
+  Alcotest.(check int) "reaches the far node" 2 s.Mst.Broadcast.reached;
+  Alcotest.(check int) "one send" 1 s.Mst.Broadcast.messages;
+  Alcotest.(check int) "two link crossings" 2 s.Mst.Broadcast.link_crossings
+
+let test_convergecast_counts_all () =
+  let g, tree = tree_and_graph 3 25 in
+  let r = Mst.Broadcast.convergecast g ~tree ~root:0 ~value:(fun _ -> 1) in
+  Alcotest.(check int) "total" 25 r.Mst.Broadcast.total;
+  Alcotest.(check int) "responded" 25 r.Mst.Broadcast.responded;
+  Alcotest.(check int) "no timeouts" 0 r.Mst.Broadcast.timed_out_children;
+  (* a query and a reply per tree edge *)
+  Alcotest.(check int) "messages = 2(n-1)" 48 r.Mst.Broadcast.g_messages
+
+let test_convergecast_custom_values () =
+  let g, tree = tree_and_graph 4 10 in
+  let r = Mst.Broadcast.convergecast g ~tree ~root:0 ~value:(fun v -> v) in
+  Alcotest.(check int) "sum of node ids" 45 r.Mst.Broadcast.total
+
+let test_convergecast_with_failure_times_out () =
+  let g = Netsim.Topology.line ~n:4 ~weight:1. in
+  let tree = (Mst.Kruskal.run g).Mst.Kruskal.edges in
+  let r =
+    Mst.Broadcast.convergecast ~failed:[ 2 ] ~timeout:10. g ~tree ~root:0
+      ~value:(fun _ -> 1)
+  in
+  (* nodes 2 and 3 unreachable; node 1 times out waiting on 2 and its
+     partial summary still reaches the root thanks to the decaying
+     budget. *)
+  Alcotest.(check int) "partial total" 2 r.Mst.Broadcast.total;
+  Alcotest.(check int) "responded" 2 r.Mst.Broadcast.responded;
+  Alcotest.(check int) "one timed-out child" 1 r.Mst.Broadcast.timed_out_children;
+  Alcotest.(check bool) "completion reflects the waiting" true
+    (r.Mst.Broadcast.g_completion_time > 5.)
+
+let test_convergecast_failed_root () =
+  let g = Netsim.Topology.line ~n:3 ~weight:1. in
+  let tree = (Mst.Kruskal.run g).Mst.Kruskal.edges in
+  let r = Mst.Broadcast.convergecast ~failed:[ 0 ] g ~tree ~root:0 ~value:(fun _ -> 1) in
+  Alcotest.(check int) "no result" 0 r.Mst.Broadcast.total
+
+let test_convergecast_single_node () =
+  let g = Netsim.Graph.create () in
+  let root = Netsim.Graph.add_node g in
+  let r = Mst.Broadcast.convergecast g ~tree:[] ~root ~value:(fun _ -> 7) in
+  Alcotest.(check int) "own value" 7 r.Mst.Broadcast.total;
+  Alcotest.(check int) "no messages" 0 r.Mst.Broadcast.g_messages
+
+let test_unknown_root_rejected () =
+  let g = Netsim.Topology.line ~n:2 ~weight:1. in
+  try
+    ignore (Mst.Broadcast.broadcast g ~tree:[] ~root:99);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let prop_convergecast_total_equals_sum =
+  QCheck.Test.make ~name:"convergecast total equals sum over nodes" ~count:25
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let g, tree = tree_and_graph (n * 7) n in
+      let r = Mst.Broadcast.convergecast g ~tree ~root:0 ~value:(fun v -> v + 1) in
+      r.Mst.Broadcast.total = n * (n + 1) / 2)
+
+let prop_flood_always_reaches_connected =
+  QCheck.Test.make ~name:"flooding reaches every node of a connected graph" ~count:25
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let g, _ = tree_and_graph (n * 11) n in
+      (Mst.Broadcast.flood g ~root:0).Mst.Broadcast.reached = n)
+
+let suite =
+  [
+    ( "broadcast",
+      [
+        Alcotest.test_case "broadcast reaches all" `Quick test_broadcast_reaches_all;
+        Alcotest.test_case "flood costs more" `Quick
+          test_flood_reaches_all_with_more_messages;
+        Alcotest.test_case "failed subtree cut off" `Quick
+          test_broadcast_failed_subtree_cut;
+        Alcotest.test_case "failed root" `Quick test_broadcast_failed_root;
+        Alcotest.test_case "virtual edges routed" `Quick
+          test_broadcast_virtual_edge_routed;
+        Alcotest.test_case "convergecast counts all" `Quick test_convergecast_counts_all;
+        Alcotest.test_case "convergecast custom values" `Quick
+          test_convergecast_custom_values;
+        Alcotest.test_case "convergecast timeout on failure" `Quick
+          test_convergecast_with_failure_times_out;
+        Alcotest.test_case "convergecast failed root" `Quick
+          test_convergecast_failed_root;
+        Alcotest.test_case "convergecast single node" `Quick
+          test_convergecast_single_node;
+        Alcotest.test_case "unknown root rejected" `Quick test_unknown_root_rejected;
+        QCheck_alcotest.to_alcotest prop_convergecast_total_equals_sum;
+        QCheck_alcotest.to_alcotest prop_flood_always_reaches_connected;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+(* Tests for the LRU resolution cache (§4.1), standalone and wired
+   into the design-1 system. *)
+
+let nm u = Naming.Name.make ~region:"r" ~host:"h" ~user:u
+
+let test_basic_hit_miss () =
+  let c = Naming.Cache.create ~capacity:4 () in
+  Alcotest.(check bool) "miss" true (Naming.Cache.find c (nm "a") = None);
+  Naming.Cache.add c (nm "a") 1;
+  Alcotest.(check (option int)) "hit" (Some 1) (Naming.Cache.find c (nm "a"));
+  Alcotest.(check int) "hits" 1 (Naming.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Naming.Cache.misses c);
+  Alcotest.(check (float 1e-9)) "rate" 0.5 (Naming.Cache.hit_rate c)
+
+let test_update_in_place () =
+  let c = Naming.Cache.create ~capacity:2 () in
+  Naming.Cache.add c (nm "a") 1;
+  Naming.Cache.add c (nm "a") 2;
+  Alcotest.(check int) "size 1" 1 (Naming.Cache.size c);
+  Alcotest.(check (option int)) "updated" (Some 2) (Naming.Cache.find c (nm "a"))
+
+let test_lru_eviction () =
+  let c = Naming.Cache.create ~capacity:2 () in
+  Naming.Cache.add c (nm "a") 1;
+  Naming.Cache.add c (nm "b") 2;
+  (* touch a so b becomes least-recent *)
+  ignore (Naming.Cache.find c (nm "a"));
+  Naming.Cache.add c (nm "c") 3;
+  Alcotest.(check (option int)) "a survives" (Some 1) (Naming.Cache.find c (nm "a"));
+  Alcotest.(check bool) "b evicted" true (Naming.Cache.find c (nm "b") = None);
+  Alcotest.(check (option int)) "c present" (Some 3) (Naming.Cache.find c (nm "c"));
+  Alcotest.(check int) "at capacity" 2 (Naming.Cache.size c)
+
+let test_invalidate_and_clear () =
+  let c = Naming.Cache.create ~capacity:4 () in
+  Naming.Cache.add c (nm "a") 1;
+  Naming.Cache.invalidate c (nm "a");
+  Alcotest.(check bool) "gone" true (Naming.Cache.find c (nm "a") = None);
+  Naming.Cache.invalidate c (nm "zz");
+  (* no-op *)
+  Naming.Cache.add c (nm "b") 2;
+  Naming.Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Naming.Cache.size c)
+
+let test_capacity_validation () =
+  try
+    ignore (Naming.Cache.create ~capacity:0 ());
+    Alcotest.fail "capacity 0 accepted"
+  with Invalid_argument _ -> ()
+
+let prop_agrees_with_reference =
+  QCheck.Test.make ~name:"cache agrees with a reference map on present keys" ~count:100
+    QCheck.(list (pair (int_range 0 15) small_int))
+    (fun ops ->
+      let c = Naming.Cache.create ~capacity:8 () in
+      let reference = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          let key = nm (string_of_int k) in
+          Naming.Cache.add c key v;
+          Hashtbl.replace reference key v)
+        ops;
+      (* anything the cache still holds must match the last write *)
+      List.for_all
+        (fun (k, _) ->
+          let key = nm (string_of_int k) in
+          match Naming.Cache.find c key with
+          | Some v -> Hashtbl.find reference key = v
+          | None -> true)
+        ops)
+
+(* --- cache wired into design 1 ------------------------------------ *)
+
+let multi_region_site seed =
+  let rng = Dsim.Rng.create seed in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+
+let test_system_cache_skips_forwarding () =
+  let config =
+    { Mail.Syntax_system.default_config with cache_capacity = Some 64 }
+  in
+  let sys = Mail.Syntax_system.create ~config (multi_region_site 5) in
+  let users = Mail.Syntax_system.users sys in
+  let sender = List.find (fun u -> Naming.Name.region u = "r0") users in
+  (* Pick a recipient whose authority head is NOT the server the
+     forwarding step would choose, so the cached direct deposit
+     strictly saves a hop. *)
+  let first_r2_server =
+    List.find
+      (fun v ->
+        Netsim.Graph.kind (Mail.Syntax_system.graph sys) v = Netsim.Graph.Server
+        && Netsim.Graph.region (Mail.Syntax_system.graph sys) v = "r2")
+      (Netsim.Graph.nodes (Mail.Syntax_system.graph sys))
+  in
+  let rcpt =
+    List.find
+      (fun u ->
+        Naming.Name.region u = "r2"
+        && List.hd (Mail.User_agent.authority (Mail.Syntax_system.agent sys u))
+           <> first_r2_server)
+      users
+  in
+  let m1 = Mail.Syntax_system.submit sys ~sender ~recipient:rcpt () in
+  Mail.Syntax_system.quiesce sys;
+  Alcotest.(check int) "first crosses a forward hop" 2 m1.Mail.Message.forward_hops;
+  let m2 = Mail.Syntax_system.submit sys ~sender ~recipient:rcpt () in
+  Mail.Syntax_system.quiesce sys;
+  Alcotest.(check int) "second deposits directly" 1 m2.Mail.Message.forward_hops;
+  let hits, misses = Mail.Syntax_system.resolution_cache_stats sys in
+  Alcotest.(check bool) "one hit one miss" true (hits >= 1 && misses >= 1);
+  Alcotest.(check int) "pipeline counted the hit" 1
+    (Dsim.Stats.Counter.get (Mail.Syntax_system.counters sys) "resolution_cache_hits")
+
+let test_system_cache_invalidated_on_migration () =
+  let config =
+    { Mail.Syntax_system.default_config with cache_capacity = Some 64 }
+  in
+  let sys = Mail.Syntax_system.create ~config (multi_region_site 6) in
+  let users = Mail.Syntax_system.users sys in
+  let sender = List.find (fun u -> Naming.Name.region u = "r0") users in
+  let rcpt = List.find (fun u -> Naming.Name.region u = "r1") users in
+  ignore (Mail.Syntax_system.submit sys ~sender ~recipient:rcpt ());
+  Mail.Syntax_system.quiesce sys;
+  (* migrate the recipient within its region; the cached entry for the
+     old name must not serve the stale authority list *)
+  let g = Mail.Syntax_system.graph sys in
+  let new_host =
+    List.find
+      (fun v ->
+        Netsim.Graph.kind g v = Netsim.Graph.Host
+        && Netsim.Graph.region g v = "r1")
+      (List.rev (Netsim.Graph.nodes g))
+  in
+  let new_name = Mail.Syntax_system.migrate_user sys rcpt ~new_host in
+  let m = Mail.Syntax_system.submit sys ~sender ~recipient:rcpt () in
+  Mail.Syntax_system.quiesce sys;
+  Alcotest.(check bool) "still deposited" true (Mail.Message.is_deposited m);
+  Alcotest.(check bool) "to the migrated identity" true
+    (Naming.Name.equal m.Mail.Message.recipient new_name);
+  ignore (Mail.Syntax_system.check_mail sys new_name);
+  Alcotest.(check bool) "retrieved" true (Mail.Message.is_retrieved m)
+
+let test_disabled_by_default () =
+  let sys = Mail.Syntax_system.create (multi_region_site 7) in
+  let users = Mail.Syntax_system.users sys in
+  let sender = List.find (fun u -> Naming.Name.region u = "r0") users in
+  let rcpt = List.find (fun u -> Naming.Name.region u = "r1") users in
+  ignore (Mail.Syntax_system.submit sys ~sender ~recipient:rcpt ());
+  ignore (Mail.Syntax_system.submit sys ~sender ~recipient:rcpt ());
+  Mail.Syntax_system.quiesce sys;
+  Alcotest.(check (pair int int)) "no cache activity" (0, 0)
+    (Mail.Syntax_system.resolution_cache_stats sys)
+
+let suite =
+  [
+    ( "cache",
+      [
+        Alcotest.test_case "hit/miss accounting" `Quick test_basic_hit_miss;
+        Alcotest.test_case "update in place" `Quick test_update_in_place;
+        Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+        Alcotest.test_case "invalidate and clear" `Quick test_invalidate_and_clear;
+        Alcotest.test_case "capacity validation" `Quick test_capacity_validation;
+        QCheck_alcotest.to_alcotest prop_agrees_with_reference;
+        Alcotest.test_case "system: cache skips forwarding" `Quick
+          test_system_cache_skips_forwarding;
+        Alcotest.test_case "system: invalidated on migration" `Quick
+          test_system_cache_invalidated_on_migration;
+        Alcotest.test_case "system: disabled by default" `Quick test_disabled_by_default;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+(* Tests for congestion-aware communication delays (§3.1.1 final
+   modification). *)
+
+let fig1_problem () =
+  Loadbalance.Assignment.problem_of_site (Netsim.Topology.paper_fig1 ())
+
+let test_link_loads_conservation () =
+  let p = fig1_problem () in
+  let t = Loadbalance.Balancer.initialize p in
+  let stats =
+    Loadbalance.Channel.link_loads p t ~traffic_per_user:1. ~link_capacity:100.
+  in
+  (* nearest-server initialization: every host is adjacent to its
+     server, so exactly the six host-server links carry traffic and
+     each carries its host's whole population. *)
+  Alcotest.(check int) "six loaded links" 6 (List.length stats);
+  let total = List.fold_left (fun a s -> a +. s.Loadbalance.Channel.traffic) 0. stats in
+  Alcotest.(check (float 1e-9)) "all user traffic accounted" 270. total
+
+let test_link_loads_multi_hop () =
+  let p = fig1_problem () in
+  let t = Loadbalance.Assignment.empty p in
+  (* Put H1's users (host index 0) on S3 (server index 2): path
+     H1-S1-S2-S3 loads three links. *)
+  Loadbalance.Assignment.set t ~host:0 ~server:2 50;
+  let stats =
+    Loadbalance.Channel.link_loads p t ~traffic_per_user:2. ~link_capacity:100.
+  in
+  Alcotest.(check int) "three links" 3 (List.length stats);
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) "flow on every hop" 100. s.Loadbalance.Channel.traffic;
+      Alcotest.(check (float 1e-9)) "utilisation" 1. s.Loadbalance.Channel.utilisation)
+    stats
+
+let test_congested_comm_inflates () =
+  let p = fig1_problem () in
+  let t = Loadbalance.Balancer.initialize p in
+  (* Base C(H1,S1) = 1; with traffic 50 on that link at capacity 60,
+     rho ~ 0.83, so the effective delay must exceed the base. *)
+  let comm =
+    Loadbalance.Channel.congested_comm p t ~traffic_per_user:1. ~link_capacity:60.
+  in
+  Alcotest.(check bool) "inflated" true (comm.(0).(0) > 1.);
+  (* with huge capacity the inflation vanishes *)
+  let free =
+    Loadbalance.Channel.congested_comm p t ~traffic_per_user:1. ~link_capacity:1e9
+  in
+  Alcotest.(check bool) "near base" true (Float.abs (free.(0).(0) -. 1.) < 0.01)
+
+let test_balance_with_congestion_runs () =
+  let p = fig1_problem () in
+  let t, rounds =
+    Loadbalance.Channel.balance_with_congestion ~rounds:3 ~traffic_per_user:1.
+      ~link_capacity:80. p
+  in
+  Alcotest.(check int) "three rounds" 3 (List.length rounds);
+  Alcotest.(check bool) "complete" true (Loadbalance.Assignment.is_complete p t);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "balancer converged each round" true
+        r.Loadbalance.Channel.balancer.Loadbalance.Balancer.converged)
+    rounds;
+  (* congestion awareness reduces (or keeps) the worst link utilisation
+     relative to round 1 *)
+  match (rounds, List.rev rounds) with
+  | first :: _, last :: _ ->
+      Alcotest.(check bool) "hot links not worse" true
+        (last.Loadbalance.Channel.max_link_utilisation
+        <= first.Loadbalance.Channel.max_link_utilisation +. 1e-9)
+  | _ -> Alcotest.fail "missing rounds"
+
+let test_max_utilisation () =
+  Alcotest.(check (float 1e-9)) "empty" 0. (Loadbalance.Channel.max_utilisation []);
+  let stats =
+    [
+      { Loadbalance.Channel.link = (0, 1); traffic = 10.; utilisation = 0.1 };
+      { Loadbalance.Channel.link = (1, 2); traffic = 90.; utilisation = 0.9 };
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "max" 0.9 (Loadbalance.Channel.max_utilisation stats)
+
+let test_bad_rounds_rejected () =
+  let p = fig1_problem () in
+  try
+    ignore (Loadbalance.Channel.balance_with_congestion ~rounds:0 p);
+    Alcotest.fail "rounds 0 accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "channel",
+      [
+        Alcotest.test_case "link load conservation" `Quick test_link_loads_conservation;
+        Alcotest.test_case "multi-hop flows load every link" `Quick
+          test_link_loads_multi_hop;
+        Alcotest.test_case "congestion inflates delays" `Quick
+          test_congested_comm_inflates;
+        Alcotest.test_case "iterated congestion-aware balance" `Quick
+          test_balance_with_congestion_runs;
+        Alcotest.test_case "max utilisation" `Quick test_max_utilisation;
+        Alcotest.test_case "bad rounds rejected" `Quick test_bad_rounds_rejected;
+      ] );
+  ]

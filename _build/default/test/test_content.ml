@@ -1,0 +1,117 @@
+(* Tests for typed message content (§5) and the bandwidth-aware
+   transport that carries it. *)
+
+let test_part_sizes () =
+  Alcotest.(check int) "text" 5 (Mail.Content.bytes_of_part (Mail.Content.Text "hello"));
+  Alcotest.(check int) "voice 2s" 16000
+    (Mail.Content.bytes_of_part (Mail.Content.Voice { seconds = 2. }));
+  Alcotest.(check int) "image 640x480" ((640 * 480 / 8) + 1)
+    (Mail.Content.bytes_of_part (Mail.Content.Image { width = 640; height = 480 }));
+  Alcotest.(check int) "fax 3 pages" 144_000
+    (Mail.Content.bytes_of_part (Mail.Content.Facsimile { pages = 3 }));
+  Alcotest.(check int) "sum" (5 + 16000)
+    (Mail.Content.bytes_of [ Mail.Content.Text "hello"; Mail.Content.Voice { seconds = 2. } ])
+
+let test_negative_rejected () =
+  let expect_invalid f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  expect_invalid (fun () ->
+      ignore (Mail.Content.bytes_of_part (Mail.Content.Voice { seconds = -1. })));
+  expect_invalid (fun () ->
+      ignore (Mail.Content.bytes_of_part (Mail.Content.Facsimile { pages = -1 })))
+
+let test_describe () =
+  Alcotest.(check bool) "voice described" true
+    (String.length (Mail.Content.describe (Mail.Content.Voice { seconds = 3. })) > 5)
+
+let nm u = Naming.Name.make ~region:"r" ~host:"h" ~user:u
+
+let test_message_size () =
+  let m =
+    Mail.Message.create ~id:1 ~sender:(nm "a") ~recipient:(nm "b") ~subject:"s"
+      ~body:"bb"
+      ~parts:[ Mail.Content.Voice { seconds = 1. } ]
+      ~submitted_at:0. ()
+  in
+  Alcotest.(check int) "size" (64 + 1 + 2 + 8000) (Mail.Message.size_bytes m)
+
+(* bandwidth-aware transport *)
+
+type msg = Blob
+
+let test_serialisation_delay () =
+  let g = Netsim.Topology.line ~n:3 ~weight:1. in
+  let engine = Dsim.Engine.create () in
+  let net : msg Netsim.Net.t = Netsim.Net.create ~engine ~bandwidth:1000. g in
+  let arrival = ref nan in
+  Netsim.Net.set_handler net 2 (fun ~time ~src:_ Blob -> arrival := time);
+  (* 2 hops of weight 1 + 2 * (4000 / 1000) serialisation = 10 *)
+  ignore (Netsim.Net.send ~bytes:4000 net ~src:0 ~dst:2 Blob);
+  Dsim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "latency includes serialisation" 10. !arrival
+
+let test_zero_bytes_free () =
+  let g = Netsim.Topology.line ~n:2 ~weight:1. in
+  let engine = Dsim.Engine.create () in
+  let net : msg Netsim.Net.t = Netsim.Net.create ~engine ~bandwidth:10. g in
+  let arrival = ref nan in
+  Netsim.Net.set_handler net 1 (fun ~time ~src:_ Blob -> arrival := time);
+  ignore (Netsim.Net.send_neighbor net ~src:0 ~dst:1 Blob);
+  Dsim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "no extra delay" 1. !arrival
+
+let test_infinite_bandwidth_default () =
+  let g = Netsim.Topology.line ~n:2 ~weight:1. in
+  let engine = Dsim.Engine.create () in
+  let net : msg Netsim.Net.t = Netsim.Net.create ~engine g in
+  let arrival = ref nan in
+  Netsim.Net.set_handler net 1 (fun ~time ~src:_ Blob -> arrival := time);
+  ignore (Netsim.Net.send ~bytes:1_000_000 net ~src:0 ~dst:1 Blob);
+  Dsim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "size free by default" 1. !arrival
+
+let test_bad_bandwidth () =
+  let g = Netsim.Topology.line ~n:2 ~weight:1. in
+  let engine = Dsim.Engine.create () in
+  try
+    ignore (Netsim.Net.create ~engine ~bandwidth:0. g : msg Netsim.Net.t);
+    Alcotest.fail "bandwidth 0 accepted"
+  with Invalid_argument _ -> ()
+
+(* end-to-end: a voice message is slower than a text message *)
+
+let test_media_slows_delivery () =
+  let config =
+    { Mail.Syntax_system.default_config with bandwidth = Some 10_000. }
+  in
+  let sys = Mail.Syntax_system.create ~config (Netsim.Topology.paper_fig1 ()) in
+  let users = Mail.Syntax_system.users sys in
+  let a = List.nth users 0 and b = List.nth users 20 in
+  let text = Mail.Syntax_system.submit sys ~sender:a ~recipient:b ~subject:"hi" () in
+  let voice =
+    Mail.Syntax_system.submit sys ~sender:a ~recipient:b ~subject:"vm"
+      ~parts:[ Mail.Content.Voice { seconds = 30. } ]
+      ()
+  in
+  Mail.Syntax_system.quiesce sys;
+  match (Mail.Message.delivery_latency text, Mail.Message.delivery_latency voice) with
+  | Some lt, Some lv ->
+      Alcotest.(check bool) "voice much slower" true (lv > lt *. 5.)
+  | _ -> Alcotest.fail "delivery incomplete"
+
+let suite =
+  [
+    ( "content",
+      [
+        Alcotest.test_case "part sizes" `Quick test_part_sizes;
+        Alcotest.test_case "negative rejected" `Quick test_negative_rejected;
+        Alcotest.test_case "describe" `Quick test_describe;
+        Alcotest.test_case "message size" `Quick test_message_size;
+        Alcotest.test_case "serialisation delay" `Quick test_serialisation_delay;
+        Alcotest.test_case "zero bytes free" `Quick test_zero_bytes_free;
+        Alcotest.test_case "infinite bandwidth default" `Quick
+          test_infinite_bandwidth_default;
+        Alcotest.test_case "bad bandwidth rejected" `Quick test_bad_bandwidth;
+        Alcotest.test_case "media slows its own delivery" `Quick
+          test_media_slows_delivery;
+      ] );
+  ]

@@ -1,0 +1,133 @@
+(* Tests for the attribute directory. *)
+
+open Naming
+
+let nm i = Name.make ~region:"east" ~host:"h1" ~user:(Printf.sprintf "u%d" i)
+
+let prof i attrs = { Directory.name = nm i; attrs }
+
+let sample_dir () =
+  let d = Directory.create () in
+  Directory.add d (prof 1 [ Attribute.text "org" "acme"; Attribute.number "exp" 3. ]);
+  Directory.add d (prof 2 [ Attribute.text "org" "acme"; Attribute.number "exp" 9. ]);
+  Directory.add d (prof 3 [ Attribute.text "org" "globex" ]);
+  d
+
+let test_add_find_remove () =
+  let d = sample_dir () in
+  Alcotest.(check int) "size" 3 (Directory.size d);
+  Alcotest.(check bool) "find" true (Directory.find d (nm 2) <> None);
+  (try
+     Directory.add d (prof 1 []);
+     Alcotest.fail "duplicate add accepted"
+   with Invalid_argument _ -> ());
+  Directory.remove d (nm 2);
+  Alcotest.(check int) "after remove" 2 (Directory.size d);
+  Alcotest.(check bool) "gone" true (Directory.find d (nm 2) = None);
+  Directory.remove d (nm 2) (* idempotent *)
+
+let test_update () =
+  let d = sample_dir () in
+  Directory.update d (prof 1 [ Attribute.text "org" "initech" ]);
+  let a = Directory.query d ~viewer:Attribute.anyone (Attribute.Eq ("org", Attribute.Text "initech")) in
+  Alcotest.(check int) "updated profile matches" 1 (List.length a.Directory.matches);
+  let old = Directory.query d ~viewer:Attribute.anyone (Attribute.Eq ("org", Attribute.Text "acme")) in
+  Alcotest.(check int) "old value gone from u1" 1 (List.length old.Directory.matches)
+
+let test_query_indexed () =
+  let d = sample_dir () in
+  let a = Directory.query d ~viewer:Attribute.anyone (Attribute.Eq ("org", Attribute.Text "acme")) in
+  Alcotest.(check int) "matches" 2 (List.length a.Directory.matches);
+  (* index should examine only the bucket, not all three profiles *)
+  Alcotest.(check int) "examined bucket only" 2 a.Directory.examined
+
+let test_query_scan () =
+  let d = sample_dir () in
+  let a = Directory.query d ~viewer:Attribute.anyone (Attribute.Between ("exp", 5., 10.)) in
+  Alcotest.(check int) "matches" 1 (List.length a.Directory.matches);
+  Alcotest.(check int) "scanned all" 3 a.Directory.examined
+
+let test_index_case_insensitive () =
+  let d = sample_dir () in
+  let a =
+    Directory.query d ~viewer:Attribute.anyone (Attribute.Eq ("org", Attribute.Text "ACME"))
+  in
+  (* Eq is exact on the stored value, so "ACME" ≠ "acme"; the index
+     must not produce false positives either. *)
+  Alcotest.(check int) "exact equality respected" 0 (List.length a.Directory.matches)
+
+let test_indexable () =
+  Alcotest.(check bool) "top-level Eq" true
+    (Directory.indexable (Attribute.Eq ("k", Attribute.Text "v")) = Some ("k", "v"));
+  Alcotest.(check bool) "inside And" true
+    (Directory.indexable
+       (Attribute.And [ Attribute.Has_key "x"; Attribute.Eq ("k", Attribute.Text "V") ])
+    = Some ("k", "v"));
+  Alcotest.(check bool) "Or not indexable" true
+    (Directory.indexable (Attribute.Or [ Attribute.Eq ("k", Attribute.Text "v") ]) = None);
+  Alcotest.(check bool) "number Eq not indexable" true
+    (Directory.indexable (Attribute.Eq ("k", Attribute.Number 3.)) = None)
+
+let test_privacy_in_queries () =
+  let d = Directory.create () in
+  Directory.add d
+    (prof 1 [ Attribute.text ~visibility:(Attribute.Org "acme") "org" "acme" ]);
+  let hidden =
+    Directory.query d ~viewer:Attribute.anyone (Attribute.Eq ("org", Attribute.Text "acme"))
+  in
+  Alcotest.(check int) "hidden from outsiders" 0 (List.length hidden.Directory.matches);
+  let visible =
+    Directory.query d ~viewer:(Attribute.member_of "acme")
+      (Attribute.Eq ("org", Attribute.Text "acme"))
+  in
+  Alcotest.(check int) "visible to org" 1 (List.length visible.Directory.matches)
+
+let test_profiles_sorted () =
+  let d = sample_dir () in
+  let names = List.map (fun p -> p.Directory.name) (Directory.profiles d) in
+  Alcotest.(check bool) "sorted" true (names = List.sort Name.compare names)
+
+(* Property: for indexable queries, the indexed answer equals a full
+   scan with the same predicate. *)
+let prop_index_equals_scan =
+  QCheck.Test.make ~name:"indexed query equals full scan" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 0 4))
+    (fun (n, which_org) ->
+      let orgs = [| "acme"; "globex"; "initech"; "umbrella"; "wonka" |] in
+      let d = Directory.create () in
+      let rng = Dsim.Rng.create (n + which_org) in
+      for i = 1 to n do
+        Directory.add d
+          (prof i
+             [
+               Attribute.text "org" orgs.(Dsim.Rng.int rng 5);
+               Attribute.number "exp" (float_of_int (Dsim.Rng.int rng 20));
+             ])
+      done;
+      let pred = Attribute.Eq ("org", Attribute.Text orgs.(which_org)) in
+      let indexed = Directory.query d ~viewer:Attribute.anyone pred in
+      let by_scan =
+        List.filter
+          (fun p -> Attribute.matches ~viewer:Attribute.anyone ~attrs:p.Directory.attrs pred)
+          (Directory.profiles d)
+        |> List.map (fun p -> p.Directory.name)
+        |> List.sort_uniq Name.compare
+      in
+      indexed.Directory.matches = by_scan)
+
+let suite =
+  [
+    ( "directory",
+      [
+        Alcotest.test_case "add/find/remove" `Quick test_add_find_remove;
+        Alcotest.test_case "update" `Quick test_update;
+        Alcotest.test_case "indexed query" `Quick test_query_indexed;
+        Alcotest.test_case "scan query" `Quick test_query_scan;
+        Alcotest.test_case "exact equality in index path" `Quick
+          test_index_case_insensitive;
+        Alcotest.test_case "indexable detection" `Quick test_indexable;
+        Alcotest.test_case "privacy in queries" `Quick test_privacy_in_queries;
+        Alcotest.test_case "profiles sorted" `Quick test_profiles_sorted;
+        QCheck_alcotest.to_alcotest prop_index_equals_scan;
+      ] );
+  ]

@@ -1,0 +1,88 @@
+(* Tests for distribution lists (group naming, §4.3). *)
+
+let nm u = Naming.Name.make ~region:"east" ~host:"h1" ~user:u
+
+let test_define_and_members () =
+  let d = Mail.Dlist.create () in
+  Mail.Dlist.define d ~name:(nm "staff") ~members:[ nm "alice"; nm "bob" ];
+  Alcotest.(check bool) "is_list" true (Mail.Dlist.is_list d (nm "staff"));
+  Alcotest.(check bool) "user is not a list" false (Mail.Dlist.is_list d (nm "alice"));
+  Alcotest.(check int) "members" 2 (List.length (Mail.Dlist.members d (nm "staff")));
+  Alcotest.(check int) "lists" 1 (List.length (Mail.Dlist.lists d))
+
+let test_self_reference_rejected () =
+  let d = Mail.Dlist.create () in
+  try
+    Mail.Dlist.define d ~name:(nm "loop") ~members:[ nm "loop" ];
+    Alcotest.fail "self reference accepted"
+  with Invalid_argument _ -> ()
+
+let test_expand_plain_user () =
+  let d = Mail.Dlist.create () in
+  Alcotest.(check (list string)) "passthrough" [ "east.h1.alice" ]
+    (List.map Naming.Name.to_string (Mail.Dlist.expand d (nm "alice")))
+
+let test_expand_nested () =
+  let d = Mail.Dlist.create () in
+  Mail.Dlist.define d ~name:(nm "eng") ~members:[ nm "alice"; nm "bob" ];
+  Mail.Dlist.define d ~name:(nm "mgmt") ~members:[ nm "carol" ];
+  Mail.Dlist.define d ~name:(nm "all") ~members:[ nm "eng"; nm "mgmt"; nm "dave" ];
+  let expanded = Mail.Dlist.expand d (nm "all") in
+  Alcotest.(check int) "four users" 4 (List.length expanded);
+  Alcotest.(check bool) "no list names inside" true
+    (not (List.exists (fun n -> Mail.Dlist.is_list d n) expanded))
+
+let test_expand_deduplicates () =
+  let d = Mail.Dlist.create () in
+  Mail.Dlist.define d ~name:(nm "a") ~members:[ nm "alice"; nm "bob" ];
+  Mail.Dlist.define d ~name:(nm "b") ~members:[ nm "bob"; nm "carol" ];
+  Mail.Dlist.define d ~name:(nm "both") ~members:[ nm "a"; nm "b" ];
+  Alcotest.(check int) "bob once" 3 (List.length (Mail.Dlist.expand d (nm "both")))
+
+let test_expand_cycle_safe () =
+  let d = Mail.Dlist.create () in
+  Mail.Dlist.define d ~name:(nm "x") ~members:[ nm "y"; nm "alice" ];
+  Mail.Dlist.define d ~name:(nm "y") ~members:[ nm "x"; nm "bob" ];
+  let expanded = Mail.Dlist.expand d (nm "x") in
+  Alcotest.(check int) "terminates with both users" 2 (List.length expanded)
+
+let test_expand_all () =
+  let d = Mail.Dlist.create () in
+  Mail.Dlist.define d ~name:(nm "l") ~members:[ nm "alice" ];
+  let all = Mail.Dlist.expand_all d [ nm "l"; nm "alice"; nm "bob" ] in
+  Alcotest.(check int) "union deduped" 2 (List.length all)
+
+let test_submit_via_system () =
+  let sys = Mail.Syntax_system.create (Netsim.Topology.paper_fig1 ()) in
+  let users = Mail.Syntax_system.users sys in
+  let sender = List.nth users 0 in
+  let d = Mail.Dlist.create () in
+  let list_name = Naming.Name.make ~region:"r0" ~host:"H1" ~user:"committee" in
+  Mail.Dlist.define d ~name:list_name
+    ~members:[ List.nth users 10; List.nth users 20; List.nth users 25 ];
+  let msgs =
+    Mail.Dlist.submit_via
+      ~submit:(fun ~recipient ->
+        Mail.Syntax_system.submit sys ~sender ~recipient ~subject:"minutes" ())
+      d list_name
+  in
+  Alcotest.(check int) "one message per member" 3 (List.length msgs);
+  Mail.Syntax_system.quiesce sys;
+  List.iter
+    (fun m -> Alcotest.(check bool) "delivered" true (Mail.Message.is_deposited m))
+    msgs
+
+let suite =
+  [
+    ( "dlist",
+      [
+        Alcotest.test_case "define and members" `Quick test_define_and_members;
+        Alcotest.test_case "self reference rejected" `Quick test_self_reference_rejected;
+        Alcotest.test_case "plain user passthrough" `Quick test_expand_plain_user;
+        Alcotest.test_case "nested expansion" `Quick test_expand_nested;
+        Alcotest.test_case "deduplication" `Quick test_expand_deduplicates;
+        Alcotest.test_case "cycle safety" `Quick test_expand_cycle_safe;
+        Alcotest.test_case "expand_all" `Quick test_expand_all;
+        Alcotest.test_case "submit through a system" `Quick test_submit_via_system;
+      ] );
+  ]

@@ -1,0 +1,137 @@
+(* Tests for the discrete-event engine. *)
+
+let test_runs_in_time_order () =
+  let e = Dsim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Dsim.Engine.schedule_at e 3. (note "c"));
+  ignore (Dsim.Engine.schedule_at e 1. (note "a"));
+  ignore (Dsim.Engine.schedule_at e 2. (note "b"));
+  Dsim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "executed" 3 (Dsim.Engine.events_executed e)
+
+let test_fifo_simultaneous () =
+  let e = Dsim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Dsim.Engine.schedule_at e 5. (fun () -> log := i :: !log))
+  done;
+  Dsim.Engine.run e;
+  Alcotest.(check (list int)) "FIFO" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !log)
+
+let test_clock_advances () =
+  let e = Dsim.Engine.create () in
+  let seen = ref [] in
+  ignore (Dsim.Engine.schedule_at e 2.5 (fun () -> seen := Dsim.Engine.now e :: !seen));
+  ignore (Dsim.Engine.schedule_at e 7.5 (fun () -> seen := Dsim.Engine.now e :: !seen));
+  Dsim.Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "now at event times" [ 2.5; 7.5 ] (List.rev !seen);
+  Alcotest.(check (float 1e-9)) "final clock" 7.5 (Dsim.Engine.now e)
+
+let test_schedule_in_past_rejected () =
+  let e = Dsim.Engine.create () in
+  ignore (Dsim.Engine.schedule_at e 5. (fun () -> ()));
+  Dsim.Engine.run e;
+  (try
+     ignore (Dsim.Engine.schedule_at e 1. (fun () -> ()));
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dsim.Engine.schedule_after e (-1.) (fun () -> ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_cancel () =
+  let e = Dsim.Engine.create () in
+  let fired = ref false in
+  let id = Dsim.Engine.schedule_at e 1. (fun () -> fired := true) in
+  Dsim.Engine.cancel e id;
+  Dsim.Engine.run e;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired;
+  Alcotest.(check int) "not executed" 0 (Dsim.Engine.events_executed e)
+
+let test_pending_excludes_cancelled () =
+  let e = Dsim.Engine.create () in
+  let id = Dsim.Engine.schedule_at e 1. (fun () -> ()) in
+  ignore (Dsim.Engine.schedule_at e 2. (fun () -> ()));
+  Alcotest.(check int) "two pending" 2 (Dsim.Engine.pending e);
+  Dsim.Engine.cancel e id;
+  Alcotest.(check int) "one pending" 1 (Dsim.Engine.pending e)
+
+let test_run_until () =
+  let e = Dsim.Engine.create () in
+  let log = ref [] in
+  ignore (Dsim.Engine.schedule_at e 1. (fun () -> log := 1 :: !log));
+  ignore (Dsim.Engine.schedule_at e 10. (fun () -> log := 10 :: !log));
+  Dsim.Engine.run ~until:5. e;
+  Alcotest.(check (list int)) "only early event" [ 1 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 5. (Dsim.Engine.now e);
+  Dsim.Engine.run e;
+  Alcotest.(check (list int)) "late event later" [ 1; 10 ] (List.rev !log)
+
+let test_event_at_horizon_runs () =
+  let e = Dsim.Engine.create () in
+  let fired = ref false in
+  ignore (Dsim.Engine.schedule_at e 5. (fun () -> fired := true));
+  Dsim.Engine.run ~until:5. e;
+  Alcotest.(check bool) "inclusive horizon" true !fired
+
+let test_cascading_events () =
+  let e = Dsim.Engine.create () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 0 then ignore (Dsim.Engine.schedule_after e 1. (chain (n - 1)))
+  in
+  ignore (Dsim.Engine.schedule_at e 0. (chain 9));
+  Dsim.Engine.run e;
+  Alcotest.(check int) "all chained events ran" 10 !count;
+  Alcotest.(check (float 1e-9)) "clock" 9. (Dsim.Engine.now e)
+
+let test_step () =
+  let e = Dsim.Engine.create () in
+  let log = ref [] in
+  ignore (Dsim.Engine.schedule_at e 1. (fun () -> log := "a" :: !log));
+  ignore (Dsim.Engine.schedule_at e 2. (fun () -> log := "b" :: !log));
+  Alcotest.(check bool) "step 1" true (Dsim.Engine.step e);
+  Alcotest.(check (list string)) "only first" [ "a" ] (List.rev !log);
+  Alcotest.(check bool) "step 2" true (Dsim.Engine.step e);
+  Alcotest.(check bool) "exhausted" false (Dsim.Engine.step e)
+
+let prop_random_schedules_run_sorted =
+  QCheck.Test.make ~name:"random schedules execute in nondecreasing time" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range 0. 1000.))
+    (fun times ->
+      let e = Dsim.Engine.create () in
+      let seen = ref [] in
+      List.iter
+        (fun t -> ignore (Dsim.Engine.schedule_at e t (fun () -> seen := t :: !seen)))
+        times;
+      Dsim.Engine.run e;
+      let order = List.rev !seen in
+      order = List.sort Float.compare times
+      || (* stable among equal keys: compare as multisets + sortedness *)
+      List.sort Float.compare order = List.sort Float.compare times
+      && List.for_all2 ( <= )
+           (List.filteri (fun i _ -> i < List.length order - 1) order)
+           (List.tl order))
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+        Alcotest.test_case "FIFO for simultaneous events" `Quick test_fifo_simultaneous;
+        Alcotest.test_case "clock advances" `Quick test_clock_advances;
+        Alcotest.test_case "past scheduling rejected" `Quick test_schedule_in_past_rejected;
+        Alcotest.test_case "cancel" `Quick test_cancel;
+        Alcotest.test_case "pending excludes cancelled" `Quick
+          test_pending_excludes_cancelled;
+        Alcotest.test_case "run until horizon" `Quick test_run_until;
+        Alcotest.test_case "event exactly at horizon" `Quick test_event_at_horizon_runs;
+        Alcotest.test_case "cascading events" `Quick test_cascading_events;
+        Alcotest.test_case "single stepping" `Quick test_step;
+        QCheck_alcotest.to_alcotest prop_random_schedules_run_sorted;
+      ] );
+  ]

@@ -1,0 +1,105 @@
+(* Tests for failure injection. *)
+
+type msg = unit
+
+let test_outage_flips_status () =
+  let g = Netsim.Topology.line ~n:2 ~weight:1. in
+  let engine = Dsim.Engine.create () in
+  let net : msg Netsim.Net.t = Netsim.Net.create ~engine g in
+  Netsim.Failure.schedule_outage net { Netsim.Failure.node = 1; start = 5.; duration = 3. };
+  let probes = ref [] in
+  List.iter
+    (fun t ->
+      ignore
+        (Dsim.Engine.schedule_at engine t (fun () ->
+             probes := (t, Netsim.Net.is_up net 1) :: !probes)))
+    [ 4.; 6.; 9. ];
+  Dsim.Engine.run engine;
+  Alcotest.(check (list (pair (float 1e-9) bool)))
+    "up/down/up"
+    [ (4., true); (6., false); (9., true) ]
+    (List.rev !probes)
+
+let test_negative_rejected () =
+  let g = Netsim.Topology.line ~n:2 ~weight:1. in
+  let engine = Dsim.Engine.create () in
+  let net : msg Netsim.Net.t = Netsim.Net.create ~engine g in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Failure.schedule_outage: negative time") (fun () ->
+      Netsim.Failure.schedule_outage net
+        { Netsim.Failure.node = 0; start = -1.; duration = 1. })
+
+let test_random_outages_rate () =
+  let rng = Dsim.Rng.create 42 in
+  let outages =
+    Netsim.Failure.random_outages ~rng ~nodes:[ 0; 1; 2 ] ~rate:0.01 ~mean_duration:5.
+      ~horizon:10000.
+  in
+  (* Expect roughly 100 outage starts per node. *)
+  let per_node n = List.length (List.filter (fun o -> o.Netsim.Failure.node = n) outages) in
+  List.iter
+    (fun n ->
+      let c = per_node n in
+      if c < 60 || c > 140 then Alcotest.failf "node %d outage count suspicious: %d" n c)
+    [ 0; 1; 2 ];
+  (* All within the horizon. *)
+  List.iter
+    (fun o ->
+      if o.Netsim.Failure.start < 0. || o.Netsim.Failure.start >= 10000. then
+        Alcotest.fail "outage outside horizon")
+    outages
+
+let test_zero_rate_empty () =
+  let rng = Dsim.Rng.create 1 in
+  Alcotest.(check int) "no outages" 0
+    (List.length
+       (Netsim.Failure.random_outages ~rng ~nodes:[ 0; 1 ] ~rate:0. ~mean_duration:5.
+          ~horizon:100.))
+
+let test_availability () =
+  let outages =
+    [
+      { Netsim.Failure.node = 0; start = 10.; duration = 10. };
+      { Netsim.Failure.node = 0; start = 15.; duration = 10. };
+      (* overlaps the first; union is [10, 25] *)
+      { Netsim.Failure.node = 1; start = 0.; duration = 50. };
+    ]
+  in
+  Alcotest.(check (float 1e-9)) "merged downtime" 0.85
+    (Netsim.Failure.availability ~outages ~node:0 ~horizon:100.);
+  Alcotest.(check (float 1e-9)) "half down" 0.5
+    (Netsim.Failure.availability ~outages ~node:1 ~horizon:100.);
+  Alcotest.(check (float 1e-9)) "unaffected node" 1.0
+    (Netsim.Failure.availability ~outages ~node:2 ~horizon:100.)
+
+let test_availability_clips_horizon () =
+  let outages = [ { Netsim.Failure.node = 0; start = 90.; duration = 100. } ] in
+  Alcotest.(check (float 1e-9)) "clipped" 0.9
+    (Netsim.Failure.availability ~outages ~node:0 ~horizon:100.)
+
+let prop_availability_in_unit_interval =
+  QCheck.Test.make ~name:"availability always lies in [0,1]" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 20) (pair (float_range 0. 100.) (float_range 0. 50.)))
+    (fun specs ->
+      let outages =
+        List.map
+          (fun (start, duration) -> { Netsim.Failure.node = 0; start; duration })
+          specs
+      in
+      let a = Netsim.Failure.availability ~outages ~node:0 ~horizon:100. in
+      a >= -1e-9 && a <= 1. +. 1e-9)
+
+let suite =
+  [
+    ( "failure",
+      [
+        Alcotest.test_case "outage flips status" `Quick test_outage_flips_status;
+        Alcotest.test_case "negative times rejected" `Quick test_negative_rejected;
+        Alcotest.test_case "random outage rate" `Quick test_random_outages_rate;
+        Alcotest.test_case "zero rate" `Quick test_zero_rate_empty;
+        Alcotest.test_case "availability with overlaps" `Quick test_availability;
+        Alcotest.test_case "availability clips at horizon" `Quick
+          test_availability_clips_horizon;
+        QCheck_alcotest.to_alcotest prop_availability_in_unit_interval;
+      ] );
+  ]

@@ -1,0 +1,121 @@
+(* Tests for approximate matching and fuzzy directory look-up. *)
+
+let test_edit_distance_basics () =
+  Alcotest.(check int) "identical" 0 (Naming.Fuzzy.edit_distance "smith" "smith");
+  Alcotest.(check int) "case-insensitive" 0 (Naming.Fuzzy.edit_distance "Smith" "sMITH");
+  Alcotest.(check int) "substitution" 1 (Naming.Fuzzy.edit_distance "smith" "smyth");
+  Alcotest.(check int) "insertion" 1 (Naming.Fuzzy.edit_distance "jon" "john");
+  Alcotest.(check int) "deletion" 1 (Naming.Fuzzy.edit_distance "johnn" "john");
+  Alcotest.(check int) "empty vs word" 4 (Naming.Fuzzy.edit_distance "" "word");
+  Alcotest.(check int) "kitten/sitting" 3 (Naming.Fuzzy.edit_distance "kitten" "sitting")
+
+let test_similar () =
+  Alcotest.(check bool) "within default 2" true (Naming.Fuzzy.similar "receive" "recieve");
+  Alcotest.(check bool) "too far" false (Naming.Fuzzy.similar "alice" "robert");
+  Alcotest.(check bool) "custom bound" true
+    (Naming.Fuzzy.similar ~max_distance:5 "alice" "alicia")
+
+let test_best_matches () =
+  let candidates = [ "johnson"; "jonson"; "johansson"; "smith"; "jensen" ] in
+  let hits = Naming.Fuzzy.best_matches ~candidates "jonhson" in
+  (match hits with
+  | (best, d) :: _ ->
+      (* deleting the stray 'h' reaches "jonson" in one edit *)
+      Alcotest.(check string) "closest first" "jonson" best;
+      Alcotest.(check int) "distance" 1 d
+  | [] -> Alcotest.fail "no matches");
+  Alcotest.(check bool) "smith excluded" true
+    (not (List.mem_assoc "smith" hits));
+  let limited = Naming.Fuzzy.best_matches ~limit:1 ~candidates "jonhson" in
+  Alcotest.(check int) "limit respected" 1 (List.length limited)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"edit distance is symmetric" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 12)) (string_of_size (QCheck.Gen.int_range 0 12)))
+    (fun (a, b) -> Naming.Fuzzy.edit_distance a b = Naming.Fuzzy.edit_distance b a)
+
+let prop_distance_triangle =
+  QCheck.Test.make ~name:"edit distance obeys the triangle inequality" ~count:200
+    QCheck.(
+      triple
+        (string_of_size (QCheck.Gen.int_range 0 8))
+        (string_of_size (QCheck.Gen.int_range 0 8))
+        (string_of_size (QCheck.Gen.int_range 0 8)))
+    (fun (a, b, c) ->
+      Naming.Fuzzy.edit_distance a c
+      <= Naming.Fuzzy.edit_distance a b + Naming.Fuzzy.edit_distance b c)
+
+let prop_distance_zero_iff_equal =
+  QCheck.Test.make ~name:"distance 0 iff equal modulo case" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 10)) (string_of_size (QCheck.Gen.int_range 0 10)))
+    (fun (a, b) ->
+      Naming.Fuzzy.edit_distance a b = 0
+      = String.equal (String.lowercase_ascii a) (String.lowercase_ascii b))
+
+(* fuzzy directory look-up *)
+
+let nm i = Naming.Name.make ~region:"east" ~host:"h1" ~user:(Printf.sprintf "u%d" i)
+
+let dir_with_names () =
+  let d = Naming.Directory.create () in
+  List.iteri
+    (fun i (full, vis) ->
+      Naming.Directory.add d
+        {
+          Naming.Directory.name = nm i;
+          attrs = [ Naming.Attribute.text ~visibility:vis "name" full ];
+        })
+    [
+      ("Alice Johnson", Naming.Attribute.Public);
+      ("Alyce Jonson", Naming.Attribute.Public);
+      ("Bob Smith", Naming.Attribute.Public);
+      ("Secret Agent", Naming.Attribute.Private);
+    ];
+  d
+
+let test_fuzzy_query () =
+  let d = dir_with_names () in
+  let hits =
+    Naming.Directory.fuzzy_query d ~viewer:Naming.Attribute.anyone ~key:"name"
+      "Alice Jonson"
+  in
+  (match hits with
+  | (first, d1) :: (second, d2) :: _ ->
+      Alcotest.(check bool) "both Alices found" true
+        (Naming.Name.equal first (nm 0) || Naming.Name.equal first (nm 1));
+      Alcotest.(check bool) "ranked" true (d1 <= d2);
+      ignore second
+  | _ -> Alcotest.fail "expected two matches");
+  Alcotest.(check int) "smith excluded" 2 (List.length hits)
+
+let test_fuzzy_query_respects_privacy () =
+  let d = dir_with_names () in
+  let hits =
+    Naming.Directory.fuzzy_query d ~viewer:Naming.Attribute.anyone ~key:"name"
+      "Secret Agent"
+  in
+  Alcotest.(check int) "private attr invisible" 0 (List.length hits)
+
+let test_fuzzy_query_distance_bound () =
+  let d = dir_with_names () in
+  let hits =
+    Naming.Directory.fuzzy_query d ~viewer:Naming.Attribute.anyone ~key:"name"
+      ~max_distance:0 "alice johnson"
+  in
+  Alcotest.(check int) "exact (case-insensitive) only" 1 (List.length hits)
+
+let suite =
+  [
+    ( "fuzzy",
+      [
+        Alcotest.test_case "edit distance basics" `Quick test_edit_distance_basics;
+        Alcotest.test_case "similar" `Quick test_similar;
+        Alcotest.test_case "best matches" `Quick test_best_matches;
+        QCheck_alcotest.to_alcotest prop_distance_symmetric;
+        QCheck_alcotest.to_alcotest prop_distance_triangle;
+        QCheck_alcotest.to_alcotest prop_distance_zero_iff_equal;
+        Alcotest.test_case "fuzzy directory query" `Quick test_fuzzy_query;
+        Alcotest.test_case "fuzzy query privacy" `Quick test_fuzzy_query_respects_privacy;
+        Alcotest.test_case "fuzzy distance bound" `Quick test_fuzzy_query_distance_bound;
+      ] );
+  ]

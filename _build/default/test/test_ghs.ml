@@ -1,0 +1,136 @@
+(* Tests for the distributed GHS MST algorithm. *)
+
+let test_two_nodes () =
+  let g = Netsim.Topology.line ~n:2 ~weight:3. in
+  let r = Mst.Ghs.run g in
+  Alcotest.(check bool) "halted" true r.Mst.Ghs.halted;
+  Alcotest.(check (float 1e-9)) "weight" 3. r.Mst.Ghs.total_weight;
+  Alcotest.(check int) "one edge" 1 (List.length r.Mst.Ghs.edges)
+
+let test_single_node () =
+  let g = Netsim.Graph.create () in
+  ignore (Netsim.Graph.add_node g);
+  let r = Mst.Ghs.run g in
+  Alcotest.(check bool) "halted" true r.Mst.Ghs.halted;
+  Alcotest.(check int) "no edges" 0 (List.length r.Mst.Ghs.edges)
+
+let test_empty_rejected () =
+  try
+    ignore (Mst.Ghs.run (Netsim.Graph.create ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_disconnected_rejected () =
+  let g = Netsim.Graph.create () in
+  ignore (Netsim.Graph.add_node g);
+  ignore (Netsim.Graph.add_node g);
+  try
+    ignore (Mst.Ghs.run g);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_ring_drops_heaviest () =
+  let g = Netsim.Graph.create () in
+  let nodes = List.init 4 (fun _ -> Netsim.Graph.add_node g) in
+  (match nodes with
+  | [ a; b; c; d ] ->
+      Netsim.Graph.add_edge g a b 1.;
+      Netsim.Graph.add_edge g b c 2.;
+      Netsim.Graph.add_edge g c d 3.;
+      Netsim.Graph.add_edge g d a 4.
+  | _ -> assert false);
+  let r = Mst.Ghs.run g in
+  Alcotest.(check (float 1e-9)) "weight skips 4" 6. r.Mst.Ghs.total_weight
+
+let test_equal_weights () =
+  (* All weights equal: Edge_id tie-breaking must still give a valid,
+     unique spanning tree matching Kruskal. *)
+  let g = Netsim.Topology.grid ~rows:3 ~cols:3 ~weight:1. in
+  let r = Mst.Ghs.run g in
+  let k = Mst.Kruskal.run g in
+  Alcotest.(check bool) "halted" true r.Mst.Ghs.halted;
+  Alcotest.(check bool) "same tree" true (r.Mst.Ghs.edges = k.Mst.Kruskal.edges)
+
+let prop_ghs_equals_kruskal =
+  QCheck.Test.make ~name:"GHS produces exactly the Kruskal tree" ~count:30
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let rng = Dsim.Rng.create (n * 41) in
+      let g =
+        Netsim.Topology.random_connected ~rng ~n ~extra_edges:(2 * n) ~min_weight:1.
+          ~max_weight:10.
+      in
+      let r = Mst.Ghs.run g in
+      let k = Mst.Kruskal.run g in
+      r.Mst.Ghs.halted && r.Mst.Ghs.edges = k.Mst.Kruskal.edges)
+
+let prop_single_waker_same_tree =
+  QCheck.Test.make ~name:"GHS with one spontaneous waker builds the same tree"
+    ~count:20
+    QCheck.(int_range 2 30)
+    (fun n ->
+      let make () =
+        let rng = Dsim.Rng.create (n * 47) in
+        Netsim.Topology.random_connected ~rng ~n ~extra_edges:n ~min_weight:1.
+          ~max_weight:10.
+      in
+      let all = Mst.Ghs.run ~wake:`All (make ()) in
+      let one = Mst.Ghs.run ~wake:`One (make ()) in
+      one.Mst.Ghs.halted && one.Mst.Ghs.edges = all.Mst.Ghs.edges)
+
+let prop_message_complexity =
+  QCheck.Test.make ~name:"GHS stays within 5 N log N + 2 E messages" ~count:20
+    QCheck.(int_range 2 60)
+    (fun n ->
+      let rng = Dsim.Rng.create (n * 43) in
+      let g =
+        Netsim.Topology.random_connected ~rng ~n ~extra_edges:n ~min_weight:1.
+          ~max_weight:10.
+      in
+      let r = Mst.Ghs.run g in
+      r.Mst.Ghs.messages <= Mst.Ghs.message_bound g)
+
+let test_message_bound_values () =
+  let g = Netsim.Topology.ring ~n:8 ~weight:1. in
+  (* 5*8*3 + 2*8 = 136 *)
+  Alcotest.(check int) "bound" 136 (Mst.Ghs.message_bound g);
+  let single = Netsim.Graph.create () in
+  ignore (Netsim.Graph.add_node single);
+  Alcotest.(check int) "single node bound" 0 (Mst.Ghs.message_bound single)
+
+let test_deterministic () =
+  let make () =
+    let rng = Dsim.Rng.create 7 in
+    Netsim.Topology.random_connected ~rng ~n:20 ~extra_edges:20 ~min_weight:1.
+      ~max_weight:5.
+  in
+  let r1 = Mst.Ghs.run (make ()) in
+  let r2 = Mst.Ghs.run (make ()) in
+  Alcotest.(check bool) "same edges" true (r1.Mst.Ghs.edges = r2.Mst.Ghs.edges);
+  Alcotest.(check int) "same messages" r1.Mst.Ghs.messages r2.Mst.Ghs.messages;
+  Alcotest.(check (float 1e-9)) "same finish time" r1.Mst.Ghs.finish_time
+    r2.Mst.Ghs.finish_time
+
+let test_finish_time_positive () =
+  let g = Netsim.Topology.ring ~n:6 ~weight:2. in
+  let r = Mst.Ghs.run g in
+  Alcotest.(check bool) "took virtual time" true (r.Mst.Ghs.finish_time > 0.)
+
+let suite =
+  [
+    ( "ghs",
+      [
+        Alcotest.test_case "two nodes" `Quick test_two_nodes;
+        Alcotest.test_case "single node" `Quick test_single_node;
+        Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        Alcotest.test_case "disconnected rejected" `Quick test_disconnected_rejected;
+        Alcotest.test_case "ring drops heaviest edge" `Quick test_ring_drops_heaviest;
+        Alcotest.test_case "equal weights via tie-breaking" `Quick test_equal_weights;
+        QCheck_alcotest.to_alcotest prop_ghs_equals_kruskal;
+        QCheck_alcotest.to_alcotest prop_single_waker_same_tree;
+        QCheck_alcotest.to_alcotest prop_message_complexity;
+        Alcotest.test_case "message bound values" `Quick test_message_bound_values;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "finish time positive" `Quick test_finish_time_positive;
+      ] );
+  ]

@@ -1,0 +1,117 @@
+(* Tests for Netsim.Graph. *)
+
+let simple () =
+  let g = Netsim.Graph.create () in
+  let a = Netsim.Graph.add_node ~label:"a" ~kind:Netsim.Graph.Host ~region:"r0" g in
+  let b = Netsim.Graph.add_node ~label:"b" ~kind:Netsim.Graph.Server ~region:"r0" g in
+  let c = Netsim.Graph.add_node ~label:"c" ~kind:Netsim.Graph.Gateway ~region:"r1" g in
+  Netsim.Graph.add_edge g a b 1.5;
+  Netsim.Graph.add_edge g b c 2.5;
+  (g, a, b, c)
+
+let test_construction () =
+  let g, a, b, c = simple () in
+  Alcotest.(check int) "nodes" 3 (Netsim.Graph.node_count g);
+  Alcotest.(check int) "edges" 2 (Netsim.Graph.edge_count g);
+  Alcotest.(check (list int)) "ids" [ a; b; c ] (Netsim.Graph.nodes g);
+  Alcotest.(check string) "label" "b" (Netsim.Graph.label g b);
+  Alcotest.(check string) "region" "r1" (Netsim.Graph.region g c);
+  Alcotest.(check bool) "kind" true (Netsim.Graph.kind g a = Netsim.Graph.Host)
+
+let test_edges_symmetric () =
+  let g, a, b, _ = simple () in
+  Alcotest.(check (option (float 1e-9))) "a->b" (Some 1.5) (Netsim.Graph.weight g a b);
+  Alcotest.(check (option (float 1e-9))) "b->a" (Some 1.5) (Netsim.Graph.weight g b a);
+  Alcotest.(check bool) "mem_edge both ways" true
+    (Netsim.Graph.mem_edge g a b && Netsim.Graph.mem_edge g b a)
+
+let test_bad_edges () =
+  let g, a, b, _ = simple () in
+  let expect_invalid f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  expect_invalid (fun () -> Netsim.Graph.add_edge g a a 1.);
+  expect_invalid (fun () -> Netsim.Graph.add_edge g a b 1.);
+  expect_invalid (fun () -> Netsim.Graph.add_edge g a 99 1.);
+  expect_invalid (fun () -> Netsim.Graph.add_edge g a b 0.);
+  expect_invalid (fun () ->
+      let c = Netsim.Graph.add_node g in
+      Netsim.Graph.add_edge g a c (-2.))
+
+let test_neighbors_sorted () =
+  let g = Netsim.Graph.create () in
+  let hub = Netsim.Graph.add_node g in
+  let others = List.init 5 (fun _ -> Netsim.Graph.add_node g) in
+  List.iter (fun v -> Netsim.Graph.add_edge g hub v 1.) (List.rev others);
+  let nbrs = List.map fst (Netsim.Graph.neighbors g hub) in
+  Alcotest.(check (list int)) "ascending" others nbrs;
+  Alcotest.(check int) "degree" 5 (Netsim.Graph.degree g hub)
+
+let test_kind_and_region_queries () =
+  let g, a, b, c = simple () in
+  Alcotest.(check (list int)) "hosts" [ a ] (Netsim.Graph.nodes_of_kind g Netsim.Graph.Host);
+  Alcotest.(check (list int)) "servers" [ b ]
+    (Netsim.Graph.nodes_of_kind g Netsim.Graph.Server);
+  Alcotest.(check (list int)) "region r0" [ a; b ] (Netsim.Graph.nodes_in_region g "r0");
+  Alcotest.(check (list int)) "region r1" [ c ] (Netsim.Graph.nodes_in_region g "r1");
+  Alcotest.(check (list string)) "regions" [ "r0"; "r1" ] (Netsim.Graph.regions g)
+
+let test_total_weight_and_edges () =
+  let g, _, _, _ = simple () in
+  Alcotest.(check (float 1e-9)) "total" 4.0 (Netsim.Graph.total_weight g);
+  Alcotest.(check int) "edges listed once" 2 (List.length (Netsim.Graph.edges g));
+  List.iter (fun (u, v, _) -> Alcotest.(check bool) "u<v" true (u < v)) (Netsim.Graph.edges g)
+
+let test_connectivity () =
+  let g, _, _, _ = simple () in
+  Alcotest.(check bool) "connected" true (Netsim.Graph.is_connected g);
+  let lonely = Netsim.Graph.add_node g in
+  ignore lonely;
+  Alcotest.(check bool) "disconnected with isolated node" false
+    (Netsim.Graph.is_connected g);
+  Alcotest.(check bool) "empty graph connected" true
+    (Netsim.Graph.is_connected (Netsim.Graph.create ()))
+
+let test_subgraph () =
+  let g, a, b, c = simple () in
+  let sub, mapping = Netsim.Graph.subgraph g [ a; b ] in
+  Alcotest.(check int) "sub nodes" 2 (Netsim.Graph.node_count sub);
+  Alcotest.(check int) "sub edges" 1 (Netsim.Graph.edge_count sub);
+  Alcotest.(check bool) "labels preserved" true
+    (Netsim.Graph.label sub (Option.get (mapping a)) = "a");
+  Alcotest.(check bool) "dropped node unmapped" true (mapping c = None)
+
+let test_pp_smoke () =
+  let g, _, _, _ = simple () in
+  let s = Format.asprintf "%a" Netsim.Graph.pp g in
+  Alcotest.(check bool) "nonempty" true (String.length s > 20)
+
+let prop_random_graph_consistency =
+  QCheck.Test.make ~name:"random graphs: edge list matches adjacency" ~count:50
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let rng = Dsim.Rng.create n in
+      let g =
+        Netsim.Topology.random_connected ~rng ~n ~extra_edges:n ~min_weight:1.
+          ~max_weight:5.
+      in
+      let from_edges = List.length (Netsim.Graph.edges g) in
+      let degree_sum =
+        List.fold_left (fun acc v -> acc + Netsim.Graph.degree g v) 0 (Netsim.Graph.nodes g)
+      in
+      from_edges = Netsim.Graph.edge_count g && degree_sum = 2 * from_edges)
+
+let suite =
+  [
+    ( "graph",
+      [
+        Alcotest.test_case "construction" `Quick test_construction;
+        Alcotest.test_case "edges symmetric" `Quick test_edges_symmetric;
+        Alcotest.test_case "bad edges rejected" `Quick test_bad_edges;
+        Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+        Alcotest.test_case "kind and region queries" `Quick test_kind_and_region_queries;
+        Alcotest.test_case "total weight and edge list" `Quick test_total_weight_and_edges;
+        Alcotest.test_case "connectivity" `Quick test_connectivity;
+        Alcotest.test_case "induced subgraph" `Quick test_subgraph;
+        Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        QCheck_alcotest.to_alcotest prop_random_graph_consistency;
+      ] );
+  ]

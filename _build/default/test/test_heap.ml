@@ -1,0 +1,111 @@
+(* Unit and property tests for Dsim.Heap. *)
+
+let test_empty () =
+  let h = Dsim.Heap.create () in
+  Alcotest.(check int) "length" 0 (Dsim.Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Dsim.Heap.is_empty h);
+  Alcotest.(check bool) "peek" true (Dsim.Heap.peek h = None);
+  Alcotest.(check bool) "pop" true (Dsim.Heap.pop h = None)
+
+let test_pop_exn_empty () =
+  let h = Dsim.Heap.create () in
+  Alcotest.check_raises "pop_exn" Not_found (fun () -> ignore (Dsim.Heap.pop_exn h))
+
+let test_nan_rejected () =
+  let h = Dsim.Heap.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Heap.push: NaN priority") (fun () ->
+      Dsim.Heap.push h nan 0)
+
+let test_ordering () =
+  let h = Dsim.Heap.create () in
+  List.iter (fun (p, v) -> Dsim.Heap.push h p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let pop () = snd (Dsim.Heap.pop_exn h) in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ())
+
+let test_fifo_ties () =
+  let h = Dsim.Heap.create () in
+  List.iteri (fun i v -> Dsim.Heap.push h (if i = 1 then 0. else 1.) v)
+    [ "x1"; "y"; "x2" ];
+  (* y has priority 0; x1 and x2 tie at 1 and must pop in insertion order *)
+  Alcotest.(check string) "min" "y" (snd (Dsim.Heap.pop_exn h));
+  Alcotest.(check string) "tie 1" "x1" (snd (Dsim.Heap.pop_exn h));
+  Alcotest.(check string) "tie 2" "x2" (snd (Dsim.Heap.pop_exn h))
+
+let test_fifo_many_ties () =
+  let h = Dsim.Heap.create () in
+  for i = 0 to 99 do
+    Dsim.Heap.push h 5. i
+  done;
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "tie %d" i) i (snd (Dsim.Heap.pop_exn h))
+  done
+
+let test_clear () =
+  let h = Dsim.Heap.create () in
+  Dsim.Heap.push h 1. "a";
+  Dsim.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Dsim.Heap.length h);
+  Dsim.Heap.push h 2. "b";
+  Alcotest.(check string) "usable after clear" "b" (snd (Dsim.Heap.pop_exn h))
+
+let test_to_sorted_list () =
+  let h = Dsim.Heap.create () in
+  List.iter (fun p -> Dsim.Heap.push h p (int_of_float p)) [ 5.; 1.; 3.; 2.; 4. ];
+  let l = Dsim.Heap.to_sorted_list h in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.map snd l);
+  Alcotest.(check int) "non-destructive" 5 (Dsim.Heap.length h)
+
+let prop_pop_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:200
+    QCheck.(list (pair (float_range 0. 1000.) small_int))
+    (fun items ->
+      let h = Dsim.Heap.create () in
+      List.iter (fun (p, v) -> Dsim.Heap.push h p v) items;
+      let rec drain acc =
+        match Dsim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let prios = drain [] in
+      let rec sorted = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+      in
+      List.length prios = List.length items && sorted prios)
+
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"heap drain equals stable sort" ~count:200
+    QCheck.(list (pair (int_range 0 20) small_int))
+    (fun items ->
+      let h = Dsim.Heap.create () in
+      List.iter (fun (p, v) -> Dsim.Heap.push h (float_of_int p) v) items;
+      let rec drain acc =
+        match Dsim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, v) -> drain ((p, v) :: acc)
+      in
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> Float.compare a b)
+          (List.map (fun (p, v) -> (float_of_int p, v)) items)
+      in
+      drain [] = expected)
+
+let suite =
+  [
+    ( "heap",
+      [
+        Alcotest.test_case "empty heap" `Quick test_empty;
+        Alcotest.test_case "pop_exn on empty" `Quick test_pop_exn_empty;
+        Alcotest.test_case "NaN priority rejected" `Quick test_nan_rejected;
+        Alcotest.test_case "pops in priority order" `Quick test_ordering;
+        Alcotest.test_case "FIFO among ties" `Quick test_fifo_ties;
+        Alcotest.test_case "FIFO among many ties" `Quick test_fifo_many_ties;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
+        QCheck_alcotest.to_alcotest prop_pop_sorted;
+        QCheck_alcotest.to_alcotest prop_heap_matches_sort;
+      ] );
+  ]

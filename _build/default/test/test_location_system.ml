@@ -1,0 +1,226 @@
+(* End-to-end tests of the design-2 system (§3.2). *)
+
+let hier_site seed =
+  let rng = Dsim.Rng.create seed in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+
+let make ?config seed = Mail.Location_system.create ?config (hier_site seed)
+
+let user sys i = List.nth (Mail.Location_system.users sys) i
+
+let in_region sys r =
+  List.filter (fun u -> String.equal (Naming.Name.region u) r)
+    (Mail.Location_system.users sys)
+
+let test_construction () =
+  let sys = make 1 in
+  Alcotest.(check int) "users" 90 (List.length (Mail.Location_system.users sys));
+  Alcotest.(check int) "servers" 6 (List.length (Mail.Location_system.server_nodes sys))
+
+let test_hash_authority_host_independent () =
+  let sys = make 2 in
+  (* The §3.2 property: authority assignment depends only on (region,
+     user), never on the host token. *)
+  let a = Naming.Name.make ~region:"r0" ~host:"hostA" ~user:"zed" in
+  let b = Naming.Name.make ~region:"r0" ~host:"hostB" ~user:"zed" in
+  Alcotest.(check (list int)) "same authority"
+    (Mail.Location_system.authority_of sys a)
+    (Mail.Location_system.authority_of sys b);
+  (* and lists are non-empty, distinct, within the region's servers *)
+  let auth = Mail.Location_system.authority_of sys a in
+  Alcotest.(check bool) "non-empty" true (auth <> []);
+  Alcotest.(check int) "distinct" (List.length auth)
+    (List.length (List.sort_uniq compare auth))
+
+let test_cross_region_delivery () =
+  let sys = make 3 in
+  let sender = List.hd (in_region sys "r0") in
+  let rcpt = List.hd (in_region sys "r2") in
+  let m = Mail.Location_system.submit sys ~sender ~recipient:rcpt () in
+  Mail.Location_system.run_until sys 500.;
+  Alcotest.(check bool) "deposited" true (Mail.Message.is_deposited m);
+  Alcotest.(check bool) "crossed regions" true (m.Mail.Message.forward_hops >= 1);
+  let st = Mail.Location_system.check_mail sys rcpt in
+  Alcotest.(check int) "retrieved" 1 st.Mail.User_agent.retrieved
+
+let test_login_moves_and_retrieves () =
+  let sys = make 4 in
+  let g = Mail.Location_system.graph sys in
+  let u = List.hd (in_region sys "r1") in
+  (* deposit mail before the user roams *)
+  let sender = List.hd (in_region sys "r0") in
+  ignore (Mail.Location_system.submit sys ~sender ~recipient:u ());
+  Mail.Location_system.run_until sys 300.;
+  let r1_hosts =
+    List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+      (Netsim.Graph.nodes_in_region g "r1")
+  in
+  let original_primary = Mail.Location_system.primary_host sys u in
+  let target =
+    List.hd (List.filter (fun h -> h <> original_primary) r1_hosts)
+  in
+  let st = Mail.Location_system.login sys u ~host:target in
+  Alcotest.(check int) "login retrieved pending mail" 1 st.Mail.User_agent.retrieved;
+  Alcotest.(check int) "location updated" target
+    (Mail.Location_system.current_location sys u);
+  Alcotest.(check int) "agent host moved" target
+    (Mail.User_agent.host (Mail.Location_system.agent sys u));
+  (* primary host unchanged — the name still names the primary. *)
+  Alcotest.(check int) "primary stable" original_primary
+    (Mail.Location_system.primary_host sys u);
+  Mail.Location_system.run_until sys 600.;
+  Alcotest.(check bool) "gossip happened" true
+    (Dsim.Stats.Counter.get (Mail.Location_system.counters sys) "location_updates" >= 1)
+
+let test_login_foreign_region_rejected () =
+  let sys = make 5 in
+  let g = Mail.Location_system.graph sys in
+  let u = List.hd (in_region sys "r0") in
+  let foreign_host =
+    List.hd
+      (List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+         (Netsim.Graph.nodes_in_region g "r1"))
+  in
+  try
+    ignore (Mail.Location_system.login sys u ~host:foreign_host);
+    Alcotest.fail "foreign login accepted"
+  with Invalid_argument _ -> ()
+
+let test_notification_follows_user () =
+  let sys = make 6 in
+  let g = Mail.Location_system.graph sys in
+  let u = List.hd (in_region sys "r1") in
+  let r1_hosts =
+    List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+      (Netsim.Graph.nodes_in_region g "r1")
+  in
+  ignore (Mail.Location_system.login sys u ~host:(List.nth r1_hosts 3));
+  Mail.Location_system.run_until sys 200.;
+  let sender = List.hd (in_region sys "r0") in
+  ignore (Mail.Location_system.submit sys ~sender ~recipient:u ());
+  Mail.Location_system.run_until sys 500.;
+  Alcotest.(check bool) "notified" true
+    (Dsim.Stats.Counter.get (Mail.Location_system.counters sys) "notifications" >= 1)
+
+let test_rebalance_hash () =
+  let sys = make 7 in
+  let moved = Mail.Location_system.rebalance_hash sys ~groups:3 in
+  Alcotest.(check bool) "some users moved" true (moved > 0);
+  (* agents' authority lists are consistent with the new hash *)
+  List.iter
+    (fun u ->
+      Alcotest.(check (list int)) "consistent"
+        (Mail.Location_system.authority_of sys u)
+        (Mail.User_agent.authority (Mail.Location_system.agent sys u)))
+    (Mail.Location_system.users sys);
+  (* delivery still works *)
+  let sender = user sys 0 and rcpt = user sys 50 in
+  let m = Mail.Location_system.submit sys ~sender ~recipient:rcpt () in
+  Mail.Location_system.quiesce sys;
+  Alcotest.(check bool) "delivery after rebalance" true (Mail.Message.is_deposited m)
+
+let test_migrate_region () =
+  let sys = make 8 in
+  let g = Mail.Location_system.graph sys in
+  let u = List.hd (in_region sys "r0") in
+  let r1_host =
+    List.hd
+      (List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+         (Netsim.Graph.nodes_in_region g "r1"))
+  in
+  let new_name = Mail.Location_system.migrate_region sys u ~new_host:r1_host in
+  Alcotest.(check string) "new region" "r1" (Naming.Name.region new_name);
+  Alcotest.(check bool) "redirect" true
+    (Mail.Location_system.redirect_target sys u = Some new_name);
+  (* same-region migrate is rejected (use login) *)
+  let u2 = List.hd (in_region sys "r2") in
+  let r2_host =
+    List.hd
+      (List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+         (Netsim.Graph.nodes_in_region g "r2"))
+  in
+  try
+    ignore (Mail.Location_system.migrate_region sys u2 ~new_host:r2_host);
+    Alcotest.fail "same-region migrate accepted"
+  with Invalid_argument _ -> ()
+
+let test_mail_to_old_name_redirected () =
+  let sys = make 9 in
+  let g = Mail.Location_system.graph sys in
+  let u = List.hd (in_region sys "r0") in
+  let r1_host =
+    List.hd
+      (List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+         (Netsim.Graph.nodes_in_region g "r1"))
+  in
+  let new_name = Mail.Location_system.migrate_region sys u ~new_host:r1_host in
+  let sender = List.hd (in_region sys "r2") in
+  let m = Mail.Location_system.submit sys ~sender ~recipient:u () in
+  Mail.Location_system.quiesce sys;
+  Alcotest.(check bool) "deposited" true (Mail.Message.is_deposited m);
+  Alcotest.(check bool) "rewritten" true
+    (Naming.Name.equal m.Mail.Message.recipient new_name);
+  let st = Mail.Location_system.check_mail sys new_name in
+  Alcotest.(check int) "retrieved at new identity" 1 st.Mail.User_agent.retrieved
+
+let test_retrieval_cost_grows_when_roaming () =
+  let sys = make 12 in
+  let g = Mail.Location_system.graph sys in
+  let u = List.hd (in_region sys "r0") in
+  (* several checks at the primary host *)
+  for _ = 1 to 5 do
+    Mail.Location_system.run_until sys (Mail.Location_system.now sys +. 10.);
+    ignore (Mail.Location_system.check_mail sys u)
+  done;
+  let at_home = Dsim.Stats.Summary.mean (Mail.Location_system.retrieval_cost_stats sys) in
+  Alcotest.(check bool) "cost recorded" true (Float.is_finite at_home);
+  (* roam across every host of the region: average cost must not be
+     free, and the counter machinery must see the roaming checks *)
+  let hosts =
+    List.filter (fun v -> Netsim.Graph.kind g v = Netsim.Graph.Host)
+      (Netsim.Graph.nodes_in_region g "r0")
+  in
+  List.iter
+    (fun h ->
+      Mail.Location_system.run_until sys (Mail.Location_system.now sys +. 10.);
+      ignore (Mail.Location_system.login sys u ~host:h))
+    hosts;
+  let overall = Mail.Location_system.retrieval_cost_stats sys in
+  Alcotest.(check bool) "many samples" true (Dsim.Stats.Summary.count overall >= 10);
+  Alcotest.(check bool) "positive costs" true (Dsim.Stats.Summary.max overall > 0.)
+
+let test_config_hash_groups () =
+  let config = { Mail.Location_system.default_config with hash_groups = 2 } in
+  let sys = make ~config 10 in
+  let u = user sys 0 in
+  Alcotest.(check bool) "authority within region servers" true
+    (List.for_all
+       (fun s -> List.mem s (Mail.Location_system.server_nodes sys))
+       (Mail.Location_system.authority_of sys u))
+
+let suite =
+  [
+    ( "location_system",
+      [
+        Alcotest.test_case "construction" `Quick test_construction;
+        Alcotest.test_case "hash authority ignores host" `Quick
+          test_hash_authority_host_independent;
+        Alcotest.test_case "cross-region delivery" `Quick test_cross_region_delivery;
+        Alcotest.test_case "login moves and retrieves" `Quick
+          test_login_moves_and_retrieves;
+        Alcotest.test_case "foreign login rejected" `Quick
+          test_login_foreign_region_rejected;
+        Alcotest.test_case "notification follows user" `Quick
+          test_notification_follows_user;
+        Alcotest.test_case "hash rebalancing" `Quick test_rebalance_hash;
+        Alcotest.test_case "cross-region migration" `Quick test_migrate_region;
+        Alcotest.test_case "old-name mail redirected" `Quick
+          test_mail_to_old_name_redirected;
+        Alcotest.test_case "retrieval cost accounting" `Quick
+          test_retrieval_cost_grows_when_roaming;
+        Alcotest.test_case "custom hash groups" `Quick test_config_hash_groups;
+      ] );
+  ]

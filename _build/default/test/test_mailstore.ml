@@ -1,0 +1,135 @@
+(* Tests for Message, Mailbox and Server. *)
+
+let nm u = Naming.Name.make ~region:"east" ~host:"h1" ~user:u
+
+let msg ?(id = 0) ?(at = 0.) () =
+  Mail.Message.create ~id ~sender:(nm "alice") ~recipient:(nm "bob") ~subject:"s"
+    ~body:"hello" ~submitted_at:at ()
+
+(* --- message lifecycle --- *)
+
+let test_message_lifecycle () =
+  let m = msg ~at:1. () in
+  Alcotest.(check bool) "not deposited" false (Mail.Message.is_deposited m);
+  Mail.Message.mark_deposited m ~at:3. ~on:9;
+  Alcotest.(check bool) "deposited" true (Mail.Message.is_deposited m);
+  Alcotest.(check (option (float 1e-9))) "delivery latency" (Some 2.)
+    (Mail.Message.delivery_latency m);
+  (* second deposit is ignored *)
+  Mail.Message.mark_deposited m ~at:99. ~on:1;
+  Alcotest.(check (option (float 1e-9))) "first deposit wins" (Some 2.)
+    (Mail.Message.delivery_latency m);
+  Alcotest.(check bool) "kept server" true (m.Mail.Message.deposited_on = Some 9);
+  Mail.Message.mark_retrieved m ~at:6.;
+  Alcotest.(check (option (float 1e-9))) "e2e latency" (Some 5.)
+    (Mail.Message.end_to_end_latency m)
+
+let test_message_pp () =
+  let s = Format.asprintf "%a" Mail.Message.pp (msg ()) in
+  Alcotest.(check bool) "prints" true (String.length s > 10)
+
+(* --- mailbox --- *)
+
+let test_mailbox_deposit_retrieve () =
+  let mb = Mail.Mailbox.create (nm "bob") in
+  Mail.Mailbox.deposit mb (msg ~id:1 ());
+  Mail.Mailbox.deposit mb (msg ~id:2 ());
+  Alcotest.(check int) "pending" 2 (Mail.Mailbox.pending mb);
+  let got = Mail.Mailbox.retrieve_all mb in
+  Alcotest.(check (list int)) "deposit order" [ 1; 2 ]
+    (List.map (fun m -> m.Mail.Message.id) got);
+  Alcotest.(check int) "drained" 0 (Mail.Mailbox.pending mb);
+  Alcotest.(check int) "no archive by default" 0 (Mail.Mailbox.archived mb)
+
+let test_mailbox_peek () =
+  let mb = Mail.Mailbox.create (nm "bob") in
+  Mail.Mailbox.deposit mb (msg ~id:1 ());
+  Alcotest.(check int) "peek leaves" 1 (List.length (Mail.Mailbox.peek mb));
+  Alcotest.(check int) "still pending" 1 (Mail.Mailbox.pending mb)
+
+let test_mailbox_archive_policy () =
+  let mb = Mail.Mailbox.create ~policy:Mail.Mailbox.Archive (nm "bob") in
+  let m = msg ~id:1 () in
+  Mail.Message.mark_deposited m ~at:10. ~on:0;
+  Mail.Mailbox.deposit mb m;
+  ignore (Mail.Mailbox.retrieve_all mb);
+  Alcotest.(check int) "archived copy kept" 1 (Mail.Mailbox.archived mb);
+  (* clean-up drops old copies *)
+  let dropped = Mail.Mailbox.cleanup mb ~now:100. ~max_age:50. in
+  Alcotest.(check int) "dropped" 1 dropped;
+  Alcotest.(check int) "archive empty" 0 (Mail.Mailbox.archived mb)
+
+let test_mailbox_cleanup_keeps_fresh () =
+  let mb = Mail.Mailbox.create ~policy:Mail.Mailbox.Archive (nm "bob") in
+  let m = msg ~id:1 () in
+  Mail.Message.mark_deposited m ~at:90. ~on:0;
+  Mail.Mailbox.deposit mb m;
+  ignore (Mail.Mailbox.retrieve_all mb);
+  Alcotest.(check int) "kept" 0 (Mail.Mailbox.cleanup mb ~now:100. ~max_age:50.);
+  Alcotest.(check int) "still archived" 1 (Mail.Mailbox.archived mb)
+
+let test_mailbox_storage () =
+  let mb = Mail.Mailbox.create (nm "bob") in
+  Alcotest.(check int) "empty" 0 (Mail.Mailbox.storage_bytes mb);
+  Mail.Mailbox.deposit mb (msg ());
+  Alcotest.(check bool) "positive" true (Mail.Mailbox.storage_bytes mb > 0)
+
+(* --- server --- *)
+
+let test_server_deposit_fetch () =
+  let srv = Mail.Server.create ~node:3 ~region:"east" () in
+  let m = msg ~id:5 ~at:1. () in
+  Mail.Server.deposit srv m ~at:2.;
+  Alcotest.(check bool) "marked deposited" true (Mail.Message.is_deposited m);
+  Alcotest.(check bool) "on this server" true (m.Mail.Message.deposited_on = Some 3);
+  Alcotest.(check int) "pending for bob" 1 (Mail.Server.pending_for srv (nm "bob"));
+  Alcotest.(check int) "total pending" 1 (Mail.Server.total_pending srv);
+  let got = Mail.Server.fetch srv (nm "bob") ~at:4. in
+  Alcotest.(check int) "fetched" 1 (List.length got);
+  Alcotest.(check bool) "marked retrieved" true (Mail.Message.is_retrieved m);
+  Alcotest.(check (list int)) "refetch empty" []
+    (List.map (fun m -> m.Mail.Message.id) (Mail.Server.fetch srv (nm "bob") ~at:5.));
+  Alcotest.(check int) "deposits counted" 1 (Mail.Server.deposits srv)
+
+let test_server_unknown_user_fetch () =
+  let srv = Mail.Server.create ~node:3 ~region:"east" () in
+  Alcotest.(check int) "empty" 0 (List.length (Mail.Server.fetch srv (nm "ghost") ~at:0.))
+
+let test_server_last_start () =
+  let srv = Mail.Server.create ~node:3 ~region:"east" () in
+  Alcotest.(check (float 1e-9)) "initial" 0. (Mail.Server.last_start srv);
+  Mail.Server.note_recovery srv ~at:42.;
+  Alcotest.(check (float 1e-9)) "after recovery" 42. (Mail.Server.last_start srv)
+
+let test_server_mailbox_count_and_cleanup () =
+  let srv = Mail.Server.create ~mailbox_policy:Mail.Mailbox.Archive ~node:1 ~region:"r" () in
+  Mail.Server.deposit srv (msg ~id:1 ()) ~at:0.;
+  let m2 =
+    Mail.Message.create ~id:2 ~sender:(nm "bob") ~recipient:(nm "carol") ~submitted_at:0. ()
+  in
+  Mail.Server.deposit srv m2 ~at:0.;
+  Alcotest.(check int) "two mailboxes" 2 (Mail.Server.mailbox_count srv);
+  ignore (Mail.Server.fetch srv (nm "bob") ~at:1.);
+  ignore (Mail.Server.fetch srv (nm "carol") ~at:1.);
+  let dropped = Mail.Server.cleanup srv ~now:1000. ~max_age:10. in
+  Alcotest.(check int) "archives cleaned" 2 dropped
+
+let suite =
+  [
+    ( "mailstore",
+      [
+        Alcotest.test_case "message lifecycle" `Quick test_message_lifecycle;
+        Alcotest.test_case "message pp" `Quick test_message_pp;
+        Alcotest.test_case "mailbox deposit/retrieve" `Quick
+          test_mailbox_deposit_retrieve;
+        Alcotest.test_case "mailbox peek" `Quick test_mailbox_peek;
+        Alcotest.test_case "archive policy" `Quick test_mailbox_archive_policy;
+        Alcotest.test_case "cleanup keeps fresh" `Quick test_mailbox_cleanup_keeps_fresh;
+        Alcotest.test_case "storage accounting" `Quick test_mailbox_storage;
+        Alcotest.test_case "server deposit/fetch" `Quick test_server_deposit_fetch;
+        Alcotest.test_case "server unknown user" `Quick test_server_unknown_user_fetch;
+        Alcotest.test_case "LastStartTime" `Quick test_server_last_start;
+        Alcotest.test_case "mailboxes and cleanup" `Quick
+          test_server_mailbox_count_and_cleanup;
+      ] );
+  ]

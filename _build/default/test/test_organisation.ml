@@ -1,0 +1,89 @@
+(* Tests for the §2 name-service organisation model. *)
+
+let est org = Naming.Organisation.estimate org ~servers:10 ~server_availability:0.9 ~local_fraction:0.8
+
+let test_centralized () =
+  let e = est Naming.Organisation.Centralized in
+  Alcotest.(check (float 1e-9)) "stores everything" 1. e.Naming.Organisation.storage_fraction;
+  Alcotest.(check (float 1e-9)) "single point of failure" 0.9 e.Naming.Organisation.availability;
+  Alcotest.(check (float 1e-9)) "round trip per lookup" 2. e.Naming.Organisation.lookup_messages
+
+let test_fully_replicated () =
+  let e = est Naming.Organisation.Fully_replicated in
+  Alcotest.(check (float 1e-9)) "stores everything" 1. e.Naming.Organisation.storage_fraction;
+  Alcotest.(check (float 1e-9)) "local lookups free" 0. e.Naming.Organisation.lookup_messages;
+  Alcotest.(check (float 1e-9)) "updates hit every server" 20. e.Naming.Organisation.update_messages;
+  Alcotest.(check bool) "nearly always available" true
+    (e.Naming.Organisation.availability > 0.9999999)
+
+let test_partitioned () =
+  let e = est (Naming.Organisation.Partitioned 3) in
+  Alcotest.(check (float 1e-9)) "stores a slice" 0.3 e.Naming.Organisation.storage_fraction;
+  (* 80% local -> 0.4 expected messages *)
+  Alcotest.(check (float 1e-6)) "mostly local lookups" 0.4 e.Naming.Organisation.lookup_messages;
+  Alcotest.(check (float 1e-9)) "updates hit replicas" 6. e.Naming.Organisation.update_messages;
+  Alcotest.(check (float 1e-9)) "replica availability" (1. -. (0.1 ** 3.))
+    e.Naming.Organisation.availability
+
+(* The §2 narrative: partitioning dominates centralisation on
+   availability and full replication on storage/update cost, paying
+   only a modest lookup overhead. *)
+let test_paper_tradeoff_ordering () =
+  let c = est Naming.Organisation.Centralized in
+  let f = est Naming.Organisation.Fully_replicated in
+  let p = est (Naming.Organisation.Partitioned 3) in
+  Alcotest.(check bool) "more available than centralized" true
+    (p.Naming.Organisation.availability > c.Naming.Organisation.availability);
+  Alcotest.(check bool) "cheaper storage than replication" true
+    (p.Naming.Organisation.storage_fraction < f.Naming.Organisation.storage_fraction);
+  Alcotest.(check bool) "cheaper updates than replication" true
+    (p.Naming.Organisation.update_messages < f.Naming.Organisation.update_messages);
+  Alcotest.(check bool) "lookups dearer than replication" true
+    (p.Naming.Organisation.lookup_messages > f.Naming.Organisation.lookup_messages)
+
+let test_validation () =
+  let expect_invalid f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  expect_invalid (fun () ->
+      ignore
+        (Naming.Organisation.estimate Naming.Organisation.Centralized ~servers:0
+           ~server_availability:0.9 ~local_fraction:0.5));
+  expect_invalid (fun () ->
+      ignore
+        (Naming.Organisation.estimate Naming.Organisation.Centralized ~servers:5
+           ~server_availability:1.5 ~local_fraction:0.5));
+  expect_invalid (fun () ->
+      ignore
+        (Naming.Organisation.estimate (Naming.Organisation.Partitioned 9) ~servers:5
+           ~server_availability:0.9 ~local_fraction:0.5))
+
+let prop_availability_monotone_in_replication =
+  QCheck.Test.make ~name:"availability grows with replication" ~count:100
+    QCheck.(pair (int_range 1 9) (float_range 0.1 0.99))
+    (fun (r, p) ->
+      let e1 =
+        Naming.Organisation.estimate (Naming.Organisation.Partitioned r) ~servers:10
+          ~server_availability:p ~local_fraction:0.5
+      in
+      let e2 =
+        Naming.Organisation.estimate (Naming.Organisation.Partitioned (r + 1))
+          ~servers:10 ~server_availability:p ~local_fraction:0.5
+      in
+      e2.Naming.Organisation.availability >= e1.Naming.Organisation.availability)
+
+let test_pp_smoke () =
+  let s = Format.asprintf "%a" Naming.Organisation.pp (est Naming.Organisation.Centralized) in
+  Alcotest.(check bool) "prints" true (String.length s > 10)
+
+let suite =
+  [
+    ( "organisation",
+      [
+        Alcotest.test_case "centralized" `Quick test_centralized;
+        Alcotest.test_case "fully replicated" `Quick test_fully_replicated;
+        Alcotest.test_case "partitioned" `Quick test_partitioned;
+        Alcotest.test_case "paper trade-off ordering" `Quick test_paper_tradeoff_ordering;
+        Alcotest.test_case "validation" `Quick test_validation;
+        QCheck_alcotest.to_alcotest prop_availability_monotone_in_replication;
+        Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+      ] );
+  ]

@@ -1,0 +1,215 @@
+(* Tests for the §3.1.3 reconfiguration operators. *)
+
+let balanced_fig1 () =
+  let p = Loadbalance.Assignment.problem_of_site (Netsim.Topology.paper_fig1 ()) in
+  let t, _ = Loadbalance.Balancer.run p in
+  (p, t)
+
+let total_load t = Array.fold_left ( + ) 0 (Loadbalance.Assignment.loads t)
+
+let test_add_users () =
+  let p, t = balanced_fig1 () in
+  let h1 = p.Loadbalance.Assignment.hosts.(0) in
+  let p', t', stats =
+    Loadbalance.Reconfigure.apply_and_rebalance p t
+      (Loadbalance.Reconfigure.Add_users (h1, 20))
+  in
+  Alcotest.(check int) "population grew" 70 p'.Loadbalance.Assignment.populations.(0);
+  Alcotest.(check int) "total" 290 (total_load t');
+  Alcotest.(check bool) "complete" true (Loadbalance.Assignment.is_complete p' t');
+  Alcotest.(check bool) "converged" true stats.Loadbalance.Balancer.converged
+
+let test_remove_users () =
+  let p, t = balanced_fig1 () in
+  let h2 = p.Loadbalance.Assignment.hosts.(1) in
+  let p', t', _ =
+    Loadbalance.Reconfigure.apply_and_rebalance p t
+      (Loadbalance.Reconfigure.Remove_users (h2, 30))
+  in
+  Alcotest.(check int) "population shrank" 30 p'.Loadbalance.Assignment.populations.(1);
+  Alcotest.(check int) "total" 240 (total_load t');
+  Alcotest.(check bool) "complete" true (Loadbalance.Assignment.is_complete p' t')
+
+let test_remove_too_many_users () =
+  let p, t = balanced_fig1 () in
+  let h = p.Loadbalance.Assignment.hosts.(5) in
+  try
+    ignore (Loadbalance.Reconfigure.apply p t (Loadbalance.Reconfigure.Remove_users (h, 999)));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_add_host () =
+  let site = Netsim.Topology.paper_fig1 () in
+  let g = site.Netsim.Topology.graph in
+  (* A new host wired to S3. *)
+  let h7 = Netsim.Graph.add_node ~label:"H7" ~kind:Netsim.Graph.Host ~region:"r0" g in
+  Netsim.Graph.add_edge g h7 8 1.0;
+  let p = Loadbalance.Assignment.problem_of_site site in
+  let t, _ = Loadbalance.Balancer.run p in
+  let p', t', _ =
+    Loadbalance.Reconfigure.apply_and_rebalance p t
+      (Loadbalance.Reconfigure.Add_host (h7, 25))
+  in
+  Alcotest.(check int) "hosts" 7 (Array.length p'.Loadbalance.Assignment.hosts);
+  Alcotest.(check int) "total" 295 (total_load t');
+  Alcotest.(check bool) "complete" true (Loadbalance.Assignment.is_complete p' t')
+
+let test_remove_host () =
+  let p, t = balanced_fig1 () in
+  let h6 = p.Loadbalance.Assignment.hosts.(5) in
+  let p', t', _ =
+    Loadbalance.Reconfigure.apply_and_rebalance p t
+      (Loadbalance.Reconfigure.Remove_host h6)
+  in
+  Alcotest.(check int) "hosts" 5 (Array.length p'.Loadbalance.Assignment.hosts);
+  Alcotest.(check int) "total drops by 20" 250 (total_load t')
+
+let test_add_server () =
+  let site = Netsim.Topology.paper_fig1 () in
+  let g = site.Netsim.Topology.graph in
+  let s4 = Netsim.Graph.add_node ~label:"S4" ~kind:Netsim.Graph.Server ~region:"r0" g in
+  Netsim.Graph.add_edge g s4 7 1.0;
+  (* attach next to overloaded S2 *)
+  let p = Loadbalance.Assignment.problem_of_site site in
+  let t = Loadbalance.Balancer.initialize p in
+  let p', t', _ =
+    Loadbalance.Reconfigure.apply_and_rebalance p t
+      (Loadbalance.Reconfigure.Add_server (s4, 100))
+  in
+  Alcotest.(check int) "servers" 4 (Array.length p'.Loadbalance.Assignment.servers);
+  Alcotest.(check int) "total preserved" 270 (total_load t');
+  Alcotest.(check (list int)) "no overload" []
+    (Loadbalance.Assignment.overloaded p' t');
+  (* the new server actually took load *)
+  Alcotest.(check bool) "new server used" true (Loadbalance.Assignment.load t' 3 > 0)
+
+let test_remove_server () =
+  let p, t = balanced_fig1 () in
+  let s3 = p.Loadbalance.Assignment.servers.(2) in
+  let p', t', _ =
+    Loadbalance.Reconfigure.apply_and_rebalance p t
+      (Loadbalance.Reconfigure.Remove_server s3)
+  in
+  Alcotest.(check int) "servers" 2 (Array.length p'.Loadbalance.Assignment.servers);
+  Alcotest.(check int) "users preserved" 270 (total_load t');
+  Alcotest.(check bool) "complete" true (Loadbalance.Assignment.is_complete p' t')
+
+let test_remove_last_server_rejected () =
+  let site = Netsim.Topology.paper_table3 () in
+  let p = Loadbalance.Assignment.problem_of_site site in
+  let t, _ = Loadbalance.Balancer.run p in
+  let remove s (p, t) =
+    let p', t' = Loadbalance.Reconfigure.apply p t (Loadbalance.Reconfigure.Remove_server s) in
+    (p', t')
+  in
+  let p1, t1 = remove p.Loadbalance.Assignment.servers.(2) (p, t) in
+  let p2, t2 = remove p1.Loadbalance.Assignment.servers.(1) (p1, t1) in
+  try
+    ignore (remove p2.Loadbalance.Assignment.servers.(0) (p2, t2));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_duplicate_add_rejected () =
+  let p, t = balanced_fig1 () in
+  let existing_server = p.Loadbalance.Assignment.servers.(0) in
+  (try
+     ignore
+       (Loadbalance.Reconfigure.apply p t
+          (Loadbalance.Reconfigure.Add_server (existing_server, 100)));
+     Alcotest.fail "duplicate server accepted"
+   with Invalid_argument _ -> ());
+  let existing_host = p.Loadbalance.Assignment.hosts.(0) in
+  try
+    ignore
+      (Loadbalance.Reconfigure.apply p t
+         (Loadbalance.Reconfigure.Add_host (existing_host, 5)));
+    Alcotest.fail "duplicate host accepted"
+  with Invalid_argument _ -> ()
+
+let test_port_preserves_surviving_assignment () =
+  let p, t = balanced_fig1 () in
+  let before = Loadbalance.Assignment.get t ~host:0 ~server:0 in
+  let p', t' =
+    Loadbalance.Reconfigure.apply p t (Loadbalance.Reconfigure.Remove_host
+      p.Loadbalance.Assignment.hosts.(5))
+  in
+  Alcotest.(check int) "H1 allocation carried over" before
+    (Loadbalance.Assignment.get t' ~host:0 ~server:0);
+  Alcotest.(check bool) "still complete for surviving hosts" true
+    (Loadbalance.Assignment.is_complete p' t')
+
+(* Random sequences of reconfigurations keep the system consistent:
+   complete assignment, conserved totals, convergence every step. *)
+let prop_random_reconfiguration_sequences =
+  QCheck.Test.make ~name:"random reconfiguration sequences stay consistent" ~count:15
+    QCheck.(pair (int_range 1 1000) (int_range 1 6))
+    (fun (seed, steps) ->
+      let rng = Dsim.Rng.create seed in
+      let site =
+        Netsim.Topology.random_mail_site ~rng ~hosts:6 ~servers:3
+          ~users_per_host:(10, 30) ~extra_edges:6
+      in
+      let g = site.Netsim.Topology.graph in
+      let problem =
+        Loadbalance.Assignment.problem_of_site ~capacity:(fun _ -> 200) site
+      in
+      let t, _ = Loadbalance.Balancer.run problem in
+      let state = ref (problem, t) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let problem, t = !state in
+        let hosts = problem.Loadbalance.Assignment.hosts in
+        let servers = problem.Loadbalance.Assignment.servers in
+        let change =
+          match Dsim.Rng.int rng 4 with
+          | 0 ->
+              Loadbalance.Reconfigure.Add_users
+                (hosts.(Dsim.Rng.int rng (Array.length hosts)), 5)
+          | 1 ->
+              let i = Dsim.Rng.int rng (Array.length hosts) in
+              let pop = problem.Loadbalance.Assignment.populations.(i) in
+              Loadbalance.Reconfigure.Remove_users (hosts.(i), min 3 pop)
+          | 2 when Array.length hosts > 1 ->
+              Loadbalance.Reconfigure.Remove_host
+                (hosts.(Dsim.Rng.int rng (Array.length hosts)))
+          | 2 -> Loadbalance.Reconfigure.Add_users (hosts.(0), 1)
+          | _ when Array.length servers > 1 ->
+              Loadbalance.Reconfigure.Remove_server
+                (servers.(Dsim.Rng.int rng (Array.length servers)))
+          | _ -> Loadbalance.Reconfigure.Add_users (hosts.(0), 1)
+        in
+        let problem', t', stats =
+          Loadbalance.Reconfigure.apply_and_rebalance problem t change
+        in
+        let expected =
+          Array.fold_left ( + ) 0 problem'.Loadbalance.Assignment.populations
+        in
+        if
+          (not (Loadbalance.Assignment.is_complete problem' t'))
+          || Array.fold_left ( + ) 0 (Loadbalance.Assignment.loads t') <> expected
+          || not stats.Loadbalance.Balancer.converged
+        then ok := false;
+        state := (problem', t')
+      done;
+      ignore g;
+      !ok)
+
+let suite =
+  [
+    ( "reconfigure",
+      [
+        Alcotest.test_case "add users" `Quick test_add_users;
+        Alcotest.test_case "remove users" `Quick test_remove_users;
+        Alcotest.test_case "remove too many users" `Quick test_remove_too_many_users;
+        Alcotest.test_case "add host" `Quick test_add_host;
+        Alcotest.test_case "remove host" `Quick test_remove_host;
+        Alcotest.test_case "add server relieves overload" `Quick test_add_server;
+        Alcotest.test_case "remove server" `Quick test_remove_server;
+        Alcotest.test_case "cannot remove last server" `Quick
+          test_remove_last_server_rejected;
+        Alcotest.test_case "duplicate adds rejected" `Quick test_duplicate_add_rejected;
+        Alcotest.test_case "porting preserves assignments" `Quick
+          test_port_preserves_surviving_assignment;
+        QCheck_alcotest.to_alcotest prop_random_reconfiguration_sequences;
+      ] );
+  ]

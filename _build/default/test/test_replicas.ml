@@ -1,0 +1,131 @@
+(* Tests for secondary-server assignment (§3.1.1 extension). *)
+
+let balanced_fig1 () =
+  let p = Loadbalance.Assignment.problem_of_site (Netsim.Topology.paper_fig1 ()) in
+  let t, _ = Loadbalance.Balancer.run p in
+  (p, t)
+
+let test_chains_well_formed () =
+  let p, t = balanced_fig1 () in
+  let r = Loadbalance.Replicas.assign ~replication:3 p t in
+  Array.iteri
+    (fun i slots ->
+      Array.iter
+        (fun chain ->
+          Alcotest.(check int) "chain length" 3 (List.length chain);
+          Alcotest.(check int) "distinct servers" 3
+            (List.length (List.sort_uniq compare chain));
+          List.iter
+            (fun s ->
+              if not (Array.exists (( = ) s) p.Loadbalance.Assignment.servers) then
+                Alcotest.failf "host %d chain uses unknown server %d" i s)
+            chain)
+        slots)
+    r.Loadbalance.Replicas.chains
+
+let test_primary_heads_chain () =
+  let p, t = balanced_fig1 () in
+  let r = Loadbalance.Replicas.assign p t in
+  (* every chain's head must be a server actually serving that host *)
+  Array.iteri
+    (fun i slots ->
+      Array.iter
+        (fun chain ->
+          match chain with
+          | head :: _ ->
+              let j =
+                let found = ref (-1) in
+                Array.iteri
+                  (fun k s -> if s = head then found := k)
+                  p.Loadbalance.Assignment.servers;
+                !found
+              in
+              if Loadbalance.Assignment.get t ~host:i ~server:j = 0 then
+                Alcotest.failf "chain head %d serves no users of host %d" head i
+          | [] -> Alcotest.fail "empty chain")
+        slots)
+    r.Loadbalance.Replicas.chains
+
+let test_replication_capped_at_servers () =
+  let p, t = balanced_fig1 () in
+  let r = Loadbalance.Replicas.assign ~replication:10 p t in
+  Array.iter
+    (fun slots ->
+      Array.iter
+        (fun chain -> Alcotest.(check int) "capped" 3 (List.length chain))
+        slots)
+    r.Loadbalance.Replicas.chains
+
+let test_chain_for_cycles_slots () =
+  let p, t = balanced_fig1 () in
+  let r = Loadbalance.Replicas.assign p t in
+  (* host 1 (H2) has users split over two servers after balancing *)
+  let c0 = Loadbalance.Replicas.chain_for r ~host:1 ~user_slot:0 in
+  let slots = Array.length r.Loadbalance.Replicas.chains.(1) in
+  let c_again = Loadbalance.Replicas.chain_for r ~host:1 ~user_slot:slots in
+  Alcotest.(check (list int)) "slots cycle" c0 c_again
+
+let test_secondary_load_spread () =
+  let p, t = balanced_fig1 () in
+  let r = Loadbalance.Replicas.assign p t in
+  let total_secondary = Array.fold_left ( + ) 0 r.Loadbalance.Replicas.secondary_load in
+  Alcotest.(check int) "every user has a first secondary" 270 total_secondary;
+  Alcotest.(check bool) "reasonably spread" true
+    (Loadbalance.Replicas.secondary_imbalance p r < 1.0)
+
+let test_incomplete_rejected () =
+  let p, _ = balanced_fig1 () in
+  let empty = Loadbalance.Assignment.empty p in
+  try
+    ignore (Loadbalance.Replicas.assign p empty);
+    Alcotest.fail "incomplete assignment accepted"
+  with Invalid_argument _ -> ()
+
+let test_bad_replication_rejected () =
+  let p, t = balanced_fig1 () in
+  try
+    ignore (Loadbalance.Replicas.assign ~replication:0 p t);
+    Alcotest.fail "replication 0 accepted"
+  with Invalid_argument _ -> ()
+
+let prop_random_sites =
+  QCheck.Test.make ~name:"replica chains valid on random sites" ~count:20
+    QCheck.(pair (int_range 3 15) (int_range 2 6))
+    (fun (hosts, servers) ->
+      let rng = Dsim.Rng.create ((hosts * 37) + servers) in
+      let site =
+        Netsim.Topology.random_mail_site ~rng ~hosts ~servers ~users_per_host:(5, 30)
+          ~extra_edges:hosts
+      in
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 site.Netsim.Topology.hosts in
+      let p =
+        Loadbalance.Assignment.problem_of_site
+          ~capacity:(fun _ -> 1 + (total * 2 / servers))
+          site
+      in
+      let t, _ = Loadbalance.Balancer.run p in
+      let r = Loadbalance.Replicas.assign ~replication:3 p t in
+      let want = min 3 servers in
+      Array.for_all
+        (fun slots ->
+          Array.for_all
+            (fun chain ->
+              List.length chain = want
+              && List.length (List.sort_uniq compare chain) = want)
+            slots)
+        r.Loadbalance.Replicas.chains)
+
+let suite =
+  [
+    ( "replicas",
+      [
+        Alcotest.test_case "chains well formed" `Quick test_chains_well_formed;
+        Alcotest.test_case "primary heads each chain" `Quick test_primary_heads_chain;
+        Alcotest.test_case "replication capped" `Quick test_replication_capped_at_servers;
+        Alcotest.test_case "slot cycling" `Quick test_chain_for_cycles_slots;
+        Alcotest.test_case "secondary load spread" `Quick test_secondary_load_spread;
+        Alcotest.test_case "incomplete rejected" `Quick test_incomplete_rejected;
+        Alcotest.test_case "bad replication rejected" `Quick test_bad_replication_rejected;
+        QCheck_alcotest.to_alcotest prop_random_sites;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+(* Tests for syntax-directed resolution. *)
+
+let n r h u = Naming.Name.make ~region:r ~host:h ~user:u
+
+let east_space () =
+  let sp = Naming.Name_space.create Naming.Name_space.By_host in
+  let alice = n "east" "h1" "alice" in
+  Naming.Name_space.register sp alice;
+  Naming.Name_space.assign_context sp (Naming.Name_space.context_of sp alice) [ 10; 11 ];
+  (sp, alice)
+
+let test_local_resolution () =
+  let sp, alice = east_space () in
+  match Naming.Resolver.resolve sp ~local_region:"east" alice with
+  | Naming.Resolver.Authoritative servers ->
+      Alcotest.(check (list int)) "servers" [ 10; 11 ] servers
+  | _ -> Alcotest.fail "expected Authoritative"
+
+let test_foreign_forwarded () =
+  let sp, _ = east_space () in
+  match Naming.Resolver.resolve sp ~local_region:"east" (n "west" "h9" "bob") with
+  | Naming.Resolver.Forward_to_region r -> Alcotest.(check string) "target" "west" r
+  | _ -> Alcotest.fail "expected Forward_to_region"
+
+let test_unknown_local () =
+  let sp, _ = east_space () in
+  match Naming.Resolver.resolve sp ~local_region:"east" (n "east" "h1" "mallory") with
+  | Naming.Resolver.Unknown -> ()
+  | _ -> Alcotest.fail "expected Unknown"
+
+let test_registered_but_unassigned () =
+  let sp = Naming.Name_space.create Naming.Name_space.By_host in
+  let carol = n "east" "h2" "carol" in
+  Naming.Name_space.register sp carol;
+  match Naming.Resolver.resolve sp ~local_region:"east" carol with
+  | Naming.Resolver.Unknown -> ()
+  | _ -> Alcotest.fail "no servers should resolve as Unknown"
+
+let spaces_of_list l region = List.assoc_opt region l
+
+let test_resolution_path_direct () =
+  let sp, alice = east_space () in
+  let steps =
+    Naming.Resolver.resolution_path ~start_region:"east"
+      ~spaces:(spaces_of_list [ ("east", sp) ])
+      alice
+  in
+  match steps with
+  | [ Naming.Resolver.Looked_up "east"; Naming.Resolver.Found [ 10; 11 ] ] -> ()
+  | _ -> Alcotest.failf "unexpected path (%d steps)" (List.length steps)
+
+let test_resolution_path_forwarded () =
+  let east, _ = east_space () in
+  let west = Naming.Name_space.create Naming.Name_space.By_host in
+  let bob = n "west" "h9" "bob" in
+  Naming.Name_space.register west bob;
+  Naming.Name_space.assign_context west (Naming.Name_space.context_of west bob) [ 20 ];
+  let steps =
+    Naming.Resolver.resolution_path ~start_region:"east"
+      ~spaces:(spaces_of_list [ ("east", east); ("west", west) ])
+      bob
+  in
+  match steps with
+  | [
+   Naming.Resolver.Looked_up "east";
+   Naming.Resolver.Forwarded ("east", "west");
+   Naming.Resolver.Looked_up "west";
+   Naming.Resolver.Found [ 20 ];
+  ] ->
+      ()
+  | _ -> Alcotest.failf "unexpected path (%d steps)" (List.length steps)
+
+let test_resolution_path_unreachable_region () =
+  let east, _ = east_space () in
+  let steps =
+    Naming.Resolver.resolution_path ~start_region:"east"
+      ~spaces:(spaces_of_list [ ("east", east) ])
+      (n "mars" "h1" "marvin")
+  in
+  match List.rev steps with
+  | Naming.Resolver.Failed _ :: _ -> ()
+  | _ -> Alcotest.fail "expected failure step"
+
+let test_resolution_path_unknown_user () =
+  let east, _ = east_space () in
+  let steps =
+    Naming.Resolver.resolution_path ~start_region:"east"
+      ~spaces:(spaces_of_list [ ("east", east) ])
+      (n "east" "h1" "nobody")
+  in
+  match List.rev steps with
+  | Naming.Resolver.Failed _ :: _ -> ()
+  | _ -> Alcotest.fail "expected failure step"
+
+let suite =
+  [
+    ( "resolver",
+      [
+        Alcotest.test_case "local resolution" `Quick test_local_resolution;
+        Alcotest.test_case "foreign names forwarded" `Quick test_foreign_forwarded;
+        Alcotest.test_case "unknown local name" `Quick test_unknown_local;
+        Alcotest.test_case "registered but unassigned" `Quick
+          test_registered_but_unassigned;
+        Alcotest.test_case "path: direct" `Quick test_resolution_path_direct;
+        Alcotest.test_case "path: forwarded" `Quick test_resolution_path_forwarded;
+        Alcotest.test_case "path: unreachable region" `Quick
+          test_resolution_path_unreachable_region;
+        Alcotest.test_case "path: unknown user" `Quick test_resolution_path_unknown_user;
+      ] );
+  ]

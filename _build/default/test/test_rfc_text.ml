@@ -1,0 +1,159 @@
+(* Tests for the RFC-822-style wire codec. *)
+
+let nm r h u = Naming.Name.make ~region:r ~host:h ~user:u
+
+let sample () =
+  Mail.Message.create ~id:42
+    ~sender:(nm "east" "vax1" "alice")
+    ~recipient:(nm "west" "sun3" "bob")
+    ~subject:"lunch?" ~body:"how about tuesday\n-- alice"
+    ~parts:[ Mail.Content.Voice { seconds = 2.5 }; Mail.Content.Facsimile { pages = 1 } ]
+    ~submitted_at:17.25 ()
+
+let test_encode_shape () =
+  let wire = Mail.Rfc_text.encode (sample ()) in
+  let has sub =
+    let n = String.length sub and m = String.length wire in
+    let rec scan i = i + n <= m && (String.sub wire i n = sub || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "from header" true (has "From: east.vax1.alice\n");
+  Alcotest.(check bool) "to header" true (has "To: west.sun3.bob\n");
+  Alcotest.(check bool) "subject" true (has "Subject: lunch?\n");
+  Alcotest.(check bool) "part header" true (has "X-Part: voice ");
+  Alcotest.(check bool) "body after blank line" true (has "\n\nhow about tuesday")
+
+let test_roundtrip_sample () =
+  let m = sample () in
+  match Mail.Rfc_text.roundtrip m with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      Alcotest.(check int) "id" m.Mail.Message.id m'.Mail.Message.id;
+      Alcotest.(check bool) "sender" true
+        (Naming.Name.equal m.Mail.Message.sender m'.Mail.Message.sender);
+      Alcotest.(check bool) "recipient" true
+        (Naming.Name.equal m.Mail.Message.recipient m'.Mail.Message.recipient);
+      Alcotest.(check string) "subject" m.Mail.Message.subject m'.Mail.Message.subject;
+      Alcotest.(check string) "body" m.Mail.Message.body m'.Mail.Message.body;
+      Alcotest.(check (float 1e-12)) "date" m.Mail.Message.submitted_at
+        m'.Mail.Message.submitted_at;
+      Alcotest.(check bool) "parts" true (m.Mail.Message.parts = m'.Mail.Message.parts)
+
+let test_newline_subject_rejected () =
+  let m =
+    Mail.Message.create ~id:1 ~sender:(nm "a" "b" "c") ~recipient:(nm "d" "e" "f")
+      ~subject:"two\nlines" ~submitted_at:0. ()
+  in
+  try
+    ignore (Mail.Rfc_text.encode m);
+    Alcotest.fail "newline subject accepted"
+  with Invalid_argument _ -> ()
+
+let test_decode_errors () =
+  let cases =
+    [
+      ("", "empty");
+      ("no headers here", "no blank line");
+      ("From: east.vax1.alice\n\nbody", "missing required headers");
+      ("Message-Id: x\nFrom: east.vax1.alice\nTo: west.sun3.bob\nDate: 1\n\nb",
+        "bad id");
+      ("Message-Id: 1\nFrom: not-a-name\nTo: west.sun3.bob\nDate: 1\n\nb", "bad from");
+      ("Message-Id: 1\nFrom: a.b.c\nTo: a.b.d\nDate: soon\n\nb", "bad date");
+      ("Message-Id: 1\nFrom: a.b.c\nTo: a.b.d\nDate: 1\nX-Part: warp 9\n\nb",
+        "unknown part");
+      ("garbage line\nMessage-Id: 1\n\nb", "malformed header");
+    ]
+  in
+  List.iter
+    (fun (input, label) ->
+      match Mail.Rfc_text.decode input with
+      | Ok _ -> Alcotest.failf "accepted %s" label
+      | Error _ -> ())
+    cases
+
+let test_crlf_tolerated () =
+  let wire =
+    "Message-Id: 5\r\nFrom: a.b.c\r\nTo: a.b.d\r\nDate: 2\r\nSubject: crlf\r\n\r\nbody"
+  in
+  match Mail.Rfc_text.decode wire with
+  | Ok d ->
+      Alcotest.(check string) "subject" "crlf" d.Mail.Rfc_text.d_subject;
+      Alcotest.(check string) "body" "body" d.Mail.Rfc_text.d_body
+  | Error e -> Alcotest.fail e
+
+let test_body_with_blank_lines_preserved () =
+  let m =
+    Mail.Message.create ~id:9 ~sender:(nm "a" "b" "c") ~recipient:(nm "d" "e" "f")
+      ~body:"para one\n\npara two\n\npara three" ~submitted_at:0. ()
+  in
+  match Mail.Rfc_text.roundtrip m with
+  | Ok m' -> Alcotest.(check string) "body intact" m.Mail.Message.body m'.Mail.Message.body
+  | Error e -> Alcotest.fail e
+
+let token_gen =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 1 6) (char_range 'a' 'z')))
+
+let part_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Mail.Content.Text s) string_printable;
+        map (fun s -> Mail.Content.Voice { seconds = float_of_int s }) (int_range 0 60);
+        map2
+          (fun w h -> Mail.Content.Image { width = w; height = h })
+          (int_range 0 2000) (int_range 0 2000);
+        map (fun p -> Mail.Content.Facsimile { pages = p }) (int_range 0 30);
+      ])
+
+let message_gen =
+  QCheck.Gen.(
+    map
+      (fun ((id, r1, h1, u1), (r2, h2, u2), (subject, body, parts, date)) ->
+        Mail.Message.create ~id
+          ~sender:(nm r1 h1 u1)
+          ~recipient:(nm r2 h2 u2)
+          ~subject:
+            (String.concat "" (List.map (String.make 1)
+               (List.filter (fun c -> c <> '\n') (List.init (String.length subject) (String.get subject)))))
+          ~body ~parts
+          ~submitted_at:(Float.abs date)
+          ())
+      (triple
+         (quad small_nat token_gen token_gen token_gen)
+         (triple token_gen token_gen token_gen)
+         (quad string_printable string_printable (list_size (int_range 0 4) part_gen)
+            float)))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire codec round-trips arbitrary messages" ~count:300
+    (QCheck.make message_gen)
+    (fun m ->
+      match Mail.Rfc_text.roundtrip m with
+      | Error _ -> false
+      | Ok m' ->
+          m.Mail.Message.id = m'.Mail.Message.id
+          && Naming.Name.equal m.Mail.Message.sender m'.Mail.Message.sender
+          && Naming.Name.equal m.Mail.Message.recipient m'.Mail.Message.recipient
+          && String.equal m.Mail.Message.subject m'.Mail.Message.subject
+          && String.equal m.Mail.Message.body m'.Mail.Message.body
+          && m.Mail.Message.submitted_at = m'.Mail.Message.submitted_at
+          && m.Mail.Message.parts = m'.Mail.Message.parts)
+
+let suite =
+  [
+    ( "rfc_text",
+      [
+        Alcotest.test_case "encode shape" `Quick test_encode_shape;
+        Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample;
+        Alcotest.test_case "newline subject rejected" `Quick
+          test_newline_subject_rejected;
+        Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        Alcotest.test_case "CRLF tolerated" `Quick test_crlf_tolerated;
+        Alcotest.test_case "body blank lines preserved" `Quick
+          test_body_with_blank_lines_preserved;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Scenario-level regression tests: the paper's quantitative claims
+   (C1/C2/C6) hold on every run. *)
+
+let fig1 = Netsim.Topology.paper_fig1
+
+let small_spec =
+  {
+    Mail.Scenario.default_spec with
+    duration = 2000.;
+    mail_count = 120;
+    check_period = 80.;
+  }
+
+let test_no_failures_lossless_and_one_poll () =
+  let o = Mail.Scenario.run_syntax (fig1 ()) small_spec in
+  let r = o.Mail.Scenario.report in
+  Alcotest.(check int) "all deposited" 0 r.Mail.Evaluation.undelivered;
+  Alcotest.(check int) "all retrieved" 0 r.Mail.Evaluation.unretrieved;
+  Alcotest.(check int) "inbox total equals traffic" 120 o.Mail.Scenario.inbox_total;
+  (* the paper's headline: ~1 poll per retrieval under normal conditions *)
+  Alcotest.(check bool) "polls/check near 1" true
+    (o.Mail.Scenario.final_polls_per_check < 1.15);
+  Alcotest.(check (float 1e-9)) "fully available" 1. o.Mail.Scenario.availability
+
+let test_failures_still_lossless () =
+  let spec = { small_spec with failure_rate = 0.002; mean_outage = 120. } in
+  let o = Mail.Scenario.run_syntax (fig1 ()) spec in
+  let r = o.Mail.Scenario.report in
+  Alcotest.(check bool) "servers actually failed" true
+    (o.Mail.Scenario.availability < 1.);
+  Alcotest.(check int) "zero undelivered" 0 r.Mail.Evaluation.undelivered;
+  Alcotest.(check int) "zero unretrieved" 0 r.Mail.Evaluation.unretrieved;
+  Alcotest.(check int) "every message reached an inbox" 120 o.Mail.Scenario.inbox_total;
+  Alcotest.(check bool) "polls rise under failures" true
+    (o.Mail.Scenario.final_polls_per_check > 1.0)
+
+let test_polls_monotone_in_failure_rate () =
+  let run rate =
+    let spec = { small_spec with failure_rate = rate } in
+    (Mail.Scenario.run_syntax (fig1 ()) spec).Mail.Scenario.final_polls_per_check
+  in
+  let p0 = run 0.0 and p1 = run 0.004 in
+  Alcotest.(check bool) "more failures, more polls" true (p1 > p0)
+
+let test_getmail_beats_poll_all () =
+  let run mode =
+    let spec = { small_spec with failure_rate = 0.002; retrieval = mode } in
+    Mail.Scenario.run_syntax (fig1 ()) spec
+  in
+  let gm = run Mail.Scenario.Get_mail in
+  let pa = run Mail.Scenario.Poll_all in
+  Alcotest.(check bool) "fewer polls" true
+    (gm.Mail.Scenario.final_polls_per_check < pa.Mail.Scenario.final_polls_per_check);
+  (* poll-all always pays the full list *)
+  Alcotest.(check bool) "poll-all = replication" true
+    (Float.abs (pa.Mail.Scenario.final_polls_per_check -. 3.) < 1e-9);
+  (* both are lossless *)
+  Alcotest.(check int) "getmail lossless" 0
+    gm.Mail.Scenario.report.Mail.Evaluation.unretrieved;
+  Alcotest.(check int) "poll-all lossless" 0
+    pa.Mail.Scenario.report.Mail.Evaluation.unretrieved
+
+let test_naive_loses_mail_under_failures () =
+  let spec =
+    { small_spec with failure_rate = 0.004; seed = 3; retrieval = Mail.Scenario.Naive }
+  in
+  let o = Mail.Scenario.run_syntax (fig1 ()) spec in
+  (* The lossy baseline leaves stranded mail behind (this seed makes it
+     deterministic). *)
+  Alcotest.(check bool) "naive strands mail" true
+    (o.Mail.Scenario.report.Mail.Evaluation.unretrieved > 0)
+
+let test_deterministic_runs () =
+  let o1 = Mail.Scenario.run_syntax (fig1 ()) small_spec in
+  let o2 = Mail.Scenario.run_syntax (fig1 ()) small_spec in
+  Alcotest.(check (float 1e-9)) "same polls"
+    o1.Mail.Scenario.final_polls_per_check o2.Mail.Scenario.final_polls_per_check;
+  Alcotest.(check int) "same traffic"
+    o1.Mail.Scenario.report.Mail.Evaluation.messages_sent
+    o2.Mail.Scenario.report.Mail.Evaluation.messages_sent
+
+let hier_site seed =
+  let rng = Dsim.Rng.create seed in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+
+let test_location_roaming_overhead () =
+  let spec = { small_spec with mail_count = 80 } in
+  let fixed = Mail.Scenario.run_location ~roam_probability:0.0 (hier_site 11) spec in
+  let roaming = Mail.Scenario.run_location ~roam_probability:0.4 (hier_site 11) spec in
+  (* §3.2.2c: "overhead is only incurred if a user moves". *)
+  Alcotest.(check bool) "roaming costs more messages" true
+    (roaming.Mail.Scenario.report.Mail.Evaluation.messages_sent
+    > fixed.Mail.Scenario.report.Mail.Evaluation.messages_sent);
+  Alcotest.(check int) "fixed lossless" 0
+    fixed.Mail.Scenario.report.Mail.Evaluation.unretrieved;
+  Alcotest.(check int) "roaming lossless" 0
+    roaming.Mail.Scenario.report.Mail.Evaluation.unretrieved
+
+let test_large_hierarchy_stress () =
+  (* A heavyweight end-to-end run: 5 regions, 150 users, 800 messages,
+     server failures, multimedia sizes — everything must still arrive. *)
+  let rng = Dsim.Rng.create 2026 in
+  let spec_h = { Netsim.Topology.default_hierarchy with regions = 5 } in
+  let g = Netsim.Topology.hierarchical ~rng spec_h in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  let site =
+    { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+  in
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 17;
+      duration = 8000.;
+      mail_count = 800;
+      check_period = 150.;
+      failure_rate = 0.0005;
+    }
+  in
+  let o = Mail.Scenario.run_syntax site spec in
+  let r = o.Mail.Scenario.report in
+  Alcotest.(check bool) "failures occurred" true (o.Mail.Scenario.availability < 1.);
+  Alcotest.(check int) "zero undelivered" 0 r.Mail.Evaluation.undelivered;
+  Alcotest.(check int) "zero unretrieved" 0 r.Mail.Evaluation.unretrieved;
+  Alcotest.(check int) "every message in an inbox" 800 o.Mail.Scenario.inbox_total;
+  Alcotest.(check bool) "cross-region forwarding happened" true
+    (r.Mail.Evaluation.mean_forward_hops > 0.5)
+
+let test_arpanet_mail () =
+  (* A full mail scenario over the 1977 ARPANET backbone: BBN, UCLA
+     and Illinois serve mail for the other seventeen sites. *)
+  let site = Netsim.Topology.arpanet_mail_site () in
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 1969;
+      duration = 6000.;
+      mail_count = 400;
+      check_period = 200.;
+      failure_rate = 0.0003;
+    }
+  in
+  let o = Mail.Scenario.run_syntax site spec in
+  let r = o.Mail.Scenario.report in
+  Alcotest.(check int) "zero undelivered" 0 r.Mail.Evaluation.undelivered;
+  Alcotest.(check int) "zero unretrieved" 0 r.Mail.Evaluation.unretrieved;
+  Alcotest.(check int) "every message landed" 400 o.Mail.Scenario.inbox_total;
+  Alcotest.(check bool) "coast-to-coast traffic forwarded" true
+    (r.Mail.Evaluation.mean_forward_hops > 0.1)
+
+let suite =
+  [
+    ( "scenario",
+      [
+        Alcotest.test_case "C1: lossless, ~1 poll, no failures" `Slow
+          test_no_failures_lossless_and_one_poll;
+        Alcotest.test_case "C1: lossless under failures" `Slow
+          test_failures_still_lossless;
+        Alcotest.test_case "C1: polls monotone in failure rate" `Slow
+          test_polls_monotone_in_failure_rate;
+        Alcotest.test_case "C2: GetMail beats poll-all" `Slow test_getmail_beats_poll_all;
+        Alcotest.test_case "C2: naive baseline strands mail" `Slow
+          test_naive_loses_mail_under_failures;
+        Alcotest.test_case "determinism" `Slow test_deterministic_runs;
+        Alcotest.test_case "C6: roaming overhead" `Slow test_location_roaming_overhead;
+        Alcotest.test_case "large hierarchy stress" `Slow test_large_hierarchy_stress;
+        Alcotest.test_case "mail over the 1977 ARPANET" `Slow test_arpanet_mail;
+      ] );
+  ]

@@ -1,0 +1,93 @@
+(* Tests for the server service-queue model (the measured counterpart
+   of the §3.1.1 cost term Q(ρ) + z). *)
+
+let single_server_site () =
+  let g = Netsim.Graph.create () in
+  let h1 = Netsim.Graph.add_node ~label:"H1" ~kind:Netsim.Graph.Host ~region:"r0" g in
+  let h2 = Netsim.Graph.add_node ~label:"H2" ~kind:Netsim.Graph.Host ~region:"r0" g in
+  let s1 = Netsim.Graph.add_node ~label:"S1" ~kind:Netsim.Graph.Server ~region:"r0" g in
+  Netsim.Graph.add_edge g h1 s1 1.;
+  Netsim.Graph.add_edge g h2 s1 1.;
+  { Netsim.Topology.graph = g; hosts = [ (h1, 10); (h2, 10) ]; servers = [ s1 ] }
+
+let test_processing_adds_latency () =
+  let fast = Mail.Syntax_system.create (single_server_site ()) in
+  let config =
+    { Mail.Syntax_system.default_config with service_rate = Some 0.2 (* mean 5 *) }
+  in
+  let slow = Mail.Syntax_system.create ~config (single_server_site ()) in
+  let latency sys =
+    let users = Mail.Syntax_system.users sys in
+    let m =
+      Mail.Syntax_system.submit sys ~sender:(List.nth users 0)
+        ~recipient:(List.nth users 7) ()
+    in
+    Mail.Syntax_system.quiesce sys;
+    Option.get (Mail.Message.delivery_latency m)
+  in
+  let lf = latency fast and ls = latency slow in
+  Alcotest.(check bool) "processing adds delay" true (ls > lf);
+  Alcotest.(check (float 1e-9)) "fast system has no queue samples" 0.
+    (float_of_int (Dsim.Stats.Summary.count (Mail.Syntax_system.queue_wait_stats fast)))
+
+let test_queue_stats_populated () =
+  let config = { Mail.Syntax_system.default_config with service_rate = Some 1.0 } in
+  let sys = Mail.Syntax_system.create ~config (single_server_site ()) in
+  let users = Array.of_list (Mail.Syntax_system.users sys) in
+  for i = 0 to 19 do
+    ignore
+      (Mail.Syntax_system.submit_at sys
+         ~at:(float_of_int i *. 0.5)
+         ~sender:users.(i mod 5)
+         ~recipient:users.(5 + (i mod 5))
+         ())
+  done;
+  Mail.Syntax_system.quiesce sys;
+  let waits = Mail.Syntax_system.queue_wait_stats sys in
+  Alcotest.(check bool) "jobs went through the queue" true
+    (Dsim.Stats.Summary.count waits >= 20);
+  (* arrivals at 2x the service rate: waiting must actually occur *)
+  Alcotest.(check bool) "waiting observed" true (Dsim.Stats.Summary.max waits > 0.);
+  let server = List.hd (Mail.Syntax_system.server_nodes sys) in
+  let util = Mail.Syntax_system.server_utilisation sys server in
+  Alcotest.(check bool) "utilisation in (0,1]" true (util > 0. && util <= 1.)
+
+let test_fifo_order_preserved () =
+  (* Two messages submitted back-to-back must deposit in order even
+     through a slow queue. *)
+  let config = { Mail.Syntax_system.default_config with service_rate = Some 0.5 } in
+  let sys = Mail.Syntax_system.create ~config (single_server_site ()) in
+  let users = Mail.Syntax_system.users sys in
+  let a = List.nth users 0 and b = List.nth users 7 in
+  let m1 = Mail.Syntax_system.submit sys ~sender:a ~recipient:b ~subject:"1" () in
+  let m2 = Mail.Syntax_system.submit sys ~sender:a ~recipient:b ~subject:"2" () in
+  Mail.Syntax_system.quiesce sys;
+  match (m1.Mail.Message.deposited_at, m2.Mail.Message.deposited_at) with
+  | Some t1, Some t2 -> Alcotest.(check bool) "order" true (t1 < t2)
+  | _ -> Alcotest.fail "not deposited"
+
+let test_deterministic () =
+  let run () =
+    let config = { Mail.Syntax_system.default_config with service_rate = Some 1.0 } in
+    let sys = Mail.Syntax_system.create ~config (single_server_site ()) in
+    let users = Array.of_list (Mail.Syntax_system.users sys) in
+    for i = 0 to 8 do
+      ignore
+        (Mail.Syntax_system.submit_at sys ~at:(float_of_int i)
+           ~sender:users.(i) ~recipient:users.(9 - i) ())
+    done;
+    Mail.Syntax_system.quiesce sys;
+    Dsim.Stats.Summary.mean (Mail.Syntax_system.queue_wait_stats sys)
+  in
+  Alcotest.(check (float 1e-12)) "same waits" (run ()) (run ())
+
+let suite =
+  [
+    ( "service_queue",
+      [
+        Alcotest.test_case "processing adds latency" `Quick test_processing_adds_latency;
+        Alcotest.test_case "queue stats populated" `Quick test_queue_stats_populated;
+        Alcotest.test_case "FIFO order preserved" `Quick test_fifo_order_preserved;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+      ] );
+  ]

@@ -1,0 +1,130 @@
+(* Tests for the user-session layer (§2 user interface). *)
+
+let make () =
+  let sys = Mail.Syntax_system.create (Netsim.Topology.paper_fig1 ()) in
+  let users = Mail.Syntax_system.users sys in
+  (sys, List.nth users 0, List.nth users 20)
+
+let deliver sys = Mail.Syntax_system.quiesce sys
+
+let test_compose_and_fetch () =
+  let sys, alice, bob = make () in
+  let sa = Mail.Session.open_session sys alice in
+  let sb = Mail.Session.open_session sys bob in
+  ignore (Mail.Session.compose sa ~to_:bob ~subject:"hi" ~body:"hello bob" ());
+  deliver sys;
+  let stats = Mail.Session.fetch sb in
+  Alcotest.(check int) "retrieved" 1 stats.Mail.User_agent.retrieved;
+  Alcotest.(check int) "one entry" 1 (List.length (Mail.Session.inbox sb));
+  Alcotest.(check int) "unread" 1 (Mail.Session.unread_count sb)
+
+let test_read_marks_read () =
+  let sys, alice, bob = make () in
+  let sa = Mail.Session.open_session sys alice in
+  let sb = Mail.Session.open_session sys bob in
+  ignore (Mail.Session.compose sa ~to_:bob ~subject:"s" ());
+  deliver sys;
+  ignore (Mail.Session.fetch sb);
+  let e = List.hd (Mail.Session.inbox sb) in
+  let m = Mail.Session.read sb e.Mail.Session.seq in
+  Alcotest.(check string) "subject" "s" m.Mail.Message.subject;
+  Alcotest.(check int) "no unread" 0 (Mail.Session.unread_count sb)
+
+let test_reply_addresses_sender () =
+  let sys, alice, bob = make () in
+  let sa = Mail.Session.open_session sys alice in
+  let sb = Mail.Session.open_session sys bob in
+  ignore (Mail.Session.compose sa ~to_:bob ~subject:"ping" ());
+  deliver sys;
+  ignore (Mail.Session.fetch sb);
+  let e = List.hd (Mail.Session.inbox sb) in
+  let r = Mail.Session.reply sb e ~body:"pong" () in
+  Alcotest.(check bool) "to alice" true (Naming.Name.equal r.Mail.Message.recipient alice);
+  Alcotest.(check string) "re subject" "Re: ping" r.Mail.Message.subject;
+  deliver sys;
+  ignore (Mail.Session.fetch sa);
+  let ea = List.hd (Mail.Session.inbox sa) in
+  (* replying to a reply does not stack Re: *)
+  let r2 = Mail.Session.reply sa ea () in
+  Alcotest.(check string) "no Re: Re:" "Re: ping" r2.Mail.Message.subject
+
+let test_delete_and_save () =
+  let sys, alice, bob = make () in
+  let sa = Mail.Session.open_session sys alice in
+  let sb = Mail.Session.open_session sys bob in
+  ignore (Mail.Session.compose sa ~to_:bob ~subject:"a" ());
+  ignore (Mail.Session.compose sa ~to_:bob ~subject:"b" ());
+  ignore (Mail.Session.compose sa ~to_:bob ~subject:"c" ());
+  deliver sys;
+  ignore (Mail.Session.fetch sb);
+  let entries = Mail.Session.inbox sb in
+  Alcotest.(check int) "three entries" 3 (List.length entries);
+  let e1 = List.nth entries 0 and e2 = List.nth entries 1 in
+  Mail.Session.delete sb e1.Mail.Session.seq;
+  Mail.Session.save sb e2.Mail.Session.seq ~folder:"projects";
+  Alcotest.(check int) "one left in inbox" 1 (List.length (Mail.Session.inbox sb));
+  Alcotest.(check int) "one in folder" 1 (List.length (Mail.Session.folder sb "projects"));
+  Alcotest.(check (list string)) "folders" [ "projects" ] (Mail.Session.folders sb);
+  Alcotest.(check (list Alcotest.string)) "unknown folder" []
+    (List.map (fun m -> m.Mail.Message.subject) (Mail.Session.folder sb "nope"))
+
+let test_unknown_seq () =
+  let sys, alice, _ = make () in
+  let sa = Mail.Session.open_session sys alice in
+  (try
+     ignore (Mail.Session.read sa 99);
+     Alcotest.fail "unknown seq accepted"
+   with Not_found -> ());
+  try
+    Mail.Session.delete sa 99;
+    Alcotest.fail "unknown seq accepted"
+  with Not_found -> ()
+
+let test_fetch_idempotent () =
+  let sys, alice, bob = make () in
+  let sa = Mail.Session.open_session sys alice in
+  let sb = Mail.Session.open_session sys bob in
+  ignore (Mail.Session.compose sa ~to_:bob ());
+  deliver sys;
+  ignore (Mail.Session.fetch sb);
+  ignore (Mail.Session.fetch sb);
+  Alcotest.(check int) "no duplicate entries" 1 (List.length (Mail.Session.inbox sb))
+
+let test_invalid_compose () =
+  let sys, alice, bob = make () in
+  let sa = Mail.Session.open_session sys alice in
+  try
+    ignore (Mail.Session.compose sa ~to_:bob ~subject:"two\nlines" ());
+    Alcotest.fail "newline subject accepted"
+  with Invalid_argument _ -> ()
+
+let test_scenario_replicate () =
+  let spec =
+    { Mail.Scenario.default_spec with duration = 1000.; mail_count = 50; check_period = 100. }
+  in
+  let est =
+    Mail.Scenario.replicate ~runs:3
+      (Mail.Scenario.run_syntax (Netsim.Topology.paper_fig1 ()))
+      spec
+      (fun o -> o.Mail.Scenario.final_polls_per_check)
+  in
+  Alcotest.(check int) "runs" 3 est.Mail.Scenario.runs;
+  Alcotest.(check bool) "mean near 1" true
+    (est.Mail.Scenario.mean > 0.9 && est.Mail.Scenario.mean < 1.3);
+  Alcotest.(check bool) "dispersion finite" true
+    (Float.is_finite est.Mail.Scenario.stddev)
+
+let suite =
+  [
+    ( "session",
+      [
+        Alcotest.test_case "compose and fetch" `Quick test_compose_and_fetch;
+        Alcotest.test_case "read marks read" `Quick test_read_marks_read;
+        Alcotest.test_case "reply addresses sender" `Quick test_reply_addresses_sender;
+        Alcotest.test_case "delete and save to folder" `Quick test_delete_and_save;
+        Alcotest.test_case "unknown sequence numbers" `Quick test_unknown_seq;
+        Alcotest.test_case "fetch idempotent" `Quick test_fetch_idempotent;
+        Alcotest.test_case "invalid compose" `Quick test_invalid_compose;
+        Alcotest.test_case "scenario replication" `Slow test_scenario_replicate;
+      ] );
+  ]

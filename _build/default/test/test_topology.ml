@@ -1,0 +1,147 @@
+(* Tests for topology generators. *)
+
+let test_paper_fig1 () =
+  let site = Netsim.Topology.paper_fig1 () in
+  let g = site.Netsim.Topology.graph in
+  Alcotest.(check int) "nodes" 9 (Netsim.Graph.node_count g);
+  Alcotest.(check int) "edges" 8 (Netsim.Graph.edge_count g);
+  Alcotest.(check int) "hosts" 6 (List.length site.hosts);
+  Alcotest.(check int) "servers" 3 (List.length site.servers);
+  Alcotest.(check (list int)) "populations"
+    [ 50; 60; 50; 50; 40; 20 ]
+    (List.map snd site.hosts);
+  Alcotest.(check bool) "connected" true (Netsim.Graph.is_connected g);
+  (* all links unit weight *)
+  List.iter
+    (fun (_, _, w) -> Alcotest.(check (float 1e-9)) "unit weight" 1. w)
+    (Netsim.Graph.edges g)
+
+let test_paper_table3 () =
+  let site = Netsim.Topology.paper_table3 () in
+  Alcotest.(check (list int)) "populations" [ 100; 100; 20 ] (List.map snd site.hosts);
+  Alcotest.(check int) "servers" 3 (List.length site.servers)
+
+let test_line_ring_star_grid () =
+  let line = Netsim.Topology.line ~n:4 ~weight:1. in
+  Alcotest.(check int) "line edges" 3 (Netsim.Graph.edge_count line);
+  let ring = Netsim.Topology.ring ~n:6 ~weight:1. in
+  Alcotest.(check int) "ring edges" 6 (Netsim.Graph.edge_count ring);
+  List.iter
+    (fun v -> Alcotest.(check int) "ring degree" 2 (Netsim.Graph.degree ring v))
+    (Netsim.Graph.nodes ring);
+  let star = Netsim.Topology.star ~leaves:7 ~weight:1. in
+  Alcotest.(check int) "star hub degree" 7 (Netsim.Graph.degree star 0);
+  let grid = Netsim.Topology.grid ~rows:3 ~cols:4 ~weight:1. in
+  Alcotest.(check int) "grid nodes" 12 (Netsim.Graph.node_count grid);
+  Alcotest.(check int) "grid edges" 17 (Netsim.Graph.edge_count grid);
+  Alcotest.(check bool) "grid connected" true (Netsim.Graph.is_connected grid)
+
+let test_generator_bad_args () =
+  let expect_invalid f = try f (); Alcotest.fail "expected Invalid_argument" with Invalid_argument _ -> () in
+  expect_invalid (fun () -> ignore (Netsim.Topology.line ~n:0 ~weight:1.));
+  expect_invalid (fun () -> ignore (Netsim.Topology.ring ~n:2 ~weight:1.));
+  expect_invalid (fun () -> ignore (Netsim.Topology.star ~leaves:0 ~weight:1.));
+  expect_invalid (fun () -> ignore (Netsim.Topology.grid ~rows:0 ~cols:3 ~weight:1.))
+
+let prop_random_connected =
+  QCheck.Test.make ~name:"random_connected is connected with requested extras"
+    ~count:50
+    QCheck.(pair (int_range 1 50) (int_range 0 60))
+    (fun (n, extra) ->
+      let rng = Dsim.Rng.create (n + (1000 * extra)) in
+      let g =
+        Netsim.Topology.random_connected ~rng ~n ~extra_edges:extra ~min_weight:1.
+          ~max_weight:2.
+      in
+      let max_edges = n * (n - 1) / 2 in
+      Netsim.Graph.is_connected g
+      && Netsim.Graph.node_count g = n
+      && Netsim.Graph.edge_count g = min max_edges (n - 1 + extra))
+
+let test_random_mail_site () =
+  let rng = Dsim.Rng.create 5 in
+  let site =
+    Netsim.Topology.random_mail_site ~rng ~hosts:10 ~servers:3
+      ~users_per_host:(20, 40) ~extra_edges:6
+  in
+  Alcotest.(check int) "hosts" 10 (List.length site.hosts);
+  Alcotest.(check int) "servers" 3 (List.length site.servers);
+  Alcotest.(check bool) "connected" true (Netsim.Graph.is_connected site.graph);
+  List.iter
+    (fun (_, pop) ->
+      if pop < 20 || pop > 40 then Alcotest.failf "population out of range: %d" pop)
+    site.hosts
+
+let test_hierarchical_structure () =
+  let rng = Dsim.Rng.create 6 in
+  let spec = Netsim.Topology.default_hierarchy in
+  let g = Netsim.Topology.hierarchical ~rng spec in
+  Alcotest.(check bool) "connected" true (Netsim.Graph.is_connected g);
+  Alcotest.(check (list string)) "regions" [ "r0"; "r1"; "r2" ] (Netsim.Graph.regions g);
+  let per_region =
+    spec.Netsim.Topology.hosts_per_region + spec.servers_per_region
+    + spec.gateways_per_region
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "size of %s" r)
+        per_region
+        (List.length (Netsim.Graph.nodes_in_region g r)))
+    (Netsim.Graph.regions g);
+  (* every region's induced subgraph is internally connected *)
+  List.iter
+    (fun r ->
+      let sub, _ = Netsim.Graph.subgraph g (Netsim.Graph.nodes_in_region g r) in
+      Alcotest.(check bool) (r ^ " internally connected") true
+        (Netsim.Graph.is_connected sub))
+    (Netsim.Graph.regions g)
+
+let test_arpanet () =
+  let g = Netsim.Topology.arpanet () in
+  Alcotest.(check int) "twenty sites" 20 (Netsim.Graph.node_count g);
+  Alcotest.(check bool) "connected" true (Netsim.Graph.is_connected g);
+  Alcotest.(check (list string)) "three coasts" [ "central"; "east"; "west" ]
+    (Netsim.Graph.regions g);
+  (* a couple of famous sites exist and are linked *)
+  let by_label l =
+    List.find (fun v -> Netsim.Graph.label g v = l) (Netsim.Graph.nodes g)
+  in
+  Alcotest.(check bool) "MIT-BBN link" true
+    (Netsim.Graph.mem_edge g (by_label "MIT") (by_label "BBN"));
+  Alcotest.(check bool) "UCLA-SRI link" true
+    (Netsim.Graph.mem_edge g (by_label "UCLA") (by_label "SRI"))
+
+let test_ghs_levels_bounded () =
+  let g = Netsim.Topology.arpanet () in
+  let d = Mst.Ghs.run g in
+  Alcotest.(check bool) "levels within ceil(log2 N)" true
+    (d.Mst.Ghs.max_level
+    <= int_of_float (Float.ceil (Float.log2 (float_of_int (Netsim.Graph.node_count g)))))
+
+let test_region_of_gateways () =
+  let rng = Dsim.Rng.create 7 in
+  let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
+  let groups = Netsim.Topology.region_of_gateways g in
+  Alcotest.(check int) "three regions" 3 (List.length groups);
+  List.iter
+    (fun (_, gws) ->
+      Alcotest.(check int) "gateways per region" 2 (List.length gws))
+    groups
+
+let suite =
+  [
+    ( "topology",
+      [
+        Alcotest.test_case "paper Fig.1 site" `Quick test_paper_fig1;
+        Alcotest.test_case "paper Table 3 site" `Quick test_paper_table3;
+        Alcotest.test_case "line/ring/star/grid" `Quick test_line_ring_star_grid;
+        Alcotest.test_case "generator bad args" `Quick test_generator_bad_args;
+        QCheck_alcotest.to_alcotest prop_random_connected;
+        Alcotest.test_case "random mail site" `Quick test_random_mail_site;
+        Alcotest.test_case "hierarchical structure" `Quick test_hierarchical_structure;
+        Alcotest.test_case "ARPANET backbone" `Quick test_arpanet;
+        Alcotest.test_case "GHS levels bounded on ARPANET" `Quick test_ghs_levels_bounded;
+        Alcotest.test_case "region_of_gateways" `Quick test_region_of_gateways;
+      ] );
+  ]

@@ -1,0 +1,66 @@
+(* Tests for the bounded trace log. *)
+
+let test_add_and_read () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.infof t ~time:1. ~category:"net" "hello %d" 42;
+  Dsim.Trace.warnf t ~time:2. ~category:"mail" "oops";
+  let records = Dsim.Trace.records t in
+  Alcotest.(check int) "count" 2 (List.length records);
+  let first = List.hd records in
+  Alcotest.(check string) "message" "hello 42" first.Dsim.Trace.message;
+  Alcotest.(check string) "category" "net" first.Dsim.Trace.category;
+  Alcotest.(check bool) "level" true (first.Dsim.Trace.level = Dsim.Trace.Info)
+
+let test_capacity_ring () =
+  let t = Dsim.Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Dsim.Trace.infof t ~time:(float_of_int i) ~category:"c" "m%d" i
+  done;
+  let records = Dsim.Trace.records t in
+  Alcotest.(check int) "retained" 3 (List.length records);
+  Alcotest.(check (list string)) "kept newest"
+    [ "m3"; "m4"; "m5" ]
+    (List.map (fun r -> r.Dsim.Trace.message) records);
+  Alcotest.(check int) "total counts all" 5 (Dsim.Trace.total t)
+
+let test_count_filters () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.infof t ~time:0. ~category:"a" "x";
+  Dsim.Trace.infof t ~time:0. ~category:"b" "y";
+  Dsim.Trace.errorf t ~time:0. ~category:"a" "z";
+  Alcotest.(check int) "by category" 2 (Dsim.Trace.count ~category:"a" t);
+  Alcotest.(check int) "by level" 1 (Dsim.Trace.count ~level:Dsim.Trace.Error t);
+  Alcotest.(check int) "both" 1
+    (Dsim.Trace.count ~category:"a" ~level:Dsim.Trace.Error t);
+  Alcotest.(check int) "all" 3 (Dsim.Trace.count t)
+
+let test_clear () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.debugf t ~time:0. ~category:"c" "gone";
+  Dsim.Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Dsim.Trace.records t));
+  Alcotest.(check int) "total reset" 0 (Dsim.Trace.total t)
+
+(* Tiny local substring helper to avoid a dependency. *)
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_pp_smoke () =
+  let t = Dsim.Trace.create () in
+  Dsim.Trace.infof t ~time:1.5 ~category:"cat" "msg";
+  let s = Format.asprintf "%a" Dsim.Trace.pp t in
+  Alcotest.(check bool) "mentions category" true (contains s "cat")
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "add and read" `Quick test_add_and_read;
+        Alcotest.test_case "ring buffer capacity" `Quick test_capacity_ring;
+        Alcotest.test_case "count filters" `Quick test_count_filters;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+      ] );
+  ]

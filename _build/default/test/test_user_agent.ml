@@ -1,0 +1,225 @@
+(* Direct tests of the GetMail algorithm (§3.1.2c) against scripted
+   server behaviour — liveness, LastStartTime and mailbox contents are
+   driven by hand so every branch of the paper's pseudocode is
+   exercised. *)
+
+let nm u = Naming.Name.make ~region:"east" ~host:"h1" ~user:u
+
+let msg id =
+  Mail.Message.create ~id ~sender:(nm "alice") ~recipient:(nm "bob") ~submitted_at:0. ()
+
+(* A scripted world of three servers, ids 0 1 2. *)
+type world = {
+  alive : bool array;
+  started : float array;
+  boxes : Mail.Message.t list array;  (* pending mail per server *)
+  mutable fetches : (int * float) list;  (* (server, time) log *)
+}
+
+let world () =
+  { alive = [| true; true; true |]; started = [| 0.; 0.; 0. |]; boxes = [| []; []; [] |]; fetches = [] }
+
+let view w =
+  {
+    Mail.User_agent.is_alive = (fun s -> w.alive.(s));
+    last_start = (fun s -> w.started.(s));
+    fetch =
+      (fun s _name ~at ->
+        w.fetches <- (s, at) :: w.fetches;
+        let mail = w.boxes.(s) in
+        w.boxes.(s) <- [];
+        mail);
+  }
+
+let agent () = Mail.User_agent.create ~name:(nm "bob") ~host:7 ~authority:[ 0; 1; 2 ]
+
+let test_create_validation () =
+  try
+    ignore (Mail.User_agent.create ~name:(nm "x") ~host:0 ~authority:[]);
+    Alcotest.fail "empty authority accepted"
+  with Invalid_argument _ -> ()
+
+let test_first_check_polls_all () =
+  (* LastCheckingTime = 0 is not > LastStartTime = 0, so the very
+     first check must scan the whole list. *)
+  let w = world () in
+  let a = agent () in
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:10. in
+  Alcotest.(check int) "polls" 3 st.Mail.User_agent.polls;
+  Alcotest.(check int) "failed" 0 st.Mail.User_agent.failed_polls
+
+let test_steady_state_single_poll () =
+  (* After the first check, a stable primary means exactly one poll —
+     the paper's "approximately one under normal conditions". *)
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:20. in
+  Alcotest.(check int) "single poll" 1 st.Mail.User_agent.polls
+
+let test_retrieves_mail () =
+  let w = world () in
+  let a = agent () in
+  w.boxes.(0) <- [ msg 1; msg 2 ];
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:10. in
+  Alcotest.(check int) "retrieved" 2 st.Mail.User_agent.retrieved;
+  Alcotest.(check int) "inbox" 2 (Mail.User_agent.inbox_size a)
+
+let test_failed_primary_goes_to_secondary () =
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  w.alive.(0) <- false;
+  w.boxes.(1) <- [ msg 1 ];
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:20. in
+  Alcotest.(check int) "polls" 2 st.Mail.User_agent.polls;
+  Alcotest.(check int) "failed" 1 st.Mail.User_agent.failed_polls;
+  Alcotest.(check int) "mail found on secondary" 1 st.Mail.User_agent.retrieved;
+  Alcotest.(check (list int)) "primary remembered as unavailable" [ 0 ]
+    (Mail.User_agent.previously_unavailable a)
+
+let test_recovered_server_drained () =
+  (* The losslessness mechanism: mail deposited on the secondary while
+     the primary was down, and mail stuck on the primary from before
+     its crash, are both recovered. *)
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  (* primary crashes holding old mail *)
+  w.alive.(0) <- false;
+  w.boxes.(0) <- [ msg 1 ];
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:20.);
+  Alcotest.(check int) "nothing yet" 0 (Mail.User_agent.inbox_size a);
+  (* primary recovers; LastStartTime moves. *)
+  w.alive.(0) <- true;
+  w.started.(0) <- 25.;
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:30. in
+  Alcotest.(check int) "old mail recovered" 1 st.Mail.User_agent.retrieved;
+  Alcotest.(check (list int)) "PUS cleared" []
+    (Mail.User_agent.previously_unavailable a)
+
+let test_recovery_forces_deeper_scan () =
+  (* When the primary restarted after our last check, mail may sit on
+     later servers: the scan must continue past the primary. *)
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  (* primary silently crashed and recovered between checks; during the
+     outage a message was deposited on server 1. *)
+  w.started.(0) <- 15.;
+  w.boxes.(1) <- [ msg 9 ];
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:20. in
+  Alcotest.(check bool) "scanned beyond primary" true (st.Mail.User_agent.polls >= 2);
+  Alcotest.(check int) "found the stranded mail" 1 st.Mail.User_agent.retrieved
+
+let test_stable_primary_stops_scan () =
+  (* Primary up since before LastCheckingTime: the scan must stop at
+     one poll even if later servers are dead. *)
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  w.alive.(1) <- false;
+  w.alive.(2) <- false;
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:20. in
+  Alcotest.(check int) "one poll despite dead secondaries" 1 st.Mail.User_agent.polls;
+  Alcotest.(check int) "no failed polls" 0 st.Mail.User_agent.failed_polls
+
+let test_all_servers_down () =
+  let w = world () in
+  let a = agent () in
+  w.alive.(0) <- false;
+  w.alive.(1) <- false;
+  w.alive.(2) <- false;
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:10. in
+  Alcotest.(check int) "three failed polls" 3 st.Mail.User_agent.failed_polls;
+  Alcotest.(check int) "nothing retrieved" 0 st.Mail.User_agent.retrieved;
+  Alcotest.(check (list int)) "all remembered" [ 0; 1; 2 ]
+    (Mail.User_agent.previously_unavailable a)
+
+let test_duplicate_suppression () =
+  (* The same message offered twice (at-least-once delivery) must be
+     kept once. *)
+  let w = world () in
+  let a = agent () in
+  let m = msg 7 in
+  w.boxes.(0) <- [ m ];
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  w.boxes.(1) <- [ m ];
+  w.started.(0) <- 15.;
+  (* force deep scan *)
+  let st = Mail.User_agent.get_mail a ~view:(view w) ~now:20. in
+  Alcotest.(check int) "duplicate dropped" 0 st.Mail.User_agent.retrieved;
+  Alcotest.(check int) "inbox has one copy" 1 (Mail.User_agent.inbox_size a)
+
+let test_poll_all_baseline () =
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.poll_all a ~view:(view w) ~now:10.);
+  let st = Mail.User_agent.poll_all a ~view:(view w) ~now:20. in
+  Alcotest.(check int) "always all servers" 3 st.Mail.User_agent.polls
+
+let test_naive_misses_stranded_mail () =
+  let w = world () in
+  let a = agent () in
+  ignore (Mail.User_agent.naive_check a ~view:(view w) ~now:10.);
+  (* outage: mail lands on secondary; then primary recovers *)
+  w.alive.(0) <- false;
+  w.boxes.(1) <- [ msg 1 ];
+  ignore (Mail.User_agent.naive_check a ~view:(view w) ~now:20.);
+  Alcotest.(check int) "naive found it while primary down" 1
+    (Mail.User_agent.inbox_size a);
+  (* but mail left on a secondary while primary is back is missed *)
+  w.alive.(0) <- true;
+  w.boxes.(2) <- [ msg 2 ];
+  let st = Mail.User_agent.naive_check a ~view:(view w) ~now:30. in
+  Alcotest.(check int) "missed" 0 st.Mail.User_agent.retrieved;
+  (* GetMail on the same state would have drained it eventually; the
+     contrast is asserted in the scenario tests. *)
+  Alcotest.(check int) "stranded mail remains" 1 (List.length w.boxes.(2))
+
+let test_setters () =
+  let a = agent () in
+  Mail.User_agent.set_host a 42;
+  Alcotest.(check int) "host" 42 (Mail.User_agent.host a);
+  Mail.User_agent.set_authority a [ 2; 1 ];
+  Alcotest.(check (list int)) "authority" [ 2; 1 ] (Mail.User_agent.authority a);
+  try
+    Mail.User_agent.set_authority a [];
+    Alcotest.fail "empty authority accepted"
+  with Invalid_argument _ -> ()
+
+let test_inbox_order () =
+  let w = world () in
+  let a = agent () in
+  w.boxes.(0) <- [ msg 1; msg 2 ];
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:10.);
+  w.boxes.(0) <- [ msg 3 ];
+  ignore (Mail.User_agent.get_mail a ~view:(view w) ~now:20.);
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ]
+    (List.map (fun m -> m.Mail.Message.id) (Mail.User_agent.inbox a))
+
+let suite =
+  [
+    ( "user_agent",
+      [
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "first check polls all" `Quick test_first_check_polls_all;
+        Alcotest.test_case "steady state: one poll" `Quick test_steady_state_single_poll;
+        Alcotest.test_case "retrieves mail" `Quick test_retrieves_mail;
+        Alcotest.test_case "failover to secondary" `Quick
+          test_failed_primary_goes_to_secondary;
+        Alcotest.test_case "recovered server drained" `Quick
+          test_recovered_server_drained;
+        Alcotest.test_case "recovery forces deeper scan" `Quick
+          test_recovery_forces_deeper_scan;
+        Alcotest.test_case "stable primary stops scan" `Quick
+          test_stable_primary_stops_scan;
+        Alcotest.test_case "all servers down" `Quick test_all_servers_down;
+        Alcotest.test_case "duplicate suppression" `Quick test_duplicate_suppression;
+        Alcotest.test_case "poll_all baseline" `Quick test_poll_all_baseline;
+        Alcotest.test_case "naive misses stranded mail" `Quick
+          test_naive_misses_stranded_mail;
+        Alcotest.test_case "setters" `Quick test_setters;
+        Alcotest.test_case "inbox order" `Quick test_inbox_order;
+      ] );
+  ]
