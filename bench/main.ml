@@ -313,10 +313,14 @@ let experiment_c6 () =
       in
       let o = Mail.Scenario.run_location ~roam_probability:roam (hier_site 3 3) spec in
       let r = o.Mail.Scenario.report in
+      let ev key =
+        Telemetry.Registry.get_counter ~labels:[ ("event", key) ]
+          o.Mail.Scenario.metrics "system_events"
+      in
       Printf.printf "%8.2f %10d %12d %12d %12d %12d\n" roam
         r.Mail.Evaluation.messages_sent
-        (o.Mail.Scenario.counter "location_updates")
-        (o.Mail.Scenario.counter "location_gossip")
+        (ev "location_updates")
+        (ev "location_gossip")
         r.Mail.Evaluation.undelivered r.Mail.Evaluation.unretrieved)
     [ 0.0; 0.1; 0.3; 0.6 ];
   subsection "retrieval communication cost vs roaming (direct drive)";
@@ -550,7 +554,9 @@ let experiment_c12 () =
       Printf.printf "%12s %10d %14.3f %12d %12d\n" label
         o.Mail.Scenario.report.Mail.Evaluation.messages_sent
         o.Mail.Scenario.report.Mail.Evaluation.mean_forward_hops
-        (o.Mail.Scenario.counter "resolution_cache_hits")
+        (Telemetry.Registry.get_counter
+           ~labels:[ ("event", "resolution_cache_hits") ]
+           o.Mail.Scenario.metrics "system_events")
         o.Mail.Scenario.report.Mail.Evaluation.unretrieved)
     [ ("off", None); ("lru-16", Some 16); ("lru-256", Some 256) ]
 
@@ -733,6 +739,76 @@ let experiment_c16 () =
     [ 0.0; 0.05; 0.15; 0.3; 0.5 ]
 
 (* ------------------------------------------------------------------ *)
+(* BENCH.json: machine-readable telemetry for the three designs.       *)
+(* ------------------------------------------------------------------ *)
+
+let dump_bench_json () =
+  section "BENCH.json: telemetry snapshot (one run per design)";
+  (* One representative run per design on the same site and workload,
+     with the service model and failures on so queue-wait and latency
+     histograms have mass. *)
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 11;
+      mail_count = 200;
+      duration = 4000.;
+      failure_rate = 0.002;
+    }
+  in
+  let syntax =
+    let config =
+      { Mail.Syntax_system.default_config with service_rate = Some 1.0 }
+    in
+    Mail.Scenario.run_syntax ~config (hier_site 3 3) spec
+  in
+  let location =
+    let config =
+      { Mail.Location_system.default_config with service_rate = Some 1.0 }
+    in
+    Mail.Scenario.run_location ~config ~roam_probability:0.2 (hier_site 3 3) spec
+  in
+  let attribute =
+    let config =
+      { Mail.Location_system.default_config with service_rate = Some 1.0 }
+    in
+    Mail.Scenario.run_attribute ~config ~roam_probability:0.1 (hier_site 3 3) spec
+  in
+  let json =
+    Telemetry.Json.Obj
+      [
+        ("schema", Telemetry.Json.String "mailsys.bench/1");
+        ( "designs",
+          Telemetry.Json.Obj
+            [
+              ("syntax", Telemetry.Registry.to_json syntax.Mail.Scenario.metrics);
+              ("location", Telemetry.Registry.to_json location.Mail.Scenario.metrics);
+              ("attribute", Telemetry.Registry.to_json attribute.Mail.Scenario.metrics);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH.json" in
+  output_string oc (Telemetry.Json.to_string ~indent:2 json);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun (label, (o : Mail.Scenario.outcome)) ->
+      Printf.printf "%-10s %d metric names, delivery p50/p90/p99 = %.2f/%.2f/%.2f\n"
+        label
+        (List.length (Telemetry.Registry.metric_names o.Mail.Scenario.metrics))
+        (Telemetry.Registry.percentile
+           (Telemetry.Registry.histogram o.Mail.Scenario.metrics "delivery_latency")
+           50.)
+        (Telemetry.Registry.percentile
+           (Telemetry.Registry.histogram o.Mail.Scenario.metrics "delivery_latency")
+           90.)
+        (Telemetry.Registry.percentile
+           (Telemetry.Registry.histogram o.Mail.Scenario.metrics "delivery_latency")
+           99.))
+    [ ("syntax", syntax); ("location", location); ("attribute", attribute) ];
+  Printf.printf "wrote BENCH.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -859,5 +935,6 @@ let () =
   experiment_c14 ();
   experiment_c15 ();
   experiment_c16 ();
+  dump_bench_json ();
   if not skip_micro then micro_benchmarks ();
   Printf.printf "\nall experiments complete.\n"

@@ -60,7 +60,7 @@ let balance_cmd =
 (* --- getmail ----------------------------------------------------------- *)
 
 let getmail_cmd =
-  let run seed failure_rate duration mail_count policy =
+  let run seed failure_rate duration mail_count policy metrics_file =
     let retrieval =
       match policy with
       | "getmail" -> Mail.Scenario.Get_mail
@@ -75,7 +75,21 @@ let getmail_cmd =
     Printf.printf "availability     %.3f\n" o.Mail.Scenario.availability;
     Printf.printf "polls per check  %.3f\n" o.Mail.Scenario.final_polls_per_check;
     Printf.printf "inbox total      %d\n" o.Mail.Scenario.inbox_total;
-    Format.printf "%a@." Mail.Evaluation.pp o.Mail.Scenario.report
+    Format.printf "%a@." Mail.Evaluation.pp o.Mail.Scenario.report;
+    match metrics_file with
+    | None -> ()
+    | Some file -> (
+        match open_out file with
+        | exception Sys_error msg ->
+            Printf.eprintf "mailsim: cannot write metrics: %s\n" msg;
+            exit 1
+        | oc ->
+            output_string oc
+              (Telemetry.Json.to_string ~indent:2
+                 (Telemetry.Registry.to_json o.Mail.Scenario.metrics));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "metrics written to %s\n" file)
   in
   let rate =
     Arg.(value & opt float 0. & info [ "failure-rate" ] ~doc:"Server outage rate.")
@@ -88,9 +102,17 @@ let getmail_cmd =
       & opt string "getmail"
       & info [ "policy" ] ~doc:"Retrieval policy: getmail, poll-all or naive.")
   in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Write the run's full metric registry (counters, gauges, latency \
+                histograms with p50/p90/p99) to $(docv) as JSON.")
+  in
   Cmd.v
     (Cmd.info "getmail" ~doc:"Drive a design-1 scenario and report §4 metrics (C1/C2).")
-    Term.(const run $ seed_arg $ rate $ duration $ count $ policy)
+    Term.(const run $ seed_arg $ rate $ duration $ count $ policy $ metrics_file)
 
 (* --- mst --------------------------------------------------------------- *)
 

@@ -1,10 +1,16 @@
 type event_id = int
 
-type event = { id : event_id; action : unit -> unit }
+type event = { id : event_id; category : string; action : unit -> unit }
+
+type profile = { events : int; handler_seconds : float }
+
+type prof_cell = { mutable p_events : int; mutable p_seconds : float }
 
 type t = {
   queue : event Heap.t;
   cancelled : (event_id, unit) Hashtbl.t;
+  profiles : (string, prof_cell) Hashtbl.t;
+  mutable instrument : (category:string -> seconds:float -> unit) option;
   mutable clock : float;
   mutable next_id : event_id;
   mutable executed : int;
@@ -14,6 +20,8 @@ let create () =
   {
     queue = Heap.create ();
     cancelled = Hashtbl.create 16;
+    profiles = Hashtbl.create 8;
+    instrument = None;
     clock = 0.;
     next_id = 0;
     executed = 0;
@@ -21,18 +29,18 @@ let create () =
 
 let now t = t.clock
 
-let schedule_at t time action =
+let schedule_at ?(category = "event") t time action =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
   let id = t.next_id in
   t.next_id <- id + 1;
-  Heap.push t.queue time { id; action };
+  Heap.push t.queue time { id; category; action };
   id
 
-let schedule_after t delay action =
+let schedule_after ?category t delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at t (t.clock +. delay) action
+  schedule_at ?category t (t.clock +. delay) action
 
 let cancel t id = Hashtbl.replace t.cancelled id ()
 
@@ -40,10 +48,39 @@ let pending t =
   (* Cancelled events stay in the heap as tombstones until popped. *)
   Heap.length t.queue - Hashtbl.length t.cancelled
 
+let set_instrument t f = t.instrument <- Some f
+let clear_instrument t = t.instrument <- None
+
+let prof_cell t category =
+  match Hashtbl.find_opt t.profiles category with
+  | Some c -> c
+  | None ->
+      let c = { p_events = 0; p_seconds = 0. } in
+      Hashtbl.replace t.profiles category c;
+      c
+
+let profile t =
+  Hashtbl.fold
+    (fun category c acc ->
+      (category, { events = c.p_events; handler_seconds = c.p_seconds }) :: acc)
+    t.profiles []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let exec t time ev =
   t.clock <- time;
   t.executed <- t.executed + 1;
-  ev.action ()
+  let cell = prof_cell t ev.category in
+  cell.p_events <- cell.p_events + 1;
+  match t.instrument with
+  | None -> ev.action ()
+  | Some f ->
+      (* Wall-clock cost of the handler itself; virtual time never
+         advances inside one. *)
+      let t0 = Sys.time () in
+      ev.action ();
+      let dt = Sys.time () -. t0 in
+      cell.p_seconds <- cell.p_seconds +. dt;
+      f ~category:ev.category ~seconds:dt
 
 (* Pop the next live event, discarding cancelled tombstones. *)
 let rec next_live t =

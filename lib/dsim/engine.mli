@@ -18,11 +18,13 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time. *)
 
-val schedule_at : t -> float -> (unit -> unit) -> event_id
-(** [schedule_at t time f] runs [f] at virtual [time].
+val schedule_at : ?category:string -> t -> float -> (unit -> unit) -> event_id
+(** [schedule_at t time f] runs [f] at virtual [time].  [category]
+    (default ["event"]) tags the event for {!profile} and the
+    instrumentation callback.
     @raise Invalid_argument if [time] is in the past. *)
 
-val schedule_after : t -> float -> (unit -> unit) -> event_id
+val schedule_after : ?category:string -> t -> float -> (unit -> unit) -> event_id
 (** [schedule_after t delay f] runs [f] at [now t +. delay].
     @raise Invalid_argument if [delay < 0.]. *)
 
@@ -44,3 +46,24 @@ val step : t -> bool
 
 val events_executed : t -> int
 (** Total events executed so far, for complexity accounting. *)
+
+(** {1 Profiling}
+
+    The engine counts executed events per category.  When an
+    instrumentation callback is installed it also measures the
+    wall-clock (CPU) time spent inside each handler — virtual time
+    never advances during one — and reports it after every event, so
+    a metrics registry can maintain live per-category tallies. *)
+
+type profile = { events : int; handler_seconds : float }
+(** [handler_seconds] stays 0 until an instrument is installed. *)
+
+val set_instrument : t -> (category:string -> seconds:float -> unit) -> unit
+(** Install the (single) instrumentation callback, replacing any
+    previous one.  Called after each executed event with its category
+    and measured handler time. *)
+
+val clear_instrument : t -> unit
+
+val profile : t -> (string * profile) list
+(** Per-category execution tallies, sorted by category name. *)

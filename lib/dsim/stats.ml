@@ -122,6 +122,21 @@ module Histogram = struct
         (lo, lo +. t.width, c))
       t.counts
 
+  let merge a b =
+    if
+      a.lo <> b.lo || a.hi <> b.hi
+      || Array.length a.counts <> Array.length b.counts
+    then invalid_arg "Histogram.merge: incompatible bucket layouts";
+    {
+      lo = a.lo;
+      hi = a.hi;
+      width = a.width;
+      counts = Array.map2 ( + ) a.counts b.counts;
+      under = a.under + b.under;
+      over = a.over + b.over;
+      n = a.n + b.n;
+    }
+
   let pp ppf t =
     Array.iter
       (fun (lo, hi, c) -> Format.fprintf ppf "[%.3g,%.3g) %d@ " lo hi c)
@@ -179,6 +194,8 @@ module Reservoir = struct
     end
 
   let count t = t.seen
+
+  let values t = Array.sub t.sample 0 t.filled
 
   let percentile t p =
     if t.filled = 0 then nan

@@ -55,6 +55,10 @@ module Histogram : sig
   val bucket_counts : t -> (float * float * int) array
   (** [(lo, hi, count)] per bucket. *)
 
+  val merge : t -> t -> t
+  (** Bucket-wise sum of two histograms.
+      @raise Invalid_argument on differing ranges or bucket counts. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -88,6 +92,9 @@ module Reservoir : sig
   val add : t -> float -> unit
   val count : t -> int
   (** Number of values offered (not retained). *)
+
+  val values : t -> float array
+  (** The retained sample, in insertion order (a fresh copy). *)
 
   val percentile : t -> float -> float
   (** [percentile r p] for [p] in [\[0,100\]], by linear interpolation

@@ -8,7 +8,7 @@ type t = {
 }
 
 let create ?config (site : Netsim.Topology.mail_site) =
-  let base = Location_system.create ?config site in
+  let base = Location_system.create ?config ~design_label:"attribute" site in
   let backbone = Mst.Backbone.build ~distributed:false site.graph in
   let shards = Hashtbl.create 8 in
   List.iter
@@ -17,6 +17,7 @@ let create ?config (site : Netsim.Topology.mail_site) =
   { base; backbone; shards }
 
 let base t = t.base
+let metrics t = Location_system.metrics t.base
 let backbone t = t.backbone
 let graph t = Location_system.graph t.base
 let regions t = List.map fst t.backbone.Mst.Backbone.locals

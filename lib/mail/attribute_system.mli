@@ -29,6 +29,10 @@ val create :
 val base : t -> Location_system.t
 (** The underlying point-to-point mail system. *)
 
+val metrics : t -> Telemetry.Registry.t
+(** The base system's registry, created with base label
+    [design="attribute"]. *)
+
 val backbone : t -> Mst.Backbone.t
 val graph : t -> Netsim.Graph.t
 val regions : t -> string list

@@ -76,39 +76,25 @@ let of_run ~messages ~counters ~messages_sent ~messages_delivered ~messages_drop
     resubmissions = get "resubmissions";
   }
 
-let of_syntax sys =
-  let net = Syntax_system.net sys in
+let of_system (type a) (module M : System_intf.S with type t = a) (sys : a) =
+  let net = M.net sys in
   let storage =
     List.fold_left
-      (fun acc node -> acc + Server.storage_bytes (Syntax_system.server sys node))
-      0
-      (Syntax_system.server_nodes sys)
+      (fun acc node -> acc + Server.storage_bytes (M.server sys node))
+      0 (M.server_nodes sys)
   in
   of_run
-    ~messages:(Syntax_system.submitted sys)
-    ~counters:(Syntax_system.counters sys)
+    ~messages:(M.submitted sys)
+    ~counters:(M.counters sys)
     ~messages_sent:(Netsim.Net.messages_sent net)
     ~messages_delivered:(Netsim.Net.messages_delivered net)
     ~messages_dropped:(Netsim.Net.messages_dropped net)
     ~link_hops:(Netsim.Net.hops_traversed net)
     ~storage_bytes:storage
 
-let of_location sys =
-  let net = Location_system.net sys in
-  let storage =
-    List.fold_left
-      (fun acc node -> acc + Server.storage_bytes (Location_system.server sys node))
-      0
-      (Location_system.server_nodes sys)
-  in
-  of_run
-    ~messages:(Location_system.submitted sys)
-    ~counters:(Location_system.counters sys)
-    ~messages_sent:(Netsim.Net.messages_sent net)
-    ~messages_delivered:(Netsim.Net.messages_delivered net)
-    ~messages_dropped:(Netsim.Net.messages_dropped net)
-    ~link_hops:(Netsim.Net.hops_traversed net)
-    ~storage_bytes:storage
+let of_syntax sys = of_system (module System.Syntax) sys
+let of_location sys = of_system (module System.Location) sys
+let of_packed (System.Packed ((module M), sys)) = of_system (module M) sys
 
 let pp ppf r =
   Format.fprintf ppf

@@ -49,7 +49,14 @@ val of_run :
   report
 (** Assemble a report from a finished run's raw artefacts. *)
 
+val of_system : (module System_intf.S with type t = 'a) -> 'a -> report
+(** Assemble the report from any design through the shared
+    {!System_intf.S} surface — the single implementation behind the
+    per-design conveniences below. *)
+
 val of_syntax : Syntax_system.t -> report
 val of_location : Location_system.t -> report
+
+val of_packed : System.t -> report
 
 val pp : Format.formatter -> report -> unit

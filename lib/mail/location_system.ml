@@ -49,6 +49,7 @@ type t = {
   mutable groups : int;
   retrieval_costs : Dsim.Stats.Summary.t;
   counters : Dsim.Stats.Counter.t;
+  metrics : Telemetry.Registry.t;
   trace : Dsim.Trace.t;
   mutable next_id : Message.id;
   mutable submitted : Message.t list;
@@ -59,6 +60,7 @@ let net t = Pipeline.net t.pipeline
 let graph t = t.graph
 let now t = Dsim.Engine.now t.engine
 let counters t = t.counters
+let metrics t = t.metrics
 let trace t = t.trace
 let submitted t = t.submitted
 
@@ -183,7 +185,9 @@ let check_mail t name =
 let retrieval_cost_stats t = t.retrieval_costs
 
 let check_mail_at t ~at name =
-  ignore (Dsim.Engine.schedule_at t.engine at (fun () -> ignore (check_mail t name)))
+  ignore
+    (Dsim.Engine.schedule_at ~category:"mail.check" t.engine at (fun () ->
+         ignore (check_mail t name)))
 
 let login t name ~host =
   let a = agent t name in
@@ -220,7 +224,7 @@ let submit_at t ~at ~sender ~recipient ?(subject = "") ?(body = "") () =
   let msg = Message.create ~id ~sender ~recipient ~subject ~body ~submitted_at:at () in
   t.submitted <- msg :: t.submitted;
   ignore
-    (Dsim.Engine.schedule_at t.engine at (fun () ->
+    (Dsim.Engine.schedule_at ~category:"mail.submit" t.engine at (fun () ->
          Pipeline.submit t.pipeline ~sender_agent ~msg));
   msg
 
@@ -309,12 +313,15 @@ let redirect_target t name = Hashtbl.find_opt t.redirects name
 
 (* --- construction ------------------------------------------------------- *)
 
-let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
+let create ?(config = default_config) ?(design_label = "location")
+    (site : Netsim.Topology.mail_site) =
   if config.replication <= 0 then invalid_arg "Location_system.create: replication <= 0";
   if config.hash_groups <= 0 then invalid_arg "Location_system.create: hash_groups <= 0";
   let engine = Dsim.Engine.create () in
   let trace = Dsim.Trace.create () in
   let counters = Dsim.Stats.Counter.create () in
+  let metrics = Telemetry.Registry.create ~labels:[ ("design", design_label) ] () in
+  Telemetry.Probe.attach_engine metrics engine;
   let servers = Hashtbl.create 16 in
   let region_servers = Hashtbl.create 4 in
   let agents = Hashtbl.create 64 in
@@ -383,7 +390,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
     }
   in
   let pipeline =
-    Pipeline.create ~engine ~graph:site.graph ~trace ~counters
+    Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics
       ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
       {
         Pipeline.retry_timeout = config.retry_timeout;
@@ -410,6 +417,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       groups = config.hash_groups;
       retrieval_costs = Dsim.Stats.Summary.create ();
       counters;
+      metrics;
       trace;
       next_id = 0;
       submitted = [];

@@ -36,7 +36,10 @@ val default_config : config
 (** replication 3, 5 users/host, 8 hash groups, pipeline defaults,
     no bandwidth/service/loss modelling. *)
 
-val create : ?config:config -> Netsim.Topology.mail_site -> t
+val create : ?config:config -> ?design_label:string -> Netsim.Topology.mail_site -> t
+(** [design_label] (default ["location"]) is the [design] base label
+    of the metrics registry — {!Attribute_system} passes
+    ["attribute"] for the runs it drives through this base. *)
 
 (** {1 Access} *)
 
@@ -55,6 +58,11 @@ val server_nodes : t -> Netsim.Graph.node list
 val server : t -> Netsim.Graph.node -> Server.t
 val space : t -> string -> Naming.Name_space.t option
 val counters : t -> Dsim.Stats.Counter.t
+
+val metrics : t -> Telemetry.Registry.t
+(** The run's typed metric registry (base label
+    [design=<design_label>]). *)
+
 val trace : t -> Dsim.Trace.t
 val submitted : t -> Message.t list
 

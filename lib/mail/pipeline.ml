@@ -73,6 +73,7 @@ type 'ctrl t = {
   service_rng : Dsim.Rng.t;
   queues : (Netsim.Graph.node, srv_queue) Hashtbl.t;
   queue_waits : Dsim.Stats.Summary.t;
+  queue_wait_hist : Telemetry.Registry.histogram option;
 }
 
 let net t = t.net
@@ -107,11 +108,14 @@ let through_queue t node work =
         | None -> q.busy <- false
         | Some (arrived, job) ->
             q.busy <- true;
-            Dsim.Stats.Summary.add t.queue_waits (Dsim.Engine.now t.engine -. arrived);
+            let wait = Dsim.Engine.now t.engine -. arrived in
+            Dsim.Stats.Summary.add t.queue_waits wait;
+            Option.iter (fun h -> Telemetry.Registry.observe h wait) t.queue_wait_hist;
             let service = Dsim.Rng.exponential t.service_rng rate in
             q.busy_total <- q.busy_total +. service;
             ignore
-              (Dsim.Engine.schedule_after t.engine service (fun () ->
+              (Dsim.Engine.schedule_after ~category:"pipeline.service" t.engine
+                 service (fun () ->
                    job ();
                    q.served <- q.served + 1;
                    serve_next ()))
@@ -137,7 +141,8 @@ let declare_dead t msg ~reason =
 let arm_retry t (p : pending) step =
   let rec fire () =
     ignore
-      (Dsim.Engine.schedule_after t.engine t.config.retry_timeout (fun () ->
+      (Dsim.Engine.schedule_after ~category:"pipeline.retry" t.engine
+         t.config.retry_timeout (fun () ->
            if not p.acked then
              if p.attempts < t.config.max_retries then begin
                p.attempts <- p.attempts + 1;
@@ -285,8 +290,8 @@ let rec try_submit t msg sender_agent =
       | [] ->
           count t "submit_deferred";
           ignore
-            (Dsim.Engine.schedule_after t.engine t.config.retry_timeout (fun () ->
-                 try_submit t msg sender_agent))
+            (Dsim.Engine.schedule_after ~category:"pipeline.submit" t.engine
+               t.config.retry_timeout (fun () -> try_submit t msg sender_agent))
       | s :: rest ->
           count t "submit_attempts";
           if
@@ -302,7 +307,8 @@ let rec try_submit t msg sender_agent =
     in
     attempt (t.callbacks.submit_servers sender_agent);
     ignore
-      (Dsim.Engine.schedule_after t.engine t.config.resubmit_timeout (fun () ->
+      (Dsim.Engine.schedule_after ~category:"pipeline.resubmit" t.engine
+         t.config.resubmit_timeout (fun () ->
            if (not (Message.is_deposited msg)) && not (is_dead t msg.Message.id)
            then begin
              count t "resubmissions";
@@ -316,8 +322,17 @@ let submit t ~sender_agent ~msg =
 
 let pending_count t = Hashtbl.length t.pendings
 
-let create ~engine ~graph ~trace ~counters ?bandwidth ?loss_rate config callbacks =
+let create ~engine ~graph ~trace ~counters ?metrics ?bandwidth ?loss_rate config
+    callbacks =
   let net = Netsim.Net.create ~engine ~trace ?bandwidth ?loss_rate graph in
+  (* Registered eagerly (even when the service model is off) so every
+     design's registry exposes the same metric names. *)
+  let queue_wait_hist =
+    Option.map
+      (fun reg ->
+        Telemetry.Registry.histogram ~lo:0. ~hi:100. ~buckets:40 reg "queue_wait")
+      metrics
+  in
   let t =
     {
       config;
@@ -332,6 +347,7 @@ let create ~engine ~graph ~trace ~counters ?bandwidth ?loss_rate config callback
       service_rng = Dsim.Rng.create config.service_seed;
       queues = Hashtbl.create 16;
       queue_waits = Dsim.Stats.Summary.create ();
+      queue_wait_hist;
     }
   in
   List.iter

@@ -80,12 +80,16 @@ val create :
   graph:Netsim.Graph.t ->
   trace:Dsim.Trace.t ->
   counters:Dsim.Stats.Counter.t ->
+  ?metrics:Telemetry.Registry.t ->
   ?bandwidth:float ->
   ?loss_rate:float ->
   config ->
   'ctrl callbacks ->
   'ctrl t
 (** Builds the network and registers a pipeline handler on every node.
+    When [metrics] is given, queue waiting times are additionally
+    observed live into its ["queue_wait"] histogram (registered
+    eagerly, so the metric exists even with the service model off).
     Counter keys written: ["submitted"], ["submit_attempts"],
     ["submit_attempt_failures"], ["submit_deferred"],
     ["submits_received"], ["deposits"], ["redirect... "] (via the

@@ -28,6 +28,7 @@ type outcome = {
   availability : float;
   final_polls_per_check : float;
   inbox_total : int;
+  metrics : Telemetry.Registry.t;
   counter : string -> int;
 }
 
@@ -53,86 +54,6 @@ let pick_pair_skewed rng users skew =
     (users.(s), users.(other ()))
   end
 
-(* The common driver body, abstracted over system operations. *)
-type 'sys ops = {
-  engine : 'sys -> Dsim.Engine.t;
-  net_nodes_down : 'sys -> unit;  (* force all servers back up *)
-  server_nodes : 'sys -> Netsim.Graph.node list;
-  submit_at : 'sys -> at:float -> sender:Naming.Name.t -> recipient:Naming.Name.t -> unit;
-  check : 'sys -> Naming.Name.t -> User_agent.check_stats;
-  on_check_tick : 'sys -> rng:Dsim.Rng.t -> Naming.Name.t -> unit;
-      (* roaming hook, runs just before a periodic check *)
-  schedule_outages : 'sys -> Netsim.Failure.outage list -> unit;
-  report : 'sys -> Evaluation.report;
-  counters : 'sys -> Dsim.Stats.Counter.t;
-  inbox_total : 'sys -> int;
-  quiesce : 'sys -> unit;
-}
-
-let drive (type s) (sys : s) (ops : s ops) users spec =
-  let rng = Dsim.Rng.create spec.seed in
-  let traffic_rng = Dsim.Rng.split rng in
-  let failure_rng = Dsim.Rng.split rng in
-  let roam_rng = Dsim.Rng.split rng in
-  let engine = ops.engine sys in
-  let users_arr = Array.of_list users in
-  (* Mail injection at uniform times. *)
-  let send_times =
-    Queueing.Workload.uniform_arrivals ~rng:traffic_rng ~count:spec.mail_count
-      ~horizon:spec.duration
-  in
-  List.iter
-    (fun at ->
-      let sender, recipient = pick_pair_skewed traffic_rng users_arr spec.sender_skew in
-      ops.submit_at sys ~at ~sender ~recipient)
-    send_times;
-  (* Periodic checks, phase-shifted per user. *)
-  Array.iteri
-    (fun i name ->
-      let phase =
-        spec.check_period *. float_of_int (i + 1) /. float_of_int (Array.length users_arr + 1)
-      in
-      let rec arm at =
-        if at < spec.duration then
-          ignore
-            (Dsim.Engine.schedule_at engine at (fun () ->
-                 ops.on_check_tick sys ~rng:roam_rng name;
-                 ignore (ops.check sys name);
-                 arm (at +. spec.check_period)))
-      in
-      arm phase)
-    users_arr;
-  (* Failure injection on servers. *)
-  let outages =
-    Netsim.Failure.random_outages ~rng:failure_rng ~nodes:(ops.server_nodes sys)
-      ~rate:spec.failure_rate ~mean_duration:spec.mean_outage ~horizon:spec.duration
-  in
-  ops.schedule_outages sys outages;
-  (* Run, restore, drain, final checks. *)
-  Dsim.Engine.run ~until:spec.duration engine;
-  ops.net_nodes_down sys;
-  ops.quiesce sys;
-  List.iter (fun name -> ignore (ops.check sys name)) users;
-  ops.quiesce sys;
-  let report = ops.report sys in
-  let availability =
-    let nodes = ops.server_nodes sys in
-    if nodes = [] then 1.
-    else
-      List.fold_left
-        (fun acc node ->
-          acc +. Netsim.Failure.availability ~outages ~node ~horizon:spec.duration)
-        0. nodes
-      /. float_of_int (List.length nodes)
-  in
-  {
-    report;
-    availability;
-    final_polls_per_check = report.Evaluation.polls_per_check;
-    inbox_total = ops.inbox_total sys;
-    counter = (fun key -> Dsim.Stats.Counter.get (ops.counters sys) key);
-  }
-
 let check_with mode view sys_agent now =
   match mode with
   | Get_mail -> User_agent.get_mail sys_agent ~view ~now
@@ -145,47 +66,96 @@ let record_check counters (stats : User_agent.check_stats) =
   Dsim.Stats.Counter.incr ~by:stats.User_agent.failed_polls counters "failed_polls";
   Dsim.Stats.Counter.incr ~by:stats.User_agent.retrieved counters "retrieved"
 
-let run_syntax ?config site spec =
-  let sys = Syntax_system.create ?config site in
-  let users = Syntax_system.users sys in
-  let ops =
-    {
-      engine = Syntax_system.engine;
-      net_nodes_down =
-        (fun s ->
-          List.iter (fun n -> Netsim.Net.set_up (Syntax_system.net s) n)
-            (Syntax_system.server_nodes s));
-      server_nodes = Syntax_system.server_nodes;
-      submit_at =
-        (fun s ~at ~sender ~recipient ->
-          ignore (Syntax_system.submit_at s ~at ~sender ~recipient ()));
-      check =
-        (fun s name ->
-          let stats =
-            check_with spec.retrieval (Syntax_system.view s)
-              (Syntax_system.agent s name) (Syntax_system.now s)
-          in
-          record_check (Syntax_system.counters s) stats;
-          stats);
-      on_check_tick = (fun _ ~rng:_ _ -> ());
-      schedule_outages =
-        (fun s outages -> Netsim.Failure.schedule_outages (Syntax_system.net s) outages);
-      report = Evaluation.of_syntax;
-      counters = Syntax_system.counters;
-      inbox_total =
-        (fun s ->
-          List.fold_left
-            (fun acc name -> acc + User_agent.inbox_size (Syntax_system.agent s name))
-            0 (Syntax_system.users s));
-      quiesce = (fun s -> Syntax_system.quiesce s);
-    }
+(* The one driver body, shared by all designs through System.S.  Only
+   [on_check_tick] (design 2/3 roaming) is design-specific. *)
+let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
+    (module M : System.S with type t = s) (sys : s) spec =
+  let rng = Dsim.Rng.create spec.seed in
+  let traffic_rng = Dsim.Rng.split rng in
+  let failure_rng = Dsim.Rng.split rng in
+  let roam_rng = Dsim.Rng.split rng in
+  let engine = M.engine sys in
+  let users = M.users sys in
+  let users_arr = Array.of_list users in
+  let check name =
+    let stats = check_with spec.retrieval (M.view sys) (M.agent sys name) (M.now sys) in
+    record_check (M.counters sys) stats;
+    stats
   in
-  drive sys ops users spec
+  (* Mail injection at uniform times. *)
+  let send_times =
+    Queueing.Workload.uniform_arrivals ~rng:traffic_rng ~count:spec.mail_count
+      ~horizon:spec.duration
+  in
+  List.iter
+    (fun at ->
+      let sender, recipient = pick_pair_skewed traffic_rng users_arr spec.sender_skew in
+      ignore (M.submit_at sys ~at ~sender ~recipient ()))
+    send_times;
+  (* Periodic checks, phase-shifted per user. *)
+  Array.iteri
+    (fun i name ->
+      let phase =
+        spec.check_period *. float_of_int (i + 1) /. float_of_int (Array.length users_arr + 1)
+      in
+      let rec arm at =
+        if at < spec.duration then
+          ignore
+            (Dsim.Engine.schedule_at ~category:"scenario.check" engine at (fun () ->
+                 on_check_tick ~rng:roam_rng name;
+                 ignore (check name);
+                 arm (at +. spec.check_period)))
+      in
+      arm phase)
+    users_arr;
+  (* Failure injection on servers. *)
+  let outages =
+    Netsim.Failure.random_outages ~rng:failure_rng ~nodes:(M.server_nodes sys)
+      ~rate:spec.failure_rate ~mean_duration:spec.mean_outage ~horizon:spec.duration
+  in
+  Netsim.Failure.schedule_outages (M.net sys) outages;
+  (* Run, restore, drain, final checks. *)
+  Dsim.Engine.run ~until:spec.duration engine;
+  List.iter (fun n -> Netsim.Net.set_up (M.net sys) n) (M.server_nodes sys);
+  M.quiesce sys;
+  List.iter (fun name -> ignore (check name)) users;
+  M.quiesce sys;
+  let report = Evaluation.of_system (module M) sys in
+  let availability =
+    let nodes = M.server_nodes sys in
+    if nodes = [] then 1.
+    else
+      List.fold_left
+        (fun acc node ->
+          acc +. Netsim.Failure.availability ~outages ~node ~horizon:spec.duration)
+        0. nodes
+      /. float_of_int (List.length nodes)
+  in
+  let inbox_total =
+    List.fold_left (fun acc name -> acc + User_agent.inbox_size (M.agent sys name)) 0 users
+  in
+  System.snapshot_metrics (module M) sys;
+  let metrics = M.metrics sys in
+  let set name v = Telemetry.Registry.set_gauge (Telemetry.Registry.gauge metrics name) v in
+  set "availability" availability;
+  set "inbox_total" (float_of_int inbox_total);
+  set "polls_per_check" report.Evaluation.polls_per_check;
+  {
+    report;
+    availability;
+    final_polls_per_check = report.Evaluation.polls_per_check;
+    inbox_total;
+    metrics;
+    counter =
+      (fun key ->
+        match Telemetry.Registry.get_counter metrics key with
+        | 0 -> Telemetry.Registry.get_counter ~labels:[ ("event", key) ] metrics "system_events"
+        | v -> v);
+  }
 
-let run_location ?config ~roam_probability site spec =
-  let sys = Location_system.create ?config site in
-  let users = Location_system.users sys in
-  let graph = Location_system.graph sys in
+(* Roaming hook shared by the location-based designs: before a check,
+   the user logs in from a random host of their region. *)
+let roaming_hook sys graph roam_probability =
   let hosts_by_region = Hashtbl.create 4 in
   List.iter
     (fun v ->
@@ -197,48 +167,29 @@ let run_location ?config ~roam_probability site spec =
         Hashtbl.replace hosts_by_region r (v :: cur)
       end)
     (Netsim.Graph.nodes graph);
-  let ops =
-    {
-      engine = Location_system.engine;
-      net_nodes_down =
-        (fun s ->
-          List.iter (fun n -> Netsim.Net.set_up (Location_system.net s) n)
-            (Location_system.server_nodes s));
-      server_nodes = Location_system.server_nodes;
-      submit_at =
-        (fun s ~at ~sender ~recipient ->
-          ignore (Location_system.submit_at s ~at ~sender ~recipient ()));
-      check =
-        (fun s name ->
-          let stats =
-            check_with spec.retrieval (Location_system.view s)
-              (Location_system.agent s name) (Location_system.now s)
-          in
-          record_check (Location_system.counters s) stats;
-          stats);
-      on_check_tick =
-        (fun s ~rng name ->
-          if Dsim.Rng.bernoulli rng roam_probability then begin
-            match Hashtbl.find_opt hosts_by_region (Naming.Name.region name) with
-            | Some (_ :: _ as hosts) ->
-                let arr = Array.of_list hosts in
-                ignore (Location_system.login s name ~host:(Dsim.Rng.choice rng arr))
-            | Some [] | None -> ()
-          end);
-      schedule_outages =
-        (fun s outages ->
-          Netsim.Failure.schedule_outages (Location_system.net s) outages);
-      report = Evaluation.of_location;
-      counters = Location_system.counters;
-      inbox_total =
-        (fun s ->
-          List.fold_left
-            (fun acc name -> acc + User_agent.inbox_size (Location_system.agent s name))
-            0 (Location_system.users s));
-      quiesce = (fun s -> Location_system.quiesce s);
-    }
-  in
-  drive sys ops users spec
+  fun ~rng name ->
+    if Dsim.Rng.bernoulli rng roam_probability then begin
+      match Hashtbl.find_opt hosts_by_region (Naming.Name.region name) with
+      | Some (_ :: _ as hosts) ->
+          let arr = Array.of_list hosts in
+          ignore (Location_system.login sys name ~host:(Dsim.Rng.choice rng arr))
+      | Some [] | None -> ()
+    end
+
+let run_syntax ?config site spec =
+  let sys = Syntax_system.create ?config site in
+  drive (module System.Syntax) sys spec
+
+let run_location ?config ~roam_probability site spec =
+  let sys = Location_system.create ?config site in
+  let on_check_tick = roaming_hook sys (Location_system.graph sys) roam_probability in
+  drive ~on_check_tick (module System.Location) sys spec
+
+let run_attribute ?config ?(roam_probability = 0.) site spec =
+  let sys = Attribute_system.create ?config site in
+  let base = Attribute_system.base sys in
+  let on_check_tick = roaming_hook base (Location_system.graph base) roam_probability in
+  drive ~on_check_tick (module System.Attribute) sys spec
 
 type estimate = { mean : float; stddev : float; runs : int }
 

@@ -36,10 +36,32 @@ type outcome = {
   final_polls_per_check : float;
       (** polls per check over the whole run including final drain. *)
   inbox_total : int;  (** messages sitting in user inboxes at the end. *)
+  metrics : Telemetry.Registry.t;
+      (** the run's full metric registry, snapshotted after the final
+          drain ({!System.snapshot_metrics} plus the scenario gauges
+          [availability], [inbox_total], [polls_per_check]) — the
+          typed replacement for [counter]. *)
   counter : string -> int;
-      (** read any raw system counter (e.g. ["location_updates"],
-          ["location_gossip"], ["retries"]) from the finished run. *)
+      (** Deprecated — stringly counter access, kept as a shim over
+          [metrics]: a {!System.core_counters} name reads the metric
+          of that name, any other key reads
+          [system_events{event=<key>}] (e.g. ["location_updates"],
+          ["location_gossip"]).  New code should use
+          {!Telemetry.Registry.get_counter} on [metrics] directly. *)
 }
+
+val drive :
+  ?on_check_tick:(rng:Dsim.Rng.t -> Naming.Name.t -> unit) ->
+  (module System.S with type t = 's) ->
+  's ->
+  spec ->
+  outcome
+(** The one scenario driver, shared by every design through
+    {!System.S}: inject the mail workload, arm phase-shifted periodic
+    checks (calling [on_check_tick] just before each — the roaming
+    hook of designs 2/3), schedule random server outages, run to the
+    horizon, restore all servers, drain, final-check every user, and
+    snapshot metrics. *)
 
 val run_syntax :
   ?config:Syntax_system.config -> Netsim.Topology.mail_site -> spec -> outcome
@@ -54,6 +76,17 @@ val run_location :
 (** Design 2: before each check the user roams to a random host of
     their region with the given probability (a {!Location_system.login},
     which itself retrieves mail). *)
+
+val run_attribute :
+  ?config:Location_system.config ->
+  ?roam_probability:float ->
+  Netsim.Topology.mail_site ->
+  spec ->
+  outcome
+(** Design 3: the point-to-point workload driven through an
+    {!Attribute_system} (its {!Location_system} base carries the mail;
+    metrics are labelled [design="attribute"]).  [roam_probability]
+    defaults to 0. *)
 
 (** Mean and sample standard deviation of one metric across
     replications. *)

@@ -40,6 +40,7 @@ type t = {
   caches : (Netsim.Graph.node, Netsim.Graph.node list Naming.Cache.t) Hashtbl.t;
   bounced : (Message.id, unit) Hashtbl.t;
   counters : Dsim.Stats.Counter.t;
+  metrics : Telemetry.Registry.t;
   trace : Dsim.Trace.t;
   mutable next_id : Message.id;
   mutable submitted : Message.t list;
@@ -50,6 +51,7 @@ let net t = Pipeline.net t.pipeline
 let graph t = t.graph
 let now t = Dsim.Engine.now t.engine
 let counters t = t.counters
+let metrics t = t.metrics
 let trace t = t.trace
 let submitted t = t.submitted
 
@@ -144,7 +146,7 @@ let submit_at t ~at ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = []
   in
   t.submitted <- msg :: t.submitted;
   ignore
-    (Dsim.Engine.schedule_at t.engine at (fun () ->
+    (Dsim.Engine.schedule_at ~category:"mail.submit" t.engine at (fun () ->
          Pipeline.submit t.pipeline ~sender_agent ~msg));
   msg
 
@@ -170,7 +172,9 @@ let check_mail t name =
   stats
 
 let check_mail_at t ~at name =
-  ignore (Dsim.Engine.schedule_at t.engine at (fun () -> ignore (check_mail t name)))
+  ignore
+    (Dsim.Engine.schedule_at ~category:"mail.check" t.engine at (fun () ->
+         ignore (check_mail t name)))
 
 let run_until t horizon = Dsim.Engine.run ~until:horizon t.engine
 
@@ -190,7 +194,7 @@ let schedule_cleanup t ~period ~until ~max_age =
   let rec arm at =
     if at <= until then
       ignore
-        (Dsim.Engine.schedule_at t.engine at (fun () ->
+        (Dsim.Engine.schedule_at ~category:"mail.cleanup" t.engine at (fun () ->
              Hashtbl.iter
                (fun _ srv ->
                  let dropped = Server.cleanup srv ~now:(now t) ~max_age in
@@ -308,6 +312,8 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   let engine = Dsim.Engine.create () in
   let trace = Dsim.Trace.create () in
   let counters = Dsim.Stats.Counter.create () in
+  let metrics = Telemetry.Registry.create ~labels:[ ("design", "syntax") ] () in
+  Telemetry.Probe.attach_engine metrics engine;
   let servers = Hashtbl.create 16 in
   let region_servers = Hashtbl.create 4 in
   let agents = Hashtbl.create 64 in
@@ -380,7 +386,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
     }
   in
   let pipeline =
-    Pipeline.create ~engine ~graph:site.graph ~trace ~counters
+    Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics
       ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
       {
         Pipeline.retry_timeout = config.retry_timeout;
@@ -405,6 +411,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       caches = Hashtbl.create 8;
       bounced = Hashtbl.create 8;
       counters;
+      metrics;
       trace;
       next_id = 0;
       submitted = [];

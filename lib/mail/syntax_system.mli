@@ -74,6 +74,13 @@ val server_nodes : t -> Netsim.Graph.node list
 val server : t -> Netsim.Graph.node -> Server.t
 val space : t -> string -> Naming.Name_space.t option
 val counters : t -> Dsim.Stats.Counter.t
+
+val metrics : t -> Telemetry.Registry.t
+(** The run's typed metric registry (base label [design="syntax"]),
+    live-fed by the engine probe and the pipeline's queue-wait
+    histogram; {!Scenario.drive} / {!System.snapshot_metrics} fill in
+    the rest. *)
+
 val trace : t -> Dsim.Trace.t
 val submitted : t -> Message.t list
 (** Every message ever submitted, newest first. *)

@@ -1,0 +1,53 @@
+(** The three designs behind one interface.
+
+    {!S} (= {!System_intf.S}) is the shared surface; [Syntax],
+    [Location] and [Attribute] are its instances, and {!t} packs an
+    instance with a value of its type so heterogeneous code (drivers,
+    report tables) can hold "some mail system" without a type
+    parameter. *)
+
+module type S = System_intf.S
+
+module Syntax : S with type t = Syntax_system.t
+module Location : S with type t = Location_system.t
+
+module Attribute : S with type t = Attribute_system.t
+(** Delegates mail operations to {!Attribute_system.base}; its metrics
+    registry carries [design="attribute"]. *)
+
+(** {1 Packed systems} *)
+
+type t = Packed : (module S with type t = 'a) * 'a -> t
+
+val pack_syntax : Syntax_system.t -> t
+val pack_location : Location_system.t -> t
+val pack_attribute : Attribute_system.t -> t
+
+val design : t -> string
+val metrics : t -> Telemetry.Registry.t
+val counters : t -> Dsim.Stats.Counter.t
+val now : t -> float
+val users : t -> Naming.Name.t list
+val submitted : t -> Message.t list
+
+(** {1 Metric snapshotting} *)
+
+val core_counters : string list
+(** The tallies every design promotes to first-class metrics (own
+    name, no [event] label): checks, polls, failed_polls, retrieved,
+    submitted, deposits, retries, resubmissions, notifications,
+    redirects, migrations. *)
+
+val snapshot_metrics : (module S with type t = 'a) -> 'a -> unit
+(** Bring the system's registry up to date with the run so far:
+    promote {!core_counters} (creating them at 0 when a design never
+    fired one), route every other raw tally to
+    [system_events{event=<key>}], rebuild the ["delivery_latency"] and
+    ["end_to_end_latency"] histograms from the submitted messages,
+    refresh the network/storage gauges ([messages_sent],
+    [messages_delivered], [messages_dropped], [link_hops],
+    [storage_bytes]) and the engine profile.  Idempotent — safe to
+    call repeatedly as a run progresses. *)
+
+val snapshot : t -> unit
+(** {!snapshot_metrics} on a packed system. *)

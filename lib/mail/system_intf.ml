@@ -1,0 +1,59 @@
+(** The common surface of the three mail-system designs.
+
+    All three designs (§3.1 syntax-directed, §3.2 location-independent,
+    §3.3 attribute-based) expose the same driving surface: an engine,
+    a network, named users with agents, servers, submission, mailbox
+    checks and quiescing.  [S] captures that surface once so scenario
+    drivers and evaluation exist once instead of per-design
+    ({!Scenario.drive}, {!Evaluation.of_system}); packing lives in
+    {!System}. *)
+
+module type S = sig
+  type t
+
+  type wire
+  (** The design's network payload type (kept abstract by packing). *)
+
+  val design : string
+  (** Short label for metrics and reports: ["syntax"], ["location"],
+      ["attribute"]. *)
+
+  (** {1 Access} *)
+
+  val engine : t -> Dsim.Engine.t
+  val net : t -> wire Netsim.Net.t
+  val graph : t -> Netsim.Graph.t
+  val now : t -> float
+  val users : t -> Naming.Name.t list
+  val agent : t -> Naming.Name.t -> User_agent.t
+  val server_nodes : t -> Netsim.Graph.node list
+  val server : t -> Netsim.Graph.node -> Server.t
+
+  val counters : t -> Dsim.Stats.Counter.t
+  (** Raw internal tallies; prefer {!metrics} for anything public. *)
+
+  val metrics : t -> Telemetry.Registry.t
+  (** The run's typed metric registry (base label
+      [design=<design>]). *)
+
+  val trace : t -> Dsim.Trace.t
+  val submitted : t -> Message.t list
+  val view : t -> User_agent.server_view
+
+  (** {1 Operation} *)
+
+  val submit :
+    t -> sender:Naming.Name.t -> recipient:Naming.Name.t -> unit -> Message.t
+
+  val submit_at :
+    t ->
+    at:float ->
+    sender:Naming.Name.t ->
+    recipient:Naming.Name.t ->
+    unit ->
+    Message.t
+
+  val check_mail : t -> Naming.Name.t -> User_agent.check_stats
+  val run_until : t -> float -> unit
+  val quiesce : ?step:float -> ?max_steps:int -> t -> unit
+end

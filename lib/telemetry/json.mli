@@ -1,0 +1,29 @@
+(** Minimal JSON tree, hand-rolled printer and parser — just enough to
+    serialise a metrics registry without adding a dependency.
+
+    Non-finite floats print as [null] (JSON has no representation for
+    them); everything else round-trips through {!to_string} /
+    {!of_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render; [indent > 0] pretty-prints with that step (default 0 =
+    compact). *)
+
+val of_string : string -> t
+(** Parse a JSON document.  Numbers with a fraction or exponent become
+    [Float], others [Int].  @raise Failure on malformed input. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks a field up; [None] on missing keys or
+    non-objects. *)
+
+val equal : t -> t -> bool

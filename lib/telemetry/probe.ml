@@ -1,0 +1,27 @@
+let attach_engine reg engine =
+  let seconds = Registry.gauge reg "engine_handler_seconds" in
+  Dsim.Engine.set_instrument engine (fun ~category ~seconds:dt ->
+      Registry.incr
+        (Registry.counter reg ~labels:[ ("category", category) ] "engine_events");
+      Registry.add_gauge seconds dt)
+
+let sync_engine_profile reg engine =
+  List.iter
+    (fun (category, p) ->
+      Registry.set_counter reg
+        ~labels:[ ("category", category) ]
+        "engine_events" p.Dsim.Engine.events)
+    (Dsim.Engine.profile engine)
+
+let sync_counters ?labels ?only ?rest_as reg counters =
+  List.iter
+    (fun (key, v) ->
+      let promoted = match only with None -> true | Some l -> List.mem key l in
+      if promoted then Registry.set_counter ?labels reg key v
+      else
+        match rest_as with
+        | None -> Registry.set_counter ?labels reg key v
+        | Some name ->
+            let labels = ("event", key) :: Option.value labels ~default:[] in
+            Registry.set_counter ~labels reg name v)
+    (Dsim.Stats.Counter.to_list counters)

@@ -1,0 +1,21 @@
+(** Glue between the simulation substrate and a metrics registry. *)
+
+val attach_engine : Registry.t -> Dsim.Engine.t -> unit
+(** Install an instrumentation callback on the engine so the registry
+    maintains, live, a counter [engine_events{category=...}] per event
+    category and a cumulative gauge [engine_handler_seconds] of
+    wall-clock time spent inside handlers.  Replaces any previously
+    installed instrument. *)
+
+val sync_engine_profile : Registry.t -> Dsim.Engine.t -> unit
+(** Copy the engine's own per-category tallies into the registry
+    (absolute set) — the pull-based counterpart of {!attach_engine},
+    useful when no live instrument was installed. *)
+
+val sync_counters : ?labels:Registry.labels -> ?only:string list ->
+  ?rest_as:string -> Registry.t -> Dsim.Stats.Counter.t -> unit
+(** Import a legacy stringly counter table.  Keys listed in [only]
+    (default: all keys) become counters under their own name; when
+    [rest_as] is given, every remaining key [k] is recorded as
+    [rest_as{event=k}] instead, so design-specific tallies share one
+    metric name across systems. *)

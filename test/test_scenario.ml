@@ -129,6 +129,23 @@ let test_large_hierarchy_stress () =
   Alcotest.(check bool) "cross-region forwarding happened" true
     (r.Mail.Evaluation.mean_forward_hops > 0.5)
 
+let test_metric_name_parity () =
+  (* The three designs are only comparable if their registries expose
+     the same measurement surface: identical metric names, labels
+     aside. *)
+  let spec = { small_spec with mail_count = 80; failure_rate = 0.002 } in
+  let syn = Mail.Scenario.run_syntax (fig1 ()) spec in
+  let loc = Mail.Scenario.run_location ~roam_probability:0.2 (hier_site 11) spec in
+  let names o = Telemetry.Registry.metric_names o.Mail.Scenario.metrics in
+  Alcotest.(check (list string)) "syntax/location same metric names" (names syn)
+    (names loc);
+  let att = Mail.Scenario.run_attribute ~roam_probability:0.1 (hier_site 11) spec in
+  Alcotest.(check (list string)) "attribute matches too" (names syn) (names att);
+  (* the deprecated string shim agrees with the typed registry *)
+  Alcotest.(check int) "counter shim = typed access"
+    (Telemetry.Registry.get_counter syn.Mail.Scenario.metrics "polls")
+    (syn.Mail.Scenario.counter "polls")
+
 let test_arpanet_mail () =
   (* A full mail scenario over the 1977 ARPANET backbone: BBN, UCLA
      and Illinois serve mail for the other seventeen sites. *)
@@ -166,6 +183,8 @@ let suite =
           test_naive_loses_mail_under_failures;
         Alcotest.test_case "determinism" `Slow test_deterministic_runs;
         Alcotest.test_case "C6: roaming overhead" `Slow test_location_roaming_overhead;
+        Alcotest.test_case "metric-name parity across designs" `Slow
+          test_metric_name_parity;
         Alcotest.test_case "large hierarchy stress" `Slow test_large_hierarchy_stress;
         Alcotest.test_case "mail over the 1977 ARPANET" `Slow test_arpanet_mail;
       ] );

@@ -1,0 +1,222 @@
+(* Telemetry registry, histogram percentile edge cases, and JSON
+   round-tripping. *)
+
+module R = Telemetry.Registry
+module J = Telemetry.Json
+
+let test_counter_create_incr () =
+  let reg = R.create () in
+  let c = R.counter reg "polls" in
+  R.incr c;
+  R.incr ~by:4 c;
+  Alcotest.(check int) "handle value" 5 (R.counter_value c);
+  Alcotest.(check int) "lookup by name" 5 (R.get_counter reg "polls");
+  (* find-or-create memoises: same handle again *)
+  R.incr (R.counter reg "polls");
+  Alcotest.(check int) "same handle" 6 (R.get_counter reg "polls");
+  Alcotest.(check int) "absent counter reads 0" 0 (R.get_counter reg "nope")
+
+let test_labels_distinguish_and_normalise () =
+  let reg = R.create () in
+  R.incr (R.counter ~labels:[ ("design", "syntax") ] reg "polls");
+  R.incr ~by:2 (R.counter ~labels:[ ("design", "location") ] reg "polls");
+  Alcotest.(check int) "label set 1" 1
+    (R.get_counter ~labels:[ ("design", "syntax") ] reg "polls");
+  Alcotest.(check int) "label set 2" 2
+    (R.get_counter ~labels:[ ("design", "location") ] reg "polls");
+  (* label order is irrelevant *)
+  R.incr (R.counter ~labels:[ ("b", "2"); ("a", "1") ] reg "x");
+  Alcotest.(check int) "sorted lookup" 1
+    (R.get_counter ~labels:[ ("a", "1"); ("b", "2") ] reg "x");
+  Alcotest.check_raises "duplicate label keys rejected"
+    (Invalid_argument "Registry: duplicate label key \"a\"") (fun () ->
+      ignore (R.counter ~labels:[ ("a", "1"); ("a", "2") ] reg "y"))
+
+let test_kind_clash_rejected () =
+  let reg = R.create () in
+  ignore (R.counter reg "m");
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Registry: \"m\" already registered as a counter") (fun () ->
+      ignore (R.gauge reg "m"))
+
+let test_histogram_empty () =
+  let reg = R.create () in
+  let h = R.histogram reg "lat" in
+  Alcotest.(check int) "count" 0 (R.hist_count h);
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan (R.percentile h 50.));
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (R.hist_mean h));
+  Alcotest.(check bool) "min nan" true (Float.is_nan (R.hist_min h));
+  Alcotest.(check bool) "max nan" true (Float.is_nan (R.hist_max h))
+
+let test_histogram_single_sample () =
+  let reg = R.create () in
+  let h = R.histogram reg "lat" in
+  R.observe h 42.;
+  Alcotest.(check int) "count" 1 (R.hist_count h);
+  (* every percentile of a single sample is that sample *)
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "percentile" 42. (R.percentile h p))
+    [ 0.; 50.; 90.; 99.; 100. ];
+  Alcotest.(check (float 1e-9)) "mean" 42. (R.hist_mean h);
+  Alcotest.(check (float 1e-9)) "min" 42. (R.hist_min h);
+  Alcotest.(check (float 1e-9)) "max" 42. (R.hist_max h)
+
+let test_histogram_overflow_bucket () =
+  let reg = R.create () in
+  let h = R.histogram ~lo:0. ~hi:10. ~buckets:10 reg "lat" in
+  R.observe h 5.;
+  R.observe h (-1.);
+  R.observe h 10.;
+  R.observe h 1000.;
+  Alcotest.(check int) "underflow" 1 (R.hist_underflow h);
+  Alcotest.(check int) "overflow (>= hi)" 2 (R.hist_overflow h);
+  Alcotest.(check int) "all observations counted" 4 (R.hist_count h);
+  (* out-of-range samples still participate in percentiles *)
+  Alcotest.(check (float 1e-9)) "p100 from overflow" 1000. (R.percentile h 100.);
+  Alcotest.(check (float 1e-9)) "max" 1000. (R.hist_max h)
+
+let test_percentiles_interpolate () =
+  let reg = R.create () in
+  let h = R.histogram ~lo:0. ~hi:200. ~buckets:20 reg "lat" in
+  for i = 1 to 100 do
+    R.observe h (float_of_int i)
+  done;
+  Alcotest.(check bool) "p50 near median" true
+    (Float.abs (R.percentile h 50. -. 50.5) < 1.);
+  Alcotest.(check bool) "p90 near 90" true (Float.abs (R.percentile h 90. -. 90.) < 1.5);
+  Alcotest.(check bool) "p99 near 99" true (Float.abs (R.percentile h 99. -. 99.) < 1.5);
+  Alcotest.(check bool) "order" true
+    (R.percentile h 50. < R.percentile h 90. && R.percentile h 90. < R.percentile h 99.)
+
+let test_clear_histogram () =
+  let reg = R.create () in
+  let h = R.histogram reg "lat" in
+  R.observe h 1.;
+  R.observe h 2.;
+  R.clear_histogram h;
+  Alcotest.(check int) "empty again" 0 (R.hist_count h);
+  R.observe h 7.;
+  Alcotest.(check (float 1e-9)) "fresh observations" 7. (R.percentile h 50.)
+
+let test_merge () =
+  let a = R.create ~labels:[ ("design", "syntax") ] () in
+  let b = R.create ~labels:[ ("design", "location") ] () in
+  R.incr ~by:3 (R.counter a "polls");
+  R.incr ~by:4 (R.counter b "polls");
+  R.incr ~by:2 (R.counter ~labels:[ ("design", "syntax") ] b "polls");
+  R.set_gauge (R.gauge a "avail") 0.5;
+  R.set_gauge (R.gauge b "avail") 0.9;
+  let ha = R.histogram a "lat" and hb = R.histogram b "lat" in
+  R.observe ha 1.;
+  R.observe ha 2.;
+  R.observe hb 3.;
+  let m = R.merge a b in
+  (* counters keyed by full labels: base labels fold in, colliding keys add *)
+  Alcotest.(check int) "syntax polls added across operands" 5
+    (R.get_counter ~labels:[ ("design", "syntax") ] m "polls");
+  Alcotest.(check int) "location polls" 4
+    (R.get_counter ~labels:[ ("design", "location") ] m "polls");
+  (* gauges: right operand wins on collision — distinct labels here, so both survive *)
+  Alcotest.(check (float 1e-9)) "gauge a" 0.5
+    (R.get_gauge ~labels:[ ("design", "syntax") ] m "avail");
+  Alcotest.(check (float 1e-9)) "gauge b" 0.9
+    (R.get_gauge ~labels:[ ("design", "location") ] m "avail");
+  let hm = R.histogram ~labels:[ ("design", "syntax") ] m "lat" in
+  Alcotest.(check int) "histogram a carried over" 2 (R.hist_count hm);
+  let hn = R.histogram ~labels:[ ("design", "location") ] m "lat" in
+  Alcotest.(check (float 1e-9)) "histogram b carried over" 3. (R.percentile hn 50.)
+
+let test_merge_same_labels_histograms () =
+  let a = R.create () and b = R.create () in
+  let ha = R.histogram a "lat" and hb = R.histogram b "lat" in
+  List.iter (R.observe ha) [ 1.; 2.; 3. ];
+  List.iter (R.observe hb) [ 4.; 5. ];
+  let m = R.merge a b in
+  let hm = R.histogram m "lat" in
+  Alcotest.(check int) "counts add" 5 (R.hist_count hm);
+  Alcotest.(check (float 1e-9)) "min" 1. (R.hist_min hm);
+  Alcotest.(check (float 1e-9)) "max" 5. (R.hist_max hm)
+
+let test_json_round_trip () =
+  let reg = R.create ~labels:[ ("design", "syntax") ] () in
+  R.incr ~by:7 (R.counter reg "polls");
+  R.incr (R.counter ~labels:[ ("event", "gossip") ] reg "system_events");
+  R.set_gauge (R.gauge reg "availability") 0.975;
+  let h = R.histogram ~lo:0. ~hi:10. ~buckets:5 reg "lat" in
+  List.iter (R.observe h) [ 1.; 2.; 3.; 4.; 15. ];
+  let json = R.to_json reg in
+  let round = J.of_string (J.to_string json) in
+  Alcotest.(check bool) "compact round-trip" true (J.equal json round);
+  let round2 = J.of_string (J.to_string ~indent:2 json) in
+  Alcotest.(check bool) "indented round-trip" true (J.equal json round2);
+  (* spot-check shape *)
+  (match J.member "counters" json with
+  | Some (J.List cs) -> Alcotest.(check int) "two counters" 2 (List.length cs)
+  | _ -> Alcotest.fail "counters missing");
+  match J.member "histograms" json with
+  | Some (J.List [ J.Obj fields ]) ->
+      Alcotest.(check bool) "has p99" true (List.mem_assoc "p99" fields);
+      Alcotest.(check (float 1e-9)) "overflow recorded" 1.
+        (match List.assoc "overflow" fields with J.Int n -> float_of_int n | _ -> nan)
+  | _ -> Alcotest.fail "histograms missing"
+
+let test_json_non_finite_and_escapes () =
+  let json =
+    J.Obj
+      [
+        ("nan", J.Float nan);
+        ("inf", J.Float infinity);
+        ("text", J.String "a\"b\\c\n\t\x01");
+        ("neg", J.Int (-3));
+        ("e", J.List []);
+      ]
+  in
+  let s = J.to_string json in
+  let round = J.of_string s in
+  (* non-finite floats degrade to null — everything else survives *)
+  Alcotest.(check bool) "nan -> null" true (J.member "nan" round = Some J.Null);
+  Alcotest.(check bool) "inf -> null" true (J.member "inf" round = Some J.Null);
+  Alcotest.(check bool) "escaped string" true
+    (J.member "text" round = Some (J.String "a\"b\\c\n\t\x01"));
+  Alcotest.(check bool) "negative int" true (J.member "neg" round = Some (J.Int (-3)))
+
+let test_engine_probe () =
+  let reg = R.create () in
+  let engine = Dsim.Engine.create () in
+  Telemetry.Probe.attach_engine reg engine;
+  ignore (Dsim.Engine.schedule_after ~category:"tick" engine 1. (fun () -> ()));
+  ignore (Dsim.Engine.schedule_after ~category:"tick" engine 2. (fun () -> ()));
+  ignore (Dsim.Engine.schedule_after engine 3. (fun () -> ()));
+  Dsim.Engine.run engine;
+  Alcotest.(check int) "tick events" 2
+    (R.get_counter ~labels:[ ("category", "tick") ] reg "engine_events");
+  Alcotest.(check int) "default category" 1
+    (R.get_counter ~labels:[ ("category", "event") ] reg "engine_events");
+  Alcotest.(check bool) "handler time gauge exists" true
+    (R.get_gauge reg "engine_handler_seconds" >= 0.)
+
+let suite =
+  [
+    ( "telemetry",
+      [
+        Alcotest.test_case "counter create/incr/lookup" `Quick test_counter_create_incr;
+        Alcotest.test_case "labels distinguish and normalise" `Quick
+          test_labels_distinguish_and_normalise;
+        Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+        Alcotest.test_case "histogram: empty" `Quick test_histogram_empty;
+        Alcotest.test_case "histogram: single sample" `Quick
+          test_histogram_single_sample;
+        Alcotest.test_case "histogram: under/overflow buckets" `Quick
+          test_histogram_overflow_bucket;
+        Alcotest.test_case "histogram: p50/p90/p99 interpolation" `Quick
+          test_percentiles_interpolate;
+        Alcotest.test_case "histogram: clear" `Quick test_clear_histogram;
+        Alcotest.test_case "merge across base labels" `Quick test_merge;
+        Alcotest.test_case "merge same-label histograms" `Quick
+          test_merge_same_labels_histograms;
+        Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip;
+        Alcotest.test_case "JSON non-finite and escapes" `Quick
+          test_json_non_finite_and_escapes;
+        Alcotest.test_case "engine probe" `Quick test_engine_probe;
+      ] );
+  ]
