@@ -774,22 +774,50 @@ let dump_bench_json () =
     in
     Mail.Scenario.run_attribute ~config ~roam_probability:0.1 (hier_site 3 3) spec
   in
+  let designs =
+    [ ("syntax", syntax); ("location", location); ("attribute", attribute) ]
+  in
   let json =
     Telemetry.Json.Obj
       [
-        ("schema", Telemetry.Json.String "mailsys.bench/1");
+        ("schema", Telemetry.Json.String "mailsys.bench/2");
         ( "designs",
           Telemetry.Json.Obj
-            [
-              ("syntax", Telemetry.Registry.to_json syntax.Mail.Scenario.metrics);
-              ("location", Telemetry.Registry.to_json location.Mail.Scenario.metrics);
-              ("attribute", Telemetry.Registry.to_json attribute.Mail.Scenario.metrics);
-            ] );
+            (List.map
+               (fun (label, (o : Mail.Scenario.outcome)) ->
+                 (label, Telemetry.Registry.to_json o.Mail.Scenario.metrics))
+               designs) );
+        ( "critical_path",
+          Telemetry.Json.Obj
+            (List.map
+               (fun (label, (o : Mail.Scenario.outcome)) ->
+                 ( label,
+                   Telemetry.Critical_path.to_json
+                     (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer) ))
+               designs) );
       ]
   in
   let oc = open_out "BENCH.json" in
   output_string oc (Telemetry.Json.to_string ~indent:2 json);
   output_char oc '\n';
+  close_out oc;
+  (* Full span dump, one JSON object per line tagged with its design,
+     for chrome://tracing-style offline analysis. *)
+  let oc = open_out "TRACE.jsonl" in
+  List.iter
+    (fun (label, (o : Mail.Scenario.outcome)) ->
+      List.iter
+        (fun span ->
+          let line =
+            match Telemetry.Span.to_json span with
+            | Telemetry.Json.Obj fields ->
+                Telemetry.Json.Obj (("design", Telemetry.Json.String label) :: fields)
+            | other -> other
+          in
+          output_string oc (Telemetry.Json.to_string line);
+          output_char oc '\n')
+        (Telemetry.Tracer.spans o.Mail.Scenario.tracer))
+    designs;
   close_out oc;
   List.iter
     (fun (label, (o : Mail.Scenario.outcome)) ->
@@ -804,9 +832,12 @@ let dump_bench_json () =
            90.)
         (Telemetry.Registry.percentile
            (Telemetry.Registry.histogram o.Mail.Scenario.metrics "delivery_latency")
-           99.))
-    [ ("syntax", syntax); ("location", location); ("attribute", attribute) ];
-  Printf.printf "wrote BENCH.json\n"
+           99.);
+      Format.printf "@[<v>%a@]@."
+        Telemetry.Critical_path.pp
+        (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer))
+    designs;
+  Printf.printf "wrote BENCH.json and TRACE.jsonl\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks.                                          *)

@@ -21,6 +21,18 @@ let hier_site ~seed ~regions ~hosts_per_region =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* Open [file], hand the channel to [write], and fail with a clean
+   message instead of an exception trace when the path is unwritable —
+   shared by every output-file option. *)
+let with_output ~what file write =
+  match open_out file with
+  | exception Sys_error msg ->
+      Printf.eprintf "mailsim: cannot write %s: %s\n" what msg;
+      exit 1
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
+      Printf.printf "%s written to %s\n" what file
+
 (* --- balance ----------------------------------------------------------- *)
 
 let balance_cmd =
@@ -60,7 +72,8 @@ let balance_cmd =
 (* --- getmail ----------------------------------------------------------- *)
 
 let getmail_cmd =
-  let run seed failure_rate duration mail_count policy metrics_file =
+  let run seed failure_rate duration mail_count policy metrics_file trace_file
+      trace_summary =
     let retrieval =
       match policy with
       | "getmail" -> Mail.Scenario.Get_mail
@@ -76,20 +89,47 @@ let getmail_cmd =
     Printf.printf "polls per check  %.3f\n" o.Mail.Scenario.final_polls_per_check;
     Printf.printf "inbox total      %d\n" o.Mail.Scenario.inbox_total;
     Format.printf "%a@." Mail.Evaluation.pp o.Mail.Scenario.report;
-    match metrics_file with
+    if trace_summary then begin
+      Format.printf "@[<v>%a@]@." Telemetry.Critical_path.pp
+        (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer);
+      Format.printf "@[<v>%a@]@." Telemetry.Critical_path.pp
+        (Telemetry.Critical_path.analyze ~root:"getmail.check"
+           o.Mail.Scenario.tracer)
+    end;
+    (match metrics_file with
     | None -> ()
-    | Some file -> (
-        match open_out file with
-        | exception Sys_error msg ->
-            Printf.eprintf "mailsim: cannot write metrics: %s\n" msg;
-            exit 1
-        | oc ->
+    | Some file ->
+        with_output ~what:"metrics" file (fun oc ->
             output_string oc
               (Telemetry.Json.to_string ~indent:2
                  (Telemetry.Registry.to_json o.Mail.Scenario.metrics));
-            output_char oc '\n';
-            close_out oc;
-            Printf.printf "metrics written to %s\n" file)
+            output_char oc '\n'));
+    match trace_file with
+    | None -> ()
+    | Some file ->
+        with_output ~what:"trace" file (fun oc ->
+            (* One JSON object per line, spans then event-log records,
+               each tagged with a "type" so consumers can split the
+               stream. *)
+            let tag kind = function
+              | Telemetry.Json.Obj fields ->
+                  Telemetry.Json.Obj
+                    (("type", Telemetry.Json.String kind) :: fields)
+              | other -> other
+            in
+            let emit line =
+              output_string oc (Telemetry.Json.to_string line);
+              output_char oc '\n'
+            in
+            List.iter
+              (fun span -> emit (tag "span" (Telemetry.Span.to_json span)))
+              (Telemetry.Tracer.spans o.Mail.Scenario.tracer);
+            Dsim.Trace.iter
+              (fun r ->
+                emit
+                  (tag "log"
+                     (Telemetry.Json.of_string (Dsim.Trace.json_of_record r))))
+              o.Mail.Scenario.events)
   in
   let rate =
     Arg.(value & opt float 0. & info [ "failure-rate" ] ~doc:"Server outage rate.")
@@ -110,9 +150,28 @@ let getmail_cmd =
           ~doc:"Write the run's full metric registry (counters, gauges, latency \
                 histograms with p50/p90/p99) to $(docv) as JSON.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the run's spans and event log to $(docv) as JSONL: one \
+                object per line, tagged type=span (per-message and per-check \
+                trace spans) or type=log (the bounded simulation event log).")
+  in
+  let trace_summary =
+    Arg.(
+      value
+      & flag
+      & info [ "trace-summary" ]
+          ~doc:"Print per-stage critical-path latency breakdowns (p50/p90/p99) \
+                reconstructed from the run's message and retrieval traces.")
+  in
   Cmd.v
     (Cmd.info "getmail" ~doc:"Drive a design-1 scenario and report §4 metrics (C1/C2).")
-    Term.(const run $ seed_arg $ rate $ duration $ count $ policy $ metrics_file)
+    Term.(
+      const run $ seed_arg $ rate $ duration $ count $ policy $ metrics_file
+      $ trace_file $ trace_summary)
 
 (* --- mst --------------------------------------------------------------- *)
 

@@ -27,13 +27,21 @@ let infof t ~time ~category fmt = logf t ~time ~level:Info ~category fmt
 let warnf t ~time ~category fmt = logf t ~time ~level:Warn ~category fmt
 let errorf t ~time ~category fmt = logf t ~time ~level:Error ~category fmt
 
-let records t =
+let iter f t =
   let cap = Array.length t.buffer in
   let start = (t.next - t.stored + cap) mod cap in
-  List.init t.stored (fun i ->
-      match t.buffer.((start + i) mod cap) with
-      | Some r -> r
-      | None -> assert false)
+  for i = 0 to t.stored - 1 do
+    match t.buffer.((start + i) mod cap) with
+    | Some r -> f r
+    | None -> assert false
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun r -> acc := f !acc r) t;
+  !acc
+
+let records t = List.rev (fold (fun acc r -> r :: acc) [] t)
 
 let count ?category ?level t =
   let matches r =
@@ -55,6 +63,42 @@ let level_label = function
   | Info -> "info"
   | Warn -> "warn"
   | Error -> "error"
+
+(* JSON export.  Dsim sits below the telemetry library in the
+   dependency order, so the escaping is local; the output parses with
+   Telemetry.Json.of_string. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_record r =
+  Printf.sprintf "{\"time\":%.17g,\"level\":\"%s\",\"category\":\"%s\",\"message\":\"%s\"}"
+    r.time (level_label r.level) (json_escape r.category)
+    (json_escape r.message)
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  iter
+    (fun r ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf (json_of_record r))
+    t;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
 
 let pp_record ppf r =
   Format.fprintf ppf "[%10.4f] %-5s %-16s %s" r.time (level_label r.level)

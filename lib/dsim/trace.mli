@@ -33,6 +33,13 @@ val errorf :
 val records : t -> record list
 (** Oldest first, retained records only. *)
 
+val iter : (record -> unit) -> t -> unit
+(** Apply to each retained record, oldest first, without building an
+    intermediate list. *)
+
+val fold : ('a -> record -> 'a) -> 'a -> t -> 'a
+(** Fold over retained records, oldest first. *)
+
 val count : ?category:string -> ?level:level -> t -> int
 (** Retained records matching the optional filters. *)
 
@@ -40,6 +47,16 @@ val total : t -> int
 (** All records ever added, including dropped ones. *)
 
 val clear : t -> unit
+
+val json_of_record : record -> string
+(** One compact JSON object:
+    [{"time":…,"level":"…","category":"…","message":"…"}]. *)
+
+val to_json : t -> string
+(** Retained records as a JSON array string, oldest first.  The
+    output is plain JSON (parses with [Telemetry.Json.of_string]);
+    the encoder is local because [dsim] sits below the telemetry
+    library. *)
 
 val pp_record : Format.formatter -> record -> unit
 

@@ -50,6 +50,7 @@ type t = {
   retrieval_costs : Dsim.Stats.Summary.t;
   counters : Dsim.Stats.Counter.t;
   metrics : Telemetry.Registry.t;
+  tracer : Telemetry.Tracer.t;
   trace : Dsim.Trace.t;
   mutable next_id : Message.id;
   mutable submitted : Message.t list;
@@ -61,6 +62,7 @@ let graph t = t.graph
 let now t = Dsim.Engine.now t.engine
 let counters t = t.counters
 let metrics t = t.metrics
+let tracer t = t.tracer
 let trace t = t.trace
 let submitted t = t.submitted
 
@@ -174,7 +176,7 @@ let record_retrieval_cost t a (stats : User_agent.check_stats) =
 
 let check_mail t name =
   let a = agent t name in
-  let stats = User_agent.get_mail a ~view:(view t) ~now:(now t) in
+  let stats = User_agent.get_mail ~tracer:t.tracer a ~view:(view t) ~now:(now t) in
   count t "checks";
   count ~by:stats.User_agent.polls t "polls";
   count ~by:stats.User_agent.failed_polls t "failed_polls";
@@ -320,6 +322,7 @@ let create ?(config = default_config) ?(design_label = "location")
   let engine = Dsim.Engine.create () in
   let trace = Dsim.Trace.create () in
   let counters = Dsim.Stats.Counter.create () in
+  let tracer = Telemetry.Tracer.create () in
   let metrics = Telemetry.Registry.create ~labels:[ ("design", design_label) ] () in
   Telemetry.Probe.attach_engine metrics engine;
   let servers = Hashtbl.create 16 in
@@ -390,7 +393,7 @@ let create ?(config = default_config) ?(design_label = "location")
     }
   in
   let pipeline =
-    Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics
+    Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
       ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
       {
         Pipeline.retry_timeout = config.retry_timeout;
@@ -418,6 +421,7 @@ let create ?(config = default_config) ?(design_label = "location")
       retrieval_costs = Dsim.Stats.Summary.create ();
       counters;
       metrics;
+      tracer;
       trace;
       next_id = 0;
       submitted = [];

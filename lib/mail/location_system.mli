@@ -63,6 +63,10 @@ val metrics : t -> Telemetry.Registry.t
 (** The run's typed metric registry (base label
     [design=<design_label>]). *)
 
+val tracer : t -> Telemetry.Tracer.t
+(** The run's span collector (per-message lifecycle + retrieval
+    rounds; see {!Pipeline.create} and {!User_agent.get_mail}). *)
+
 val trace : t -> Dsim.Trace.t
 val submitted : t -> Message.t list
 

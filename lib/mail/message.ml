@@ -12,6 +12,7 @@ type t = {
   mutable retrieved_at : float option;
   mutable forward_hops : int;
   parts : Content.part list;
+  mutable span : Telemetry.Span.t option;
 }
 
 let create ~id ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = [])
@@ -28,7 +29,11 @@ let create ~id ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = [])
     retrieved_at = None;
     forward_hops = 0;
     parts;
+    span = None;
   }
+
+let set_span t span = if t.span = None then t.span <- Some span
+let span t = t.span
 
 let mark_deposited t ~at ~on =
   if t.deposited_at = None then begin

@@ -25,6 +25,9 @@ type t = {
   parts : Content.part list;  (** typed attachments (§5): voice, image,
                                   facsimile parts ride along with the
                                   textual body. *)
+  mutable span : Telemetry.Span.t option;
+      (** root span of this message's trace, when a tracer is
+          attached; lifecycle stages hang off it as children. *)
 }
 
 val create :
@@ -43,6 +46,12 @@ val mark_deposited : t -> at:float -> on:Netsim.Graph.node -> unit
     slow original). *)
 
 val mark_retrieved : t -> at:float -> unit
+
+val set_span : t -> Telemetry.Span.t -> unit
+(** First span wins; a resubmission after a bounce keeps the original
+    trace. *)
+
+val span : t -> Telemetry.Span.t option
 
 val is_deposited : t -> bool
 val is_retrieved : t -> bool

@@ -54,7 +54,8 @@ type pending = {
 (* FIFO work queue of one server under the Exp(mu) service model. *)
 type srv_queue = {
   mutable busy : bool;
-  jobs : (float * (unit -> unit)) Queue.t;  (* arrival time, work *)
+  jobs : (float * Message.t option * (unit -> unit)) Queue.t;
+      (* arrival time, message being processed (for tracing), work *)
   mutable busy_total : float;
   mutable served : int;
 }
@@ -74,6 +75,11 @@ type 'ctrl t = {
   queues : (Netsim.Graph.node, srv_queue) Hashtbl.t;
   queue_waits : Dsim.Stats.Summary.t;
   queue_wait_hist : Telemetry.Registry.histogram option;
+  tracer : Telemetry.Tracer.t option;
+  submit_spans : (Message.id, unit) Hashtbl.t;
+      (* messages whose "submit" span was already emitted *)
+  hop_sends : (Netsim.Graph.node * Message.id, string * Netsim.Graph.node * float) Hashtbl.t;
+      (* in-flight Forward/Deposit hops: span name, source, send time *)
 }
 
 let net t = t.net
@@ -95,22 +101,45 @@ let server_utilisation t node =
       let elapsed = Dsim.Engine.now t.engine in
       if elapsed <= 0. then 0. else q.busy_total /. elapsed
 
+let node_label t node = Netsim.Graph.label (Netsim.Net.graph t.net) node
+
+(* Emit a span into [msg]'s trace as a child of its root span — a
+   no-op when tracing is off or the message never went through
+   [submit] (so has no root to hang off). *)
+let emit_span t msg ~name ~start ~finish attrs =
+  match (t.tracer, Message.span msg) with
+  | Some tracer, Some root ->
+      ignore
+        (Telemetry.Tracer.span tracer ~parent:root ~attrs ~finish ~name ~start ())
+  | _ -> ()
+
 (* Run [work] through the node's FIFO service queue (or immediately
    when the service model is off). *)
-let through_queue t node work =
+let through_queue t node ?msg work =
+  let queue_wait_span m ~arrived ~started =
+    emit_span t m ~name:"queue_wait" ~start:arrived ~finish:started
+      [ ("server", node_label t node) ]
+  in
   match t.config.service_rate with
-  | None -> work ()
+  | None ->
+      (* Service is free, but a zero-length wait span keeps trace
+         trees the same shape with or without the service model. *)
+      let at = Dsim.Engine.now t.engine in
+      Option.iter (fun m -> queue_wait_span m ~arrived:at ~started:at) msg;
+      work ()
   | Some rate ->
       let q = srv_queue t node in
-      Queue.add (Dsim.Engine.now t.engine, work) q.jobs;
+      Queue.add (Dsim.Engine.now t.engine, msg, work) q.jobs;
       let rec serve_next () =
         match Queue.take_opt q.jobs with
         | None -> q.busy <- false
-        | Some (arrived, job) ->
+        | Some (arrived, m, job) ->
             q.busy <- true;
-            let wait = Dsim.Engine.now t.engine -. arrived in
+            let started = Dsim.Engine.now t.engine in
+            let wait = started -. arrived in
             Dsim.Stats.Summary.add t.queue_waits wait;
             Option.iter (fun h -> Telemetry.Registry.observe h wait) t.queue_wait_hist;
+            Option.iter (fun m -> queue_wait_span m ~arrived ~started) m;
             let service = Dsim.Rng.exponential t.service_rng rate in
             q.busy_total <- q.busy_total +. service;
             ignore
@@ -132,9 +161,29 @@ let first_active t nodes = List.find_opt (fun s -> Netsim.Net.is_up t.net s) nod
 
 let is_dead t id = Hashtbl.mem t.dead id
 
+(* Remember an in-flight server→server hop so the receiving node can
+   close the transit span; each (destination, message) keeps only the
+   latest send — a retry supersedes the lost original. *)
+let record_hop t msg ~name ~src ~dst =
+  if t.tracer <> None && Message.span msg <> None then
+    Hashtbl.replace t.hop_sends (dst, msg.Message.id) (name, src, now t)
+
+let emit_hop t node ~time m =
+  match Hashtbl.find_opt t.hop_sends (node, m.Message.id) with
+  | Some (name, src, sent) ->
+      Hashtbl.remove t.hop_sends (node, m.Message.id);
+      emit_span t m ~name ~start:sent ~finish:time
+        [ ("src", node_label t src); ("dst", node_label t node) ]
+  | None -> ()
+
 let declare_dead t msg ~reason =
   if not (Hashtbl.mem t.dead msg.Message.id) then begin
     Hashtbl.replace t.dead msg.Message.id ();
+    (match Message.span msg with
+    | Some root ->
+        Telemetry.Span.set_attr root "outcome" reason;
+        Telemetry.Span.finish root ~at:(now t)
+    | None -> ());
     t.callbacks.on_undeliverable msg ~reason
   end
 
@@ -180,6 +229,8 @@ let do_deposit t ~on msg =
     Hashtbl.replace t.seen_deposits key ();
     Server.deposit (t.callbacks.server_of on) msg ~at:(now t);
     count t "deposits";
+    emit_span t msg ~name:"deposit" ~start:(now t) ~finish:(now t)
+      [ ("server", node_label t on) ];
     t.callbacks.on_deposit msg ~on;
     match t.callbacks.notify_target msg.Message.recipient with
     | Some host ->
@@ -200,6 +251,7 @@ let rec deposit_with t ~at_server msg authority =
   | Some target ->
       pending_for t ~holder:at_server msg (fun () -> deposit_phase t ~at_server msg);
       msg.Message.forward_hops <- msg.Message.forward_hops + 1;
+      record_hop t msg ~name:"deposit.hop" ~src:at_server ~dst:target;
       ignore
         (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net ~src:at_server
            ~dst:target (Deposit msg))
@@ -232,6 +284,7 @@ let rec resolve_phase t ~at_server msg =
             pending_for t ~holder:at_server msg (fun () ->
                 resolve_phase t ~at_server msg);
             msg.Message.forward_hops <- msg.Message.forward_hops + 1;
+            record_hop t msg ~name:"deposit.hop" ~src:at_server ~dst:target;
             ignore
               (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net ~src:at_server
                  ~dst:target (Deposit msg))
@@ -261,23 +314,32 @@ let rec resolve_phase t ~at_server msg =
                 pending_for t ~holder:at_server msg (fun () ->
                     resolve_phase t ~at_server msg);
                 msg.Message.forward_hops <- msg.Message.forward_hops + 1;
+                record_hop t msg ~name:"forward.hop" ~src:at_server ~dst:target;
                 ignore
                   (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net
                      ~src:at_server ~dst:target (Forward msg))))
   end
 
 let handle_wire t node ~time ~src msg =
-  ignore time;
   match msg with
   | Submit m ->
       count t "submits_received";
-      through_queue t node (fun () -> resolve_phase t ~at_server:node m)
+      if not (Hashtbl.mem t.submit_spans m.Message.id) then begin
+        Hashtbl.replace t.submit_spans m.Message.id ();
+        (* Connection setup: submission at the sender's host until the
+           first server accepts the message. *)
+        emit_span t m ~name:"submit" ~start:m.Message.submitted_at ~finish:time
+          [ ("server", node_label t node) ]
+      end;
+      through_queue t node ~msg:m (fun () -> resolve_phase t ~at_server:node m)
   | Forward m ->
       ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
-      through_queue t node (fun () -> deposit_phase t ~at_server:node m)
+      emit_hop t node ~time m;
+      through_queue t node ~msg:m (fun () -> deposit_phase t ~at_server:node m)
   | Deposit m ->
       ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
-      through_queue t node (fun () -> do_deposit t ~on:node m)
+      emit_hop t node ~time m;
+      through_queue t node ~msg:m (fun () -> do_deposit t ~on:node m)
   | Ack id -> ack_pending t ~holder:node id
   | Notify _ -> count t "notifications"
   | Ctrl c -> t.callbacks.on_ctrl node ~time ~src c
@@ -317,13 +379,26 @@ let rec try_submit t msg sender_agent =
   end
 
 let submit t ~sender_agent ~msg =
+  (match t.tracer with
+  | Some tracer when Message.span msg = None ->
+      Message.set_span msg
+        (Telemetry.Tracer.span tracer ~name:"message"
+           ~start:msg.Message.submitted_at
+           ~attrs:
+             [
+               ("id", string_of_int msg.Message.id);
+               ("sender", Naming.Name.to_string msg.Message.sender);
+               ("recipient", Naming.Name.to_string msg.Message.recipient);
+             ]
+           ())
+  | _ -> ());
   count t "submitted";
   try_submit t msg sender_agent
 
 let pending_count t = Hashtbl.length t.pendings
 
-let create ~engine ~graph ~trace ~counters ?metrics ?bandwidth ?loss_rate config
-    callbacks =
+let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rate
+    config callbacks =
   let net = Netsim.Net.create ~engine ~trace ?bandwidth ?loss_rate graph in
   (* Registered eagerly (even when the service model is off) so every
      design's registry exposes the same metric names. *)
@@ -348,6 +423,9 @@ let create ~engine ~graph ~trace ~counters ?metrics ?bandwidth ?loss_rate config
       queues = Hashtbl.create 16;
       queue_waits = Dsim.Stats.Summary.create ();
       queue_wait_hist;
+      tracer;
+      submit_spans = Hashtbl.create 64;
+      hop_sends = Hashtbl.create 64;
     }
   in
   List.iter

@@ -81,6 +81,7 @@ val create :
   trace:Dsim.Trace.t ->
   counters:Dsim.Stats.Counter.t ->
   ?metrics:Telemetry.Registry.t ->
+  ?tracer:Telemetry.Tracer.t ->
   ?bandwidth:float ->
   ?loss_rate:float ->
   config ->
@@ -90,6 +91,14 @@ val create :
     When [metrics] is given, queue waiting times are additionally
     observed live into its ["queue_wait"] histogram (registered
     eagerly, so the metric exists even with the service model off).
+    When [tracer] is given, {!submit} opens a per-message root span
+    (["message"]) and the pipeline hangs lifecycle child spans off
+    it: ["submit"] (submission → first server acceptance),
+    ["queue_wait"] (arrival → service start at each server;
+    zero-length when the service model is off), ["forward.hop"] /
+    ["deposit.hop"] (server→server transit), and the instant
+    ["deposit"].  An undeliverable message's root span is finished at
+    declaration time with an ["outcome"] attribute.
     Counter keys written: ["submitted"], ["submit_attempts"],
     ["submit_attempt_failures"], ["submit_deferred"],
     ["submits_received"], ["deposits"], ["redirect... "] (via the

@@ -29,6 +29,8 @@ type outcome = {
   final_polls_per_check : float;
   inbox_total : int;
   metrics : Telemetry.Registry.t;
+  tracer : Telemetry.Tracer.t;
+  events : Dsim.Trace.t;
   counter : string -> int;
 }
 
@@ -54,11 +56,11 @@ let pick_pair_skewed rng users skew =
     (users.(s), users.(other ()))
   end
 
-let check_with mode view sys_agent now =
+let check_with ?tracer mode view sys_agent now =
   match mode with
-  | Get_mail -> User_agent.get_mail sys_agent ~view ~now
-  | Poll_all -> User_agent.poll_all sys_agent ~view ~now
-  | Naive -> User_agent.naive_check sys_agent ~view ~now
+  | Get_mail -> User_agent.get_mail ?tracer sys_agent ~view ~now
+  | Poll_all -> User_agent.poll_all ?tracer sys_agent ~view ~now
+  | Naive -> User_agent.naive_check ?tracer sys_agent ~view ~now
 
 let record_check counters (stats : User_agent.check_stats) =
   Dsim.Stats.Counter.incr counters "checks";
@@ -78,7 +80,10 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
   let users = M.users sys in
   let users_arr = Array.of_list users in
   let check name =
-    let stats = check_with spec.retrieval (M.view sys) (M.agent sys name) (M.now sys) in
+    let stats =
+      check_with ~tracer:(M.tracer sys) spec.retrieval (M.view sys)
+        (M.agent sys name) (M.now sys)
+    in
     record_check (M.counters sys) stats;
     stats
   in
@@ -140,12 +145,15 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
   set "availability" availability;
   set "inbox_total" (float_of_int inbox_total);
   set "polls_per_check" report.Evaluation.polls_per_check;
+  set "trace_spans" (float_of_int (Telemetry.Tracer.total (M.tracer sys)));
   {
     report;
     availability;
     final_polls_per_check = report.Evaluation.polls_per_check;
     inbox_total;
     metrics;
+    tracer = M.tracer sys;
+    events = M.trace sys;
     counter =
       (fun key ->
         match Telemetry.Registry.get_counter metrics key with

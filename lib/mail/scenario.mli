@@ -39,8 +39,16 @@ type outcome = {
   metrics : Telemetry.Registry.t;
       (** the run's full metric registry, snapshotted after the final
           drain ({!System.snapshot_metrics} plus the scenario gauges
-          [availability], [inbox_total], [polls_per_check]) — the
-          typed replacement for [counter]. *)
+          [availability], [inbox_total], [polls_per_check],
+          [trace_spans]) — the typed replacement for [counter]. *)
+  tracer : Telemetry.Tracer.t;
+      (** the run's span collector: one ["message"] trace per
+          submission, one ["getmail.check"] trace per retrieval round
+          (feed to {!Telemetry.Critical_path.analyze} or export via
+          {!Telemetry.Tracer.to_jsonl} / [to_chrome]). *)
+  events : Dsim.Trace.t;
+      (** the run's bounded event log (the same one the systems write
+          through; exportable via {!Dsim.Trace.to_json}). *)
   counter : string -> int;
       (** Deprecated — stringly counter access, kept as a shim over
           [metrics]: a {!System.core_counters} name reads the metric

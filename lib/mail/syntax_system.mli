@@ -81,6 +81,12 @@ val metrics : t -> Telemetry.Registry.t
     histogram; {!Scenario.drive} / {!System.snapshot_metrics} fill in
     the rest. *)
 
+val tracer : t -> Telemetry.Tracer.t
+(** The run's span collector: the pipeline traces every submitted
+    message's lifecycle into it and {!check_mail} traces every
+    retrieval round (see {!Pipeline.create} and
+    {!User_agent.get_mail}). *)
+
 val trace : t -> Dsim.Trace.t
 val submitted : t -> Message.t list
 (** Every message ever submitted, newest first. *)

@@ -41,6 +41,7 @@ module Attribute : S with type t = Attribute_system.t = struct
   let server t node = Location_system.server (base t) node
   let counters t = Location_system.counters (base t)
   let metrics t = Attribute_system.metrics t
+  let tracer t = Location_system.tracer (base t)
   let trace t = Location_system.trace (base t)
   let submitted t = Location_system.submitted (base t)
   let view t = Location_system.view (base t)
@@ -66,6 +67,7 @@ let pack_attribute sys = Packed ((module Attribute), sys)
 
 let design (Packed ((module M), _)) = M.design
 let metrics (Packed ((module M), sys)) = M.metrics sys
+let tracer (Packed ((module M), sys)) = M.tracer sys
 let counters (Packed ((module M), sys)) = M.counters sys
 let now (Packed ((module M), sys)) = M.now sys
 let users (Packed ((module M), sys)) = M.users sys

@@ -25,6 +25,10 @@ val pack_attribute : Attribute_system.t -> t
 
 val design : t -> string
 val metrics : t -> Telemetry.Registry.t
+
+val tracer : t -> Telemetry.Tracer.t
+(** The packed system's span collector (see {!System_intf.S.tracer}). *)
+
 val counters : t -> Dsim.Stats.Counter.t
 val now : t -> float
 val users : t -> Naming.Name.t list

@@ -36,6 +36,11 @@ module type S = sig
   (** The run's typed metric registry (base label
       [design=<design>]). *)
 
+  val tracer : t -> Telemetry.Tracer.t
+  (** The run's span collector: per-message lifecycle traces from the
+      pipeline plus per-check retrieval traces (root spans ["message"]
+      and ["getmail.check"]). *)
+
   val trace : t -> Dsim.Trace.t
   val submitted : t -> Message.t list
   val view : t -> User_agent.server_view

@@ -62,13 +62,69 @@ let fresh_only t msgs =
       end)
     msgs
 
-let get_mail t ~view ~now =
+(* Tracing: one "getmail.check" trace per retrieval round with an
+   instant "getmail.poll" child per server contact — their count
+   matches [check_stats.polls] exactly.  Each fresh message fetched
+   also completes its own trace: a "mailbox.wait" span (deposit →
+   retrieval), a poll marker, and the root span is finished. *)
+let instrument tracer t ~mode ~now =
+  match tracer with
+  | None ->
+      ((fun ~server:_ ~alive:_ ~fetched:_ -> ()), fun (_ : check_stats) -> ())
+  | Some tracer ->
+      let root =
+        Telemetry.Tracer.span tracer ~name:"getmail.check" ~start:now
+          ~attrs:[ ("user", Naming.Name.to_string t.name); ("mode", mode) ]
+          ()
+      in
+      let record_poll ~server ~alive ~fetched =
+        ignore
+          (Telemetry.Tracer.span tracer ~parent:root ~name:"getmail.poll"
+             ~start:now ~finish:now
+             ~attrs:
+               [
+                 ("server", string_of_int server);
+                 ("alive", string_of_bool alive);
+                 ("retrieved", string_of_int (List.length fetched));
+               ]
+             ());
+        List.iter
+          (fun (m : Message.t) ->
+            match Message.span m with
+            | Some mroot ->
+                (match m.Message.deposited_at with
+                | Some dep ->
+                    ignore
+                      (Telemetry.Tracer.span tracer ~parent:mroot
+                         ~name:"mailbox.wait" ~start:dep ~finish:now
+                         ~attrs:[ ("server", string_of_int server) ] ())
+                | None -> ());
+                ignore
+                  (Telemetry.Tracer.span tracer ~parent:mroot
+                     ~name:"getmail.poll" ~start:now ~finish:now
+                     ~attrs:[ ("server", string_of_int server) ] ());
+                Telemetry.Span.finish mroot ~at:now
+            | None -> ())
+          fetched
+      in
+      let close (stats : check_stats) =
+        Telemetry.Span.set_attr root "polls" (string_of_int stats.polls);
+        Telemetry.Span.set_attr root "failed_polls"
+          (string_of_int stats.failed_polls);
+        Telemetry.Span.set_attr root "retrieved" (string_of_int stats.retrieved);
+        Telemetry.Span.finish root ~at:now
+      in
+      (record_poll, close)
+
+let get_mail ?tracer t ~view ~now =
   let current_checking_time = now in
   let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
+  let record_poll, close = instrument tracer t ~mode:"getmail" ~now in
   let take msgs =
     let msgs = fresh_only t msgs in
     retrieved := !retrieved + List.length msgs;
-    t.inbox <- List.rev_append msgs t.inbox
+    t.inbox <- List.rev_append msgs t.inbox;
+    msgs
   in
   (* Phase 1: scan the authority list until a stable server proves no
      later server can hold fresh mail. *)
@@ -77,12 +133,14 @@ let get_mail t ~view ~now =
     | s :: rest ->
         incr polls;
         if view.is_alive s then begin
-          take (view.fetch s t.name ~at:now);
+          let fetched = take (view.fetch s t.name ~at:now) in
+          record_poll ~server:s ~alive:true ~fetched;
           remove_pus t s;
           if t.last_checking > view.last_start s then () else scan rest
         end
         else begin
           incr failed;
+          record_poll ~server:s ~alive:false ~fetched:[];
           add_pus t s;
           scan rest
         end
@@ -94,30 +152,41 @@ let get_mail t ~view ~now =
     (fun s ->
       if view.is_alive s then begin
         incr polls;
-        take (view.fetch s t.name ~at:now);
+        let fetched = take (view.fetch s t.name ~at:now) in
+        record_poll ~server:s ~alive:true ~fetched;
         remove_pus t s
       end)
     t.previously_unavailable;
   t.last_checking <- current_checking_time;
-  { polls = !polls; failed_polls = !failed; retrieved = !retrieved }
+  let stats = { polls = !polls; failed_polls = !failed; retrieved = !retrieved } in
+  close stats;
+  stats
 
-let poll_all t ~view ~now =
+let poll_all ?tracer t ~view ~now =
   let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
+  let record_poll, close = instrument tracer t ~mode:"poll_all" ~now in
   List.iter
     (fun s ->
       incr polls;
       if view.is_alive s then begin
         let msgs = fresh_only t (view.fetch s t.name ~at:now) in
         retrieved := !retrieved + List.length msgs;
-        t.inbox <- List.rev_append msgs t.inbox
+        t.inbox <- List.rev_append msgs t.inbox;
+        record_poll ~server:s ~alive:true ~fetched:msgs
       end
-      else incr failed)
+      else begin
+        incr failed;
+        record_poll ~server:s ~alive:false ~fetched:[]
+      end)
     t.authority;
   t.last_checking <- now;
-  { polls = !polls; failed_polls = !failed; retrieved = !retrieved }
+  let stats = { polls = !polls; failed_polls = !failed; retrieved = !retrieved } in
+  close stats;
+  stats
 
-let naive_check t ~view ~now =
+let naive_check ?tracer t ~view ~now =
   let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
+  let record_poll, close = instrument tracer t ~mode:"naive" ~now in
   let rec first_alive = function
     | [] -> ()
     | s :: rest ->
@@ -125,13 +194,17 @@ let naive_check t ~view ~now =
         if view.is_alive s then begin
           let msgs = fresh_only t (view.fetch s t.name ~at:now) in
           retrieved := !retrieved + List.length msgs;
-          t.inbox <- List.rev_append msgs t.inbox
+          t.inbox <- List.rev_append msgs t.inbox;
+          record_poll ~server:s ~alive:true ~fetched:msgs
         end
         else begin
           incr failed;
+          record_poll ~server:s ~alive:false ~fetched:[];
           first_alive rest
         end
   in
   first_alive t.authority;
   t.last_checking <- now;
-  { polls = !polls; failed_polls = !failed; retrieved = !retrieved }
+  let stats = { polls = !polls; failed_polls = !failed; retrieved = !retrieved } in
+  close stats;
+  stats

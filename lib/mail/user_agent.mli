@@ -50,13 +50,20 @@ type check_stats = {
   retrieved : int;  (** messages fetched this round. *)
 }
 
-val get_mail : t -> view:server_view -> now:float -> check_stats
-(** The paper's GetMail procedure. *)
+val get_mail : ?tracer:Telemetry.Tracer.t -> t -> view:server_view -> now:float -> check_stats
+(** The paper's GetMail procedure.  With [?tracer], the round opens a
+    ["getmail.check"] trace whose instant ["getmail.poll"] children
+    correspond one-to-one with [check_stats.polls] (failed polls
+    carry [alive=false]); every fresh message fetched also gets a
+    ["mailbox.wait"] span (deposit → retrieval) and a poll marker in
+    its own message trace, whose root span is then finished. *)
 
-val poll_all : t -> view:server_view -> now:float -> check_stats
-(** Baseline: poll {e every} authority server, every time. *)
+val poll_all : ?tracer:Telemetry.Tracer.t -> t -> view:server_view -> now:float -> check_stats
+(** Baseline: poll {e every} authority server, every time.  Traced
+    like {!get_mail}, with mode ["poll_all"]. *)
 
-val naive_check : t -> view:server_view -> now:float -> check_stats
+val naive_check : ?tracer:Telemetry.Tracer.t -> t -> view:server_view -> now:float -> check_stats
 (** Lossy baseline: poll only the first alive server and keep no
     unavailability state — mail deposited on other servers during
-    outages is never found. *)
+    outages is never found.  Traced like {!get_mail}, with mode
+    ["naive"]. *)

@@ -1,0 +1,45 @@
+type t = {
+  trace_id : int;
+  span_id : int;
+  parent : int option;
+  name : string;
+  start : float;
+  mutable finish : float option;
+  mutable attrs : (string * string) list;
+}
+
+let finish t ~at = if t.finish = None then t.finish <- Some at
+
+let is_finished t = t.finish <> None
+
+let duration t =
+  match t.finish with Some f -> Some (f -. t.start) | None -> None
+
+let set_attr t key value =
+  t.attrs <- (key, value) :: List.remove_assoc key t.attrs
+
+let attr t key = List.assoc_opt key t.attrs
+
+let to_json t =
+  Json.Obj
+    [
+      ("trace", Json.Int t.trace_id);
+      ("span", Json.Int t.span_id);
+      ("parent", match t.parent with Some p -> Json.Int p | None -> Json.Null);
+      ("name", Json.String t.name);
+      ("start", Json.Float t.start);
+      ("finish", match t.finish with Some f -> Json.Float f | None -> Json.Null);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.attrs));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "[%d/%d%s] %-16s %10.4f..%s%s" t.trace_id t.span_id
+    (match t.parent with Some p -> Printf.sprintf "<%d" p | None -> "")
+    t.name t.start
+    (match t.finish with Some f -> Printf.sprintf "%10.4f" f | None -> "open")
+    (match t.attrs with
+    | [] -> ""
+    | attrs ->
+        " {"
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+        ^ "}")

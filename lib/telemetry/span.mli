@@ -1,0 +1,42 @@
+(** One node of a causal trace: a named interval of virtual time
+    attributed to a trace.
+
+    A span records where a unit of work (one message's submission, one
+    queue wait, one GetMail poll) spent its time.  Spans form trees:
+    every span carries its [trace_id] and an optional [parent] span id
+    within the same trace; {!Tracer} collects spans, assigns ids and
+    reassembles trees.
+
+    Spans are created through {!Tracer.span}; this module only
+    manipulates already-created spans (finishing them, attaching
+    attributes, serialising). *)
+
+type t = {
+  trace_id : int;  (** the trace (one message lifecycle, one check). *)
+  span_id : int;  (** unique within the collecting tracer. *)
+  parent : int option;  (** parent span id, [None] for a trace root. *)
+  name : string;  (** the stage: ["message"], ["queue_wait"], … *)
+  start : float;  (** virtual time the stage began. *)
+  mutable finish : float option;  (** virtual time it ended; [None] = still open. *)
+  mutable attrs : (string * string) list;  (** free-form key/value context. *)
+}
+
+val finish : t -> at:float -> unit
+(** First finish wins; later calls are ignored (retrieval retries may
+    race, mirroring {!Mail.Message.mark_retrieved}). *)
+
+val is_finished : t -> bool
+
+val duration : t -> float option
+(** [finish - start]; [None] while the span is open. *)
+
+val set_attr : t -> string -> string -> unit
+(** Add or replace one attribute. *)
+
+val attr : t -> string -> string option
+
+val to_json : t -> Json.t
+(** Stable shape: [{"trace","span","parent","name","start","finish",
+    "attrs":{...}}]; an open span's ["finish"] is [null]. *)
+
+val pp : Format.formatter -> t -> unit

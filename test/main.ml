@@ -16,4 +16,5 @@ let () =
    @ Test_name_store.suite @ Test_service_queue.suite @ Test_session.suite @ Test_loss.suite
    @ Test_syntax_system.suite
    @ Test_location_system.suite @ Test_attribute_system.suite
-   @ Test_telemetry.suite @ Test_scenario.suite @ Test_misc_coverage.suite)
+   @ Test_telemetry.suite @ Test_tracing.suite @ Test_scenario.suite
+   @ Test_misc_coverage.suite)
