@@ -777,10 +777,26 @@ let dump_bench_json () =
   let designs =
     [ ("syntax", syntax); ("location", location); ("attribute", attribute) ]
   in
+  (* One deterministic fault campaign per design: crashes, link cuts, a
+     region partition and a correlated burst, with the §3.1.2c ledger
+     verdict recorded next to the availability it cost. *)
+  let campaign =
+    Netsim.Fault.parse "seed:5,crash:0.002/150,link:0.0008,partition:r1@1500+600,burst:0.25"
+  in
+  let fault_spec = { spec with failure_rate = 0.; faults = Some campaign } in
+  let fault_runs =
+    [
+      ("syntax", Mail.Scenario.run_syntax (hier_site 3 3) fault_spec);
+      ( "location",
+        Mail.Scenario.run_location ~roam_probability:0.2 (hier_site 3 3) fault_spec );
+      ( "attribute",
+        Mail.Scenario.run_attribute ~roam_probability:0.1 (hier_site 3 3) fault_spec );
+    ]
+  in
   let json =
     Telemetry.Json.Obj
       [
-        ("schema", Telemetry.Json.String "mailsys.bench/2");
+        ("schema", Telemetry.Json.String "mailsys.bench/3");
         ( "designs",
           Telemetry.Json.Obj
             (List.map
@@ -795,6 +811,23 @@ let dump_bench_json () =
                    Telemetry.Critical_path.to_json
                      (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer) ))
                designs) );
+        ( "faults",
+          Telemetry.Json.Obj
+            (("campaign", Telemetry.Json.String (Netsim.Fault.to_string campaign))
+            :: List.map
+                 (fun (label, (o : Mail.Scenario.outcome)) ->
+                   ( label,
+                     Telemetry.Json.Obj
+                       [
+                         ( "availability",
+                           Telemetry.Json.Float o.Mail.Scenario.availability );
+                         ( "fault_windows",
+                           Telemetry.Json.Float
+                             (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics
+                                "fault_windows") );
+                         ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
+                       ] ))
+                 fault_runs) );
       ]
   in
   let oc = open_out "BENCH.json" in
@@ -837,6 +870,13 @@ let dump_bench_json () =
         Telemetry.Critical_path.pp
         (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer))
     designs;
+  Printf.printf "\nfault campaign: %s\n" (Netsim.Fault.to_string campaign);
+  List.iter
+    (fun (label, (o : Mail.Scenario.outcome)) ->
+      Printf.printf "%-10s availability %.3f  " label o.Mail.Scenario.availability;
+      Format.printf "%a@." Mail.Ledger.pp_verdict o.Mail.Scenario.ledger;
+      assert o.Mail.Scenario.ledger.Mail.Ledger.ok)
+    fault_runs;
   Printf.printf "wrote BENCH.json and TRACE.jsonl\n"
 
 (* ------------------------------------------------------------------ *)

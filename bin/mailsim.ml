@@ -72,8 +72,8 @@ let balance_cmd =
 (* --- getmail ----------------------------------------------------------- *)
 
 let getmail_cmd =
-  let run seed failure_rate duration mail_count policy metrics_file trace_file
-      trace_summary =
+  let run seed failure_rate duration mail_count policy faults metrics_file
+      trace_file trace_summary =
     let retrieval =
       match policy with
       | "getmail" -> Mail.Scenario.Get_mail
@@ -81,13 +81,24 @@ let getmail_cmd =
       | "naive" -> Mail.Scenario.Naive
       | other -> failwith (Printf.sprintf "unknown policy %S" other)
     in
+    let faults = Option.map Netsim.Fault.parse faults in
     let spec =
-      { Mail.Scenario.default_spec with seed; failure_rate; duration; mail_count; retrieval }
+      {
+        Mail.Scenario.default_spec with
+        seed;
+        failure_rate;
+        duration;
+        mail_count;
+        retrieval;
+        faults;
+      }
     in
     let o = Mail.Scenario.run_syntax (Netsim.Topology.paper_fig1 ()) spec in
     Printf.printf "availability     %.3f\n" o.Mail.Scenario.availability;
     Printf.printf "polls per check  %.3f\n" o.Mail.Scenario.final_polls_per_check;
     Printf.printf "inbox total      %d\n" o.Mail.Scenario.inbox_total;
+    Format.printf "ledger           %a@." Mail.Ledger.pp_verdict
+      o.Mail.Scenario.ledger;
     Format.printf "%a@." Mail.Evaluation.pp o.Mail.Scenario.report;
     if trace_summary then begin
       Format.printf "@[<v>%a@]@." Telemetry.Critical_path.pp
@@ -142,6 +153,17 @@ let getmail_cmd =
       & opt string "getmail"
       & info [ "policy" ] ~doc:"Retrieval policy: getmail, poll-all or naive.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"CAMPAIGN"
+          ~doc:"Deterministic fault campaign, e.g. \
+                $(b,crash:0.002/150,link:0.001,partition:regionA,burst:0.3). \
+                Items: crash:RATE[/MEAN|/=FIXED], link:RATE[/MEAN|/=FIXED], \
+                partition:REGION[@START+DURATION], \
+                burst:FRACTION[@START+DURATION], seed:N.")
+  in
   let metrics_file =
     Arg.(
       value
@@ -170,8 +192,99 @@ let getmail_cmd =
   Cmd.v
     (Cmd.info "getmail" ~doc:"Drive a design-1 scenario and report §4 metrics (C1/C2).")
     Term.(
-      const run $ seed_arg $ rate $ duration $ count $ policy $ metrics_file
-      $ trace_file $ trace_summary)
+      const run $ seed_arg $ rate $ duration $ count $ policy $ faults
+      $ metrics_file $ trace_file $ trace_summary)
+
+(* --- faults ------------------------------------------------------------- *)
+
+let faults_cmd =
+  let run seed campaign duration mail_count ledger_file =
+    let campaign = Netsim.Fault.parse campaign in
+    let spec =
+      {
+        Mail.Scenario.default_spec with
+        seed;
+        duration;
+        mail_count;
+        faults = Some campaign;
+      }
+    in
+    (* Partitions need region boundaries, so drive the hierarchical
+       multi-region site rather than the single-region Figure 1 one. *)
+    let site () = hier_site ~seed ~regions:3 ~hosts_per_region:4 in
+    let results =
+      [
+        ("syntax", Mail.Scenario.run_syntax (site ()) spec);
+        ("location", Mail.Scenario.run_location ~roam_probability:0.3 (site ()) spec);
+        ("attribute", Mail.Scenario.run_attribute ~roam_probability:0.3 (site ()) spec);
+      ]
+    in
+    Printf.printf "campaign: %s\n\n" (Netsim.Fault.to_string campaign);
+    List.iter
+      (fun (name, o) ->
+        Printf.printf "[%s] availability %.3f, fault windows %.0f\n" name
+          o.Mail.Scenario.availability
+          (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics "fault_windows");
+        Format.printf "  %a@." Mail.Ledger.pp_verdict o.Mail.Scenario.ledger)
+      results;
+    (match ledger_file with
+    | None -> ()
+    | Some file ->
+        with_output ~what:"ledger report" file (fun oc ->
+            let entry (name, o) =
+              ( name,
+                Telemetry.Json.Obj
+                  [
+                    ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
+                    ( "fault_windows",
+                      Telemetry.Json.Float
+                        (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics
+                           "fault_windows") );
+                    ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
+                  ] )
+            in
+            let json =
+              Telemetry.Json.Obj
+                [
+                  ("schema", Telemetry.Json.String "mailsys.ledger/1");
+                  ("campaign", Telemetry.Json.String (Netsim.Fault.to_string campaign));
+                  ("seed", Telemetry.Json.Int seed);
+                  ("designs", Telemetry.Json.Obj (List.map entry results));
+                ]
+            in
+            output_string oc (Telemetry.Json.to_string ~indent:2 json);
+            output_char oc '\n'));
+    let all_ok =
+      List.for_all (fun (_, o) -> o.Mail.Scenario.ledger.Mail.Ledger.ok) results
+    in
+    if not all_ok then begin
+      Printf.eprintf "mailsim: delivery invariant violated\n";
+      exit 1
+    end
+  in
+  let campaign =
+    Arg.(
+      value
+      & opt string "crash:0.002/150,link:0.0008,partition:r1@1500+600,burst:0.25"
+      & info [ "campaign" ] ~docv:"CAMPAIGN"
+          ~doc:"Fault campaign to run (same syntax as $(b,getmail --faults)).")
+  in
+  let duration = Arg.(value & opt float 5000. & info [ "duration" ] ~doc:"Virtual time.") in
+  let count = Arg.(value & opt int 300 & info [ "messages" ] ~doc:"Mail volume.") in
+  let ledger_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger-out" ] ~docv:"FILE"
+          ~doc:"Write per-design availability and ledger verdicts to $(docv) as \
+                JSON.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one fault campaign against all three designs and check the \
+          §3.1.2c no-lost-mail invariant; exits non-zero on any violation.")
+    Term.(const run $ seed_arg $ campaign $ duration $ count $ ledger_file)
 
 (* --- mst --------------------------------------------------------------- *)
 
@@ -437,6 +550,7 @@ let () =
           [
             balance_cmd;
             getmail_cmd;
+            faults_cmd;
             mst_cmd;
             backbone_cmd;
             search_cmd;

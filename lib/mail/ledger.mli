@@ -1,0 +1,80 @@
+(** The no-lost-mail invariant checker of §3.1.2c.
+
+    The paper claims GetMail plus the deposit/retry pipeline "does not
+    cause any loss of mail" across server failures.  A ledger records
+    every lifecycle transition per message id — submit, mailbox
+    deposit, mailbox fetch, inbox retrieval, undeliverable declaration
+    — and {!check} turns them into a verdict of the invariant:
+
+    {e every submitted message is eventually retrieved exactly once,
+    or explicitly declared undeliverable with a reason — never
+    silently dropped, never duplicated into an inbox.}
+
+    The systems record submits/deposits/bounces from inside the
+    pipeline and fetches/retrievals from the user agents; run
+    {!check} only after the network has drained (post-quiesce), since
+    in-flight mail is neither lost nor delivered yet. *)
+
+type t
+
+val create : unit -> t
+
+val record_submit : t -> Message.t -> at:float -> unit
+(** The message entered the pipeline (once per submission;
+    resubmissions of the same id count again but do not reset the
+    original submit time). *)
+
+val record_deposit : t -> Message.t -> at:float -> unit
+(** A new copy landed in some server's mailbox (the pipeline calls
+    this once per distinct (server, message) deposit). *)
+
+val record_fetch : t -> Message.t -> at:float -> unit
+(** A copy was drained out of a mailbox by a retrieval round — counted
+    {e before} agent-side dedup, once per copy. *)
+
+val record_retrieve : t -> Message.t -> at:float -> unit
+(** The message was accepted into the recipient's inbox (post-dedup).
+    More than one of these per id is the duplicate violation. *)
+
+val record_undeliverable : t -> Message.t -> reason:string -> at:float -> unit
+(** The pipeline bounced the message.  First reason wins. *)
+
+val size : t -> int
+(** Number of message ids ever recorded. *)
+
+val settled : t -> Message.id -> bool
+(** The id's outcome is final (retrieved or declared undeliverable)
+    {e and} every deposited copy has been fetched back out of its
+    mailbox, so no later event can resurface it.  Dedup state for a
+    settled id is safe to prune — this is the signal
+    [Pipeline.compact] and [User_agent.compact] act on.  Unknown ids
+    are settled. *)
+
+type violation_kind = Lost | Duplicate
+
+type violation = { id : Message.id; kind : violation_kind; detail : string }
+
+type verdict = {
+  submitted : int;
+  delivered : int;  (** retrieved exactly once. *)
+  undeliverable : int;  (** declared, never retrieved. *)
+  lost : int;  (** submitted but neither retrieved nor declared. *)
+  duplicates : int;  (** retrieved more than once. *)
+  spurious_bounces : int;
+      (** both delivered and declared undeliverable — e.g. the deposit
+          ack vanished and retries ran out after the copy had landed.
+          At-least-once delivery permits this; counted, not a
+          violation. *)
+  in_mailbox : int;  (** deposited copies never fetched (informational). *)
+  ok : bool;  (** [lost = 0 && duplicates = 0]. *)
+  violations : violation list;  (** sorted by message id. *)
+}
+
+val check : t -> verdict
+(** Evaluate the invariant over everything recorded so far.  Only
+    meaningful once the run has drained. *)
+
+val verdict_to_json : verdict -> Telemetry.Json.t
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** One summary line, then one line per violation. *)

@@ -52,6 +52,7 @@ type t = {
   metrics : Telemetry.Registry.t;
   tracer : Telemetry.Tracer.t;
   trace : Dsim.Trace.t;
+  ledger : Ledger.t;
   mutable next_id : Message.id;
   mutable submitted : Message.t list;
 }
@@ -64,6 +65,7 @@ let counters t = t.counters
 let metrics t = t.metrics
 let tracer t = t.tracer
 let trace t = t.trace
+let ledger t = t.ledger
 let submitted t = t.submitted
 
 let users t =
@@ -176,13 +178,27 @@ let record_retrieval_cost t a (stats : User_agent.check_stats) =
 
 let check_mail t name =
   let a = agent t name in
-  let stats = User_agent.get_mail ~tracer:t.tracer a ~view:(view t) ~now:(now t) in
+  let stats =
+    User_agent.get_mail ~tracer:t.tracer ~ledger:t.ledger a ~view:(view t)
+      ~now:(now t)
+  in
   count t "checks";
   count ~by:stats.User_agent.polls t "polls";
   count ~by:stats.User_agent.failed_polls t "failed_polls";
   count ~by:stats.User_agent.retrieved t "retrieved";
   record_retrieval_cost t a stats;
   stats
+
+let compact t =
+  let prunable = Pipeline.prunable t.pipeline ~ledger:t.ledger in
+  let dropped =
+    Hashtbl.fold
+      (fun _ a acc -> acc + User_agent.compact a prunable)
+      t.agents
+      (Pipeline.compact t.pipeline prunable)
+  in
+  if dropped > 0 then count ~by:dropped t "compacted";
+  dropped
 
 let retrieval_cost_stats t = t.retrieval_costs
 
@@ -324,6 +340,7 @@ let create ?(config = default_config) ?(design_label = "location")
   let counters = Dsim.Stats.Counter.create () in
   let tracer = Telemetry.Tracer.create () in
   let metrics = Telemetry.Registry.create ~labels:[ ("design", design_label) ] () in
+  let ledger = Ledger.create () in
   Telemetry.Probe.attach_engine metrics engine;
   let servers = Hashtbl.create 16 in
   let region_servers = Hashtbl.create 4 in
@@ -394,7 +411,7 @@ let create ?(config = default_config) ?(design_label = "location")
   in
   let pipeline =
     Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
-      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger
       {
         Pipeline.retry_timeout = config.retry_timeout;
         resubmit_timeout = config.resubmit_timeout;
@@ -423,6 +440,7 @@ let create ?(config = default_config) ?(design_label = "location")
       metrics;
       tracer;
       trace;
+      ledger;
       next_id = 0;
       submitted = [];
     }

@@ -68,6 +68,11 @@ val tracer : t -> Telemetry.Tracer.t
     rounds; see {!Pipeline.create} and {!User_agent.get_mail}). *)
 
 val trace : t -> Dsim.Trace.t
+
+val ledger : t -> Ledger.t
+(** The run's delivery-invariant ledger (§3.1.2c); see
+    {!Syntax_system.ledger}. *)
+
 val submitted : t -> Message.t list
 
 val authority_of : t -> Naming.Name.t -> Netsim.Graph.node list
@@ -121,6 +126,9 @@ val retrieval_cost_stats : t -> Dsim.Stats.Summary.t
 
 val run_until : t -> float -> unit
 val quiesce : ?step:float -> ?max_steps:int -> t -> unit
+
+val compact : t -> int
+(** Prune settled-message bookkeeping; see {!Syntax_system.compact}. *)
 
 (** {1 Reconfiguration and migration} *)
 

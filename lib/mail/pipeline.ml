@@ -71,6 +71,13 @@ type 'ctrl t = {
   seen_deposits : (Netsim.Graph.node * Message.id, unit) Hashtbl.t;
   dead : (Message.id, unit) Hashtbl.t;
       (* declared undeliverable: no further resubmissions *)
+  submit_timers : (Message.id, unit) Hashtbl.t;
+      (* messages with an armed submit-driver timer: at most one each *)
+  in_work : (Message.id, int ref) Hashtbl.t;
+      (* copies sitting in a service queue between wire receipt and
+         phase execution — the window where a message is owned by
+         neither a pending nor a timer (see [compact]) *)
+  ledger : Ledger.t option;
   service_rng : Dsim.Rng.t;
   queues : (Netsim.Graph.node, srv_queue) Hashtbl.t;
   queue_waits : Dsim.Stats.Summary.t;
@@ -184,6 +191,7 @@ let declare_dead t msg ~reason =
         Telemetry.Span.set_attr root "outcome" reason;
         Telemetry.Span.finish root ~at:(now t)
     | None -> ());
+    Option.iter (fun l -> Ledger.record_undeliverable l msg ~reason ~at:(now t)) t.ledger;
     t.callbacks.on_undeliverable msg ~reason
   end
 
@@ -193,10 +201,16 @@ let arm_retry t (p : pending) step =
       (Dsim.Engine.schedule_after ~category:"pipeline.retry" t.engine
          t.config.retry_timeout (fun () ->
            if not p.acked then
-             if p.attempts < t.config.max_retries then begin
+             if not (Netsim.Net.is_up t.net p.holder) then
+               (* Pending state survives holder crashes — queued mail is
+                  on disk — so a down holder must not burn the retry
+                  budget toward "retries exhausted": just wait for the
+                  holder to come back. *)
+               fire ()
+             else if p.attempts < t.config.max_retries then begin
                p.attempts <- p.attempts + 1;
                count t "retries";
-               if Netsim.Net.is_up t.net p.holder then step ();
+               step ();
                fire ()
              end
              else begin
@@ -228,6 +242,7 @@ let do_deposit t ~on msg =
   if not (Hashtbl.mem t.seen_deposits key) then begin
     Hashtbl.replace t.seen_deposits key ();
     Server.deposit (t.callbacks.server_of on) msg ~at:(now t);
+    Option.iter (fun l -> Ledger.record_deposit l msg ~at:(now t)) t.ledger;
     count t "deposits";
     emit_span t msg ~name:"deposit" ~start:(now t) ~finish:(now t)
       [ ("server", node_label t on) ];
@@ -320,6 +335,21 @@ let rec resolve_phase t ~at_server msg =
                      ~src:at_server ~dst:target (Forward msg))))
   end
 
+(* A copy parked in a service queue is owned by neither a pending nor
+   a timer; track it so [compact] never prunes dedup state out from
+   under it. *)
+let begin_work t (m : Message.t) =
+  match Hashtbl.find_opt t.in_work m.Message.id with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.in_work m.Message.id (ref 1)
+
+let end_work t (m : Message.t) =
+  match Hashtbl.find_opt t.in_work m.Message.id with
+  | Some r ->
+      decr r;
+      if !r <= 0 then Hashtbl.remove t.in_work m.Message.id
+  | None -> ()
+
 let handle_wire t node ~time ~src msg =
   match msg with
   | Submit m ->
@@ -331,49 +361,72 @@ let handle_wire t node ~time ~src msg =
         emit_span t m ~name:"submit" ~start:m.Message.submitted_at ~finish:time
           [ ("server", node_label t node) ]
       end;
-      through_queue t node ~msg:m (fun () -> resolve_phase t ~at_server:node m)
+      begin_work t m;
+      through_queue t node ~msg:m (fun () ->
+          end_work t m;
+          resolve_phase t ~at_server:node m)
   | Forward m ->
       ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
       emit_hop t node ~time m;
-      through_queue t node ~msg:m (fun () -> deposit_phase t ~at_server:node m)
+      begin_work t m;
+      through_queue t node ~msg:m (fun () ->
+          end_work t m;
+          deposit_phase t ~at_server:node m)
   | Deposit m ->
       ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
       emit_hop t node ~time m;
-      through_queue t node ~msg:m (fun () -> do_deposit t ~on:node m)
+      begin_work t m;
+      through_queue t node ~msg:m (fun () ->
+          end_work t m;
+          do_deposit t ~on:node m)
   | Ack id -> ack_pending t ~holder:node id
   | Notify _ -> count t "notifications"
   | Ctrl c -> t.callbacks.on_ctrl node ~time ~src c
 
 (* Connection setup (§3.1.2a): try servers in the agent's order;
-   resubmission is the end-to-end safety net. *)
+   resubmission is the end-to-end safety net.  Exactly one driver
+   timer is armed per undeposited message — [try_submit] used to arm
+   both a deferral and a resubmission timer on every invocation, so
+   each round doubled the live timers (and the submit counters with
+   them) for the whole length of an outage. *)
 let rec try_submit t msg sender_agent =
   if (not (Message.is_deposited msg)) && not (is_dead t msg.Message.id) then begin
     let rec attempt = function
       | [] ->
+          (* No server reachable right now: defer the whole attempt. *)
           count t "submit_deferred";
-          ignore
-            (Dsim.Engine.schedule_after ~category:"pipeline.submit" t.engine
-               t.config.retry_timeout (fun () -> try_submit t msg sender_agent))
+          arm_submit_timer t msg sender_agent ~delay:t.config.retry_timeout
+            ~resubmission:false
       | s :: rest ->
           count t "submit_attempts";
           if
             Netsim.Net.is_up t.net s
             && Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net
                  ~src:(User_agent.host sender_agent) ~dst:s (Submit msg)
-          then ()
+          then
+            (* Accepted for transmission: arm the end-to-end safety
+               net in case the submission is lost downstream. *)
+            arm_submit_timer t msg sender_agent ~delay:t.config.resubmit_timeout
+              ~resubmission:true
           else begin
             (* Server down, or unreachable through downed relays. *)
             count t "submit_attempt_failures";
             attempt rest
           end
     in
-    attempt (t.callbacks.submit_servers sender_agent);
+    attempt (t.callbacks.submit_servers sender_agent)
+  end
+
+and arm_submit_timer t msg sender_agent ~delay ~resubmission =
+  let id = msg.Message.id in
+  if not (Hashtbl.mem t.submit_timers id) then begin
+    Hashtbl.replace t.submit_timers id ();
+    let category = if resubmission then "pipeline.resubmit" else "pipeline.submit" in
     ignore
-      (Dsim.Engine.schedule_after ~category:"pipeline.resubmit" t.engine
-         t.config.resubmit_timeout (fun () ->
-           if (not (Message.is_deposited msg)) && not (is_dead t msg.Message.id)
-           then begin
-             count t "resubmissions";
+      (Dsim.Engine.schedule_after ~category t.engine delay (fun () ->
+           Hashtbl.remove t.submit_timers id;
+           if (not (Message.is_deposited msg)) && not (is_dead t id) then begin
+             if resubmission then count t "resubmissions";
              try_submit t msg sender_agent
            end))
   end
@@ -393,12 +446,45 @@ let submit t ~sender_agent ~msg =
            ())
   | _ -> ());
   count t "submitted";
+  Option.iter (fun l -> Ledger.record_submit l msg ~at:(now t)) t.ledger;
   try_submit t msg sender_agent
 
 let pending_count t = Hashtbl.length t.pendings
 
+let dedup_entries t =
+  Hashtbl.length t.seen_deposits + Hashtbl.length t.dead
+  + Hashtbl.length t.submit_spans + Hashtbl.length t.hop_sends
+
+let prunable t ~ledger =
+  (* Ids still referenced by live pipeline machinery: a pending
+     transfer, a parked service-queue copy, or an armed submit timer
+     can all produce further events for the id. *)
+  let live = Hashtbl.create 64 in
+  Hashtbl.iter (fun (_, id) _ -> Hashtbl.replace live id ()) t.pendings;
+  Hashtbl.iter (fun id _ -> Hashtbl.replace live id ()) t.in_work;
+  Hashtbl.iter (fun id _ -> Hashtbl.replace live id ()) t.submit_timers;
+  fun id -> (not (Hashtbl.mem live id)) && Ledger.settled ledger id
+
+let compact t keep_out =
+  let dropped = ref 0 in
+  let prune tbl id_of =
+    let doomed =
+      Hashtbl.fold (fun k _ acc -> if keep_out (id_of k) then k :: acc else acc) tbl []
+    in
+    List.iter
+      (fun k ->
+        Hashtbl.remove tbl k;
+        incr dropped)
+      doomed
+  in
+  prune t.seen_deposits snd;
+  prune t.dead Fun.id;
+  prune t.submit_spans Fun.id;
+  prune t.hop_sends snd;
+  !dropped
+
 let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rate
-    config callbacks =
+    ?ledger config callbacks =
   let net = Netsim.Net.create ~engine ~trace ?bandwidth ?loss_rate graph in
   (* Registered eagerly (even when the service model is off) so every
      design's registry exposes the same metric names. *)
@@ -419,6 +505,9 @@ let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rat
       pendings = Hashtbl.create 64;
       seen_deposits = Hashtbl.create 64;
       dead = Hashtbl.create 16;
+      submit_timers = Hashtbl.create 64;
+      in_work = Hashtbl.create 64;
+      ledger;
       service_rng = Dsim.Rng.create config.service_seed;
       queues = Hashtbl.create 16;
       queue_waits = Dsim.Stats.Summary.create ();

@@ -84,6 +84,7 @@ val create :
   ?tracer:Telemetry.Tracer.t ->
   ?bandwidth:float ->
   ?loss_rate:float ->
+  ?ledger:Ledger.t ->
   config ->
   'ctrl callbacks ->
   'ctrl t
@@ -104,7 +105,17 @@ val create :
     ["submits_received"], ["deposits"], ["redirect... "] (via the
     system's [canonical]), ["retries"], ["gave_up"],
     ["deposit_stalled"], ["forward_stalled"], ["unresolvable"],
-    ["resubmissions"], ["notifications"]. *)
+    ["resubmissions"], ["notifications"].
+    When [ledger] is given, the pipeline records submits, per-server
+    mailbox deposits and undeliverable declarations into it (agents
+    record the fetch/retrieve side — see {!User_agent}).
+
+    Delivery-guarantee properties: at most {e one} submit-driver timer
+    (deferral or resubmission safety net) is armed per undeposited
+    message, so timers and the submit counters stay linear in outage
+    length; and a pending transfer whose holder is down does not burn
+    retry-budget attempts — pending state survives holder crashes, so
+    the budget only counts retries the holder could actually send. *)
 
 val net : 'ctrl t -> 'ctrl wire Netsim.Net.t
 
@@ -129,3 +140,22 @@ val queue_wait_stats : 'ctrl t -> Dsim.Stats.Summary.t
 val server_utilisation : 'ctrl t -> Netsim.Graph.node -> float
 (** Fraction of elapsed virtual time the server spent serving; 0 when
     the service model is off or the server handled nothing. *)
+
+val dedup_entries : 'ctrl t -> int
+(** Current size of the dedup/bookkeeping tables (seen deposits, dead
+    set, emitted submit spans, in-flight hop markers) — what
+    {!compact} bounds on long runs. *)
+
+val prunable : 'ctrl t -> ledger:Ledger.t -> Message.id -> bool
+(** [prunable t ~ledger] snapshots the ids still referenced by live
+    pipeline machinery (pending transfers, queued copies, armed
+    submit timers) and returns a predicate: an id may be pruned when
+    it is not referenced {e and} {!Ledger.settled} confirms its final
+    outcome.  Build it once per compaction round and share it with
+    {!User_agent.compact}. *)
+
+val compact : 'ctrl t -> (Message.id -> bool) -> int
+(** [compact t prunable] drops every dedup/bookkeeping entry whose
+    message id satisfies the predicate, returning the number of
+    entries removed.  Safe to call at any time with a predicate from
+    {!prunable}. *)

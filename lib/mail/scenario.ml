@@ -9,6 +9,7 @@ type spec = {
   mean_outage : float;
   sender_skew : float;
   retrieval : retrieval_mode;
+  faults : Netsim.Fault.campaign option;
 }
 
 let default_spec =
@@ -21,6 +22,7 @@ let default_spec =
     mean_outage = 150.;
     sender_skew = 0.9;
     retrieval = Get_mail;
+    faults = None;
   }
 
 type outcome = {
@@ -28,6 +30,7 @@ type outcome = {
   availability : float;
   final_polls_per_check : float;
   inbox_total : int;
+  ledger : Ledger.verdict;
   metrics : Telemetry.Registry.t;
   tracer : Telemetry.Tracer.t;
   events : Dsim.Trace.t;
@@ -56,11 +59,11 @@ let pick_pair_skewed rng users skew =
     (users.(s), users.(other ()))
   end
 
-let check_with ?tracer mode view sys_agent now =
+let check_with ?tracer ?ledger mode view sys_agent now =
   match mode with
-  | Get_mail -> User_agent.get_mail ?tracer sys_agent ~view ~now
-  | Poll_all -> User_agent.poll_all ?tracer sys_agent ~view ~now
-  | Naive -> User_agent.naive_check ?tracer sys_agent ~view ~now
+  | Get_mail -> User_agent.get_mail ?tracer ?ledger sys_agent ~view ~now
+  | Poll_all -> User_agent.poll_all ?tracer ?ledger sys_agent ~view ~now
+  | Naive -> User_agent.naive_check ?tracer ?ledger sys_agent ~view ~now
 
 let record_check counters (stats : User_agent.check_stats) =
   Dsim.Stats.Counter.incr counters "checks";
@@ -81,8 +84,8 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
   let users_arr = Array.of_list users in
   let check name =
     let stats =
-      check_with ~tracer:(M.tracer sys) spec.retrieval (M.view sys)
-        (M.agent sys name) (M.now sys)
+      check_with ~tracer:(M.tracer sys) ~ledger:(M.ledger sys) spec.retrieval
+        (M.view sys) (M.agent sys name) (M.now sys)
     in
     record_check (M.counters sys) stats;
     stats
@@ -119,23 +122,82 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
       ~rate:spec.failure_rate ~mean_duration:spec.mean_outage ~horizon:spec.duration
   in
   Netsim.Failure.schedule_outages (M.net sys) outages;
+  (* Fault campaign, if any: compiled deterministically from the
+     campaign's own seed (salted with the run seed) and armed on the
+     network; every effective status flip is tallied by fault kind. *)
+  let fault_schedule =
+    match spec.faults with
+    | None -> None
+    | Some campaign ->
+        let sched =
+          Netsim.Fault.compile ~salt:spec.seed ~graph:(M.graph sys)
+            ~servers:(M.server_nodes sys) ~horizon:spec.duration campaign
+        in
+        let counters = M.counters sys in
+        Netsim.Fault.apply
+          ~on_event:(fun ~time:_ w status ->
+            if not status then
+              Dsim.Stats.Counter.incr counters ("fault_" ^ w.Netsim.Fault.kind))
+          (M.net sys) sched;
+        Some sched
+  in
+  (* Periodic compaction keeps dedup/bookkeeping tables bounded on
+     long runs; it only touches state the ledger proved settled. *)
+  let compact_period = 5. *. spec.check_period in
+  let rec arm_compact at =
+    if at < spec.duration then
+      ignore
+        (Dsim.Engine.schedule_at ~category:"scenario.compact" engine at (fun () ->
+             ignore (M.compact sys);
+             arm_compact (at +. compact_period)))
+  in
+  arm_compact compact_period;
   (* Run, restore, drain, final checks. *)
   Dsim.Engine.run ~until:spec.duration engine;
+  Option.iter (Netsim.Fault.heal (M.net sys)) fault_schedule;
   List.iter (fun n -> Netsim.Net.set_up (M.net sys) n) (M.server_nodes sys);
   M.quiesce sys;
   List.iter (fun name -> ignore (check name)) users;
   M.quiesce sys;
+  ignore (M.compact sys);
   let report = Evaluation.of_system (module M) sys in
+  let fault_outages =
+    match fault_schedule with
+    | None -> []
+    | Some sched -> Netsim.Fault.node_outages sched
+  in
+  let all_outages = outages @ fault_outages in
   let availability =
     let nodes = M.server_nodes sys in
     if nodes = [] then 1.
     else
       List.fold_left
         (fun acc node ->
-          acc +. Netsim.Failure.availability ~outages ~node ~horizon:spec.duration)
+          acc
+          +. Netsim.Failure.availability ~outages:all_outages ~node
+               ~horizon:spec.duration)
         0. nodes
       /. float_of_int (List.length nodes)
   in
+  (* Fault windows become spans so trace timelines show the outages
+     next to the message lifecycles they disturbed. *)
+  (match fault_schedule with
+  | None -> ()
+  | Some sched ->
+      let tracer = M.tracer sys in
+      let target_string = function
+        | Netsim.Fault.Node v -> Printf.sprintf "node:%d" v
+        | Netsim.Fault.Link (u, v) -> Printf.sprintf "link:%d-%d" u v
+      in
+      List.iter
+        (fun (w : Netsim.Fault.window) ->
+          ignore
+            (Telemetry.Tracer.span tracer ~name:"fault" ~start:w.start
+               ~finish:(w.start +. w.duration)
+               ~attrs:[ ("kind", w.kind); ("target", target_string w.target) ]
+               ()))
+        sched.Netsim.Fault.windows);
+  let ledger_verdict = Ledger.check (M.ledger sys) in
   let inbox_total =
     List.fold_left (fun acc name -> acc + User_agent.inbox_size (M.agent sys name)) 0 users
   in
@@ -146,11 +208,22 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
   set "inbox_total" (float_of_int inbox_total);
   set "polls_per_check" report.Evaluation.polls_per_check;
   set "trace_spans" (float_of_int (Telemetry.Tracer.total (M.tracer sys)));
+  (* Set unconditionally so every design's registry carries the same
+     metric names whether or not a campaign ran. *)
+  set "ledger_ok" (if ledger_verdict.Ledger.ok then 1. else 0.);
+  set "ledger_lost" (float_of_int ledger_verdict.Ledger.lost);
+  set "ledger_duplicates" (float_of_int ledger_verdict.Ledger.duplicates);
+  set "fault_windows"
+    (float_of_int
+       (match fault_schedule with
+       | None -> 0
+       | Some sched -> List.length sched.Netsim.Fault.windows));
   {
     report;
     availability;
     final_polls_per_check = report.Evaluation.polls_per_check;
     inbox_total;
+    ledger = ledger_verdict;
     metrics;
     tracer = M.tracer sys;
     events = M.trace sys;

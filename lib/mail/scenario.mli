@@ -23,11 +23,15 @@ type spec = {
   mean_outage : float;  (** mean outage duration. *)
   sender_skew : float;  (** Zipf exponent for sender activity. *)
   retrieval : retrieval_mode;
+  faults : Netsim.Fault.campaign option;
+      (** optional deterministic fault campaign (crashes, link cuts,
+          partitions, bursts — see {!Netsim.Fault}), compiled with
+          [~salt:seed] and armed on top of the legacy random outages. *)
 }
 
 val default_spec : spec
 (** seed 1, duration 5000, 300 messages, checks every 100, no
-    failures, skew 0.9, GetMail. *)
+    failures, skew 0.9, GetMail, no fault campaign. *)
 
 (** Per-scenario aggregates beyond the generic report. *)
 type outcome = {
@@ -36,6 +40,12 @@ type outcome = {
   final_polls_per_check : float;
       (** polls per check over the whole run including final drain. *)
   inbox_total : int;  (** messages sitting in user inboxes at the end. *)
+  ledger : Ledger.verdict;
+      (** the §3.1.2c delivery-invariant verdict after the final drain:
+          every submitted message retrieved exactly once or explicitly
+          undeliverable — never dropped, never duplicated.  Also
+          exported as the gauges [ledger_ok], [ledger_lost] and
+          [ledger_duplicates]. *)
   metrics : Telemetry.Registry.t;
       (** the run's full metric registry, snapshotted after the final
           drain ({!System.snapshot_metrics} plus the scenario gauges
@@ -67,9 +77,12 @@ val drive :
 (** The one scenario driver, shared by every design through
     {!System.S}: inject the mail workload, arm phase-shifted periodic
     checks (calling [on_check_tick] just before each — the roaming
-    hook of designs 2/3), schedule random server outages, run to the
-    horizon, restore all servers, drain, final-check every user, and
-    snapshot metrics. *)
+    hook of designs 2/3), schedule random server outages and the fault
+    campaign (if any), run to the horizon, heal all faults and restore
+    all servers, drain, final-check every user, compact, check the
+    delivery ledger, and snapshot metrics.  Fault windows are tallied
+    per kind as [fault_<kind>] counters and emitted as ["fault"] spans
+    on the tracer. *)
 
 val run_syntax :
   ?config:Syntax_system.config -> Netsim.Topology.mail_site -> spec -> outcome

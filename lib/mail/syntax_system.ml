@@ -43,6 +43,7 @@ type t = {
   metrics : Telemetry.Registry.t;
   tracer : Telemetry.Tracer.t;
   trace : Dsim.Trace.t;
+  ledger : Ledger.t;
   mutable next_id : Message.id;
   mutable submitted : Message.t list;
 }
@@ -55,6 +56,7 @@ let counters t = t.counters
 let metrics t = t.metrics
 let tracer t = t.tracer
 let trace t = t.trace
+let ledger t = t.ledger
 let submitted t = t.submitted
 
 let users t =
@@ -166,12 +168,26 @@ let view t =
 
 let check_mail t name =
   let a = agent t name in
-  let stats = User_agent.get_mail ~tracer:t.tracer a ~view:(view t) ~now:(now t) in
+  let stats =
+    User_agent.get_mail ~tracer:t.tracer ~ledger:t.ledger a ~view:(view t)
+      ~now:(now t)
+  in
   count t "checks";
   count ~by:stats.User_agent.polls t "polls";
   count ~by:stats.User_agent.failed_polls t "failed_polls";
   count ~by:stats.User_agent.retrieved t "retrieved";
   stats
+
+let compact t =
+  let prunable = Pipeline.prunable t.pipeline ~ledger:t.ledger in
+  let dropped =
+    Hashtbl.fold
+      (fun _ a acc -> acc + User_agent.compact a prunable)
+      t.agents
+      (Pipeline.compact t.pipeline prunable)
+  in
+  if dropped > 0 then count ~by:dropped t "compacted";
+  dropped
 
 let check_mail_at t ~at name =
   ignore
@@ -316,6 +332,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   let counters = Dsim.Stats.Counter.create () in
   let tracer = Telemetry.Tracer.create () in
   let metrics = Telemetry.Registry.create ~labels:[ ("design", "syntax") ] () in
+  let ledger = Ledger.create () in
   Telemetry.Probe.attach_engine metrics engine;
   let servers = Hashtbl.create 16 in
   let region_servers = Hashtbl.create 4 in
@@ -390,7 +407,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   in
   let pipeline =
     Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
-      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger
       {
         Pipeline.retry_timeout = config.retry_timeout;
         resubmit_timeout = config.resubmit_timeout;
@@ -417,6 +434,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       metrics;
       tracer;
       trace;
+      ledger;
       next_id = 0;
       submitted = [];
     }

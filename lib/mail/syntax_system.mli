@@ -88,6 +88,12 @@ val tracer : t -> Telemetry.Tracer.t
     {!User_agent.get_mail}). *)
 
 val trace : t -> Dsim.Trace.t
+
+val ledger : t -> Ledger.t
+(** The run's delivery-invariant ledger (§3.1.2c): the pipeline
+    records submits/deposits/bounces, {!check_mail} records
+    fetches/retrievals.  {!Ledger.check} it after quiescing. *)
+
 val submitted : t -> Message.t list
 (** Every message ever submitted, newest first. *)
 
@@ -133,6 +139,11 @@ val run_until : t -> float -> unit
 val quiesce : ?step:float -> ?max_steps:int -> t -> unit
 (** Keep running in [step]-sized slices (default 1000) until no events
     remain — lets retry timers resolve after outages end. *)
+
+val compact : t -> int
+(** Prune pipeline dedup tables and agent seen-sets for messages the
+    ledger confirms settled (counter ["compacted"]); returns entries
+    dropped.  Bounds bookkeeping memory on long runs. *)
 
 val schedule_cleanup : t -> period:float -> until:float -> max_age:float -> unit
 (** §3.1.2c archiving policy: every [period] time units (until

@@ -43,6 +43,7 @@ module Attribute : S with type t = Attribute_system.t = struct
   let metrics t = Attribute_system.metrics t
   let tracer t = Location_system.tracer (base t)
   let trace t = Location_system.trace (base t)
+  let ledger t = Location_system.ledger (base t)
   let submitted t = Location_system.submitted (base t)
   let view t = Location_system.view (base t)
 
@@ -55,6 +56,7 @@ module Attribute : S with type t = Attribute_system.t = struct
   let check_mail t name = Location_system.check_mail (base t) name
   let run_until t horizon = Location_system.run_until (base t) horizon
   let quiesce ?step ?max_steps t = Location_system.quiesce ?step ?max_steps (base t)
+  let compact t = Location_system.compact (base t)
 end
 
 (* --- packing ------------------------------------------------------------ *)
@@ -72,6 +74,8 @@ let counters (Packed ((module M), sys)) = M.counters sys
 let now (Packed ((module M), sys)) = M.now sys
 let users (Packed ((module M), sys)) = M.users sys
 let submitted (Packed ((module M), sys)) = M.submitted sys
+let ledger (Packed ((module M), sys)) = M.ledger sys
+let compact (Packed ((module M), sys)) = M.compact sys
 
 (* --- metric snapshotting ------------------------------------------------ *)
 

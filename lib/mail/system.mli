@@ -34,6 +34,13 @@ val now : t -> float
 val users : t -> Naming.Name.t list
 val submitted : t -> Message.t list
 
+val ledger : t -> Ledger.t
+(** The packed system's delivery-invariant ledger
+    (see {!System_intf.S.ledger}). *)
+
+val compact : t -> int
+(** Prune settled-message bookkeeping (see {!System_intf.S.compact}). *)
+
 (** {1 Metric snapshotting} *)
 
 val core_counters : string list

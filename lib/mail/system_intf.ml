@@ -45,6 +45,11 @@ module type S = sig
   val submitted : t -> Message.t list
   val view : t -> User_agent.server_view
 
+  val ledger : t -> Ledger.t
+  (** The run's delivery-invariant ledger (§3.1.2c): the pipeline
+      records submits/deposits/bounces into it, the agents record
+      fetches/retrievals.  Check it after quiescing. *)
+
   (** {1 Operation} *)
 
   val submit :
@@ -61,4 +66,10 @@ module type S = sig
   val check_mail : t -> Naming.Name.t -> User_agent.check_stats
   val run_until : t -> float -> unit
   val quiesce : ?step:float -> ?max_steps:int -> t -> unit
+
+  val compact : t -> int
+  (** Prune dedup/bookkeeping state (pipeline tables, agent seen-sets)
+      for messages the ledger has confirmed settled; returns the
+      number of entries dropped.  Keeps long-running simulations
+      memory-bounded; safe to call at any time. *)
 end

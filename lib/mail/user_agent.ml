@@ -3,7 +3,12 @@ type t = {
   mutable host : Netsim.Graph.node;
   mutable authority : Netsim.Graph.node list;
   mutable last_checking : float;
-  mutable previously_unavailable : Netsim.Graph.node list;
+  pus : (Netsim.Graph.node, int) Hashtbl.t;
+      (* PreviouslyUnavailableServers, each tagged with an insertion
+         sequence number: O(1) add/remove instead of the old list's
+         O(n) membership scan + tail append, while keeping the
+         paper's FIFO drain order recoverable. *)
+  mutable pus_seq : int;
   mutable inbox : Message.t list;  (* newest first *)
   seen : (Message.id, unit) Hashtbl.t;
       (* delivery is at-least-once; the agent deduplicates. *)
@@ -16,7 +21,8 @@ let create ~name ~host ~authority =
     host;
     authority;
     last_checking = 0.;
-    previously_unavailable = [];
+    pus = Hashtbl.create 8;
+    pus_seq = 0;
     inbox = [];
     seen = Hashtbl.create 32;
   }
@@ -32,7 +38,11 @@ let set_host t h = t.host <- h
 
 let inbox t = List.rev t.inbox
 let inbox_size t = List.length t.inbox
-let previously_unavailable t = t.previously_unavailable
+
+let previously_unavailable t =
+  Hashtbl.fold (fun s seq acc -> (seq, s) :: acc) t.pus []
+  |> List.sort compare |> List.map snd
+
 let last_checking_time t = t.last_checking
 
 type server_view = {
@@ -44,20 +54,24 @@ type server_view = {
 type check_stats = { polls : int; failed_polls : int; retrieved : int }
 
 let add_pus t s =
-  if not (List.mem s t.previously_unavailable) then
-    t.previously_unavailable <- t.previously_unavailable @ [ s ]
+  if not (Hashtbl.mem t.pus s) then begin
+    Hashtbl.replace t.pus s t.pus_seq;
+    t.pus_seq <- t.pus_seq + 1
+  end
 
-let remove_pus t s =
-  t.previously_unavailable <- List.filter (fun x -> x <> s) t.previously_unavailable
+let remove_pus t s = Hashtbl.remove t.pus s
 
 (* Keep only messages not already retrieved (duplicates can arrive
-   when a deposit retry raced a lost acknowledgement). *)
-let fresh_only t msgs =
+   when a deposit retry raced a lost acknowledgement).  The ledger, if
+   any, sees every fetched copy and every accepted (fresh) message. *)
+let fresh_only ?ledger t ~now msgs =
   List.filter
     (fun (m : Message.t) ->
+      Option.iter (fun l -> Ledger.record_fetch l m ~at:now) ledger;
       if Hashtbl.mem t.seen m.Message.id then false
       else begin
         Hashtbl.replace t.seen m.Message.id ();
+        Option.iter (fun l -> Ledger.record_retrieve l m ~at:now) ledger;
         true
       end)
     msgs
@@ -116,12 +130,12 @@ let instrument tracer t ~mode ~now =
       in
       (record_poll, close)
 
-let get_mail ?tracer t ~view ~now =
+let get_mail ?tracer ?ledger t ~view ~now =
   let current_checking_time = now in
   let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
   let record_poll, close = instrument tracer t ~mode:"getmail" ~now in
   let take msgs =
-    let msgs = fresh_only t msgs in
+    let msgs = fresh_only ?ledger t ~now msgs in
     retrieved := !retrieved + List.length msgs;
     t.inbox <- List.rev_append msgs t.inbox;
     msgs
@@ -147,7 +161,8 @@ let get_mail ?tracer t ~view ~now =
   in
   scan t.authority;
   (* Phase 2: drain servers that were unavailable at some earlier
-     check and are alive again — they may hold old mail. *)
+     check and are alive again — they may hold old mail.  Snapshot
+     first (in insertion order): [remove_pus] mutates the table. *)
   List.iter
     (fun s ->
       if view.is_alive s then begin
@@ -156,20 +171,20 @@ let get_mail ?tracer t ~view ~now =
         record_poll ~server:s ~alive:true ~fetched;
         remove_pus t s
       end)
-    t.previously_unavailable;
+    (previously_unavailable t);
   t.last_checking <- current_checking_time;
   let stats = { polls = !polls; failed_polls = !failed; retrieved = !retrieved } in
   close stats;
   stats
 
-let poll_all ?tracer t ~view ~now =
+let poll_all ?tracer ?ledger t ~view ~now =
   let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
   let record_poll, close = instrument tracer t ~mode:"poll_all" ~now in
   List.iter
     (fun s ->
       incr polls;
       if view.is_alive s then begin
-        let msgs = fresh_only t (view.fetch s t.name ~at:now) in
+        let msgs = fresh_only ?ledger t ~now (view.fetch s t.name ~at:now) in
         retrieved := !retrieved + List.length msgs;
         t.inbox <- List.rev_append msgs t.inbox;
         record_poll ~server:s ~alive:true ~fetched:msgs
@@ -184,7 +199,7 @@ let poll_all ?tracer t ~view ~now =
   close stats;
   stats
 
-let naive_check ?tracer t ~view ~now =
+let naive_check ?tracer ?ledger t ~view ~now =
   let polls = ref 0 and failed = ref 0 and retrieved = ref 0 in
   let record_poll, close = instrument tracer t ~mode:"naive" ~now in
   let rec first_alive = function
@@ -192,7 +207,7 @@ let naive_check ?tracer t ~view ~now =
     | s :: rest ->
         incr polls;
         if view.is_alive s then begin
-          let msgs = fresh_only t (view.fetch s t.name ~at:now) in
+          let msgs = fresh_only ?ledger t ~now (view.fetch s t.name ~at:now) in
           retrieved := !retrieved + List.length msgs;
           t.inbox <- List.rev_append msgs t.inbox;
           record_poll ~server:s ~alive:true ~fetched:msgs
@@ -208,3 +223,12 @@ let naive_check ?tracer t ~view ~now =
   let stats = { polls = !polls; failed_polls = !failed; retrieved = !retrieved } in
   close stats;
   stats
+
+let seen_size t = Hashtbl.length t.seen
+
+let compact t prunable =
+  let doomed =
+    Hashtbl.fold (fun id () acc -> if prunable id then id :: acc else acc) t.seen []
+  in
+  List.iter (Hashtbl.remove t.seen) doomed;
+  List.length doomed

@@ -33,6 +33,10 @@ val inbox : t -> Message.t list
 val inbox_size : t -> int
 
 val previously_unavailable : t -> Netsim.Graph.node list
+(** In first-marked-unavailable order (the paper's FIFO drain order).
+    Maintained in a hash table internally, so marking and clearing a
+    server is O(1) per check instead of the former O(n) list scans. *)
+
 val last_checking_time : t -> float
 
 (** How the agent sees the servers: liveness, [LastStartTime], and a
@@ -50,20 +54,49 @@ type check_stats = {
   retrieved : int;  (** messages fetched this round. *)
 }
 
-val get_mail : ?tracer:Telemetry.Tracer.t -> t -> view:server_view -> now:float -> check_stats
+val get_mail :
+  ?tracer:Telemetry.Tracer.t ->
+  ?ledger:Ledger.t ->
+  t ->
+  view:server_view ->
+  now:float ->
+  check_stats
 (** The paper's GetMail procedure.  With [?tracer], the round opens a
     ["getmail.check"] trace whose instant ["getmail.poll"] children
     correspond one-to-one with [check_stats.polls] (failed polls
     carry [alive=false]); every fresh message fetched also gets a
     ["mailbox.wait"] span (deposit → retrieval) and a poll marker in
-    its own message trace, whose root span is then finished. *)
+    its own message trace, whose root span is then finished.
+    With [?ledger], every fetched mailbox copy is recorded
+    ({!Ledger.record_fetch}) and every accepted fresh message counted
+    as the retrieval ({!Ledger.record_retrieve}). *)
 
-val poll_all : ?tracer:Telemetry.Tracer.t -> t -> view:server_view -> now:float -> check_stats
+val poll_all :
+  ?tracer:Telemetry.Tracer.t ->
+  ?ledger:Ledger.t ->
+  t ->
+  view:server_view ->
+  now:float ->
+  check_stats
 (** Baseline: poll {e every} authority server, every time.  Traced
-    like {!get_mail}, with mode ["poll_all"]. *)
+    and ledgered like {!get_mail}, with mode ["poll_all"]. *)
 
-val naive_check : ?tracer:Telemetry.Tracer.t -> t -> view:server_view -> now:float -> check_stats
+val naive_check :
+  ?tracer:Telemetry.Tracer.t ->
+  ?ledger:Ledger.t ->
+  t ->
+  view:server_view ->
+  now:float ->
+  check_stats
 (** Lossy baseline: poll only the first alive server and keep no
     unavailability state — mail deposited on other servers during
-    outages is never found.  Traced like {!get_mail}, with mode
-    ["naive"]. *)
+    outages is never found.  Traced and ledgered like {!get_mail},
+    with mode ["naive"]. *)
+
+val seen_size : t -> int
+(** Current size of the dedup ([seen]) table. *)
+
+val compact : t -> (Message.id -> bool) -> int
+(** [compact t prunable] drops dedup entries for settled messages
+    (predicate from {!Pipeline.prunable}); returns how many were
+    removed.  The inbox itself is never touched. *)

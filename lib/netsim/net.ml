@@ -9,6 +9,7 @@ type 'msg t = {
   loss_rng : Dsim.Rng.t;
   mutable lost : int;
   up : bool array;
+  link_down : (Graph.node * Graph.node, unit) Hashtbl.t;  (* key normalised u <= v *)
   handlers : 'msg handler array;
   mutable listeners : (time:float -> Graph.node -> bool -> unit) list;
   trees : Shortest_path.tree option array;  (* Dijkstra cache per source *)
@@ -35,6 +36,7 @@ let create ~engine ?trace ?(bandwidth = infinity) ?(loss_rate = 0.) ?(loss_seed 
     loss_rng = Dsim.Rng.create loss_seed;
     lost = 0;
     up = Array.make n true;
+    link_down = Hashtbl.create 16;
     handlers = Array.make n default_handler;
     listeners = [];
     trees = Array.make n None;
@@ -84,12 +86,58 @@ let set_down t v =
 
 let on_status_change t f = t.listeners <- t.listeners @ [ f ]
 
+(* --- Link outages.  Keys are normalised (min, max) endpoint pairs so
+   either orientation names the same undirected edge. --- *)
+
+let norm_link u v = if u <= v then (u, v) else (v, u)
+
+let check_link t u v =
+  check_node t u;
+  check_node t v;
+  if Graph.weight t.graph u v = None then
+    invalid_arg (Printf.sprintf "Net: nodes %d and %d are not adjacent" u v)
+
+let link_is_up t u v = not (Hashtbl.mem t.link_down (norm_link u v))
+
+let invalidate_trees t = Array.fill t.trees 0 (Array.length t.trees) None
+
+let notify_link t u v status =
+  match t.trace with
+  | Some tr ->
+      Dsim.Trace.infof tr ~time:(Dsim.Engine.now t.engine) ~category:"net"
+        "link %s-%s %s" (Graph.label t.graph u) (Graph.label t.graph v)
+        (if status then "up" else "down")
+  | None -> ()
+
+let set_link_down t u v =
+  check_link t u v;
+  let key = norm_link u v in
+  if not (Hashtbl.mem t.link_down key) then begin
+    Hashtbl.replace t.link_down key ();
+    invalidate_trees t;
+    notify_link t u v false
+  end
+
+let set_link_up t u v =
+  check_link t u v;
+  let key = norm_link u v in
+  if Hashtbl.mem t.link_down key then begin
+    Hashtbl.remove t.link_down key;
+    invalidate_trees t;
+    notify_link t u v true
+  end
+
+let links_down t = Hashtbl.fold (fun k () acc -> k :: acc) t.link_down []
+
 let tree t src =
   check_node t src;
   match t.trees.(src) with
   | Some tr -> tr
   | None ->
-      let tr = Shortest_path.dijkstra t.graph src in
+      let tr =
+        if Hashtbl.length t.link_down = 0 then Shortest_path.dijkstra t.graph src
+        else Shortest_path.dijkstra ~usable:(fun u v -> link_is_up t u v) t.graph src
+      in
       t.trees.(src) <- Some tr;
       tr
 
@@ -161,7 +209,7 @@ let send_neighbor ?(bytes = 0) t ~src ~dst msg =
   match Graph.weight t.graph src dst with
   | None -> invalid_arg "Net.send_neighbor: nodes are not adjacent"
   | Some w ->
-      if not t.up.(src) then begin
+      if (not t.up.(src)) || not (link_is_up t src dst) then begin
         t.dropped <- t.dropped + 1;
         false
       end

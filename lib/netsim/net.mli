@@ -55,6 +55,23 @@ val set_down : 'msg t -> Graph.node -> unit
 val on_status_change : 'msg t -> (time:float -> Graph.node -> bool -> unit) -> unit
 (** Register a listener called after every status flip ([true] = up). *)
 
+val link_is_up : 'msg t -> Graph.node -> Graph.node -> bool
+(** Whether the (undirected) edge between two adjacent nodes is
+    currently usable.  Orientation does not matter. *)
+
+val set_link_down : 'msg t -> Graph.node -> Graph.node -> unit
+val set_link_up : 'msg t -> Graph.node -> Graph.node -> unit
+(** Cut / restore a single link.  Down links are invisible to routing
+    ({!send} finds a detour or drops when none exists) and refuse
+    {!send_neighbor} one-hop transmissions.  Flips invalidate the
+    shortest-path cache; messages already in flight across the link
+    are not recalled.  Idempotent.
+    @raise Invalid_argument if the nodes are not adjacent. *)
+
+val links_down : 'msg t -> (Graph.node * Graph.node) list
+(** Currently cut links as normalised [(min, max)] endpoint pairs, in
+    no particular order. *)
+
 val distance : 'msg t -> Graph.node -> Graph.node -> float
 (** Zero-load shortest-path distance ([infinity] if disconnected).
     Cached per source. *)

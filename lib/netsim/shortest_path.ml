@@ -4,9 +4,12 @@ type tree = {
   prev : Graph.node array;
 }
 
-let dijkstra g source =
+let dijkstra ?usable g source =
   let n = Graph.node_count g in
   if source < 0 || source >= n then invalid_arg "Shortest_path.dijkstra: bad source";
+  let edge_ok u v =
+    match usable with None -> true | Some f -> f u v
+  in
   let dist = Array.make n infinity in
   let prev = Array.make n (-1) in
   let settled = Array.make n false in
@@ -24,7 +27,8 @@ let dijkstra g source =
             (* Strict improvement, or equal cost through a smaller
                predecessor: keeps tie-broken paths deterministic. *)
             if
-              (not settled.(v))
+              edge_ok u v
+              && (not settled.(v))
               && (nd < dist.(v) || (nd = dist.(v) && u < prev.(v)))
             then begin
               dist.(v) <- nd;

@@ -11,8 +11,10 @@ type tree = {
   prev : Graph.node array;  (** Predecessor on a shortest path; [-1] for source/unreachable. *)
 }
 
-val dijkstra : Graph.t -> Graph.node -> tree
-(** Single-source shortest paths. *)
+val dijkstra : ?usable:(Graph.node -> Graph.node -> bool) -> Graph.t -> Graph.node -> tree
+(** Single-source shortest paths.  [usable u v] (default: always true)
+    filters edges at relaxation time — a cut link is simply invisible
+    to the search, which is how {!Net} routes around link outages. *)
 
 val distance : tree -> Graph.node -> float
 
