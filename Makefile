@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean doc
+.PHONY: all build test bench examples clean doc lint determinism
 
 all: build
 
@@ -16,6 +16,13 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --skip-micro
+
+lint:
+	dune build bin/lint
+	dune exec bin/lint/main.exe -- lib bin
+
+determinism:
+	scripts/check_determinism.sh
 
 examples:
 	dune exec examples/quickstart.exe

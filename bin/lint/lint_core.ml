@@ -1,0 +1,457 @@
+(* mailsys-lint: a determinism linter for this repository.
+
+   Every artifact the repo compares across runs and PRs (BENCH.json,
+   TRACE.jsonl, LEDGER.json, outcome.metrics) depends on the simulation
+   being bit-deterministic for a given seed.  This pass parses every
+   .ml/.mli with compiler-libs and flags the constructs that have
+   historically broken that property:
+
+   R1 [unsorted-fold]   a Hashtbl.fold/iter that builds a list (its
+                        callback contains a cons) inside a binding with
+                        no List/Array sort — hash order escapes.
+   R2 [poly-compare]    bare polymorphic [compare]/[Stdlib.compare] or
+                        [Hashtbl.hash] — require typed comparators.
+   R3 [wall-clock]      wall-clock or ambient entropy ([Sys.time],
+                        [Unix.gettimeofday], global [Random.*]) in sim
+                        code; use [Dsim.Rng] or the telemetry probe.
+   R4 [stdout]          [print_*]/[Printf.printf]/[Format.printf]/
+                        [exit]/[Printexc.print_backtrace] in [lib/].
+   R5 [missing-mli]     a [lib/] module without an .mli.
+
+   A finding can be suppressed with an audited comment on the same or
+   the preceding line:
+
+     (* lint: allow <rule> — reason *)
+
+   A suppression without a reason is itself reported [bad-suppression].
+   [missing-mli] is suppressed by an allow comment anywhere in the .ml. *)
+
+type violation = { file : string; line : int; rule : string; message : string }
+
+let compare_violation a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s:%d %s %s" v.file v.line v.rule v.message
+
+(* --- suppression comments ---------------------------------------------- *)
+
+type allow = { a_line : int; a_rule : string; a_reason : bool }
+
+let known_rules =
+  [ "unsorted-fold"; "poly-compare"; "wall-clock"; "stdout"; "missing-mli" ]
+
+(* Find "lint: allow <rule>[ — reason]" occurrences with line numbers.
+   A plain per-line scan is enough: the annotations are written on one
+   line by convention, and a miss only costs a (visible) finding. *)
+let scan_allows source =
+  let allows = ref [] in
+  let lines = String.split_on_char '\n' source in
+  List.iteri
+    (fun i line ->
+      let lnum = i + 1 in
+      let marker = "lint: allow " in
+      match
+        let rec find from =
+          if from + String.length marker > String.length line then None
+          else if String.sub line from (String.length marker) = marker then
+            Some (from + String.length marker)
+          else find (from + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some start ->
+          let rest = String.sub line start (String.length line - start) in
+          let rule =
+            match String.index_opt rest ' ' with
+            | Some i -> String.sub rest 0 i
+            | None ->
+                (* strip a trailing "*)" when the comment ends flush *)
+                let r = String.trim rest in
+                let r =
+                  if String.length r >= 2 && String.sub r (String.length r - 2) 2 = "*)"
+                  then String.trim (String.sub r 0 (String.length r - 2))
+                  else r
+                in
+                r
+          in
+          let rule_shaped =
+            String.length rule > 0
+            && String.for_all (function 'a' .. 'z' | '-' -> true | _ -> false) rule
+          in
+          let after =
+            String.sub rest (String.length rule)
+              (String.length rest - String.length rule)
+          in
+          (* audited: the comment must carry a reason after a dash *)
+          let has_reason =
+            let dash i =
+              (* "—" (U+2014, 3 bytes) or "-" *)
+              (after.[i] = '-')
+              || (i + 2 < String.length after
+                 && Char.code after.[i] = 0xE2
+                 && Char.code after.[i + 1] = 0x80)
+            in
+            let rec scan i seen_dash =
+              if i >= String.length after then false
+              else if seen_dash then
+                (* any word character after the dash counts as a reason *)
+                (match after.[i] with
+                | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+                | _ -> scan (i + 1) true)
+              else if dash i then scan (i + 1) true
+              else scan (i + 1) false
+            in
+            scan 0 false
+          in
+          (* Prose merely mentioning the syntax (placeholders like
+             "<rule>") is not an annotation. *)
+          if rule_shaped then
+            allows := { a_line = lnum; a_rule = rule; a_reason = has_reason } :: !allows)
+    lines;
+  List.rev !allows
+
+let suppressed allows ~rule ~line =
+  List.exists
+    (fun a ->
+      String.equal a.a_rule rule && a.a_reason
+      && (a.a_line = line || a.a_line = line - 1))
+    allows
+
+let file_suppressed allows ~rule =
+  List.exists (fun a -> String.equal a.a_rule rule && a.a_reason) allows
+
+let allow_violations file allows =
+  List.filter_map
+    (fun a ->
+      if not (List.mem a.a_rule known_rules) then
+        Some
+          {
+            file;
+            line = a.a_line;
+            rule = "bad-suppression";
+            message =
+              Printf.sprintf "unknown rule %S in lint: allow comment" a.a_rule;
+          }
+      else if not a.a_reason then
+        Some
+          {
+            file;
+            line = a.a_line;
+            rule = "bad-suppression";
+            message =
+              Printf.sprintf
+                "suppression of %s must carry a reason: (* lint: allow %s — why *)"
+                a.a_rule a.a_rule;
+          }
+      else None)
+    allows
+
+(* --- AST analysis ------------------------------------------------------- *)
+
+open Parsetree
+
+let line_of (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+(* Does an expression tree contain a list cons anywhere?  A fold/iter
+   callback that conses builds an order-dependent list. *)
+let contains_cons expr =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_construct ({ txt = Longident.Lident "::"; _ }, _) -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  !found
+
+let is_hashtbl_module = function
+  | Longident.Lident "Hashtbl" -> true
+  | Longident.Ldot (Longident.Lident "Stdlib", "Hashtbl") -> true
+  | _ -> false
+
+let sort_names = [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let is_sort_ident = function
+  | Longident.Ldot (Longident.Lident ("List" | "Array"), f) -> List.mem f sort_names
+  | Longident.Ldot
+      (Longident.Ldot (Longident.Lident "Stdlib", ("List" | "Array")), f) ->
+      List.mem f sort_names
+  | _ -> false
+
+(* One top-level binding = the rule's "same function" scope. *)
+type binding_facts = {
+  mutable escapes : Location.t list;  (* hashtbl fold/iter building lists *)
+  mutable has_sort : bool;
+  mutable shadows_compare : bool;  (* a local [let compare] in scope *)
+}
+
+let analyze_binding expr =
+  let facts = { escapes = []; has_sort = false; shadows_compare = false } in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+              match txt with
+              | Longident.Ldot (m, ("fold" | "iter")) when is_hashtbl_module m ->
+                  if List.exists (fun (_, a) -> contains_cons a) args then
+                    facts.escapes <- e.pexp_loc :: facts.escapes
+              | _ -> ())
+          | Pexp_ident { txt; _ } when is_sort_ident txt -> facts.has_sort <- true
+          | Pexp_let (_, vbs, _) ->
+              if
+                List.exists
+                  (fun vb ->
+                    match vb.pvb_pat.ppat_desc with
+                    | Ppat_var { txt = "compare"; _ } -> true
+                    | _ -> false)
+                  vbs
+              then facts.shadows_compare <- true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  facts
+
+(* R2/R3/R4 are plain ident scans, independent of binding structure. *)
+type ident_finding = { i_loc : Location.t; i_rule : string; i_msg : string }
+
+let ident_findings ~in_lib ~module_shadows_compare expr =
+  let out = ref [] in
+  let add loc rule msg = out := { i_loc = loc; i_rule = rule; i_msg = msg } :: !out in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> (
+              match txt with
+              | Longident.Lident "compare"
+              | Longident.Ldot (Longident.Lident "Stdlib", "compare")
+                when not module_shadows_compare ->
+                  add loc "poly-compare"
+                    "bare polymorphic compare; use a typed comparator \
+                     (Int.compare, String.compare, a record comparator, ...)"
+              | Longident.Ldot (m, ("hash" | "seeded_hash"))
+                when is_hashtbl_module m ->
+                  add loc "poly-compare"
+                    "polymorphic Hashtbl.hash; derive a typed hash from \
+                     String.hash/Int.hash instead"
+              | Longident.Ldot (Longident.Lident "Sys", "time") ->
+                  add loc "wall-clock"
+                    "Sys.time reads the wall clock; sim code must use virtual \
+                     time (Dsim.Engine.now) or go through the telemetry probe"
+              | Longident.Ldot
+                  ( Longident.Lident "Unix",
+                    (("gettimeofday" | "time" | "gmtime" | "localtime") as f) ) ->
+                  add loc "wall-clock"
+                    (Printf.sprintf
+                       "Unix.%s reads the wall clock; sim code must use \
+                        virtual time (Dsim.Engine.now)"
+                       f)
+              | Longident.Ldot (Longident.Lident "Random", f) when f <> "State" ->
+                  add loc "wall-clock"
+                    (Printf.sprintf
+                       "Random.%s uses ambient global entropy; use Dsim.Rng \
+                        with an explicit seed"
+                       f)
+              | Longident.Lident
+                  (("print_endline" | "print_string" | "print_newline"
+                   | "print_int" | "print_float" | "print_char") as f)
+                when in_lib ->
+                  add loc "stdout"
+                    (Printf.sprintf
+                       "%s writes to stdout from library code; return data or \
+                        take a formatter"
+                       f)
+              | Longident.Lident "exit"
+              | Longident.Ldot (Longident.Lident "Stdlib", "exit")
+                when in_lib ->
+                  add loc "stdout"
+                    "exit from library code; raise or return an error instead"
+              | Longident.Ldot (Longident.Lident "Printf", "printf") when in_lib
+                ->
+                  add loc "stdout"
+                    "Printf.printf writes to stdout from library code; use \
+                     sprintf or a formatter argument"
+              | Longident.Ldot (Longident.Lident "Format", "printf") when in_lib
+                ->
+                  add loc "stdout"
+                    "Format.printf writes to stdout from library code; take a \
+                     formatter argument"
+              | Longident.Ldot (Longident.Lident "Printexc", "print_backtrace")
+                when in_lib ->
+                  add loc "stdout"
+                    "Printexc.print_backtrace writes to an ambient channel \
+                     from library code"
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  List.rev !out
+
+(* --- per-file check ----------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let in_lib path =
+  (* normalised relative paths: lib/..., ./lib/..., /abs/.../lib/... *)
+  let rec has_lib_component = function
+    | [] -> false
+    | "lib" :: _ -> true
+    | _ :: rest -> has_lib_component rest
+  in
+  has_lib_component (String.split_on_char '/' path)
+
+let check_structure ~path ~allows structure =
+  let violations = ref [] in
+  let add loc rule message =
+    let line = line_of loc in
+    if not (suppressed allows ~rule ~line) then
+      violations := { file = path; line; rule; message } :: !violations
+  in
+  let lib = in_lib path in
+  (* Module-level [let compare] shadows later bare uses (e.g. Edge_id
+     defines its own compare, then uses it).  One positional pass. *)
+  let module_shadows = ref false in
+  let rec walk_structure str = List.iter walk_item str
+  and walk_item item =
+    match item.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            (match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt = "compare"; _ } -> ()
+            | _ -> check_binding vb.pvb_expr);
+            (* the body of [let compare] itself is still checked, with
+               bare-compare allowed inside (it may recurse) *)
+            (match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt = "compare"; _ } ->
+                check_binding ~shadow:true vb.pvb_expr;
+                module_shadows := true
+            | _ -> ()))
+          vbs
+    | Pstr_module { pmb_expr; _ } -> walk_module_expr pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> walk_module_expr mb.pmb_expr) mbs
+    | Pstr_eval (e, _) -> check_binding e
+    | Pstr_include { pincl_mod; _ } -> walk_module_expr pincl_mod
+    | _ -> ()
+  and walk_module_expr me =
+    match me.pmod_desc with
+    | Pmod_structure str -> walk_structure str
+    | Pmod_functor (_, body) -> walk_module_expr body
+    | Pmod_constraint (me, _) -> walk_module_expr me
+    | _ -> ()
+  and check_binding ?(shadow = false) expr =
+    let facts = analyze_binding expr in
+    if not facts.has_sort then
+      List.iter
+        (fun loc ->
+          add loc "unsorted-fold"
+            "Hashtbl fold/iter builds a list but the binding never sorts; \
+             hash order escapes — List.sort with a typed comparator before \
+             the result leaves this function")
+        facts.escapes;
+    let shadows = shadow || !module_shadows || facts.shadows_compare in
+    List.iter
+      (fun f -> add f.i_loc f.i_rule f.i_msg)
+      (ident_findings ~in_lib:lib ~module_shadows_compare:shadows expr)
+  in
+  walk_structure structure;
+  !violations
+
+let check_file path =
+  let source = read_file path in
+  let allows = scan_allows source in
+  let bad = allow_violations path allows in
+  if Filename.check_suffix path ".mli" then
+    (* Interfaces carry no expressions; parse to catch syntax rot. *)
+    match Pparse.parse_interface ~tool_name:"mailsys-lint" path with
+    | (_ : signature) -> bad
+    | exception exn ->
+        {
+          file = path;
+          line = 1;
+          rule = "parse-error";
+          message = Printexc.to_string exn;
+        }
+        :: bad
+  else
+    match Pparse.parse_implementation ~tool_name:"mailsys-lint" path with
+    | structure -> check_structure ~path ~allows structure @ bad
+    | exception exn ->
+        {
+          file = path;
+          line = 1;
+          rule = "parse-error";
+          message = Printexc.to_string exn;
+        }
+        :: bad
+
+(* --- directory walk + R5 ------------------------------------------------ *)
+
+let rec collect_sources path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if String.length entry > 0 && entry.[0] = '.' then acc
+           else if String.equal entry "_build" then acc
+           else collect_sources (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let missing_mli_violations files =
+  List.filter_map
+    (fun path ->
+      if
+        Filename.check_suffix path ".ml"
+        && in_lib path
+        && not (List.mem (path ^ "i") files)
+      then
+        let allows = scan_allows (read_file path) in
+        if file_suppressed allows ~rule:"missing-mli" then None
+        else
+          Some
+            {
+              file = path;
+              line = 1;
+              rule = "missing-mli";
+              message =
+                "library module has no .mli; every lib/ module must state \
+                 its interface";
+            }
+      else None)
+    files
+
+let check_paths paths =
+  let files = List.fold_left (fun acc p -> collect_sources p acc) [] paths in
+  let files = List.sort_uniq String.compare files in
+  let per_file = List.concat_map check_file files in
+  List.sort compare_violation (per_file @ missing_mli_violations files)

@@ -1,0 +1,24 @@
+(* mailsys.lint CLI: [mailsys.lint DIR...] — lint every .ml/.mli under
+   the given directories (default: lib bin), print one "file:line rule
+   message" per finding, exit 1 if any survive suppression. *)
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib"; "bin" ] | _ :: rest -> rest
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) args in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "mailsys.lint: no such path %s\n") missing;
+    exit 2
+  end;
+  let violations = Lint_core.check_paths args in
+  List.iter
+    (fun v -> Format.printf "%a@." Lint_core.pp_violation v)
+    violations;
+  match violations with
+  | [] ->
+      Printf.printf "mailsys.lint: clean (%s)\n" (String.concat " " args);
+      exit 0
+  | vs ->
+      Printf.eprintf "mailsys.lint: %d violation(s)\n" (List.length vs);
+      exit 1

@@ -6,11 +6,16 @@ type profile = { events : int; handler_seconds : float }
 
 type prof_cell = { mutable p_events : int; mutable p_seconds : float }
 
+type instrument = {
+  timer : unit -> float;
+  report : category:string -> seconds:float -> unit;
+}
+
 type t = {
   queue : event Heap.t;
   cancelled : (event_id, unit) Hashtbl.t;
   profiles : (string, prof_cell) Hashtbl.t;
-  mutable instrument : (category:string -> seconds:float -> unit) option;
+  mutable instrument : instrument option;
   mutable clock : float;
   mutable next_id : event_id;
   mutable executed : int;
@@ -48,7 +53,11 @@ let pending t =
   (* Cancelled events stay in the heap as tombstones until popped. *)
   Heap.length t.queue - Hashtbl.length t.cancelled
 
-let set_instrument t f = t.instrument <- Some f
+(* The engine itself never reads a wall clock: the instrument supplies
+   its own timer (the telemetry probe passes one), so deterministic sim
+   code stays free of ambient time sources. *)
+let set_instrument ?(timer = fun () -> 0.) t report =
+  t.instrument <- Some { timer; report }
 let clear_instrument t = t.instrument <- None
 
 let prof_cell t category =
@@ -73,14 +82,14 @@ let exec t time ev =
   cell.p_events <- cell.p_events + 1;
   match t.instrument with
   | None -> ev.action ()
-  | Some f ->
-      (* Wall-clock cost of the handler itself; virtual time never
-         advances inside one. *)
-      let t0 = Sys.time () in
+  | Some { timer; report } ->
+      (* Cost of the handler itself on the instrument's clock; virtual
+         time never advances inside one. *)
+      let t0 = timer () in
       ev.action ();
-      let dt = Sys.time () -. t0 in
+      let dt = timer () -. t0 in
       cell.p_seconds <- cell.p_seconds +. dt;
-      f ~category:ev.category ~seconds:dt
+      report ~category:ev.category ~seconds:dt
 
 (* Pop the next live event, discarding cancelled tombstones. *)
 let rec next_live t =

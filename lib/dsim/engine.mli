@@ -50,18 +50,25 @@ val events_executed : t -> int
 (** {1 Profiling}
 
     The engine counts executed events per category.  When an
-    instrumentation callback is installed it also measures the
-    wall-clock (CPU) time spent inside each handler — virtual time
-    never advances during one — and reports it after every event, so
-    a metrics registry can maintain live per-category tallies. *)
+    instrumentation callback is installed it also measures the time
+    spent inside each handler on the instrument's own clock — virtual
+    time never advances during one — and reports it after every event,
+    so a metrics registry can maintain live per-category tallies.
+
+    The engine never reads a wall clock itself: the caller supplies
+    [timer] (e.g. the telemetry probe passes [Sys.time]), keeping
+    deterministic simulation code free of ambient time sources. *)
 
 type profile = { events : int; handler_seconds : float }
-(** [handler_seconds] stays 0 until an instrument is installed. *)
+(** [handler_seconds] stays 0 until an instrument with a real [timer]
+    is installed. *)
 
-val set_instrument : t -> (category:string -> seconds:float -> unit) -> unit
+val set_instrument :
+  ?timer:(unit -> float) -> t -> (category:string -> seconds:float -> unit) -> unit
 (** Install the (single) instrumentation callback, replacing any
     previous one.  Called after each executed event with its category
-    and measured handler time. *)
+    and the handler time measured with [timer] (default: a zero clock,
+    so [seconds] is 0 unless a real timer is supplied). *)
 
 val clear_instrument : t -> unit
 

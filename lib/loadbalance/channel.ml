@@ -6,6 +6,9 @@ type link_stats = {
 
 let norm u v = if u < v then (u, v) else (v, u)
 
+let compare_link (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 let link_loads (problem : Assignment.problem) t ~traffic_per_user ~link_capacity =
   let loads = Hashtbl.create 32 in
   let add u v x =
@@ -37,7 +40,7 @@ let link_loads (problem : Assignment.problem) t ~traffic_per_user ~link_capacity
     (fun link traffic acc ->
       { link; traffic; utilisation = traffic /. link_capacity } :: acc)
     loads []
-  |> List.sort (fun a b -> compare a.link b.link)
+  |> List.sort (fun a b -> compare_link a.link b.link)
 
 let max_utilisation stats =
   List.fold_left (fun acc s -> Float.max acc s.utilisation) 0. stats

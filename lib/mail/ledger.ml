@@ -137,7 +137,7 @@ let check t =
               }
               :: !violations)
     t.entries;
-  let violations = List.sort (fun a b -> compare a.id b.id) !violations in
+  let violations = List.sort (fun a b -> Int.compare a.id b.id) !violations in
   {
     submitted = !submitted;
     delivered = !delivered;

@@ -469,6 +469,7 @@ let compact t keep_out =
   let dropped = ref 0 in
   let prune tbl id_of =
     let doomed =
+      (* lint: allow unsorted-fold — pure removal set over heterogeneous key types; deletion order cannot reach any observable state *)
       Hashtbl.fold (fun k _ acc -> if keep_out (id_of k) then k :: acc else acc) tbl []
     in
     List.iter

@@ -8,6 +8,8 @@
     ({!Scenario.drive}, {!Evaluation.of_system}); packing lives in
     {!System}. *)
 
+(* lint: allow missing-mli — interface-only module: it declares module types, and an .mli would have to repeat it verbatim *)
+
 module type S = sig
   type t
 

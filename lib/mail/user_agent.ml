@@ -41,7 +41,8 @@ let inbox_size t = List.length t.inbox
 
 let previously_unavailable t =
   Hashtbl.fold (fun s seq acc -> (seq, s) :: acc) t.pus []
-  |> List.sort compare |> List.map snd
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
 
 let last_checking_time t = t.last_checking
 
@@ -229,6 +230,7 @@ let seen_size t = Hashtbl.length t.seen
 let compact t prunable =
   let doomed =
     Hashtbl.fold (fun id () acc -> if prunable id then id :: acc else acc) t.seen []
+    |> List.sort Int.compare
   in
   List.iter (Hashtbl.remove t.seen) doomed;
   List.length doomed

@@ -154,13 +154,16 @@ let run ?(horizon = 1e9) ?(wake = `All) g =
           c.in_branch <- Some src;
           c.best_edge <- None;
           c.best_wt <- None;
-          Hashtbl.iter
-            (fun v st ->
-              if v <> src && st = Branch then begin
-                send c.id v (Initiate (l, f, s));
-                if s = Find then c.find_count <- c.find_count + 1
-              end)
-            c.se;
+          (* Propagate to branch neighbours in node order, not hash
+             order: sends schedule events, and equal-time ties break by
+             schedule sequence, so iteration order is observable. *)
+          Hashtbl.fold
+            (fun v st acc -> if v <> src && st = Branch then v :: acc else acc)
+            c.se []
+          |> List.sort Int.compare
+          |> List.iter (fun v ->
+                 send c.id v (Initiate (l, f, s));
+                 if s = Find then c.find_count <- c.find_count + 1);
           if s = Find then test_procedure c
       | Test (l, f) ->
           if c.sn = Sleeping then wakeup c;

@@ -51,7 +51,9 @@ let compare a b =
       | c -> c)
   | c -> c
 
-let hash n = Hashtbl.hash (n.region, n.host, n.user)
+(* Typed, seed-independent mix of the three string hashes. *)
+let hash n =
+  (((String.hash n.region * 31) + String.hash n.host) * 31) + String.hash n.user
 
 let pp ppf n = Format.pp_print_string ppf (to_string n)
 

@@ -33,7 +33,8 @@ let availability ~outages ~node ~horizon =
       List.filter (fun o -> o.node = node) outages
       |> List.map (fun o -> (o.start, Float.min horizon (o.start +. o.duration)))
       |> List.filter (fun (s, e) -> s < horizon && e > s)
-      |> List.sort compare
+      |> List.sort (fun (s1, e1) (s2, e2) ->
+             match Float.compare s1 s2 with 0 -> Float.compare e1 e2 | c -> c)
     in
     (* Merge overlapping intervals and total the downtime. *)
     let rec merge acc = function

@@ -93,7 +93,11 @@ let edges g =
          List.filter_map
            (fun (v, w) -> if u < v then Some (u, v, w) else None)
            !(adj g u))
-  |> List.sort compare
+  |> List.sort (fun (u1, v1, w1) (u2, v2, w2) ->
+         match Int.compare u1 u2 with
+         | 0 -> (
+             match Int.compare v1 v2 with 0 -> Float.compare w1 w2 | c -> c)
+         | c -> c)
 
 let total_weight g = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. (edges g)
 

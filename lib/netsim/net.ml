@@ -127,7 +127,10 @@ let set_link_up t u v =
     notify_link t u v true
   end
 
-let links_down t = Hashtbl.fold (fun k () acc -> k :: acc) t.link_down []
+let links_down t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.link_down []
+  |> List.sort (fun (u1, v1) (u2, v2) ->
+         match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
 
 let tree t src =
   check_node t src;

@@ -5,7 +5,12 @@ val attach_engine : Registry.t -> Dsim.Engine.t -> unit
     maintains, live, a counter [engine_events{category=...}] per event
     category and a cumulative gauge [engine_handler_seconds] of
     wall-clock time spent inside handlers.  Replaces any previously
-    installed instrument. *)
+    installed instrument.
+
+    This is the only place the repository reads a wall clock: the probe
+    supplies the engine's instrument timer, and the gauge it feeds is
+    marked volatile ({!Registry.mark_volatile}) so it never appears in
+    deterministic JSON artifacts. *)
 
 val sync_engine_profile : Registry.t -> Dsim.Engine.t -> unit
 (** Copy the engine's own per-category tallies into the registry

@@ -35,10 +35,21 @@ type key = string * labels
 type t = {
   base : labels;
   tbl : (key, metric) Hashtbl.t;
+  (* Metric names whose values are wall-clock (or otherwise not
+     reproducible run-to-run); excluded from JSON artifacts by default
+     so BENCH.json stays byte-identical across identical seeds. *)
+  volatile : (string, unit) Hashtbl.t;
 }
 
 let create ?(labels = []) () =
-  { base = normalise_labels labels; tbl = Hashtbl.create 32 }
+  {
+    base = normalise_labels labels;
+    tbl = Hashtbl.create 32;
+    volatile = Hashtbl.create 4;
+  }
+
+let mark_volatile t name = Hashtbl.replace t.volatile name ()
+let is_volatile t name = Hashtbl.mem t.volatile name
 
 let base_labels t = t.base
 
@@ -151,11 +162,30 @@ let full_labels t labels =
   labels @ List.filter (fun (k, _) -> not (List.mem k own_keys)) t.base
   |> normalise_labels
 
+let compare_label (k1, v1) (k2, v2) =
+  match String.compare k1 k2 with 0 -> String.compare v1 v2 | c -> c
+
+let rec compare_labels a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys -> (
+      match compare_label x y with 0 -> compare_labels xs ys | c -> c)
+
+(* Bindings in deterministic (name, labels) order — hash order must not
+   influence merge results (gauge last-write-wins, reservoir insertion)
+   or serialisation. *)
+let sorted_bindings t =
+  Hashtbl.fold (fun key m acc -> (key, m) :: acc) t.tbl []
+  |> List.sort (fun ((n1, l1), _) ((n2, l2), _) ->
+         match String.compare n1 n2 with 0 -> compare_labels l1 l2 | c -> c)
+
 let merge a b =
   let out = create () in
   let absorb src =
-    Hashtbl.iter
-      (fun (name, labels) m ->
+    List.iter
+      (fun ((name, labels), m) ->
         let labels = full_labels src labels in
         match m with
         | C c ->
@@ -177,7 +207,8 @@ let merge a b =
               (Dsim.Stats.Reservoir.add tgt.reservoir)
               (Dsim.Stats.Reservoir.values h.reservoir);
             tgt.summary <- Dsim.Stats.Summary.merge tgt.summary h.summary)
-      src.tbl
+      (sorted_bindings src);
+    Hashtbl.iter (fun name () -> mark_volatile out name) src.volatile
   in
   absorb a;
   absorb b;
@@ -188,14 +219,14 @@ let merge a b =
 let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
 
 let sorted_metrics t =
-  Hashtbl.fold (fun (name, labels) m acc -> (name, labels, m) :: acc) t.tbl []
-  |> List.sort (fun (n1, l1, _) (n2, l2, _) ->
-         match String.compare n1 n2 with 0 -> compare l1 l2 | c -> c)
+  List.map (fun ((name, labels), m) -> (name, labels, m)) (sorted_bindings t)
 
-let to_json t =
+let to_json ?(include_volatile = false) t =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter
     (fun (name, labels, m) ->
+      if not include_volatile && is_volatile t name then ()
+      else
       let common = [ ("name", Json.String name); ("labels", labels_json labels) ] in
       match m with
       | C c -> counters := Json.Obj (common @ [ ("value", Json.Int c.c) ]) :: !counters

@@ -100,6 +100,15 @@ val hist_underflow : histogram -> int
 val metric_names : t -> string list
 (** Sorted, distinct metric names (label sets collapsed). *)
 
+val mark_volatile : t -> string -> unit
+(** Mark a metric name as volatile: its values are wall-clock or
+    otherwise not reproducible run-to-run (e.g. the probe's
+    [engine_handler_seconds]).  Volatile metrics are excluded from
+    {!to_json} by default so JSON artifacts diff byte-identical across
+    identical seeds; {!pp} still shows them. *)
+
+val is_volatile : t -> string -> bool
+
 val merge : t -> t -> t
 (** Combine two registries into a fresh one: counters add, histograms
     merge observation-wise, and for a gauge present in both the right
@@ -107,8 +116,9 @@ val merge : t -> t -> t
     labels are folded in, and the result has no base labels.
     @raise Invalid_argument on histogram bucket-layout mismatch. *)
 
-val to_json : t -> Json.t
-(** Stable shape:
+val to_json : ?include_volatile:bool -> t -> Json.t
+(** Volatile metrics (see {!mark_volatile}) are omitted unless
+    [include_volatile] is set.  Stable shape:
     [{"labels": {...},
       "counters": [{"name","labels","value"} ...],
       "gauges":   [{"name","labels","value"} ...],

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Double-run reproducibility harness.
+#
+# Runs the fault campaign (mailsim faults -> LEDGER.json) and the
+# benchmark snapshot (bench -> BENCH.json + TRACE.jsonl) twice, each
+# under OCAMLRUNPARAM=R (randomized Hashtbl seeds), and fails unless
+# every artifact is byte-identical between the two runs.  Randomized
+# hashing makes any Hashtbl-iteration-order leak visible immediately;
+# the companion static pass is `dune exec mailsys.lint -- lib bin`.
+#
+# Usage: scripts/check_determinism.sh   (from the repository root)
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$ROOT"
+
+dune build @all bin/lint >/dev/null
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/mailsys-determinism.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+one_run() {
+  dir="$1"
+  mkdir -p "$dir"
+  (
+    cd "$dir"
+    OCAMLRUNPARAM=R dune exec --root "$ROOT" bin/mailsim.exe -- \
+      faults --seed 1 --ledger-out LEDGER.json >faults.txt
+    OCAMLRUNPARAM=R dune exec --root "$ROOT" bench/main.exe -- \
+      --skip-micro >bench.txt
+  )
+}
+
+echo "determinism: run 1 (OCAMLRUNPARAM=R)"
+one_run "$WORK/run1"
+echo "determinism: run 2 (OCAMLRUNPARAM=R)"
+one_run "$WORK/run2"
+
+status=0
+for artifact in BENCH.json TRACE.jsonl LEDGER.json; do
+  if cmp -s "$WORK/run1/$artifact" "$WORK/run2/$artifact"; then
+    echo "determinism: $artifact byte-identical"
+  else
+    echo "determinism: FAIL — $artifact differs between identical seeded runs" >&2
+    cmp "$WORK/run1/$artifact" "$WORK/run2/$artifact" >&2 || true
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "determinism: OK (BENCH.json, TRACE.jsonl, LEDGER.json stable under randomized hash seeds)"
+fi
+exit "$status"

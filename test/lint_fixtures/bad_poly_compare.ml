@@ -1,0 +1,6 @@
+(* Fixture: R2 poly-compare — bare polymorphic compare and
+   Hashtbl.hash. *)
+
+let sorted xs = List.sort compare xs
+
+let bucket x = Hashtbl.hash x mod 16

@@ -1,0 +1,8 @@
+(* Fixture: bad-suppression — a reason-less allow and an unknown rule
+   are themselves findings. *)
+
+(* lint: allow wall-clock *)
+let elapsed () = Sys.time ()
+
+(* lint: allow warp-core — not a rule this linter knows *)
+let nothing = ()

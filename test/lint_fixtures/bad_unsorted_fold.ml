@@ -1,0 +1,4 @@
+(* Fixture: R1 unsorted-fold — the fold conses a list that escapes the
+   binding without a sort, so Hashtbl iteration order leaks. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

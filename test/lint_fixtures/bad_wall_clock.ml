@@ -1,0 +1,7 @@
+(* Fixture: R3 wall-clock — ambient time and global entropy. *)
+
+let elapsed () = Sys.time ()
+
+let stamp () = Unix.gettimeofday ()
+
+let jitter () = Random.float 1.0

@@ -1,0 +1,8 @@
+(* lint: allow missing-mli — fixture file; R4 is what is under test *)
+(* Fixture: R4 stdout — ambient output channels from library code. *)
+
+let shout () = print_endline "loud"
+
+let format_shout n = Printf.printf "%d\n" n
+
+let bail () = exit 1

@@ -1,0 +1,3 @@
+(* Fixture: R5 missing-mli — a library module without an .mli. *)
+
+let triple x = 3 * x

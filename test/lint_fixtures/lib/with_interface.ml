@@ -1,0 +1,3 @@
+(* Fixture: R5 pass — a library module with a matching .mli. *)
+
+let double x = 2 * x

@@ -1,0 +1,3 @@
+(** Fixture interface for {!With_interface}. *)
+
+val double : int -> int

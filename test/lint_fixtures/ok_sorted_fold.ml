@@ -1,0 +1,9 @@
+(* Fixture: R1 pass — the same fold, but the binding sorts the result
+   with a typed comparator before it escapes. *)
+
+let keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+(* Folds that merely aggregate (no cons in the callback) are order-safe
+   and must not be flagged. *)
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

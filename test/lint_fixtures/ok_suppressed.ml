@@ -1,0 +1,10 @@
+(* Fixture: suppression — an audited allow comment on the preceding or
+   same line silences the finding. *)
+
+(* lint: allow wall-clock — fixture exercising the suppression path *)
+let elapsed () = Sys.time ()
+
+let stamp () = Unix.gettimeofday () (* lint: allow wall-clock — same-line form *)
+
+(* Seeded explicit state is fine without any suppression. *)
+let draw st = Random.State.float st 1.0
