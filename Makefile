@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples clean doc lint determinism
+.PHONY: all build test bench bench-scale bench-scale-quick examples clean doc lint determinism
 
 all: build
 
@@ -16,6 +16,15 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --skip-micro
+
+# Large-scale throughput benchmark: >= 50k messages through the syntax
+# system under the standard fault campaign; writes the `scale` section
+# of BENCH.json (see docs/PERF.md).
+bench-scale:
+	dune exec bench/main.exe -- --scale-only
+
+bench-scale-quick:
+	dune exec bench/main.exe -- --scale-only --scale-quick
 
 lint:
 	dune build bin/lint

@@ -739,10 +739,128 @@ let experiment_c16 () =
     [ 0.0; 0.05; 0.15; 0.3; 0.5 ]
 
 (* ------------------------------------------------------------------ *)
+(* SCALE: large-topology throughput under the standard fault campaign. *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense multi-region internetwork: 6 regions x (8 hosts + 3 servers +
+   2 gateways), average degree 10 — dense enough that a single link
+   cut sits on few shortest-path trees, which is what scoped
+   invalidation exploits. *)
+let scale_topology =
+  ( 6, 8, 3, 2, 10.0 )
+
+let scale_site () =
+  let regions, hosts_per_region, servers_per_region, gateways_per_region, degree =
+    scale_topology
+  in
+  let rng = Dsim.Rng.create 4242 in
+  let spec =
+    Netsim.Topology.sized_hierarchy ~regions ~hosts_per_region ~servers_per_region
+      ~gateways_per_region ~degree ()
+  in
+  Netsim.Topology.scale_site ~rng spec
+
+let experiment_scale ~quick ~stable () =
+  section
+    (Printf.sprintf "SCALE: %s-message throughput under the standard fault campaign"
+       (if quick then "5k" else "50k"));
+  let site = scale_site () in
+  let g = site.Netsim.Topology.graph in
+  let mail_count = if quick then 5_000 else 50_000 in
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 13;
+      duration = 5000.;
+      mail_count;
+      check_period = 250.;
+      faults = Some Netsim.Fault.standard;
+    }
+  in
+  (* Wall-clock timing is the one quantity a deterministic simulation
+     cannot make reproducible; [--stable] zeroes the derived fields so
+     the double-run determinism harness can byte-compare BENCH.json. *)
+  let t0 = Unix.gettimeofday () in
+  let o = Mail.Scenario.run_syntax site spec in
+  let wall = Unix.gettimeofday () -. t0 in
+  let metrics = o.Mail.Scenario.metrics in
+  let counter = Telemetry.Registry.get_counter metrics in
+  let recomputes = counter "route_tree_recompute" in
+  let hits = counter "route_cache_hit" in
+  let invalidations = counter "route_invalidation" in
+  let events = o.Mail.Scenario.engine_events in
+  let wall_s = if stable then 0. else wall in
+  let per_wall v = if stable || wall <= 0. then 0. else float_of_int v /. wall in
+  let hit_rate =
+    if hits + recomputes = 0 then 0.
+    else float_of_int hits /. float_of_int (hits + recomputes)
+  in
+  let regions, hosts_per_region, servers_per_region, gateways_per_region, degree =
+    scale_topology
+  in
+  Printf.printf "topology: %d nodes, %d edges (%d regions, degree %.1f), %d users\n"
+    (Netsim.Graph.node_count g) (Netsim.Graph.edge_count g) regions degree
+    (List.length site.Netsim.Topology.hosts
+    * Mail.Syntax_system.default_config.Mail.Syntax_system.users_per_host);
+  Printf.printf "campaign: %s\n" (Netsim.Fault.to_string Netsim.Fault.standard);
+  Printf.printf "messages: %d  engine events: %d  virtual time: %.0f\n" mail_count
+    events spec.Mail.Scenario.duration;
+  if not stable then
+    Printf.printf "wall: %.2fs  events/sec: %.0f  messages/sec: %.0f\n" wall
+      (per_wall events) (per_wall mail_count);
+  Printf.printf
+    "route cache: %d recomputes, %d hits (%.4f hit rate), %d invalidations\n"
+    recomputes hits hit_rate invalidations;
+  Printf.printf "availability %.3f  undelivered %d  unretrieved %d  "
+    o.Mail.Scenario.availability o.Mail.Scenario.report.Mail.Evaluation.undelivered
+    o.Mail.Scenario.report.Mail.Evaluation.unretrieved;
+  Format.printf "%a@." Mail.Ledger.pp_verdict o.Mail.Scenario.ledger;
+  assert o.Mail.Scenario.ledger.Mail.Ledger.ok;
+  Telemetry.Json.Obj
+    [
+      ( "topology",
+        Telemetry.Json.Obj
+          [
+            ("regions", Telemetry.Json.Int regions);
+            ("hosts_per_region", Telemetry.Json.Int hosts_per_region);
+            ("servers_per_region", Telemetry.Json.Int servers_per_region);
+            ("gateways_per_region", Telemetry.Json.Int gateways_per_region);
+            ("degree", Telemetry.Json.Float degree);
+            ("nodes", Telemetry.Json.Int (Netsim.Graph.node_count g));
+            ("edges", Telemetry.Json.Int (Netsim.Graph.edge_count g));
+          ] );
+      ("campaign", Telemetry.Json.String (Netsim.Fault.to_string Netsim.Fault.standard));
+      ("quick", Telemetry.Json.Bool quick);
+      ("messages", Telemetry.Json.Int mail_count);
+      ("virtual_duration", Telemetry.Json.Float spec.Mail.Scenario.duration);
+      ("engine_events", Telemetry.Json.Int events);
+      ("wall_seconds", Telemetry.Json.Float wall_s);
+      ("events_per_sec", Telemetry.Json.Float (per_wall events));
+      ("messages_per_sec", Telemetry.Json.Float (per_wall mail_count));
+      ( "route",
+        Telemetry.Json.Obj
+          [
+            ("recomputes", Telemetry.Json.Int recomputes);
+            ("cache_hits", Telemetry.Json.Int hits);
+            ("invalidations", Telemetry.Json.Int invalidations);
+            ("hit_rate", Telemetry.Json.Float hit_rate);
+          ] );
+      ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
+      ( "undelivered",
+        Telemetry.Json.Int o.Mail.Scenario.report.Mail.Evaluation.undelivered );
+      ( "unretrieved",
+        Telemetry.Json.Int o.Mail.Scenario.report.Mail.Evaluation.unretrieved );
+      ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
+      ( "critical_path",
+        Telemetry.Critical_path.to_json
+          (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* BENCH.json: machine-readable telemetry for the three designs.       *)
 (* ------------------------------------------------------------------ *)
 
-let dump_bench_json () =
+let dump_bench_json ~scale () =
   section "BENCH.json: telemetry snapshot (one run per design)";
   (* One representative run per design on the same site and workload,
      with the service model and failures on so queue-wait and latency
@@ -780,9 +898,7 @@ let dump_bench_json () =
   (* One deterministic fault campaign per design: crashes, link cuts, a
      region partition and a correlated burst, with the §3.1.2c ledger
      verdict recorded next to the availability it cost. *)
-  let campaign =
-    Netsim.Fault.parse "seed:5,crash:0.002/150,link:0.0008,partition:r1@1500+600,burst:0.25"
-  in
+  let campaign = Netsim.Fault.standard in
   let fault_spec = { spec with failure_rate = 0.; faults = Some campaign } in
   let fault_runs =
     [
@@ -796,7 +912,8 @@ let dump_bench_json () =
   let json =
     Telemetry.Json.Obj
       [
-        ("schema", Telemetry.Json.String "mailsys.bench/3");
+        ("schema", Telemetry.Json.String "mailsys.bench/4");
+        ("scale", scale);
         ( "designs",
           Telemetry.Json.Obj
             (List.map
@@ -985,27 +1102,48 @@ let micro_benchmarks () =
     tests
 
 let () =
-  let skip_micro = Array.exists (String.equal "--skip-micro") Sys.argv in
-  table_t1_t2 ();
-  table_t3 ();
-  figure_f1 ();
-  figure_f2 ();
-  experiment_c1 ();
-  experiment_c2 ();
-  experiment_c3 ();
-  experiment_c4 ();
-  experiment_c5 ();
-  experiment_c6 ();
-  experiment_c7 ();
-  experiment_c8 ();
-  experiment_c9 ();
-  experiment_c10 ();
-  experiment_c11 ();
-  experiment_c12 ();
-  experiment_c13 ();
-  experiment_c14 ();
-  experiment_c15 ();
-  experiment_c16 ();
-  dump_bench_json ();
-  if not skip_micro then micro_benchmarks ();
+  let flag name = Array.exists (String.equal name) Sys.argv in
+  let skip_micro = flag "--skip-micro" in
+  let scale_only = flag "--scale-only" in
+  let quick = flag "--scale-quick" in
+  let stable = flag "--stable" in
+  if scale_only then begin
+    (* Just the scale benchmark, writing a BENCH.json holding only the
+       schema tag and the scale section — the `make bench-scale` path. *)
+    let scale = experiment_scale ~quick ~stable () in
+    let json =
+      Telemetry.Json.Obj
+        [ ("schema", Telemetry.Json.String "mailsys.bench/4"); ("scale", scale) ]
+    in
+    let oc = open_out "BENCH.json" in
+    output_string oc (Telemetry.Json.to_string ~indent:2 json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote BENCH.json (scale section only)\n"
+  end
+  else begin
+    table_t1_t2 ();
+    table_t3 ();
+    figure_f1 ();
+    figure_f2 ();
+    experiment_c1 ();
+    experiment_c2 ();
+    experiment_c3 ();
+    experiment_c4 ();
+    experiment_c5 ();
+    experiment_c6 ();
+    experiment_c7 ();
+    experiment_c8 ();
+    experiment_c9 ();
+    experiment_c10 ();
+    experiment_c11 ();
+    experiment_c12 ();
+    experiment_c13 ();
+    experiment_c14 ();
+    experiment_c15 ();
+    experiment_c16 ();
+    let scale = experiment_scale ~quick ~stable () in
+    dump_bench_json ~scale ();
+    if not skip_micro then micro_benchmarks ()
+  end;
   Printf.printf "\nall experiments complete.\n"

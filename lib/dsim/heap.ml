@@ -4,9 +4,14 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  capacity : int;  (* backing-array size applied at the first push *)
 }
 
-let create ?capacity:(_ = 64) () = { data = [||]; size = 0; next_seq = 0 }
+(* The backing array cannot be allocated before a first value of ['a]
+   exists, so the capacity hint is held until then. *)
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Heap.create: capacity must be positive";
+  { data = [||]; size = 0; next_seq = 0; capacity }
 
 let length h = h.size
 let is_empty h = h.size = 0
@@ -48,7 +53,7 @@ let push h prio value =
   if Float.is_nan prio then invalid_arg "Heap.push: NaN priority";
   let entry = { prio; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 8 entry;
+  if Array.length h.data = 0 then h.data <- Array.make h.capacity entry;
   if h.size = Array.length h.data then grow h;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;

@@ -10,7 +10,11 @@ type 'a t
 
 val create : ?capacity:int -> unit -> 'a t
 (** [create ()] is an empty heap.  [capacity] pre-sizes the backing
-    array (default 64); the heap grows automatically. *)
+    array (default 64) so a heap that will hold many entries — e.g. an
+    engine queue with a whole workload scheduled up front — skips the
+    doubling regrowths; the heap still grows automatically past the
+    hint.  The array is allocated lazily at the first {!push}.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val length : 'a t -> int
 (** Number of entries currently stored. *)

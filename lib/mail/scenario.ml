@@ -31,6 +31,7 @@ type outcome = {
   final_polls_per_check : float;
   inbox_total : int;
   ledger : Ledger.verdict;
+  engine_events : int;
   metrics : Telemetry.Registry.t;
   tracer : Telemetry.Tracer.t;
   events : Dsim.Trace.t;
@@ -224,6 +225,7 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
     final_polls_per_check = report.Evaluation.polls_per_check;
     inbox_total;
     ledger = ledger_verdict;
+    engine_events = Dsim.Engine.events_executed engine;
     metrics;
     tracer = M.tracer sys;
     events = M.trace sys;

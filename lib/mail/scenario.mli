@@ -46,6 +46,10 @@ type outcome = {
           undeliverable — never dropped, never duplicated.  Also
           exported as the gauges [ledger_ok], [ledger_lost] and
           [ledger_duplicates]. *)
+  engine_events : int;
+      (** simulation events executed over the whole run including the
+          final drain — the virtual-work denominator the throughput
+          benchmark divides wall time by. *)
   metrics : Telemetry.Registry.t;
       (** the run's full metric registry, snapshotted after the final
           drain ({!System.snapshot_metrics} plus the scenario gauges

@@ -133,6 +133,15 @@ let snapshot_metrics (type a) (module M : S with type t = a) (sys : a) =
   set "messages_delivered" (float_of_int (Netsim.Net.messages_delivered net));
   set "messages_dropped" (float_of_int (Netsim.Net.messages_dropped net));
   set "link_hops" (float_of_int (Netsim.Net.hops_traversed net));
+  (* Route-cache observables: each recompute is one full Dijkstra run,
+     each hit a query the cache absorbed — the pair quantifies what
+     scoped invalidation saves under a fault campaign. *)
+  Telemetry.Registry.set_counter reg "route_tree_recompute"
+    (Netsim.Net.route_recomputes net);
+  Telemetry.Registry.set_counter reg "route_cache_hit"
+    (Netsim.Net.route_cache_hits net);
+  Telemetry.Registry.set_counter reg "route_invalidation"
+    (Netsim.Net.route_invalidations net);
   let storage =
     List.fold_left
       (fun acc node -> acc + Server.storage_bytes (M.server sys node))

@@ -57,8 +57,10 @@ val snapshot_metrics : (module S with type t = 'a) -> 'a -> unit
     ["end_to_end_latency"] histograms from the submitted messages,
     refresh the network/storage gauges ([messages_sent],
     [messages_delivered], [messages_dropped], [link_hops],
-    [storage_bytes]) and the engine profile.  Idempotent — safe to
-    call repeatedly as a run progresses. *)
+    [storage_bytes]), the route-cache counters
+    ([route_tree_recompute], [route_cache_hit], [route_invalidation])
+    and the engine profile.  Idempotent — safe to call repeatedly as a
+    run progresses. *)
 
 val snapshot : t -> unit
 (** {!snapshot_metrics} on a packed system. *)

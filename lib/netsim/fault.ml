@@ -266,3 +266,5 @@ let to_string c =
   String.concat "," items
 
 let pp ppf c = Format.pp_print_string ppf (to_string c)
+
+let standard = parse "seed:5,crash:0.002/150,link:0.0008,partition:r1@1500+600,burst:0.25"

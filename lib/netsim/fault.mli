@@ -110,4 +110,12 @@ val parse : string -> campaign
 val to_string : campaign -> string
 (** Inverse of {!parse} (up to item order and float formatting). *)
 
+val standard : campaign
+(** The campaign the benchmark and fault experiments share:
+    [seed:5,crash:0.002/150,link:0.0008,partition:r1@1500+600,burst:0.25]
+    — background server crashes with exponential repair, a link-cut
+    process, one regional partition window and a crash burst.  Defined
+    once so "under the standard fault campaign" means the same thing
+    everywhere. *)
+
 val pp : Format.formatter -> campaign -> unit

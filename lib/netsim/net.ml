@@ -1,5 +1,17 @@
 type 'msg handler = time:float -> src:Graph.node -> 'msg -> unit
 
+type invalidation = Full | Scoped
+
+(* One cached routing state per source: the Dijkstra tree, a derived
+   next-hop table for O(1) first-hop queries, and the exact set of
+   links the tree routes over — the dependency record that lets a link
+   flip invalidate only the sources it can actually affect. *)
+type route = {
+  tree : Shortest_path.tree;
+  next_hop : Graph.node array;
+  links : (Graph.node * Graph.node) list;
+}
+
 type 'msg t = {
   graph : Graph.t;
   engine : Dsim.Engine.t;
@@ -12,7 +24,13 @@ type 'msg t = {
   link_down : (Graph.node * Graph.node, unit) Hashtbl.t;  (* key normalised u <= v *)
   handlers : 'msg handler array;
   mutable listeners : (time:float -> Graph.node -> bool -> unit) list;
-  trees : Shortest_path.tree option array;  (* Dijkstra cache per source *)
+  routes : route option array;  (* Dijkstra cache per source *)
+  deps : (Graph.node * Graph.node, (Graph.node, unit) Hashtbl.t) Hashtbl.t;
+      (* link -> sources whose cached tree routes over it *)
+  invalidation : invalidation;
+  mutable route_recomputes : int;
+  mutable route_cache_hits : int;
+  mutable route_invalidations : int;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -22,7 +40,7 @@ type 'msg t = {
 let default_handler ~time:_ ~src:_ _ = ()
 
 let create ~engine ?trace ?(bandwidth = infinity) ?(loss_rate = 0.) ?(loss_seed = 0)
-    graph =
+    ?(invalidation = Scoped) graph =
   if bandwidth <= 0. then invalid_arg "Net.create: bandwidth must be positive";
   if loss_rate < 0. || loss_rate >= 1. then
     invalid_arg "Net.create: loss_rate outside [0, 1)";
@@ -39,7 +57,12 @@ let create ~engine ?trace ?(bandwidth = infinity) ?(loss_rate = 0.) ?(loss_seed 
     link_down = Hashtbl.create 16;
     handlers = Array.make n default_handler;
     listeners = [];
-    trees = Array.make n None;
+    routes = Array.make n None;
+    deps = Hashtbl.create 64;
+    invalidation;
+    route_recomputes = 0;
+    route_cache_hits = 0;
+    route_invalidations = 0;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -99,7 +122,96 @@ let check_link t u v =
 
 let link_is_up t u v = not (Hashtbl.mem t.link_down (norm_link u v))
 
-let invalidate_trees t = Array.fill t.trees 0 (Array.length t.trees) None
+(* --- Route cache with dependency-tracked invalidation.
+
+   Each cached tree registers the links it routes over in [deps], so a
+   link cut drops only the trees that cross it and a link restore
+   drops only the trees the restored edge could improve.  The cached
+   answers therefore stay byte-identical (distances, predecessors,
+   tie-breaks) to a fresh full Dijkstra against the current outage
+   set; the oracle property test in test/determinism asserts exactly
+   that. --- *)
+
+let dep_set t key =
+  match Hashtbl.find_opt t.deps key with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.deps key s;
+      s
+
+let register_route t src links =
+  List.iter (fun key -> Hashtbl.replace (dep_set t key) src ()) links
+
+let unregister_route t src links =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.deps key with
+      | Some s ->
+          Hashtbl.remove s src;
+          if Hashtbl.length s = 0 then Hashtbl.remove t.deps key
+      | None -> ())
+    links
+
+let drop_route t src =
+  match t.routes.(src) with
+  | None -> ()
+  | Some r ->
+      t.route_invalidations <- t.route_invalidations + 1;
+      unregister_route t src r.links;
+      t.routes.(src) <- None
+
+let invalidate_all t =
+  Array.iteri (fun src _ -> drop_route t src) t.routes
+
+(* Sources whose cached tree routes over [key], in ascending id order
+   (sorted so nothing depends on hash order). *)
+let dependents t key =
+  match Hashtbl.find_opt t.deps key with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun src () acc -> src :: acc) s [] |> List.sort Int.compare
+
+(* Can restoring edge (u, v) of weight [w] change this tree?  With the
+   edge absent the cached distances are exact, so it matters only when
+   it strictly shortens a path through either endpoint — or ties one
+   while offering a smaller predecessor id, which would flip the
+   deterministic tie-break a fresh Dijkstra applies. *)
+let restored_edge_matters r u v w =
+  let dist = r.tree.Shortest_path.dist and prev = r.tree.Shortest_path.prev in
+  let du = dist.(u) and dv = dist.(v) in
+  du +. w < dv
+  || dv +. w < du
+  || (du +. w = dv && prev.(v) >= 0 && u < prev.(v))
+  || (dv +. w = du && prev.(u) >= 0 && v < prev.(u))
+
+let route t src =
+  check_node t src;
+  match t.routes.(src) with
+  | Some r ->
+      t.route_cache_hits <- t.route_cache_hits + 1;
+      r
+  | None ->
+      t.route_recomputes <- t.route_recomputes + 1;
+      let tree =
+        if Hashtbl.length t.link_down = 0 then Shortest_path.dijkstra t.graph src
+        else Shortest_path.dijkstra ~usable:(fun u v -> link_is_up t u v) t.graph src
+      in
+      let r =
+        {
+          tree;
+          next_hop = Shortest_path.first_hops tree;
+          links = Shortest_path.tree_links tree;
+        }
+      in
+      register_route t src r.links;
+      t.routes.(src) <- Some r;
+      r
+
+let tree t src = (route t src).tree
+
+let route_recomputes t = t.route_recomputes
+let route_cache_hits t = t.route_cache_hits
+let route_invalidations t = t.route_invalidations
 
 let notify_link t u v status =
   match t.trace with
@@ -114,7 +226,9 @@ let set_link_down t u v =
   let key = norm_link u v in
   if not (Hashtbl.mem t.link_down key) then begin
     Hashtbl.replace t.link_down key ();
-    invalidate_trees t;
+    (match t.invalidation with
+    | Full -> invalidate_all t
+    | Scoped -> List.iter (drop_route t) (dependents t key));
     notify_link t u v false
   end
 
@@ -123,7 +237,16 @@ let set_link_up t u v =
   let key = norm_link u v in
   if Hashtbl.mem t.link_down key then begin
     Hashtbl.remove t.link_down key;
-    invalidate_trees t;
+    (match t.invalidation with
+    | Full -> invalidate_all t
+    | Scoped ->
+        let w = match Graph.weight t.graph u v with Some w -> w | None -> 0. in
+        Array.iteri
+          (fun src cached ->
+            match cached with
+            | Some r when restored_edge_matters r u v w -> drop_route t src
+            | Some _ | None -> ())
+          t.routes);
     notify_link t u v true
   end
 
@@ -132,24 +255,17 @@ let links_down t =
   |> List.sort (fun (u1, v1) (u2, v2) ->
          match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
 
-let tree t src =
-  check_node t src;
-  match t.trees.(src) with
-  | Some tr -> tr
-  | None ->
-      let tr =
-        if Hashtbl.length t.link_down = 0 then Shortest_path.dijkstra t.graph src
-        else Shortest_path.dijkstra ~usable:(fun u v -> link_is_up t u v) t.graph src
-      in
-      t.trees.(src) <- Some tr;
-      tr
-
 let distance t u v =
   check_node t v;
   Shortest_path.distance (tree t u) v
 
 let hops t u v =
   match Shortest_path.hop_count (tree t u) v with Some h -> h | None -> -1
+
+let first_hop t ~src ~dst =
+  check_node t dst;
+  let r = route t src in
+  match r.next_hop.(dst) with -1 -> None | hop -> Some hop
 
 let deliver t ~src ~dst ~hop_count msg () =
   if t.up.(dst) then begin
@@ -174,37 +290,47 @@ let send ?(bytes = 0) t ~src ~dst msg =
     t.dropped <- t.dropped + 1;
     false
   end
-  else
-    match Shortest_path.path (tree t src) dst with
-    | None ->
+  else begin
+    let r = route t src in
+    let dist = r.tree.Shortest_path.dist in
+    if not (Float.is_finite dist.(dst)) then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      (* One walk up the predecessor chain counts the hops and checks
+         that every intermediate relay is up right now — no path list,
+         no filter/exists/length traversals. *)
+      let prev = r.tree.Shortest_path.prev in
+      let rec walk v hop_count relays_up =
+        if v = src then (hop_count, relays_up)
+        else
+          let p = prev.(v) in
+          walk p (hop_count + 1) (relays_up && (p = src || t.up.(p)))
+      in
+      let hop_count, relays_up = if dst = src then (0, true) else walk dst 0 true in
+      if not relays_up then begin
         t.dropped <- t.dropped + 1;
         false
-    | Some path ->
-        (* Intermediate relays must be up now for the route to hold. *)
-        let relays =
-          match path with [] | [ _ ] -> [] | _ :: rest -> List.filter (fun v -> v <> dst) rest
-        in
-        if List.exists (fun v -> not t.up.(v)) relays then begin
-          t.dropped <- t.dropped + 1;
-          false
+      end
+      else begin
+        t.sent <- t.sent + 1;
+        if vanishes t then begin
+          t.lost <- t.lost + 1;
+          true
         end
         else begin
-          t.sent <- t.sent + 1;
-          if vanishes t then begin
-            t.lost <- t.lost + 1;
-            true
-          end
-          else begin
-            let hop_count = List.length path - 1 in
-            let latency =
-              distance t src dst +. (float_of_int hop_count *. serialisation t bytes)
-            in
-            ignore
-              (Dsim.Engine.schedule_after t.engine latency
-                 (deliver t ~src ~dst ~hop_count msg));
-            true
-          end
+          let latency =
+            dist.(dst) +. (float_of_int hop_count *. serialisation t bytes)
+          in
+          ignore
+            (Dsim.Engine.schedule_after t.engine latency
+               (deliver t ~src ~dst ~hop_count msg));
+          true
         end
+      end
+    end
+  end
 
 let send_neighbor ?(bytes = 0) t ~src ~dst msg =
   check_node t src;

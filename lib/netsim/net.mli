@@ -20,12 +20,22 @@ type 'msg t
 
 type 'msg handler = time:float -> src:Graph.node -> 'msg -> unit
 
+type invalidation =
+  | Full  (** Any link flip drops every cached shortest-path tree. *)
+  | Scoped
+      (** A link cut drops only the trees that route over the link; a
+          link restore drops only the trees the restored edge could
+          shorten (or re-tie-break).  Produces byte-identical routing
+          answers to [Full] — the choice only changes how much Dijkstra
+          work is redone, which the route counters below expose. *)
+
 val create :
   engine:Dsim.Engine.t ->
   ?trace:Dsim.Trace.t ->
   ?bandwidth:float ->
   ?loss_rate:float ->
   ?loss_seed:int ->
+  ?invalidation:invalidation ->
   Graph.t ->
   'msg t
 (** All nodes start up.  [bandwidth] is the uniform link capacity in
@@ -34,7 +44,8 @@ val create :
     makes each transmission vanish in flight with that probability,
     drawn from a deterministic stream seeded by [loss_seed] — the
     random message loss the mail pipeline's acknowledgements and
-    retries must absorb.
+    retries must absorb.  [invalidation] (default [Scoped]) selects the
+    route-cache invalidation policy on link flips.
     @raise Invalid_argument if [bandwidth <= 0.] or [loss_rate]
     is outside [0, 1). *)
 
@@ -64,8 +75,9 @@ val set_link_up : 'msg t -> Graph.node -> Graph.node -> unit
 (** Cut / restore a single link.  Down links are invisible to routing
     ({!send} finds a detour or drops when none exists) and refuse
     {!send_neighbor} one-hop transmissions.  Flips invalidate the
-    shortest-path cache; messages already in flight across the link
-    are not recalled.  Idempotent.
+    shortest-path cache per the network's {!invalidation} policy;
+    messages already in flight across the link are not recalled.
+    Idempotent.
     @raise Invalid_argument if the nodes are not adjacent. *)
 
 val links_down : 'msg t -> (Graph.node * Graph.node) list
@@ -78,6 +90,29 @@ val distance : 'msg t -> Graph.node -> Graph.node -> float
 
 val hops : 'msg t -> Graph.node -> Graph.node -> int
 (** Edge count of the shortest path ([-1] if unreachable). *)
+
+val first_hop : 'msg t -> src:Graph.node -> dst:Graph.node -> Graph.node option
+(** The neighbour of [src] that begins the shortest path to [dst]
+    ([None] when unreachable or [dst = src]).  O(1) from the cached
+    per-source next-hop table. *)
+
+(** Route-cache accounting since creation — the observables behind the
+    invalidation policies.  A recompute is one full Dijkstra run; a
+    cache hit is a routing query answered from a cached tree; an
+    invalidation is one cached tree dropped by a link flip.  Not reset
+    by {!reset_counters}: they describe cache behaviour over the
+    network's whole life, not per-experiment traffic. *)
+
+val route_recomputes : 'msg t -> int
+val route_cache_hits : 'msg t -> int
+val route_invalidations : 'msg t -> int
+
+val tree : 'msg t -> Graph.node -> Shortest_path.tree
+(** The shortest-path tree rooted at the node, honouring the links
+    currently down — served from the route cache (counts as a hit or a
+    recompute like any routing query).  The returned arrays are the
+    cache's own: treat them as read-only.  This is the observable the
+    oracle test compares byte-for-byte against a fresh Dijkstra. *)
 
 val send : ?bytes:int -> 'msg t -> src:Graph.node -> dst:Graph.node -> 'msg -> bool
 (** Routed send as described above.  Returns [false] iff the message

@@ -58,17 +58,40 @@ let path t target =
 let hop_count t target =
   match path t target with Some p -> Some (List.length p - 1) | None -> None
 
+(* Every reachable non-source node contributes exactly one tree edge
+   (prev.(v), v), so the normalised pairs are already distinct. *)
+let tree_links t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then acc := (if p < v then (p, v) else (v, p)) :: !acc)
+    t.prev;
+  List.sort
+    (fun (u1, v1) (u2, v2) ->
+      match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c)
+    !acc
+
+let first_hops t =
+  let n = Array.length t.dist in
+  let hop = Array.make n (-1) in
+  (* hop.(v) is the source's neighbour beginning the path to v;
+     memoised along the predecessor chain, so the whole table is O(n). *)
+  let rec resolve v =
+    if v = t.source || t.prev.(v) < 0 then -1
+    else if hop.(v) >= 0 then hop.(v)
+    else begin
+      let h = if t.prev.(v) = t.source then v else resolve t.prev.(v) in
+      hop.(v) <- h;
+      h
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (resolve v)
+  done;
+  hop
+
 let all_pairs g = Array.of_list (List.map (dijkstra g) (Graph.nodes g))
 
-let next_hop_table g src =
-  let t = dijkstra g src in
-  let n = Graph.node_count g in
-  Array.init n (fun d ->
-      if d = src then -1
-      else
-        match path t d with
-        | Some (_ :: hop :: _) -> hop
-        | Some _ | None -> -1)
+let next_hop_table g src = first_hops (dijkstra g src)
 
 let eccentricity g v =
   let t = dijkstra g v in

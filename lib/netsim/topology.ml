@@ -285,6 +285,45 @@ let hierarchical ~rng spec =
   end;
   g
 
+(* Edges needed on top of the intra-region spanning tree to reach an
+   average degree of [degree] over [m] nodes (sum of degrees = 2E). *)
+let extra_for_degree ~m ~degree =
+  let target = int_of_float (Float.ceil (float_of_int m *. degree /. 2.)) in
+  let max_edges = m * (m - 1) / 2 in
+  max 0 (min target max_edges - (m - 1))
+
+let sized_hierarchy ~regions ~hosts_per_region ~servers_per_region
+    ?(gateways_per_region = 2) ?(degree = 6.0) ?(local_weight = (1.0, 3.0))
+    ?(backbone_weight = (5.0, 12.0)) () =
+  if regions <= 0 then invalid_arg "Topology.sized_hierarchy: need regions";
+  if hosts_per_region <= 0 || servers_per_region <= 0 then
+    invalid_arg "Topology.sized_hierarchy: need hosts and servers";
+  if gateways_per_region <= 0 then
+    invalid_arg "Topology.sized_hierarchy: need gateways";
+  if degree < 2.0 then invalid_arg "Topology.sized_hierarchy: degree below tree";
+  let m = hosts_per_region + servers_per_region + gateways_per_region in
+  {
+    regions;
+    hosts_per_region;
+    servers_per_region;
+    gateways_per_region;
+    intra_extra_edges = extra_for_degree ~m ~degree;
+    backbone_extra_edges = max 0 (regions - 1);
+    local_weight;
+    backbone_weight;
+  }
+
+let scale_site ~rng ?(users_per_host = 10) spec =
+  if users_per_host <= 0 then invalid_arg "Topology.scale_site: need users";
+  let g = hierarchical ~rng spec in
+  let nodes = Graph.nodes g in
+  let hosts =
+    List.filter (fun v -> Graph.kind g v = Graph.Host) nodes
+    |> List.map (fun v -> (v, users_per_host))
+  in
+  let servers = List.filter (fun v -> Graph.kind g v = Graph.Server) nodes in
+  { graph = g; hosts; servers }
+
 let region_of_gateways g =
   Graph.regions g
   |> List.map (fun r ->

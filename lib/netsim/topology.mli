@@ -83,5 +83,31 @@ val hierarchical : rng:Dsim.Rng.t -> hierarchy -> Graph.t
     edge weights drawn from continuous ranges, hence distinct with
     probability 1. *)
 
+val sized_hierarchy :
+  regions:int ->
+  hosts_per_region:int ->
+  servers_per_region:int ->
+  ?gateways_per_region:int ->
+  ?degree:float ->
+  ?local_weight:float * float ->
+  ?backbone_weight:float * float ->
+  unit ->
+  hierarchy
+(** Hierarchy spec with the edge counts derived from a target average
+    node degree instead of spelled out: each region gets enough extra
+    random edges beyond its spanning tree to reach [degree] (default 6)
+    on average, and the backbone gets [regions - 1] extra gateway
+    links beyond its ring.  [gateways_per_region] defaults to 2; the
+    weight ranges default to {!default_hierarchy}'s.  This is how the
+    scale benchmark dials topology density.
+    @raise Invalid_argument on non-positive counts or [degree < 2]. *)
+
+val scale_site : rng:Dsim.Rng.t -> ?users_per_host:int -> hierarchy -> mail_site
+(** Generate {!hierarchical} from the spec and annotate it as a
+    {!mail_site}: every [Host] node carries [users_per_host] users
+    (default 10) and every [Server] node serves mail.  Gateways carry
+    no users — they only relay.  Deterministic given the [rng] seed;
+    this is the large-topology generator behind [bench scale]. *)
+
 val region_of_gateways : Graph.t -> (string * Graph.node list) list
 (** Gateway nodes grouped by region, sorted by region name. *)

@@ -26,8 +26,11 @@ one_run() {
     cd "$dir"
     OCAMLRUNPARAM=R dune exec --root "$ROOT" bin/mailsim.exe -- \
       faults --seed 1 --ledger-out LEDGER.json >faults.txt
+    # --scale-quick keeps the runs fast; --stable zeroes the scale
+    # section's wall-clock-derived fields so BENCH.json (including the
+    # scale benchmark's counters and critical path) byte-compares.
     OCAMLRUNPARAM=R dune exec --root "$ROOT" bench/main.exe -- \
-      --skip-micro >bench.txt
+      --skip-micro --scale-quick --stable >bench.txt
   )
 }
 

@@ -1,0 +1,89 @@
+(* Route-cache oracle: replay a seeded stream of link cuts/restores
+   interleaved with route queries against a scoped-invalidation
+   network, and after every query compare the cached shortest-path
+   tree byte-for-byte against a fresh full Dijkstra over the same
+   outage set.  The dune rule runs this under OCAMLRUNPARAM=R
+   (randomized Hashtbl seeds), so any hash-iteration-order dependence
+   in the dependency index or the improvement check would break the
+   comparison across runs.
+
+   Exits 0 after printing a one-line summary; exits 1 with a
+   diagnostic on the first divergence. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let check_tree net g src =
+  let cached = Netsim.Net.tree net src in
+  let fresh =
+    Netsim.Shortest_path.dijkstra
+      ~usable:(fun u v -> Netsim.Net.link_is_up net u v)
+      g src
+  in
+  let n = Netsim.Graph.node_count g in
+  for v = 0 to n - 1 do
+    (* Exact float equality on purpose: the caches must agree to the
+       last bit, including [infinity] for unreachable nodes. *)
+    if not (Float.equal cached.Netsim.Shortest_path.dist.(v)
+              fresh.Netsim.Shortest_path.dist.(v))
+    then
+      fail "oracle: dist mismatch src=%d v=%d cached=%h fresh=%h" src v
+        cached.Netsim.Shortest_path.dist.(v)
+        fresh.Netsim.Shortest_path.dist.(v);
+    if cached.Netsim.Shortest_path.prev.(v) <> fresh.Netsim.Shortest_path.prev.(v)
+    then
+      fail "oracle: prev mismatch src=%d v=%d cached=%d fresh=%d" src v
+        cached.Netsim.Shortest_path.prev.(v)
+        fresh.Netsim.Shortest_path.prev.(v)
+  done;
+  let fresh_hops = Netsim.Shortest_path.first_hops fresh in
+  for dst = 0 to n - 1 do
+    let cached_hop =
+      match Netsim.Net.first_hop net ~src ~dst with Some h -> h | None -> -1
+    in
+    if cached_hop <> fresh_hops.(dst) then
+      fail "oracle: first-hop mismatch src=%d dst=%d cached=%d fresh=%d" src dst
+        cached_hop fresh_hops.(dst)
+  done
+
+let () =
+  let rng = Dsim.Rng.create 4242 in
+  let spec =
+    Netsim.Topology.sized_hierarchy ~regions:4 ~hosts_per_region:10
+      ~servers_per_region:3 ~degree:8.0 ()
+  in
+  let g = (Netsim.Topology.scale_site ~rng spec).Netsim.Topology.graph in
+  let n = Netsim.Graph.node_count g in
+  let edges = Array.of_list (Netsim.Graph.edges g) in
+  let engine = Dsim.Engine.create () in
+  let net = (Netsim.Net.create ~engine g : unit Netsim.Net.t) in
+  let flips = Dsim.Rng.create 1988 in
+  let down = Queue.create () in
+  let is_down = Hashtbl.create 16 in
+  let queries = ref 0 in
+  for _step = 1 to 500 do
+    (* Keep at most 4 links down so the network stays recognisable;
+       restore oldest-first, exactly like an outage/repair process. *)
+    (if Queue.length down >= 4 then begin
+       let u, v = Queue.pop down in
+       Hashtbl.remove is_down (u, v);
+       Netsim.Net.set_link_up net u v
+     end
+     else
+       let u, v, _ = edges.(Dsim.Rng.int flips (Array.length edges)) in
+       if not (Hashtbl.mem is_down (u, v)) then begin
+         Hashtbl.replace is_down (u, v) ();
+         Queue.push (u, v) down;
+         Netsim.Net.set_link_down net u v
+       end);
+    for _q = 1 to 3 do
+      incr queries;
+      check_tree net g (Dsim.Rng.int flips n)
+    done
+  done;
+  Printf.printf
+    "route oracle: %d queries byte-identical to fresh Dijkstra \
+     (%d recomputes, %d cache hits, %d invalidations)\n"
+    !queries
+    (Netsim.Net.route_recomputes net)
+    (Netsim.Net.route_cache_hits net)
+    (Netsim.Net.route_invalidations net)

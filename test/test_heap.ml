@@ -57,6 +57,26 @@ let test_to_sorted_list () =
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.map snd l);
   Alcotest.(check int) "non-destructive" 5 (Dsim.Heap.length h)
 
+let test_capacity_hint () =
+  (* Pushing far past the hint must behave exactly like the default. *)
+  let h = Dsim.Heap.create ~capacity:4 () in
+  for i = 0 to 99 do
+    Dsim.Heap.push h (float_of_int (99 - i)) i
+  done;
+  Alcotest.(check int) "length" 100 (Dsim.Heap.length h);
+  for expected = 99 downto 0 do
+    Alcotest.(check int)
+      (Printf.sprintf "pop %d" expected)
+      expected
+      (snd (Dsim.Heap.pop_exn h))
+  done;
+  (* Clearing drops the backing array; the heap stays usable. *)
+  Dsim.Heap.push h 1. 7;
+  Alcotest.(check int) "usable after drain" 7 (snd (Dsim.Heap.pop_exn h));
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Heap.create: capacity must be positive") (fun () ->
+      ignore (Dsim.Heap.create ~capacity:0 () : int Dsim.Heap.t))
+
 let prop_pop_sorted =
   QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:200
     QCheck.(list (pair (float_range 0. 1000.) small_int))
@@ -104,6 +124,7 @@ let suite =
         Alcotest.test_case "FIFO among ties" `Quick test_fifo_ties;
         Alcotest.test_case "FIFO among many ties" `Quick test_fifo_many_ties;
         Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "capacity hint" `Quick test_capacity_hint;
         Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list;
         QCheck_alcotest.to_alcotest prop_pop_sorted;
         QCheck_alcotest.to_alcotest prop_heap_matches_sort;

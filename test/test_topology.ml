@@ -119,6 +119,69 @@ let test_ghs_levels_bounded () =
     (d.Mst.Ghs.max_level
     <= int_of_float (Float.ceil (Float.log2 (float_of_int (Netsim.Graph.node_count g)))))
 
+let test_sized_hierarchy_degree () =
+  let spec =
+    Netsim.Topology.sized_hierarchy ~regions:5 ~hosts_per_region:9
+      ~servers_per_region:3 ~degree:8.0 ()
+  in
+  let rng = Dsim.Rng.create 11 in
+  let g = Netsim.Topology.hierarchical ~rng spec in
+  Alcotest.(check bool) "connected" true (Netsim.Graph.is_connected g);
+  Alcotest.(check int) "node count" (5 * (9 + 3 + 2)) (Netsim.Graph.node_count g);
+  (* The spec derives intra-region edge counts from the target average
+     degree; backbone links push the realised mean slightly above it. *)
+  let avg =
+    2. *. float_of_int (Netsim.Graph.edge_count g)
+    /. float_of_int (Netsim.Graph.node_count g)
+  in
+  if avg < 7.5 || avg > 9.5 then
+    Alcotest.failf "average degree %.2f not near target 8.0" avg
+
+let test_sized_hierarchy_bad_args () =
+  let expect_invalid f =
+    try
+      f ();
+      Alcotest.fail "expected Invalid_argument"
+    with Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () ->
+      ignore
+        (Netsim.Topology.sized_hierarchy ~regions:0 ~hosts_per_region:4
+           ~servers_per_region:1 ()));
+  expect_invalid (fun () ->
+      ignore
+        (Netsim.Topology.sized_hierarchy ~regions:2 ~hosts_per_region:0
+           ~servers_per_region:1 ()));
+  expect_invalid (fun () ->
+      ignore
+        (Netsim.Topology.sized_hierarchy ~regions:2 ~hosts_per_region:4
+           ~servers_per_region:1 ~degree:1.5 ()))
+
+let test_scale_site () =
+  let spec =
+    Netsim.Topology.sized_hierarchy ~regions:3 ~hosts_per_region:5
+      ~servers_per_region:2 ()
+  in
+  let site = Netsim.Topology.scale_site ~rng:(Dsim.Rng.create 21) ~users_per_host:7 spec in
+  let g = site.Netsim.Topology.graph in
+  Alcotest.(check int) "hosts" 15 (List.length site.hosts);
+  Alcotest.(check int) "servers" 6 (List.length site.servers);
+  List.iter
+    (fun (h, pop) ->
+      Alcotest.(check bool) "host kind" true (Netsim.Graph.kind g h = Netsim.Graph.Host);
+      Alcotest.(check int) "population" 7 pop)
+    site.hosts;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "server kind" true
+        (Netsim.Graph.kind g s = Netsim.Graph.Server))
+    site.servers;
+  (* Same seed, same site — the generator must be deterministic. *)
+  let again = Netsim.Topology.scale_site ~rng:(Dsim.Rng.create 21) ~users_per_host:7 spec in
+  Alcotest.(check bool) "deterministic edges" true
+    (Netsim.Graph.edges g = Netsim.Graph.edges again.Netsim.Topology.graph);
+  Alcotest.(check bool) "deterministic hosts" true (site.hosts = again.hosts)
+
 let test_region_of_gateways () =
   let rng = Dsim.Rng.create 7 in
   let g = Netsim.Topology.hierarchical ~rng Netsim.Topology.default_hierarchy in
@@ -142,6 +205,10 @@ let suite =
         Alcotest.test_case "hierarchical structure" `Quick test_hierarchical_structure;
         Alcotest.test_case "ARPANET backbone" `Quick test_arpanet;
         Alcotest.test_case "GHS levels bounded on ARPANET" `Quick test_ghs_levels_bounded;
+        Alcotest.test_case "sized hierarchy degree" `Quick test_sized_hierarchy_degree;
+        Alcotest.test_case "sized hierarchy bad args" `Quick
+          test_sized_hierarchy_bad_args;
+        Alcotest.test_case "scale site" `Quick test_scale_site;
         Alcotest.test_case "region_of_gateways" `Quick test_region_of_gateways;
       ] );
   ]
