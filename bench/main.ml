@@ -777,11 +777,15 @@ let experiment_scale ~quick ~stable () =
       faults = Some Netsim.Fault.standard;
     }
   in
+  (* Replication 3 leaves mailbox availability just under the 0.99
+     target on this campaign (~0.983); one more chain member clears it
+     with margin while staying well within the 18 servers. *)
+  let config = { Mail.Syntax_system.default_config with replication = 4 } in
   (* Wall-clock timing is the one quantity a deterministic simulation
      cannot make reproducible; [--stable] zeroes the derived fields so
      the double-run determinism harness can byte-compare BENCH.json. *)
   let t0 = Unix.gettimeofday () in
-  let o = Mail.Scenario.run_syntax site spec in
+  let o = Mail.Scenario.run_syntax ~config site spec in
   let wall = Unix.gettimeofday () -. t0 in
   let metrics = o.Mail.Scenario.metrics in
   let counter = Telemetry.Registry.get_counter metrics in
@@ -811,9 +815,17 @@ let experiment_scale ~quick ~stable () =
   Printf.printf
     "route cache: %d recomputes, %d hits (%.4f hit rate), %d invalidations\n"
     recomputes hits hit_rate invalidations;
-  Printf.printf "availability %.3f  undelivered %d  unretrieved %d  "
-    o.Mail.Scenario.availability o.Mail.Scenario.report.Mail.Evaluation.undelivered
+  Printf.printf
+    "availability %.4f (server uptime %.4f, replication %d)  undelivered %d  unretrieved %d\n"
+    o.Mail.Scenario.availability o.Mail.Scenario.server_uptime
+    o.Mail.Scenario.replication_factor
+    o.Mail.Scenario.report.Mail.Evaluation.undelivered
     o.Mail.Scenario.report.Mail.Evaluation.unretrieved;
+  Printf.printf
+    "replication: %d quorum acks, %d degraded acks, %d copy writes, %d failovers, %d purges, %d resyncs  "
+    (counter "replica_quorum_acks") (counter "replica_degraded_acks")
+    (counter "replica_copy_writes") (counter "replica_failovers")
+    (counter "replica_purges") (counter "replica_resyncs");
   Format.printf "%a@." Mail.Ledger.pp_verdict o.Mail.Scenario.ledger;
   assert o.Mail.Scenario.ledger.Mail.Ledger.ok;
   Telemetry.Json.Obj
@@ -846,6 +858,22 @@ let experiment_scale ~quick ~stable () =
             ("hit_rate", Telemetry.Json.Float hit_rate);
           ] );
       ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
+      ("server_uptime", Telemetry.Json.Float o.Mail.Scenario.server_uptime);
+      ("replication_factor", Telemetry.Json.Int o.Mail.Scenario.replication_factor);
+      ( "replicas",
+        Telemetry.Json.Obj
+          [
+            ("quorum_acks", Telemetry.Json.Int (counter "replica_quorum_acks"));
+            ("degraded_acks", Telemetry.Json.Int (counter "replica_degraded_acks"));
+            ( "unavailable_acks",
+              Telemetry.Json.Int (counter "replica_unavailable_acks") );
+            ("copy_writes", Telemetry.Json.Int (counter "replica_copy_writes"));
+            ( "replicate_sends",
+              Telemetry.Json.Int (counter "replica_replicate_sends") );
+            ("failovers", Telemetry.Json.Int (counter "replica_failovers"));
+            ("purges", Telemetry.Json.Int (counter "replica_purges"));
+            ("resyncs", Telemetry.Json.Int (counter "replica_resyncs"));
+          ] );
       ( "undelivered",
         Telemetry.Json.Int o.Mail.Scenario.report.Mail.Evaluation.undelivered );
       ( "unretrieved",
@@ -912,7 +940,7 @@ let dump_bench_json ~scale () =
   let json =
     Telemetry.Json.Obj
       [
-        ("schema", Telemetry.Json.String "mailsys.bench/4");
+        ("schema", Telemetry.Json.String "mailsys.bench/5");
         ("scale", scale);
         ( "designs",
           Telemetry.Json.Obj
@@ -938,6 +966,14 @@ let dump_bench_json ~scale () =
                        [
                          ( "availability",
                            Telemetry.Json.Float o.Mail.Scenario.availability );
+                         ( "server_uptime",
+                           Telemetry.Json.Float o.Mail.Scenario.server_uptime );
+                         ( "replication_factor",
+                           Telemetry.Json.Int o.Mail.Scenario.replication_factor );
+                         ( "failovers",
+                           Telemetry.Json.Int
+                             (Telemetry.Registry.get_counter o.Mail.Scenario.metrics
+                                "replica_failovers") );
                          ( "fault_windows",
                            Telemetry.Json.Float
                              (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics
@@ -1113,7 +1149,7 @@ let () =
     let scale = experiment_scale ~quick ~stable () in
     let json =
       Telemetry.Json.Obj
-        [ ("schema", Telemetry.Json.String "mailsys.bench/4"); ("scale", scale) ]
+        [ ("schema", Telemetry.Json.String "mailsys.bench/5"); ("scale", scale) ]
     in
     let oc = open_out "BENCH.json" in
     output_string oc (Telemetry.Json.to_string ~indent:2 json);

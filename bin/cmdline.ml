@@ -1,0 +1,55 @@
+(* Shared command-line plumbing for the mailsim subcommands.
+
+   Every subcommand used to declare its own copies of the common flags
+   (seed, duration, mail volume, region count, output files), with the
+   docstrings slowly drifting apart.  They are defined once here; a
+   subcommand composes the ones it needs and adds only its own
+   specific options. *)
+
+open Cmdliner
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let duration =
+  Arg.(
+    value & opt float 5000. & info [ "duration" ] ~docv:"TIME" ~doc:"Virtual time.")
+
+(* Mail volume; subcommands differ only in the default (300 for the
+   scenario drivers, 50k for the scale benchmark). *)
+let messages ~default =
+  Arg.(value & opt int default & info [ "messages" ] ~docv:"N" ~doc:"Mail volume.")
+
+let regions ~default =
+  Arg.(value & opt int default & info [ "regions" ] ~docv:"N" ~doc:"Region count.")
+
+(* An optional output-file flag: [output_file ~flag:"json-out" ~doc:...]. *)
+let output_file ~flag:name ~doc =
+  Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+
+let campaign_syntax_doc =
+  "Items: crash:RATE[/MEAN|/=FIXED], link:RATE[/MEAN|/=FIXED], \
+   partition:REGION[@START+DURATION], burst:FRACTION[@START+DURATION], seed:N."
+
+(* The hierarchical multi-region site most subcommands drive. *)
+let hier_site ~seed ~regions ~hosts_per_region =
+  let rng = Dsim.Rng.create seed in
+  let spec =
+    { Netsim.Topology.default_hierarchy with regions; hosts_per_region }
+  in
+  let g = Netsim.Topology.hierarchical ~rng spec in
+  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
+  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
+  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
+
+(* Open [file], hand the channel to [write], and fail with a clean
+   message instead of an exception trace when the path is unwritable —
+   shared by every output-file option. *)
+let with_output ~what file write =
+  match open_out file with
+  | exception Sys_error msg ->
+      Printf.eprintf "mailsim: cannot write %s: %s\n" what msg;
+      exit 1
+  | oc ->
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
+      Printf.printf "%s written to %s\n" what file

@@ -6,32 +6,11 @@
 
 open Cmdliner
 
-(* --- shared helpers ---------------------------------------------------- *)
-
-let hier_site ~seed ~regions ~hosts_per_region =
-  let rng = Dsim.Rng.create seed in
-  let spec =
-    { Netsim.Topology.default_hierarchy with regions; hosts_per_region }
-  in
-  let g = Netsim.Topology.hierarchical ~rng spec in
-  let hosts = Netsim.Graph.nodes_of_kind g Netsim.Graph.Host in
-  let servers = Netsim.Graph.nodes_of_kind g Netsim.Graph.Server in
-  { Netsim.Topology.graph = g; hosts = List.map (fun h -> (h, 10)) hosts; servers }
-
-let seed_arg =
-  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-
-(* Open [file], hand the channel to [write], and fail with a clean
-   message instead of an exception trace when the path is unwritable —
-   shared by every output-file option. *)
-let with_output ~what file write =
-  match open_out file with
-  | exception Sys_error msg ->
-      Printf.eprintf "mailsim: cannot write %s: %s\n" what msg;
-      exit 1
-  | oc ->
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
-      Printf.printf "%s written to %s\n" what file
+(* Shared flags and helpers (seed, duration, volumes, output files)
+   live in {!Cmdline}; aliased here so subcommand bodies read plainly. *)
+let hier_site = Cmdline.hier_site
+let seed_arg = Cmdline.seed
+let with_output = Cmdline.with_output
 
 (* --- balance ----------------------------------------------------------- *)
 
@@ -145,8 +124,8 @@ let getmail_cmd =
   let rate =
     Arg.(value & opt float 0. & info [ "failure-rate" ] ~doc:"Server outage rate.")
   in
-  let duration = Arg.(value & opt float 5000. & info [ "duration" ] ~doc:"Virtual time.") in
-  let count = Arg.(value & opt int 300 & info [ "messages" ] ~doc:"Mail volume.") in
+  let duration = Cmdline.duration in
+  let count = Cmdline.messages ~default:300 in
   let policy =
     Arg.(
       value
@@ -158,28 +137,23 @@ let getmail_cmd =
       value
       & opt (some string) None
       & info [ "faults" ] ~docv:"CAMPAIGN"
-          ~doc:"Deterministic fault campaign, e.g. \
-                $(b,crash:0.002/150,link:0.001,partition:regionA,burst:0.3). \
-                Items: crash:RATE[/MEAN|/=FIXED], link:RATE[/MEAN|/=FIXED], \
-                partition:REGION[@START+DURATION], \
-                burst:FRACTION[@START+DURATION], seed:N.")
+          ~doc:
+            ("Deterministic fault campaign, e.g. \
+              $(b,crash:0.002/150,link:0.001,partition:regionA,burst:0.3). "
+           ^ Cmdline.campaign_syntax_doc))
   in
   let metrics_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:"Write the run's full metric registry (counters, gauges, latency \
-                histograms with p50/p90/p99) to $(docv) as JSON.")
+    Cmdline.output_file ~flag:"metrics"
+      ~doc:
+        "Write the run's full metric registry (counters, gauges, latency \
+         histograms with p50/p90/p99) to $(docv) as JSON."
   in
   let trace_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:"Write the run's spans and event log to $(docv) as JSONL: one \
-                object per line, tagged type=span (per-message and per-check \
-                trace spans) or type=log (the bounded simulation event log).")
+    Cmdline.output_file ~flag:"trace-out"
+      ~doc:
+        "Write the run's spans and event log to $(docv) as JSONL: one object \
+         per line, tagged type=span (per-message and per-check trace spans) or \
+         type=log (the bounded simulation event log)."
   in
   let trace_summary =
     Arg.(
@@ -269,15 +243,11 @@ let faults_cmd =
       & info [ "campaign" ] ~docv:"CAMPAIGN"
           ~doc:"Fault campaign to run (same syntax as $(b,getmail --faults)).")
   in
-  let duration = Arg.(value & opt float 5000. & info [ "duration" ] ~doc:"Virtual time.") in
-  let count = Arg.(value & opt int 300 & info [ "messages" ] ~doc:"Mail volume.") in
+  let duration = Cmdline.duration in
+  let count = Cmdline.messages ~default:300 in
   let ledger_file =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "ledger-out" ] ~docv:"FILE"
-          ~doc:"Write per-design availability and ledger verdicts to $(docv) as \
-                JSON.")
+    Cmdline.output_file ~flag:"ledger-out"
+      ~doc:"Write per-design availability and ledger verdicts to $(docv) as JSON."
   in
   Cmd.v
     (Cmd.info "faults"
@@ -290,7 +260,7 @@ let faults_cmd =
 
 let scale_cmd =
   let run seed messages regions hosts_per_region servers_per_region degree
-      json_file =
+      replication json_file =
     let site =
       let rng = Dsim.Rng.create seed in
       Netsim.Topology.scale_site ~rng
@@ -308,7 +278,13 @@ let scale_cmd =
         faults = Some Netsim.Fault.standard;
       }
     in
-    let o = Mail.Scenario.run_syntax site spec in
+    let config =
+      let n_servers = List.length site.Netsim.Topology.servers in
+      { Mail.Syntax_system.default_config with
+        replication = min replication n_servers
+      }
+    in
+    let o = Mail.Scenario.run_syntax ~config site spec in
     let counter = Telemetry.Registry.get_counter o.Mail.Scenario.metrics in
     let recomputes = counter "route_tree_recompute" in
     let hits = counter "route_cache_hit" in
@@ -331,7 +307,10 @@ let scale_cmd =
     Printf.printf "route recomputes  %d\n" recomputes;
     Printf.printf "route cache hits  %d (%.4f hit rate)\n" hits hit_rate;
     Printf.printf "invalidations     %d\n" invalidations;
-    Printf.printf "availability      %.3f\n" o.Mail.Scenario.availability;
+    Printf.printf "availability      %.4f (server uptime %.4f, replication %d)\n"
+      o.Mail.Scenario.availability o.Mail.Scenario.server_uptime
+      o.Mail.Scenario.replication_factor;
+    Printf.printf "failovers         %d\n" (counter "replica_failovers");
     Format.printf "ledger            %a@." Mail.Ledger.pp_verdict
       o.Mail.Scenario.ledger;
     (match json_file with
@@ -341,7 +320,7 @@ let scale_cmd =
             let json =
               Telemetry.Json.Obj
                 [
-                  ("schema", Telemetry.Json.String "mailsys.scale/1");
+                  ("schema", Telemetry.Json.String "mailsys.scale/2");
                   ("seed", Telemetry.Json.Int seed);
                   ("messages", Telemetry.Json.Int messages);
                   ("engine_events", Telemetry.Json.Int o.Mail.Scenario.engine_events);
@@ -355,6 +334,11 @@ let scale_cmd =
                         ("hit_rate", Telemetry.Json.Float hit_rate);
                       ] );
                   ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
+                  ( "server_uptime",
+                    Telemetry.Json.Float o.Mail.Scenario.server_uptime );
+                  ( "replication_factor",
+                    Telemetry.Json.Int o.Mail.Scenario.replication_factor );
+                  ("failovers", Telemetry.Json.Int (counter "replica_failovers"));
                   ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
                 ]
             in
@@ -365,10 +349,8 @@ let scale_cmd =
       exit 1
     end
   in
-  let messages =
-    Arg.(value & opt int 50_000 & info [ "messages" ] ~doc:"Mail volume.")
-  in
-  let regions = Arg.(value & opt int 6 & info [ "regions" ] ~doc:"Region count.") in
+  let messages = Cmdline.messages ~default:50_000 in
+  let regions = Cmdline.regions ~default:6 in
   let hosts =
     Arg.(value & opt int 8 & info [ "hosts-per-region" ] ~doc:"Hosts per region.")
   in
@@ -378,12 +360,16 @@ let scale_cmd =
   let degree =
     Arg.(value & opt float 10. & info [ "degree" ] ~doc:"Target average node degree.")
   in
-  let json_file =
+  let replication =
     Arg.(
       value
-      & opt (some string) None
-      & info [ "json-out" ] ~docv:"FILE"
-          ~doc:"Write the throughput and route-cache counters to $(docv) as JSON.")
+      & opt int 4
+      & info [ "replication" ]
+          ~doc:"Authority-chain length (capped at the server count).")
+  in
+  let json_file =
+    Cmdline.output_file ~flag:"json-out"
+      ~doc:"Write the throughput and route-cache counters to $(docv) as JSON."
   in
   Cmd.v
     (Cmd.info "scale"
@@ -393,7 +379,78 @@ let scale_cmd =
           counters (wall-clock numbers live in the bench harness).")
     Term.(
       const run $ seed_arg $ messages $ regions $ hosts $ servers $ degree
-      $ json_file)
+      $ replication $ json_file)
+
+(* --- replicas ---------------------------------------------------------- *)
+
+let replicas_cmd =
+  let run seed hosts servers fig1 replication =
+    let site =
+      if fig1 then Netsim.Topology.paper_fig1 ()
+      else begin
+        let rng = Dsim.Rng.create seed in
+        Netsim.Topology.random_mail_site ~rng ~hosts ~servers
+          ~users_per_host:(20, 60) ~extra_edges:hosts
+      end
+    in
+    let g = site.Netsim.Topology.graph in
+    let total = List.fold_left (fun a (_, n) -> a + n) 0 site.Netsim.Topology.hosts in
+    let servers_n = List.length site.Netsim.Topology.servers in
+    let capacity _ = if fig1 then 100 else 1 + (total * 5 / (4 * servers_n)) in
+    let problem = Loadbalance.Assignment.problem_of_site ~capacity site in
+    let t, _ = Loadbalance.Balancer.run problem in
+    (* [Replicas.assign] rejects infeasible replication outright; the
+       inspection tool caps explicitly — and says so — like the mail
+       systems do. *)
+    let effective = min replication servers_n in
+    if effective < replication then
+      Printf.printf
+        "note: replication %d infeasible with %d servers; capped to %d\n\n"
+        replication servers_n effective;
+    let r = Loadbalance.Replicas.assign ~replication:effective problem t in
+    Printf.printf "effective replication: %d\n\n" r.Loadbalance.Replicas.replication;
+    let label v = Netsim.Graph.label g v in
+    Array.iteri
+      (fun i slots ->
+        let host, users = List.nth site.Netsim.Topology.hosts i in
+        Printf.printf "%-6s (%3d users)\n" (label host) users;
+        Array.iteri
+          (fun k chain ->
+            Printf.printf "  slot %d: %s\n" k
+              (String.concat " -> " (List.map label chain)))
+          slots)
+      r.Loadbalance.Replicas.chains;
+    Printf.printf "\nsecondary load (users inherited if the primary fails):\n";
+    List.iteri
+      (fun j s ->
+        Printf.printf "  %-6s %d\n" (label s) r.Loadbalance.Replicas.secondary_load.(j))
+      site.Netsim.Topology.servers;
+    Printf.printf "secondary imbalance: %.3f\n"
+      (Loadbalance.Replicas.secondary_imbalance problem r)
+  in
+  let hosts =
+    Arg.(value & opt int 10 & info [ "hosts" ] ~doc:"Host count (random site).")
+  in
+  let servers =
+    Arg.(value & opt int 3 & info [ "servers" ] ~doc:"Server count (random site).")
+  in
+  let fig1 =
+    Arg.(value & flag & info [ "fig1" ] ~doc:"Use the paper's Figure 1 example site.")
+  in
+  let replication =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "replication" ]
+          ~doc:"Requested authority-chain length (capped at the server count).")
+  in
+  Cmd.v
+    (Cmd.info "replicas"
+       ~doc:
+         "Inspect the §3.1.1 secondary-server assignment: per-host replica \
+          chains, the secondary load each server inherits on a primary crash, \
+          and the effective replication factor.")
+    Term.(const run $ seed_arg $ hosts $ servers $ fig1 $ replication)
 
 (* --- mst --------------------------------------------------------------- *)
 
@@ -435,7 +492,7 @@ let backbone_cmd =
     Printf.printf "\naffordable within %.1f: {%s}\n" budget
       (String.concat ", " affordable)
   in
-  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Region count.") in
+  let regions = Cmdline.regions ~default:3 in
   let budget = Arg.(value & opt float 50. & info [ "budget" ] ~doc:"Broadcast budget.") in
   Cmd.v
     (Cmd.info "backbone" ~doc:"Backbone + local MSTs and the cost table (F2/C4).")
@@ -472,7 +529,7 @@ let search_cmd =
       res.Mail.Attribute_system.traffic.Mst.Broadcast.g_messages
       res.Mail.Attribute_system.traffic.Mst.Broadcast.g_link_crossings
   in
-  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Region count.") in
+  let regions = Cmdline.regions ~default:3 in
   let key =
     Arg.(value & opt string "specialty" & info [ "key" ] ~doc:"Attribute key.")
   in
@@ -552,7 +609,7 @@ let lookup_cmd =
               (List.filteri (fun i _ -> i < 3) hits))
       (Mail.Attribute_system.regions sys)
   in
-  let regions = Arg.(value & opt int 3 & info [ "regions" ] ~doc:"Region count.") in
+  let regions = Cmdline.regions ~default:3 in
   let query =
     Arg.(value & opt string "bostn" & info [ "query" ] ~doc:"Possibly misspelled value.")
   in
@@ -661,6 +718,7 @@ let () =
             getmail_cmd;
             faults_cmd;
             scale_cmd;
+            replicas_cmd;
             mst_cmd;
             backbone_cmd;
             search_cmd;

@@ -2,6 +2,7 @@ type t = {
   primary : Assignment.t;
   chains : Netsim.Graph.node list array array;
   secondary_load : int array;
+  replication : int;
 }
 
 let assign ?(replication = 3) (problem : Assignment.problem) primary =
@@ -10,7 +11,16 @@ let assign ?(replication = 3) (problem : Assignment.problem) primary =
     invalid_arg "Replicas.assign: primary assignment incomplete";
   let n_servers = Array.length problem.Assignment.servers in
   let n_hosts = Array.length problem.Assignment.hosts in
-  let replication = min replication n_servers in
+  (* Refuse infeasible requests instead of silently shortening the
+     chains: a caller asking for more replicas than servers would
+     otherwise believe it got the availability of [replication]
+     copies.  Callers that want best-effort must cap explicitly. *)
+  if replication > n_servers then
+    invalid_arg
+      (Printf.sprintf
+         "Replicas.assign: replication %d exceeds server count %d (cap explicitly \
+          if best-effort is intended)"
+         replication n_servers);
   let secondary_load = Array.make n_servers 0 in
   let server_index =
     let tbl = Hashtbl.create 8 in
@@ -93,7 +103,7 @@ let assign ?(replication = 3) (problem : Assignment.problem) primary =
              slots))
   in
   ignore server_index;
-  { primary; chains; secondary_load }
+  { primary; chains; secondary_load; replication }
 
 let chain_for t ~host ~user_slot =
   let slots = t.chains.(host) in

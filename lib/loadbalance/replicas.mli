@@ -19,17 +19,22 @@ type t = {
   secondary_load : int array;
       (** users whose first secondary is server [j] (aligned with the
           problem's server array). *)
+  replication : int;
+      (** the effective replication factor every chain was built with
+          — echoed so reports can state what was actually assigned. *)
 }
 
 val assign :
   ?replication:int -> Assignment.problem -> Assignment.t -> t
 (** [assign problem primary] builds replica chains of length
-    [replication] (default 3, capped at the server count).  The first
+    [replication] (default 3).  The first
     secondary for each (host, slot) is the cheapest server by
     communication time whose current secondary load is minimal among
     servers within [slack] (one initialization-greedy pass, ties by
     lower comm cost); remaining replicas follow by distance.
-    @raise Invalid_argument if [replication <= 0] or the primary
+    @raise Invalid_argument if [replication <= 0], if [replication]
+    exceeds the server count (chains cannot hold distinct replicas —
+    cap explicitly when best-effort is intended), or the primary
     assignment is not complete. *)
 
 val chain_for : t -> host:int -> user_slot:int -> Netsim.Graph.node list

@@ -78,11 +78,7 @@ let of_run ~messages ~counters ~messages_sent ~messages_delivered ~messages_drop
 
 let of_system (type a) (module M : System_intf.S with type t = a) (sys : a) =
   let net = M.net sys in
-  let storage =
-    List.fold_left
-      (fun acc node -> acc + Server.storage_bytes (M.server sys node))
-      0 (M.server_nodes sys)
-  in
+  let storage = Replica_group.storage_bytes (M.storage sys) in
   of_run
     ~messages:(M.submitted sys)
     ~counters:(M.counters sys)

@@ -14,9 +14,12 @@ type state = {
   mutable submitted_at : float;
   mutable copies_deposited : int;
   mutable copies_fetched : int;
+  mutable copies_purged : int;
   mutable retrievals : int;
   mutable first_retrieved_at : float;  (* nan until retrieved *)
   mutable undeliverable : string option;
+  mutable quorum_acks : int;
+  mutable degraded_acks : int;
 }
 
 type t = { entries : (Message.id, state) Hashtbl.t }
@@ -33,9 +36,12 @@ let entry t id =
           submitted_at = nan;
           copies_deposited = 0;
           copies_fetched = 0;
+          copies_purged = 0;
           retrievals = 0;
           first_retrieved_at = nan;
           undeliverable = None;
+          quorum_acks = 0;
+          degraded_acks = 0;
         }
       in
       Hashtbl.replace t.entries id st;
@@ -53,6 +59,15 @@ let record_deposit t (m : Message.t) ~at:_ =
 let record_fetch t (m : Message.t) ~at:_ =
   let st = entry t m.Message.id in
   st.copies_fetched <- st.copies_fetched + 1
+
+let record_purge t (m : Message.t) ~at:_ =
+  let st = entry t m.Message.id in
+  st.copies_purged <- st.copies_purged + 1
+
+let record_ack t (m : Message.t) ~degraded ~at:_ =
+  let st = entry t m.Message.id in
+  if degraded then st.degraded_acks <- st.degraded_acks + 1
+  else st.quorum_acks <- st.quorum_acks + 1
 
 let record_retrieve t (m : Message.t) ~at =
   let st = entry t m.Message.id in
@@ -72,7 +87,7 @@ let settled t id =
   match Hashtbl.find_opt t.entries id with
   | None -> true
   | Some st ->
-      st.copies_fetched >= st.copies_deposited
+      st.copies_fetched + st.copies_purged >= st.copies_deposited
       && (st.retrievals > 0 || st.undeliverable <> None)
 
 type violation_kind = Lost | Duplicate
@@ -87,6 +102,9 @@ type verdict = {
   duplicates : int;
   spurious_bounces : int;
   in_mailbox : int;
+  purged : int;
+  quorum_acks : int;
+  degraded_acks : int;
   ok : bool;
   violations : violation list;
 }
@@ -99,11 +117,19 @@ let check t =
   and dups = ref 0
   and spurious = ref 0
   and in_mailbox = ref 0
+  and purged = ref 0
+  and quorum_acks = ref 0
+  and degraded_acks = ref 0
   and violations = ref [] in
   Hashtbl.iter
     (fun id st ->
       if st.submits > 0 then incr submitted;
-      in_mailbox := !in_mailbox + Int.max 0 (st.copies_deposited - st.copies_fetched);
+      purged := !purged + st.copies_purged;
+      quorum_acks := !quorum_acks + st.quorum_acks;
+      degraded_acks := !degraded_acks + st.degraded_acks;
+      in_mailbox :=
+        !in_mailbox
+        + Int.max 0 (st.copies_deposited - st.copies_fetched - st.copies_purged);
       if st.retrievals = 1 then begin
         incr delivered;
         if st.undeliverable <> None then incr spurious
@@ -146,6 +172,9 @@ let check t =
     duplicates = !dups;
     spurious_bounces = !spurious;
     in_mailbox = !in_mailbox;
+    purged = !purged;
+    quorum_acks = !quorum_acks;
+    degraded_acks = !degraded_acks;
     ok = !lost = 0 && !dups = 0;
     violations;
   }
@@ -163,6 +192,9 @@ let verdict_to_json v =
       ("duplicates", Telemetry.Json.Int v.duplicates);
       ("spurious_bounces", Telemetry.Json.Int v.spurious_bounces);
       ("in_mailbox", Telemetry.Json.Int v.in_mailbox);
+      ("purged", Telemetry.Json.Int v.purged);
+      ("quorum_acks", Telemetry.Json.Int v.quorum_acks);
+      ("degraded_acks", Telemetry.Json.Int v.degraded_acks);
       ( "violations",
         Telemetry.Json.List
           (List.map

@@ -32,6 +32,18 @@ val record_fetch : t -> Message.t -> at:float -> unit
 (** A copy was drained out of a mailbox by a retrieval round — counted
     {e before} agent-side dedup, once per copy. *)
 
+val record_purge : t -> Message.t -> at:float -> unit
+(** A replica copy was dropped unfetched because another chain member
+    already served the message ({!Replica_group} purge-on-fetch or
+    recovery resync).  Purged copies count as accounted-for alongside
+    fetched ones, so replication does not stop ids from settling. *)
+
+val record_ack : t -> Message.t -> degraded:bool -> at:float -> unit
+(** The replication round for one deposit finished and the pipeline
+    acked upstream: [degraded = false] means the write quorum was
+    reached, [degraded = true] means the round timed out below quorum
+    (but with at least the coordinator's copy stored). *)
+
 val record_retrieve : t -> Message.t -> at:float -> unit
 (** The message was accepted into the recipient's inbox (post-dedup).
     More than one of these per id is the duplicate violation. *)
@@ -44,11 +56,11 @@ val size : t -> int
 
 val settled : t -> Message.id -> bool
 (** The id's outcome is final (retrieved or declared undeliverable)
-    {e and} every deposited copy has been fetched back out of its
-    mailbox, so no later event can resurface it.  Dedup state for a
-    settled id is safe to prune — this is the signal
-    [Pipeline.compact] and [User_agent.compact] act on.  Unknown ids
-    are settled. *)
+    {e and} every deposited copy has been fetched or purged back out
+    of its mailbox, so no later event can resurface it.  Dedup state
+    for a settled id is safe to prune — this is the signal
+    [Pipeline.compact], [User_agent.compact] and
+    [Replica_group.compact] act on.  Unknown ids are settled. *)
 
 type violation_kind = Lost | Duplicate
 
@@ -65,7 +77,11 @@ type verdict = {
           ack vanished and retries ran out after the copy had landed.
           At-least-once delivery permits this; counted, not a
           violation. *)
-  in_mailbox : int;  (** deposited copies never fetched (informational). *)
+  in_mailbox : int;
+      (** deposited copies never fetched nor purged (informational). *)
+  purged : int;  (** replica copies dropped unfetched (informational). *)
+  quorum_acks : int;  (** replication rounds acked at full write quorum. *)
+  degraded_acks : int;  (** rounds acked below quorum after timeout. *)
   ok : bool;  (** [lost = 0 && duplicates = 0]. *)
   violations : violation list;  (** sorted by message id. *)
 }

@@ -37,7 +37,7 @@ type t = {
   engine : Dsim.Engine.t;
   pipeline : ctrl Pipeline.t;
   graph : Netsim.Graph.t;
-  servers : (Netsim.Graph.node, Server.t) Hashtbl.t;
+  storage : Replica_group.t;
   region_servers : (string, Netsim.Graph.node list) Hashtbl.t;
   agents : (Naming.Name.t, User_agent.t) Hashtbl.t;
   primary_hosts : (Naming.Name.t, Netsim.Graph.node) Hashtbl.t;
@@ -79,14 +79,8 @@ let agent t name =
       invalid_arg
         (Printf.sprintf "Location_system: unknown user %s" (Naming.Name.to_string name))
 
-let server_nodes t =
-  Hashtbl.fold (fun node _ acc -> node :: acc) t.servers [] |> List.sort Int.compare
-
-let server t node =
-  match Hashtbl.find_opt t.servers node with
-  | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Location_system: node %d is not a server" node)
-
+let storage t = t.storage
+let server_nodes t = Replica_group.nodes t.storage
 let space t region = Hashtbl.find_opt t.spaces region
 
 let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
@@ -142,12 +136,7 @@ let rec canonical t name =
 
 (* --- operations -------------------------------------------------------- *)
 
-let view t =
-  {
-    User_agent.is_alive = (fun node -> Netsim.Net.is_up (net t) node);
-    last_start = (fun node -> Server.last_start (server t node));
-    fetch = (fun node name ~at -> Server.fetch (server t node) name ~at);
-  }
+let view t = Replica_group.view t.storage
 
 (* §3.2.2c: the user's host talks to the nearest active server, which
    relays the polls to the authority servers.  The communication cost
@@ -195,7 +184,8 @@ let compact t =
     Hashtbl.fold
       (fun _ a acc -> acc + User_agent.compact a prunable)
       t.agents
-      (Pipeline.compact t.pipeline prunable)
+      (Pipeline.compact t.pipeline prunable
+      + Replica_group.compact t.storage prunable)
   in
   if dropped > 0 then count ~by:dropped t "compacted";
   dropped
@@ -342,18 +332,27 @@ let create ?(config = default_config) ?(design_label = "location")
   let metrics = Telemetry.Registry.create ~labels:[ ("design", design_label) ] () in
   let ledger = Ledger.create () in
   Telemetry.Probe.attach_engine metrics engine;
-  let servers = Hashtbl.create 16 in
   let region_servers = Hashtbl.create 4 in
   let agents = Hashtbl.create 64 in
   let primary_hosts = Hashtbl.create 64 in
   let locations = Hashtbl.create 64 in
   let spaces = Hashtbl.create 4 in
   let redirects = Hashtbl.create 4 in
+  let t_ref = ref None in
+  let the_t () = match !t_ref with Some t -> t | None -> assert false in
+  let storage =
+    Replica_group.create ~mailbox_policy:config.mailbox_policy ~ledger ~tracer
+      ~counters
+      ~chain_of:(fun name ->
+        let t = the_t () in
+        authority_of t (canonical t name))
+      ~is_up:(fun node -> Netsim.Net.is_up (Pipeline.net (the_t ()).pipeline) node)
+      ()
+  in
   List.iter
     (fun node ->
       let region = region_of_node site.graph node in
-      Hashtbl.replace servers node
-        (Server.create ~mailbox_policy:config.mailbox_policy ~node ~region ());
+      Replica_group.add_holder storage ~node ~region;
       let existing =
         match Hashtbl.find_opt region_servers region with Some l -> l | None -> []
       in
@@ -362,12 +361,9 @@ let create ?(config = default_config) ?(design_label = "location")
         Hashtbl.replace spaces region
           (Naming.Name_space.create (Naming.Name_space.By_hash config.hash_groups)))
     site.servers;
-  let t_ref = ref None in
-  let the_t () = match !t_ref with Some t -> t | None -> assert false in
   let callbacks =
     {
-      Pipeline.server_of = (fun node -> server (the_t ()) node);
-      region_servers =
+      Pipeline.region_servers =
         (fun region ->
           match Hashtbl.find_opt region_servers region with Some l -> l | None -> []);
       canonical = (fun name -> canonical (the_t ()) name);
@@ -382,7 +378,7 @@ let create ?(config = default_config) ?(design_label = "location")
           let host = User_agent.host a in
           servers_by_distance t ~from_host:host
             ~region:(region_of_node t.graph host));
-      on_deposit = (fun _ ~on:_ -> ());
+      on_deposit = (fun _ ~on:_ ~ack:_ -> ());
       cached_authority = (fun ~at:_ _ -> None);
       on_forward_resolved = (fun ~at:_ _ _ -> ());
       on_undeliverable =
@@ -411,9 +407,10 @@ let create ?(config = default_config) ?(design_label = "location")
   in
   let pipeline =
     Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
-      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger ~storage
       {
-        Pipeline.retry_timeout = config.retry_timeout;
+        Pipeline.default_pipeline_config with
+        retry_timeout = config.retry_timeout;
         resubmit_timeout = config.resubmit_timeout;
         max_retries = config.max_retries;
         service_rate = config.service_rate;
@@ -427,7 +424,7 @@ let create ?(config = default_config) ?(design_label = "location")
       engine;
       pipeline;
       graph = site.graph;
-      servers;
+      storage;
       region_servers;
       agents;
       primary_hosts;
@@ -447,10 +444,8 @@ let create ?(config = default_config) ?(design_label = "location")
   in
   t_ref := Some t;
   Netsim.Net.on_status_change (net t) (fun ~time node up ->
-      if up then
-        match Hashtbl.find_opt servers node with
-        | Some srv -> Server.note_recovery srv ~at:time
-        | None -> ());
+      if up && Replica_group.mem_holder storage node then
+        Replica_group.note_recovery storage ~node ~at:time);
   List.iter
     (fun (host, _population) ->
       let region = region_of_node site.graph host in

@@ -55,7 +55,11 @@ val now : t -> float
 val users : t -> Naming.Name.t list
 val agent : t -> Naming.Name.t -> User_agent.t
 val server_nodes : t -> Netsim.Graph.node list
-val server : t -> Netsim.Graph.node -> Server.t
+
+val storage : t -> Replica_group.t
+(** The replicated mailbox storage: every server node is a holder in
+    this group and all mailbox access goes through it. *)
+
 val space : t -> string -> Naming.Name_space.t option
 val counters : t -> Dsim.Stats.Counter.t
 

@@ -27,6 +27,11 @@ let retrieve_all t =
 
 let peek t = List.rev t.pending
 
+let remove_pending t id =
+  let before = List.length t.pending in
+  t.pending <- List.filter (fun (m : Message.t) -> m.Message.id <> id) t.pending;
+  before - List.length t.pending
+
 let cleanup t ~now ~max_age =
   let fresh, stale =
     List.partition

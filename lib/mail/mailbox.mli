@@ -33,6 +33,13 @@ val retrieve_all : t -> Message.t list
 val peek : t -> Message.t list
 (** Pending messages without removing them. *)
 
+val remove_pending : t -> Message.id -> int
+(** Drop pending copies of one message id without retrieving them —
+    the replica-group purge after another chain member served the
+    message.  Purged copies are {e not} archived (the user already has
+    the message).  Returns how many copies were dropped (0 or 1 in
+    practice). *)
+
 val cleanup : t -> now:float -> max_age:float -> int
 (** Drop archived copies deposited more than [max_age] ago; returns
     how many were dropped. *)

@@ -2,14 +2,25 @@ type 'ctrl wire =
   | Submit of Message.t
   | Forward of Message.t
   | Deposit of Message.t
+  | Replicate of Message.t
+  | Replicated of Message.id
   | Ack of Message.id
   | Notify of Naming.Name.t * Message.id
   | Ctrl of 'ctrl
+
+type ack = Quorum | Degraded | Unavailable
+
+let ack_to_string = function
+  | Quorum -> "quorum"
+  | Degraded -> "degraded"
+  | Unavailable -> "unavailable"
 
 type config = {
   retry_timeout : float;
   resubmit_timeout : float;
   max_retries : int;
+  replicate_timeout : float;
+  max_replicate_rounds : int;
   service_rate : float option;
   service_seed : int;
 }
@@ -19,18 +30,19 @@ let default_pipeline_config =
     retry_timeout = 50.;
     resubmit_timeout = 400.;
     max_retries = 50;
+    replicate_timeout = 25.;
+    max_replicate_rounds = 3;
     service_rate = None;
     service_seed = 0;
   }
 
 type 'ctrl callbacks = {
-  server_of : Netsim.Graph.node -> Server.t;
   region_servers : string -> Netsim.Graph.node list;
   canonical : Naming.Name.t -> Naming.Name.t;
   authority_of : Naming.Name.t -> Netsim.Graph.node list;
   notify_target : Naming.Name.t -> Netsim.Graph.node option;
   submit_servers : User_agent.t -> Netsim.Graph.node list;
-  on_deposit : Message.t -> on:Netsim.Graph.node -> unit;
+  on_deposit : Message.t -> on:Netsim.Graph.node -> ack:ack -> unit;
   cached_authority :
     at:Netsim.Graph.node -> Naming.Name.t -> Netsim.Graph.node list option;
   on_forward_resolved :
@@ -51,6 +63,27 @@ type pending = {
   mutable acked : bool;
 }
 
+(* Who is waiting for this deposit's acknowledgement: the local
+   deposit path (a pending on the coordinator itself) or an upstream
+   server that sent a [Deposit] over the wire. *)
+type upstream = Local | Remote of Netsim.Graph.node
+
+(* One quorum-replication round: the coordinator wrote its local copy
+   and fans [Replicate] out to the rest of the recipient's chain; the
+   upstream ack is withheld until [needed] chain members hold the copy
+   (quorum) or the round budget runs out (degraded). *)
+type round = {
+  r_msg : Message.t;
+  coordinator : Netsim.Graph.node;
+  chain : Netsim.Graph.node list;
+  needed : int;
+  mutable stored : Netsim.Graph.node list;  (* chain members holding a copy *)
+  mutable upstreams : upstream list;
+  mutable rounds_left : int;
+  started : float;
+  mutable finished : bool;
+}
+
 (* FIFO work queue of one server under the Exp(mu) service model. *)
 type srv_queue = {
   mutable busy : bool;
@@ -64,11 +97,15 @@ type 'ctrl t = {
   config : config;
   engine : Dsim.Engine.t;
   net : 'ctrl wire Netsim.Net.t;
+  storage : Replica_group.t;
   callbacks : 'ctrl callbacks;
   counters : Dsim.Stats.Counter.t;
   trace : Dsim.Trace.t;
   pendings : (Netsim.Graph.node * Message.id, pending) Hashtbl.t;
-  seen_deposits : (Netsim.Graph.node * Message.id, unit) Hashtbl.t;
+  rounds : (Netsim.Graph.node * Message.id, round) Hashtbl.t;
+      (* open replication rounds, keyed by coordinator *)
+  completed : (Netsim.Graph.node * Message.id, unit) Hashtbl.t;
+      (* finished rounds: a retransmitted Deposit is re-acked instantly *)
   dead : (Message.id, unit) Hashtbl.t;
       (* declared undeliverable: no further resubmissions *)
   submit_timers : (Message.id, unit) Hashtbl.t;
@@ -87,6 +124,14 @@ type 'ctrl t = {
       (* messages whose "submit" span was already emitted *)
   hop_sends : (Netsim.Graph.node * Message.id, string * Netsim.Graph.node * float) Hashtbl.t;
       (* in-flight Forward/Deposit hops: span name, source, send time *)
+  fences : (Message.id, float) Hashtbl.t;
+      (* per id, the latest scheduled arrival time of any in-flight
+         wire message carrying the full Message.t.  Until that time
+         the id must not be compacted: a late Submit/Forward/Deposit/
+         Replicate arriving after the dedup state (completed rounds,
+         the replica group's retrieved set, the agents' seen sets) was
+         pruned would re-open deposit machinery and resurrect an
+         already-retrieved message as a fresh copy — a duplicate. *)
 }
 
 let net t = t.net
@@ -168,6 +213,19 @@ let first_active t nodes = List.find_opt (fun s -> Netsim.Net.is_up t.net s) nod
 
 let is_dead t id = Hashtbl.mem t.dead id
 
+(* Send a wire message that carries the full Message.t (Submit,
+   Forward, Deposit, Replicate) and fence its id against compaction
+   until the scheduled arrival has passed — see the [fences] field. *)
+let send_fenced ?bytes t ~src ~dst wire (id : Message.id) =
+  match Netsim.Net.send_timed ?bytes t.net ~src ~dst wire with
+  | None -> false
+  | Some latency ->
+      let until = now t +. latency in
+      (match Hashtbl.find_opt t.fences id with
+      | Some f when f >= until -> ()
+      | _ -> Hashtbl.replace t.fences id until);
+      true
+
 (* Remember an in-flight server→server hop so the receiving node can
    close the transit span; each (destination, message) keeps only the
    latest send — a retry supersedes the lost original. *)
@@ -237,21 +295,110 @@ let ack_pending t ~holder id =
       Hashtbl.remove t.pendings (holder, id)
   | None -> ()
 
-let do_deposit t ~on msg =
-  let key = (on, msg.Message.id) in
-  if not (Hashtbl.mem t.seen_deposits key) then begin
-    Hashtbl.replace t.seen_deposits key ();
-    Server.deposit (t.callbacks.server_of on) msg ~at:(now t);
-    Option.iter (fun l -> Ledger.record_deposit l msg ~at:(now t)) t.ledger;
-    count t "deposits";
-    emit_span t msg ~name:"deposit" ~start:(now t) ~finish:(now t)
-      [ ("server", node_label t on) ];
-    t.callbacks.on_deposit msg ~on;
-    match t.callbacks.notify_target msg.Message.recipient with
+(* Acknowledge one deposit upstream: clear the coordinator's own
+   pending (local path) or send a wire Ack to the server that pushed
+   the Deposit. *)
+let ack_upstream t ~on ~upstream id =
+  match upstream with
+  | Local -> ack_pending t ~holder:on id
+  | Remote src -> ignore (Netsim.Net.send t.net ~src:on ~dst:src (Ack id))
+
+let send_replicates t (r : round) =
+  List.iter
+    (fun node ->
+      if
+        node <> r.coordinator
+        && (not (List.mem node r.stored))
+        && Netsim.Net.is_up t.net node
+      then begin
+        count t "replica_replicate_sends";
+        ignore
+          (send_fenced ~bytes:(Message.size_bytes r.r_msg) t ~src:r.coordinator
+             ~dst:node (Replicate r.r_msg) r.r_msg.Message.id)
+      end)
+    r.chain
+
+let finish_round t (r : round) ~degraded =
+  if not r.finished then begin
+    r.finished <- true;
+    let id = r.r_msg.Message.id in
+    Hashtbl.remove t.rounds (r.coordinator, id);
+    Hashtbl.replace t.completed (r.coordinator, id) ();
+    let ack = if degraded then Degraded else Quorum in
+    count t (if degraded then "replica_degraded_acks" else "replica_quorum_acks");
+    Option.iter (fun l -> Ledger.record_ack l r.r_msg ~degraded ~at:(now t)) t.ledger;
+    emit_span t r.r_msg ~name:"deposit.replicate" ~start:r.started ~finish:(now t)
+      [
+        ("server", node_label t r.coordinator);
+        ("ack", ack_to_string ack);
+        ("copies", string_of_int (List.length r.stored));
+        ("chain", string_of_int (List.length r.chain));
+      ];
+    t.callbacks.on_deposit r.r_msg ~on:r.coordinator ~ack;
+    (match t.callbacks.notify_target r.r_msg.Message.recipient with
     | Some host ->
-        ignore (Netsim.Net.send t.net ~src:on ~dst:host (Notify (msg.Message.recipient, msg.Message.id)))
-    | None -> ()
+        ignore
+          (Netsim.Net.send t.net ~src:r.coordinator ~dst:host
+             (Notify (r.r_msg.Message.recipient, id)))
+    | None -> ());
+    List.iter (fun up -> ack_upstream t ~on:r.coordinator ~upstream:up id) r.upstreams
   end
+
+let rec arm_round_timer t (r : round) =
+  ignore
+    (Dsim.Engine.schedule_after ~category:"pipeline.replicate" t.engine
+       t.config.replicate_timeout (fun () ->
+         if not r.finished then
+           if r.rounds_left <= 0 then finish_round t r ~degraded:true
+           else begin
+             r.rounds_left <- r.rounds_left - 1;
+             send_replicates t r;
+             arm_round_timer t r
+           end))
+
+(* Quorum deposit (the tentpole): the coordinator — the first active
+   server of the recipient's chain — writes its local copy, then the
+   upstream acknowledgement is withheld until a write quorum of the
+   chain holds the copy, or the bounded replicate-round budget runs
+   out (degraded ack: at least the coordinator's copy is on disk, so
+   mail is never lost, only under-replicated). *)
+let do_deposit t ~on ~upstream msg =
+  let key = (on, msg.Message.id) in
+  if Hashtbl.mem t.completed key then ack_upstream t ~on ~upstream msg.Message.id
+  else
+    match Hashtbl.find_opt t.rounds key with
+    | Some r ->
+        if not (List.mem upstream r.upstreams) then
+          r.upstreams <- upstream :: r.upstreams
+    | None ->
+        let recipient = t.callbacks.canonical msg.Message.recipient in
+        let chain = t.callbacks.authority_of recipient in
+        let chain = if List.mem on chain then chain else on :: chain in
+        (match Replica_group.write t.storage ~on msg ~at:(now t) with
+        | Replica_group.Stored ->
+            count t "deposits";
+            emit_span t msg ~name:"deposit" ~start:(now t) ~finish:(now t)
+              [ ("server", node_label t on) ]
+        | Replica_group.Duplicate | Replica_group.Superseded -> ());
+        let r =
+          {
+            r_msg = msg;
+            coordinator = on;
+            chain;
+            needed = Replica_group.quorum_of chain;
+            stored = [ on ];
+            upstreams = [ upstream ];
+            rounds_left = t.config.max_replicate_rounds;
+            started = now t;
+            finished = false;
+          }
+        in
+        Hashtbl.replace t.rounds key r;
+        if List.length r.stored >= r.needed then finish_round t r ~degraded:false
+        else begin
+          send_replicates t r;
+          arm_round_timer t r
+        end
 
 (* Phase 3 (§3.1.2c): deposit into the first active server of a given
    authority list. *)
@@ -259,17 +406,18 @@ let rec deposit_with t ~at_server msg authority =
   match first_active t authority with
   | None ->
       count t "deposit_stalled";
+      count t "replica_unavailable_acks";
       pending_for t ~holder:at_server msg (fun () -> deposit_phase t ~at_server msg)
   | Some target when target = at_server ->
-      do_deposit t ~on:at_server msg;
-      ack_pending t ~holder:at_server msg.Message.id
+      pending_for t ~holder:at_server msg (fun () -> deposit_phase t ~at_server msg);
+      do_deposit t ~on:at_server ~upstream:Local msg
   | Some target ->
       pending_for t ~holder:at_server msg (fun () -> deposit_phase t ~at_server msg);
       msg.Message.forward_hops <- msg.Message.forward_hops + 1;
       record_hop t msg ~name:"deposit.hop" ~src:at_server ~dst:target;
       ignore
-        (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net ~src:at_server
-           ~dst:target (Deposit msg))
+        (send_fenced ~bytes:(Message.size_bytes msg) t ~src:at_server ~dst:target
+           (Deposit msg) msg.Message.id)
 
 and deposit_phase t ~at_server msg =
   let recipient = t.callbacks.canonical msg.Message.recipient in
@@ -283,9 +431,11 @@ and deposit_phase t ~at_server msg =
 (* Phase 2 (§3.1.2b): resolution and forwarding toward the
    recipient's region, short-circuited by the resolution cache. *)
 let rec resolve_phase t ~at_server msg =
-  let srv = t.callbacks.server_of at_server in
   let recipient = t.callbacks.canonical msg.Message.recipient in
-  if String.equal (Naming.Name.region recipient) (Server.region srv) then
+  if
+    String.equal (Naming.Name.region recipient)
+      (Replica_group.region t.storage at_server)
+  then
     deposit_phase t ~at_server msg
   else begin
     match t.callbacks.cached_authority ~at:at_server recipient with
@@ -301,12 +451,13 @@ let rec resolve_phase t ~at_server msg =
             msg.Message.forward_hops <- msg.Message.forward_hops + 1;
             record_hop t msg ~name:"deposit.hop" ~src:at_server ~dst:target;
             ignore
-              (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net ~src:at_server
-                 ~dst:target (Deposit msg))
+              (send_fenced ~bytes:(Message.size_bytes msg) t ~src:at_server
+                 ~dst:target (Deposit msg) msg.Message.id)
         | Some target ->
             ignore target;
-            do_deposit t ~on:at_server msg;
-            ack_pending t ~holder:at_server msg.Message.id
+            pending_for t ~holder:at_server msg (fun () ->
+                resolve_phase t ~at_server msg);
+            do_deposit t ~on:at_server ~upstream:Local msg
         | None -> assert false)
     | _ -> (
         let target_region = Naming.Name.region recipient in
@@ -331,8 +482,8 @@ let rec resolve_phase t ~at_server msg =
                 msg.Message.forward_hops <- msg.Message.forward_hops + 1;
                 record_hop t msg ~name:"forward.hop" ~src:at_server ~dst:target;
                 ignore
-                  (Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net
-                     ~src:at_server ~dst:target (Forward msg))))
+                  (send_fenced ~bytes:(Message.size_bytes msg) t ~src:at_server
+                     ~dst:target (Forward msg) msg.Message.id)))
   end
 
 (* A copy parked in a service queue is owned by neither a pending nor
@@ -373,12 +524,32 @@ let handle_wire t node ~time ~src msg =
           end_work t m;
           deposit_phase t ~at_server:node m)
   | Deposit m ->
-      ignore (Netsim.Net.send t.net ~src:node ~dst:src (Ack m.Message.id));
+      (* No immediate ack: the upstream's pending is cleared only once
+         this coordinator's replication round reaches quorum (or
+         degrades) — [finish_round] sends the Ack. *)
       emit_hop t node ~time m;
       begin_work t m;
       through_queue t node ~msg:m (fun () ->
           end_work t m;
-          do_deposit t ~on:node m)
+          do_deposit t ~on:node ~upstream:(Remote src) m)
+  | Replicate m ->
+      (* A replica write from a coordinator.  Always confirm — a
+         Duplicate or Superseded copy still means this node (or the
+         delivery invariant) already accounts for the id, which is all
+         the quorum needs to know. *)
+      (match Replica_group.write t.storage ~on:node m ~at:time with
+      | Replica_group.Stored | Replica_group.Duplicate | Replica_group.Superseded
+        ->
+          ());
+      ignore (Netsim.Net.send t.net ~src:node ~dst:src (Replicated m.Message.id))
+  | Replicated id -> (
+      match Hashtbl.find_opt t.rounds (node, id) with
+      | Some r when not r.finished ->
+          if not (List.mem src r.stored) then begin
+            r.stored <- src :: r.stored;
+            if List.length r.stored >= r.needed then finish_round t r ~degraded:false
+          end
+      | _ -> ())
   | Ack id -> ack_pending t ~holder:node id
   | Notify _ -> count t "notifications"
   | Ctrl c -> t.callbacks.on_ctrl node ~time ~src c
@@ -401,8 +572,9 @@ let rec try_submit t msg sender_agent =
           count t "submit_attempts";
           if
             Netsim.Net.is_up t.net s
-            && Netsim.Net.send ~bytes:(Message.size_bytes msg) t.net
+            && send_fenced ~bytes:(Message.size_bytes msg) t
                  ~src:(User_agent.host sender_agent) ~dst:s (Submit msg)
+                 msg.Message.id
           then
             (* Accepted for transmission: arm the end-to-end safety
                net in case the submission is lost downstream. *)
@@ -452,21 +624,39 @@ let submit t ~sender_agent ~msg =
 let pending_count t = Hashtbl.length t.pendings
 
 let dedup_entries t =
-  Hashtbl.length t.seen_deposits + Hashtbl.length t.dead
+  Hashtbl.length t.completed + Hashtbl.length t.dead
   + Hashtbl.length t.submit_spans + Hashtbl.length t.hop_sends
 
 let prunable t ~ledger =
   (* Ids still referenced by live pipeline machinery: a pending
-     transfer, a parked service-queue copy, or an armed submit timer
-     can all produce further events for the id. *)
+     transfer, a parked service-queue copy, an armed submit timer, an
+     open replication round, or a message-bearing wire send that has
+     not reached its scheduled arrival yet can all produce further
+     events for the id. *)
   let live = Hashtbl.create 64 in
   Hashtbl.iter (fun (_, id) _ -> Hashtbl.replace live id ()) t.pendings;
   Hashtbl.iter (fun id _ -> Hashtbl.replace live id ()) t.in_work;
   Hashtbl.iter (fun id _ -> Hashtbl.replace live id ()) t.submit_timers;
+  Hashtbl.iter (fun (_, id) _ -> Hashtbl.replace live id ()) t.rounds;
+  let horizon = now t in
+  Hashtbl.iter
+    (fun id until -> if until >= horizon then Hashtbl.replace live id ())
+    t.fences;
   fun id -> (not (Hashtbl.mem live id)) && Ledger.settled ledger id
 
 let compact t keep_out =
   let dropped = ref 0 in
+  (* Expired fences are dead weight regardless of the ledger verdict:
+     the send they covered has landed (or vanished) by now. *)
+  let horizon = now t in
+  let expired =
+    (* lint: allow unsorted-fold — collects ids only; sorted before removal *)
+    Hashtbl.fold
+      (fun id until acc -> if until < horizon then id :: acc else acc)
+      t.fences []
+    |> List.sort Int.compare
+  in
+  List.iter (Hashtbl.remove t.fences) expired;
   let prune tbl id_of =
     let doomed =
       (* lint: allow unsorted-fold — pure removal set over heterogeneous key types; deletion order cannot reach any observable state *)
@@ -478,14 +668,14 @@ let compact t keep_out =
         incr dropped)
       doomed
   in
-  prune t.seen_deposits snd;
+  prune t.completed snd;
   prune t.dead Fun.id;
   prune t.submit_spans Fun.id;
   prune t.hop_sends snd;
   !dropped
 
 let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rate
-    ?ledger config callbacks =
+    ?ledger ~storage config callbacks =
   let net = Netsim.Net.create ~engine ~trace ?bandwidth ?loss_rate graph in
   (* Registered eagerly (even when the service model is off) so every
      design's registry exposes the same metric names. *)
@@ -500,11 +690,13 @@ let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rat
       config;
       engine;
       net;
+      storage;
       callbacks;
       counters;
       trace;
       pendings = Hashtbl.create 64;
-      seen_deposits = Hashtbl.create 64;
+      rounds = Hashtbl.create 64;
+      completed = Hashtbl.create 64;
       dead = Hashtbl.create 16;
       submit_timers = Hashtbl.create 64;
       in_work = Hashtbl.create 64;
@@ -516,6 +708,7 @@ let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rat
       tracer;
       submit_spans = Hashtbl.create 64;
       hop_sends = Hashtbl.create 64;
+      fences = Hashtbl.create 64;
     }
   in
   List.iter

@@ -7,22 +7,53 @@
     recipient's authority list, acknowledgement back to the holder
     with timeout-driven retries — and differ only in {e how names map
     to servers and hosts}.  Those differences enter through
-    {!callbacks}. *)
+    {!callbacks}.
+
+    Since the replicated-storage redesign the deposit phase is a
+    {e quorum write}: the first active chain member (the coordinator)
+    stores its local copy into the {!Replica_group}, fans [Replicate]
+    out to the rest of the recipient's chain, and withholds the
+    upstream acknowledgement until a majority of the chain holds the
+    copy ({!Quorum}) or the bounded replicate budget runs out
+    ({!Degraded} — the coordinator's copy is on disk, so mail is
+    never lost, only under-replicated). *)
 
 type 'ctrl wire =
   | Submit of Message.t
   | Forward of Message.t  (** to a server in the recipient's region. *)
   | Deposit of Message.t  (** to an authority server of the recipient. *)
+  | Replicate of Message.t
+      (** coordinator → chain member: store one replica copy. *)
+  | Replicated of Message.id
+      (** chain member → coordinator: the copy is held (or already
+          accounted for). *)
   | Ack of Message.id
   | Notify of Naming.Name.t * Message.id  (** server → recipient's host. *)
   | Ctrl of 'ctrl
       (** system-specific control-plane traffic (e.g. design 2's
           location gossip), dispatched to [on_ctrl]. *)
 
+type ack = Quorum | Degraded | Unavailable
+    (** Typed deposit acknowledgement: [Quorum] — a write quorum of
+        the recipient's chain holds the copy; [Degraded] — the
+        replication round exhausted its budget below quorum (at least
+        the coordinator's copy is stored); [Unavailable] — no chain
+        member is reachable at all, the deposit stays pending and
+        retries (reported via the ["replica_unavailable_acks"]
+        counter, not via [on_deposit]). *)
+
+val ack_to_string : ack -> string
+
 type config = {
   retry_timeout : float;
   resubmit_timeout : float;
   max_retries : int;
+  replicate_timeout : float;
+      (** how long a coordinator waits for [Replicated] confirmations
+          before resending (or degrading). *)
+  max_replicate_rounds : int;
+      (** resend rounds before a below-quorum deposit acks
+          [Degraded]. *)
   service_rate : float option;
       (** [Some mu]: every server processes submits, forwards and
           deposits through a FIFO queue with Exp(mu) service times —
@@ -32,25 +63,27 @@ type config = {
 }
 
 val default_pipeline_config : config
-(** retry 50, resubmit 400, max_retries 50, no service model. *)
+(** retry 50, resubmit 400, max_retries 50, replicate 25 × 3 rounds,
+    no service model. *)
 
 type 'ctrl callbacks = {
-  server_of : Netsim.Graph.node -> Server.t;
   region_servers : string -> Netsim.Graph.node list;
       (** servers able to resolve names of that region ([] = unknown
           region). *)
   canonical : Naming.Name.t -> Naming.Name.t;
       (** follow redirections for migrated users (identity if none). *)
   authority_of : Naming.Name.t -> Netsim.Graph.node list;
-      (** the recipient's ordered authority-server list. *)
+      (** the recipient's ordered authority chain (primary first) —
+          also the replication set of the quorum write. *)
   notify_target : Naming.Name.t -> Netsim.Graph.node option;
       (** host to send the new-mail alert to ([None] = no alert). *)
   submit_servers : User_agent.t -> Netsim.Graph.node list;
       (** servers the sender's agent tries for connection setup, in
           order (design 1: the agent's authority list; design 2: the
           region's servers nearest the current host). *)
-  on_deposit : Message.t -> on:Netsim.Graph.node -> unit;
-      (** extra system hook, called once per (server, message). *)
+  on_deposit : Message.t -> on:Netsim.Graph.node -> ack:ack -> unit;
+      (** extra system hook, called once per finished replication
+          round with the coordinator node and the typed ack. *)
   cached_authority :
     at:Netsim.Graph.node -> Naming.Name.t -> Netsim.Graph.node list option;
       (** §4.1 caching: a resolving server may remember a foreign
@@ -85,10 +118,14 @@ val create :
   ?bandwidth:float ->
   ?loss_rate:float ->
   ?ledger:Ledger.t ->
+  storage:Replica_group.t ->
   config ->
   'ctrl callbacks ->
   'ctrl t
 (** Builds the network and registers a pipeline handler on every node.
+    [storage] is the replica group holding every mailbox — the
+    pipeline writes copies through it and never touches {!Server}
+    directly.
     When [metrics] is given, queue waiting times are additionally
     observed live into its ["queue_wait"] histogram (registered
     eagerly, so the metric exists even with the service model off).
@@ -97,25 +134,30 @@ val create :
     it: ["submit"] (submission → first server acceptance),
     ["queue_wait"] (arrival → service start at each server;
     zero-length when the service model is off), ["forward.hop"] /
-    ["deposit.hop"] (server→server transit), and the instant
-    ["deposit"].  An undeliverable message's root span is finished at
-    declaration time with an ["outcome"] attribute.
+    ["deposit.hop"] (server→server transit), the instant ["deposit"]
+    (coordinator's local copy), and ["deposit.replicate"] (round
+    start → ack, with [ack]/[copies]/[chain] attributes).
     Counter keys written: ["submitted"], ["submit_attempts"],
     ["submit_attempt_failures"], ["submit_deferred"],
     ["submits_received"], ["deposits"], ["redirect... "] (via the
     system's [canonical]), ["retries"], ["gave_up"],
     ["deposit_stalled"], ["forward_stalled"], ["unresolvable"],
-    ["resubmissions"], ["notifications"].
-    When [ledger] is given, the pipeline records submits, per-server
-    mailbox deposits and undeliverable declarations into it (agents
-    record the fetch/retrieve side — see {!User_agent}).
+    ["resubmissions"], ["notifications"],
+    ["replica_replicate_sends"], ["replica_quorum_acks"],
+    ["replica_degraded_acks"], ["replica_unavailable_acks"].
+    When [ledger] is given, the pipeline records submits, replication
+    acks and undeliverable declarations into it; the replica group
+    records the per-copy deposit/purge side and agents record
+    fetch/retrieve (see {!User_agent}).
 
     Delivery-guarantee properties: at most {e one} submit-driver timer
     (deferral or resubmission safety net) is armed per undeposited
     message, so timers and the submit counters stay linear in outage
     length; and a pending transfer whose holder is down does not burn
     retry-budget attempts — pending state survives holder crashes, so
-    the budget only counts retries the holder could actually send. *)
+    the budget only counts retries the holder could actually send.
+    A [Deposit] is re-acknowledged instantly from the completed-rounds
+    table, so retransmissions cannot re-open a finished round. *)
 
 val net : 'ctrl t -> 'ctrl wire Netsim.Net.t
 
@@ -142,17 +184,18 @@ val server_utilisation : 'ctrl t -> Netsim.Graph.node -> float
     the service model is off or the server handled nothing. *)
 
 val dedup_entries : 'ctrl t -> int
-(** Current size of the dedup/bookkeeping tables (seen deposits, dead
-    set, emitted submit spans, in-flight hop markers) — what
+(** Current size of the dedup/bookkeeping tables (completed rounds,
+    dead set, emitted submit spans, in-flight hop markers) — what
     {!compact} bounds on long runs. *)
 
 val prunable : 'ctrl t -> ledger:Ledger.t -> Message.id -> bool
 (** [prunable t ~ledger] snapshots the ids still referenced by live
     pipeline machinery (pending transfers, queued copies, armed
-    submit timers) and returns a predicate: an id may be pruned when
-    it is not referenced {e and} {!Ledger.settled} confirms its final
-    outcome.  Build it once per compaction round and share it with
-    {!User_agent.compact}. *)
+    submit timers, open replication rounds) and returns a predicate:
+    an id may be pruned when it is not referenced {e and}
+    {!Ledger.settled} confirms its final outcome.  Build it once per
+    compaction round and share it with {!User_agent.compact} and
+    {!Replica_group.compact}. *)
 
 val compact : 'ctrl t -> (Message.id -> bool) -> int
 (** [compact t prunable] drops every dedup/bookkeeping entry whose

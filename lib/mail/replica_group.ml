@@ -1,0 +1,209 @@
+(* Replicated mailbox groups: every user's mailbox lives on an ordered
+   authority chain of holders, and this module owns all the holders of
+   one system plus the cross-holder copy bookkeeping that keeps
+   replication invisible to the ledger invariant (no lost mail, no
+   duplicate into an inbox).
+
+   The moving parts:
+
+   - [write]: one copy onto one holder, deduplicated per (holder, id)
+     and refused outright once the id was retrieved anywhere
+     ([Superseded]) — a late replicate must never resurrect a message
+     the user already has.
+   - [fetch]: drain one holder for one user.  Every message served is
+     marked retrieved group-wide; its copies on *live* other chain
+     members are purged immediately, copies on *down* members stay
+     recorded and are purged when the holder rejoins
+     ([note_recovery] resync).  Serving from a non-primary holder
+     while the primary is down is the deterministic failover the
+     tentpole asks for — counted and traced.
+   - [note_recovery]: holder rejoins — bump its LastStartTime and
+     purge every copy it holds whose id was retrieved during the
+     outage. *)
+
+type write_status = Stored | Duplicate | Superseded
+
+type copy_state = {
+  owner : Naming.Name.t;
+  mutable nodes : Netsim.Graph.node list;  (* holders with an unfetched copy *)
+}
+
+type t = {
+  mailbox_policy : Mailbox.policy;
+  holders : (Netsim.Graph.node, Server.t) Hashtbl.t;
+  chain_of : Naming.Name.t -> Netsim.Graph.node list;
+  is_up : Netsim.Graph.node -> bool;
+  copies : (Message.id, copy_state) Hashtbl.t;
+  retrieved : (Message.id, unit) Hashtbl.t;
+  counters : Dsim.Stats.Counter.t;
+  ledger : Ledger.t option;
+  tracer : Telemetry.Tracer.t option;
+}
+
+let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ?ledger ?tracer ~counters
+    ~chain_of ~is_up () =
+  {
+    mailbox_policy;
+    holders = Hashtbl.create 16;
+    chain_of;
+    is_up;
+    copies = Hashtbl.create 256;
+    retrieved = Hashtbl.create 256;
+    counters;
+    ledger;
+    tracer;
+  }
+
+let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
+
+let add_holder t ~node ~region =
+  if Hashtbl.mem t.holders node then
+    invalid_arg (Printf.sprintf "Replica_group.add_holder: node %d already added" node);
+  Hashtbl.replace t.holders node
+    (Server.create ~mailbox_policy:t.mailbox_policy ~node ~region ())
+
+let holder t node =
+  match Hashtbl.find_opt t.holders node with
+  | Some s -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Replica_group: node %d is not a mailbox holder" node)
+
+let mem_holder t node = Hashtbl.mem t.holders node
+
+let nodes t =
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.holders [] |> List.sort Int.compare
+
+let region t node = Server.region (holder t node)
+let last_start t node = Server.last_start (holder t node)
+let chain t name = t.chain_of name
+
+let quorum_of chain = (List.length chain / 2) + 1
+
+let write t ~on msg ~at =
+  let id = msg.Message.id in
+  if Hashtbl.mem t.retrieved id then Superseded
+  else begin
+    let c =
+      match Hashtbl.find_opt t.copies id with
+      | Some c -> c
+      | None ->
+          let c = { owner = msg.Message.recipient; nodes = [] } in
+          Hashtbl.replace t.copies id c;
+          c
+    in
+    if List.mem on c.nodes then Duplicate
+    else begin
+      Server.store (holder t on) msg ~at;
+      c.nodes <- on :: c.nodes;
+      Option.iter (fun l -> Ledger.record_deposit l msg ~at) t.ledger;
+      count t "replica_copy_writes";
+      Stored
+    end
+  end
+
+let copies t id =
+  match Hashtbl.find_opt t.copies id with
+  | None -> []
+  | Some c -> List.sort Int.compare c.nodes
+
+let no_copies t id = not (Hashtbl.mem t.copies id)
+
+(* Drop the copy of [id] held on [node] without serving it.  [kind]
+   names the counter: purge-on-fetch vs recovery resync. *)
+let purge_copy t ~kind ~node (c : copy_state) (m : Message.t) =
+  let dropped = Server.purge (holder t node) c.owner m.Message.id in
+  if dropped > 0 then begin
+    Option.iter (fun l -> Ledger.record_purge l m ~at:0.) t.ledger;
+    count ~by:dropped t kind
+  end;
+  c.nodes <- List.filter (fun n -> n <> node) c.nodes;
+  if c.nodes = [] then Hashtbl.remove t.copies m.Message.id
+
+let fetch t ~on name ~at =
+  let msgs = Server.take (holder t on) name ~at in
+  (* Failover observability: mail served by a lower-priority chain
+     member while the user's primary is down. *)
+  (match t.chain_of name with
+  | primary :: _ when primary <> on && (not (t.is_up primary)) && msgs <> [] ->
+      count t "replica_failovers";
+      (match t.tracer with
+      | Some tracer ->
+          ignore
+            (Telemetry.Tracer.span tracer ~name:"getmail.failover" ~start:at
+               ~finish:at
+               ~attrs:
+                 [
+                   ("user", Naming.Name.to_string name);
+                   ("served_by", string_of_int on);
+                   ("primary", string_of_int primary);
+                   ("retrieved", string_of_int (List.length msgs));
+                 ]
+               ())
+      | None -> ())
+  | _ -> ());
+  List.iter
+    (fun (m : Message.t) ->
+      Hashtbl.replace t.retrieved m.Message.id ();
+      match Hashtbl.find_opt t.copies m.Message.id with
+      | None -> ()
+      | Some c ->
+          c.nodes <- List.filter (fun n -> n <> on) c.nodes;
+          (* Purge live chain members now; down members keep their
+             recorded copy until [note_recovery] resyncs them. *)
+          let live = List.filter t.is_up c.nodes |> List.sort Int.compare in
+          List.iter (fun node -> purge_copy t ~kind:"replica_purges" ~node c m) live;
+          if c.nodes = [] then Hashtbl.remove t.copies m.Message.id)
+    msgs;
+  msgs
+
+let note_recovery t ~node ~at =
+  Server.note_recovery (holder t node) ~at;
+  (* Resync: every copy this holder kept through the outage whose id
+     was retrieved elsewhere in the meantime is now stale — purge. *)
+  let stale =
+    (* lint: allow unsorted-fold — collects ids only; sorted before any effect *)
+    Hashtbl.fold
+      (fun id c acc ->
+        if Hashtbl.mem t.retrieved id && List.mem node c.nodes then (id, c) :: acc
+        else acc)
+      t.copies []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (id, c) ->
+      (* Rebuild a minimal message view for the ledger: purge is
+         recorded per copy by id, so only the id matters. *)
+      let m =
+        Message.create ~id ~sender:c.owner ~recipient:c.owner ~submitted_at:0. ()
+      in
+      purge_copy t ~kind:"replica_resyncs" ~node c m)
+    stale
+
+let view t =
+  {
+    User_agent.is_alive = t.is_up;
+    last_start = (fun node -> last_start t node);
+    fetch = (fun node name ~at -> fetch t ~on:node name ~at);
+  }
+
+let total_pending t =
+  List.fold_left (fun acc node -> acc + Server.total_pending (holder t node)) 0 (nodes t)
+
+let storage_bytes t =
+  List.fold_left (fun acc node -> acc + Server.storage_bytes (holder t node)) 0 (nodes t)
+
+let cleanup_all t ~now ~max_age =
+  List.fold_left
+    (fun acc node -> acc + Server.cleanup (holder t node) ~now ~max_age)
+    0 (nodes t)
+
+let tracked_ids t = Hashtbl.length t.retrieved + Hashtbl.length t.copies
+
+let compact t keep_out =
+  let doomed =
+    (* lint: allow unsorted-fold — collects ids only; sorted before removal *)
+    Hashtbl.fold (fun id () acc -> if keep_out id then id :: acc else acc) t.retrieved []
+    |> List.sort Int.compare
+  in
+  List.iter (Hashtbl.remove t.retrieved) doomed;
+  List.length doomed

@@ -1,0 +1,115 @@
+(** Replicated mailbox groups — the storage layer behind the redesigned
+    system API.
+
+    §3.1.1's secondary-server extension anticipated exactly the failure
+    PR 5 measured: one crashed authority server takes its users' mail
+    with it.  This module makes the replica chains
+    ({!Loadbalance.Replicas}) real at runtime: every user's mailbox
+    lives on an ordered authority chain of {e holders}
+    ({!Server.t} instances this module owns), deposits fan out to a
+    write quorum (driven by {!Pipeline}), GetMail serves from the
+    highest-priority live holder, and the group keeps the cross-holder
+    copy bookkeeping that makes replication invisible to the delivery
+    invariant:
+
+    - a copy {!write} is deduplicated per (holder, id) and {e refused}
+      once the id was retrieved anywhere ([Superseded]) — a late
+      replicate cannot resurrect mail the user already has;
+    - a {!fetch} marks the id retrieved group-wide and purges the
+      remaining copies: live chain members immediately, down members
+      at {!note_recovery} (resync) — so duplicate copies never reach a
+      second GetMail round, and the ledger's settled-state machinery
+      ({!Ledger.settled}) still converges (purged copies count as
+      accounted-for).
+
+    Counters written: [replica_copy_writes], [replica_purges],
+    [replica_resyncs], [replica_failovers].  With a tracer, a fetch
+    served by a lower-priority holder while the primary is down emits
+    an instant ["getmail.failover"] root span. *)
+
+type write_status =
+  | Stored  (** new copy written to the holder. *)
+  | Duplicate  (** this holder already has an unfetched copy. *)
+  | Superseded
+      (** the id was already retrieved somewhere — write refused. *)
+
+type t
+
+val create :
+  ?mailbox_policy:Mailbox.policy ->
+  ?ledger:Ledger.t ->
+  ?tracer:Telemetry.Tracer.t ->
+  counters:Dsim.Stats.Counter.t ->
+  chain_of:(Naming.Name.t -> Netsim.Graph.node list) ->
+  is_up:(Netsim.Graph.node -> bool) ->
+  unit ->
+  t
+(** [chain_of] maps a user to their current ordered authority chain
+    (primary first) and [is_up] reports node liveness; both are
+    consulted at call time, so late binding through the owning system
+    is fine.  With [ledger], every copy write, purge and resync is
+    recorded ({!Ledger.record_deposit} / {!Ledger.record_purge}). *)
+
+val add_holder : t -> node:Netsim.Graph.node -> region:string -> unit
+(** Register a mailbox holder (one per server node).
+    @raise Invalid_argument if the node was already added. *)
+
+val holder : t -> Netsim.Graph.node -> Server.t
+(** @raise Invalid_argument on a non-holder node. *)
+
+val mem_holder : t -> Netsim.Graph.node -> bool
+
+val nodes : t -> Netsim.Graph.node list
+(** All holder nodes, sorted. *)
+
+val region : t -> Netsim.Graph.node -> string
+val last_start : t -> Netsim.Graph.node -> float
+val chain : t -> Naming.Name.t -> Netsim.Graph.node list
+
+val quorum_of : Netsim.Graph.node list -> int
+(** Majority write quorum of a chain: [length / 2 + 1] — 1 for a
+    singleton chain, 2 for length 2 or 3, 3 for length 4 or 5. *)
+
+val write : t -> on:Netsim.Graph.node -> Message.t -> at:float -> write_status
+(** Store one copy on one holder (coordinator local write or replica
+    write), with the dedup/refusal rules above.  Only [Stored]
+    actually touches the holder and the ledger. *)
+
+val fetch : t -> on:Netsim.Graph.node -> Naming.Name.t -> at:float -> Message.t list
+(** Drain the user's mailbox on one holder (the GetMail poll).  Every
+    served message is marked retrieved group-wide; its copies on live
+    other chain members are purged now, down members at resync.
+    Serving while the chain's primary is down counts a
+    [replica_failovers] and emits the failover span. *)
+
+val note_recovery : t -> node:Netsim.Graph.node -> at:float -> unit
+(** The holder rejoined: bump its [LastStartTime] and purge every copy
+    it holds whose id was retrieved during the outage. *)
+
+val copies : t -> Message.id -> Netsim.Graph.node list
+(** Holders with an unfetched copy of the id, sorted. *)
+
+val no_copies : t -> Message.id -> bool
+
+val view : t -> User_agent.server_view
+(** The agent-facing view of the group: liveness, [LastStartTime] and
+    {!fetch} — GetMail's ordered-scan machinery works unchanged on
+    top, but every poll now routes through the group's failover and
+    purge logic. *)
+
+val total_pending : t -> int
+val storage_bytes : t -> int
+
+val cleanup_all : t -> now:float -> max_age:float -> int
+(** Run the archive clean-up policy over every holder. *)
+
+val tracked_ids : t -> int
+(** Size of the retrieved-set plus live copy table — what {!compact}
+    bounds. *)
+
+val compact : t -> (Message.id -> bool) -> int
+(** Drop retrieved-set entries for settled ids (predicate from
+    {!Pipeline.prunable}); returns how many were removed.  Copy-table
+    entries clear themselves as copies are fetched or purged, and an
+    id with a live copy is never settled, so only the retrieved set
+    needs pruning. *)

@@ -28,6 +28,8 @@ let default_spec =
 type outcome = {
   report : Evaluation.report;
   availability : float;
+  server_uptime : float;
+  replication_factor : int;
   final_polls_per_check : float;
   inbox_total : int;
   ledger : Ledger.verdict;
@@ -35,7 +37,6 @@ type outcome = {
   metrics : Telemetry.Registry.t;
   tracer : Telemetry.Tracer.t;
   events : Dsim.Trace.t;
-  counter : string -> int;
 }
 
 let pick_pair rng users =
@@ -168,7 +169,8 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
     | Some sched -> Netsim.Fault.node_outages sched
   in
   let all_outages = outages @ fault_outages in
-  let availability =
+  (* Raw infrastructure health: mean single-node uptime. *)
+  let server_uptime =
     let nodes = M.server_nodes sys in
     if nodes = [] then 1.
     else
@@ -179,6 +181,34 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
                ~horizon:spec.duration)
         0. nodes
       /. float_of_int (List.length nodes)
+  in
+  (* Mailbox availability under replication: a user's mail is
+     reachable whenever at least one chain member is up, so
+     availability is the mean over users of their {e group}
+     availability (memoised per distinct chain — many users share
+     one). *)
+  let availability, replication_factor =
+    let memo = Hashtbl.create 16 in
+    let group chain =
+      match Hashtbl.find_opt memo chain with
+      | Some a -> a
+      | None ->
+          let a =
+            Netsim.Failure.group_availability ~outages:all_outages ~nodes:chain
+              ~horizon:spec.duration
+          in
+          Hashtbl.replace memo chain a;
+          a
+    in
+    match users with
+    | [] -> (1., 0)
+    | _ ->
+        List.fold_left
+          (fun (sum, repl) name ->
+            let chain = M.authority_of sys name in
+            (sum +. group chain, max repl (List.length chain)))
+          (0., 0) users
+        |> fun (sum, repl) -> (sum /. float_of_int (List.length users), repl)
   in
   (* Fault windows become spans so trace timelines show the outages
      next to the message lifecycles they disturbed. *)
@@ -206,6 +236,8 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
   let metrics = M.metrics sys in
   let set name v = Telemetry.Registry.set_gauge (Telemetry.Registry.gauge metrics name) v in
   set "availability" availability;
+  set "server_uptime" server_uptime;
+  set "replication_factor" (float_of_int replication_factor);
   set "inbox_total" (float_of_int inbox_total);
   set "polls_per_check" report.Evaluation.polls_per_check;
   set "trace_spans" (float_of_int (Telemetry.Tracer.total (M.tracer sys)));
@@ -222,6 +254,8 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
   {
     report;
     availability;
+    server_uptime;
+    replication_factor;
     final_polls_per_check = report.Evaluation.polls_per_check;
     inbox_total;
     ledger = ledger_verdict;
@@ -229,11 +263,6 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
     metrics;
     tracer = M.tracer sys;
     events = M.trace sys;
-    counter =
-      (fun key ->
-        match Telemetry.Registry.get_counter metrics key with
-        | 0 -> Telemetry.Registry.get_counter ~labels:[ ("event", key) ] metrics "system_events"
-        | v -> v);
   }
 
 (* Roaming hook shared by the location-based designs: before a check,

@@ -36,7 +36,19 @@ val default_spec : spec
 (** Per-scenario aggregates beyond the generic report. *)
 type outcome = {
   report : Evaluation.report;
-  availability : float;  (** mean fraction of time servers were up. *)
+  availability : float;
+      (** mailbox availability under replication: mean over users of
+          the fraction of the horizon during which at least one member
+          of their authority chain was up
+          ({!Netsim.Failure.group_availability}).  With replication 1
+          this degenerates to the per-primary uptime. *)
+  server_uptime : float;
+      (** raw infrastructure health: mean single-node uptime across
+          servers (the quantity [availability] reported before
+          replication). *)
+  replication_factor : int;
+      (** the longest authority chain any user was assigned — the
+          effective replication factor of the run. *)
   final_polls_per_check : float;
       (** polls per check over the whole run including final drain. *)
   inbox_total : int;  (** messages sitting in user inboxes at the end. *)
@@ -53,8 +65,12 @@ type outcome = {
   metrics : Telemetry.Registry.t;
       (** the run's full metric registry, snapshotted after the final
           drain ({!System.snapshot_metrics} plus the scenario gauges
-          [availability], [inbox_total], [polls_per_check],
-          [trace_spans]) — the typed replacement for [counter]. *)
+          [availability], [server_uptime], [replication_factor],
+          [inbox_total], [polls_per_check], [trace_spans]).  Counter
+          access goes through {!Telemetry.Registry.get_counter}:
+          {!System.core_counters} names read the metric of that name,
+          design-specific tallies read
+          [system_events{event=<key>}]. *)
   tracer : Telemetry.Tracer.t;
       (** the run's span collector: one ["message"] trace per
           submission, one ["getmail.check"] trace per retrieval round
@@ -63,13 +79,6 @@ type outcome = {
   events : Dsim.Trace.t;
       (** the run's bounded event log (the same one the systems write
           through; exportable via {!Dsim.Trace.to_json}). *)
-  counter : string -> int;
-      (** Deprecated — stringly counter access, kept as a shim over
-          [metrics]: a {!System.core_counters} name reads the metric
-          of that name, any other key reads
-          [system_events{event=<key>}] (e.g. ["location_updates"],
-          ["location_gossip"]).  New code should use
-          {!Telemetry.Registry.get_counter} on [metrics] directly. *)
 }
 
 val drive :

@@ -4,7 +4,7 @@ type t = {
   mailbox_policy : Mailbox.policy;
   mutable last_start : float;
   mailboxes : (Naming.Name.t, Mailbox.t) Hashtbl.t;
-  mutable deposits : int;
+  mutable stores : int;
 }
 
 let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ~node ~region () =
@@ -14,7 +14,7 @@ let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ~node ~region () =
     mailbox_policy;
     last_start = 0.;
     mailboxes = Hashtbl.create 16;
-    deposits = 0;
+    stores = 0;
   }
 
 let node t = t.node
@@ -30,18 +30,23 @@ let mailbox t name =
       Hashtbl.add t.mailboxes name mb;
       mb
 
-let deposit t msg ~at =
+let store t msg ~at =
   Mailbox.deposit (mailbox t msg.Message.recipient) msg;
-  t.deposits <- t.deposits + 1;
+  t.stores <- t.stores + 1;
   Message.mark_deposited msg ~at ~on:t.node
 
-let fetch t name ~at =
+let take t name ~at =
   match Hashtbl.find_opt t.mailboxes name with
   | None -> []
   | Some mb ->
       let msgs = Mailbox.retrieve_all mb in
       List.iter (fun m -> Message.mark_retrieved m ~at) msgs;
       msgs
+
+let purge t name id =
+  match Hashtbl.find_opt t.mailboxes name with
+  | None -> 0
+  | Some mb -> Mailbox.remove_pending mb id
 
 let pending_for t name =
   match Hashtbl.find_opt t.mailboxes name with
@@ -52,7 +57,7 @@ let total_pending t = Hashtbl.fold (fun _ mb acc -> acc + Mailbox.pending mb) t.
 
 let mailbox_count t = Hashtbl.length t.mailboxes
 
-let deposits t = t.deposits
+let stores t = t.stores
 
 let storage_bytes t =
   Hashtbl.fold (fun _ mb acc -> acc + Mailbox.storage_bytes mb) t.mailboxes 0

@@ -1,12 +1,19 @@
-(** Mail-server state (§2, §3.1.2).
+(** One mailbox {e holder} (§2, §3.1.2).
 
     A server is "a process responsible for obtaining addresses of
     recipients, sending, buffering, relaying and delivering messages
-    to the mail recipients".  This module holds the per-server state
-    shared by all three system designs: the mailboxes of the users it
-    is an authority server for, and [LastStartTime] — the time it last
-    recovered or initialised, which the GetMail algorithm compares
-    against each user's [LastCheckingTime]. *)
+    to the mail recipients".  This module is the storage primitive of
+    one holder: the mailboxes of the users it holds copies for, and
+    [LastStartTime] — the time it last recovered or initialised, which
+    the GetMail algorithm compares against each user's
+    [LastCheckingTime].
+
+    A holder never acts alone any more: replication, copy tracking and
+    purge/resync policy live one layer up in {!Replica_group}, which
+    owns every holder of a system.  The old holder-centric surface
+    ([deposit]/[fetch] called directly by the pipeline and views) was
+    replaced by the primitive triple {!store} / {!take} / {!purge} the
+    group composes. *)
 
 type t
 
@@ -20,21 +27,30 @@ val last_start : t -> float
 (** [LastStartTime]: 0 until the first recovery. *)
 
 val note_recovery : t -> at:float -> unit
-(** Called when the server's node comes back up. *)
+(** Called when the holder's node comes back up (via
+    {!Replica_group.note_recovery}, which also resyncs the rejoining
+    holder). *)
 
-val deposit : t -> Message.t -> at:float -> unit
-(** Store in the recipient's mailbox (created on first use) and mark
-    the message deposited. *)
+val store : t -> Message.t -> at:float -> unit
+(** Write one copy into the recipient's mailbox (created on first use)
+    and mark the message deposited ({!Message.mark_deposited} is
+    first-copy-wins, so replica copies do not skew latency). *)
 
-val fetch : t -> Naming.Name.t -> at:float -> Message.t list
-(** Retrieve-and-clear the user's pending mail, marking each message
+val take : t -> Naming.Name.t -> at:float -> Message.t list
+(** Drain-and-return the user's pending mail, marking each message
     retrieved. *)
+
+val purge : t -> Naming.Name.t -> Message.id -> int
+(** Drop an unfetched pending copy of one message — the replica-group
+    maintenance call after another chain member already served it.
+    Returns the number of copies dropped. *)
 
 val pending_for : t -> Naming.Name.t -> int
 val total_pending : t -> int
 val mailbox_count : t -> int
-val deposits : t -> int
-(** Total messages ever deposited here. *)
+
+val stores : t -> int
+(** Total copies ever stored here. *)
 
 val storage_bytes : t -> int
 

@@ -32,7 +32,7 @@ type t = {
   engine : Dsim.Engine.t;
   pipeline : unit Pipeline.t;
   graph : Netsim.Graph.t;
-  servers : (Netsim.Graph.node, Server.t) Hashtbl.t;
+  storage : Replica_group.t;
   region_servers : (string, Netsim.Graph.node list) Hashtbl.t;
   agents : (Naming.Name.t, User_agent.t) Hashtbl.t;
   spaces : (string, Naming.Name_space.t) Hashtbl.t;
@@ -70,13 +70,13 @@ let agent t name =
       invalid_arg
         (Printf.sprintf "Syntax_system: unknown user %s" (Naming.Name.to_string name))
 
-let server_nodes t =
-  Hashtbl.fold (fun node _ acc -> node :: acc) t.servers [] |> List.sort Int.compare
+let storage t = t.storage
+let server_nodes t = Replica_group.nodes t.storage
 
-let server t node =
-  match Hashtbl.find_opt t.servers node with
-  | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Syntax_system: node %d is not a server" node)
+let authority_of t name =
+  match Hashtbl.find_opt t.agents name with
+  | Some a -> User_agent.authority a
+  | None -> []
 
 let space t region = Hashtbl.find_opt t.spaces region
 
@@ -159,12 +159,7 @@ let submit t ~sender ~recipient ?subject ?body ?parts () =
 
 (* --- retrieval -------------------------------------------------------- *)
 
-let view t =
-  {
-    User_agent.is_alive = (fun node -> Netsim.Net.is_up (net t) node);
-    last_start = (fun node -> Server.last_start (server t node));
-    fetch = (fun node name ~at -> Server.fetch (server t node) name ~at);
-  }
+let view t = Replica_group.view t.storage
 
 let check_mail t name =
   let a = agent t name in
@@ -184,7 +179,8 @@ let compact t =
     Hashtbl.fold
       (fun _ a acc -> acc + User_agent.compact a prunable)
       t.agents
-      (Pipeline.compact t.pipeline prunable)
+      (Pipeline.compact t.pipeline prunable
+      + Replica_group.compact t.storage prunable)
   in
   if dropped > 0 then count ~by:dropped t "compacted";
   dropped
@@ -213,11 +209,10 @@ let schedule_cleanup t ~period ~until ~max_age =
     if at <= until then
       ignore
         (Dsim.Engine.schedule_at ~category:"mail.cleanup" t.engine at (fun () ->
-             Hashtbl.iter
-               (fun _ srv ->
-                 let dropped = Server.cleanup srv ~now:(now t) ~max_age in
-                 if dropped > 0 then count ~by:dropped t "archive_dropped")
-               t.servers;
+             let dropped =
+               Replica_group.cleanup_all t.storage ~now:(now t) ~max_age
+             in
+             if dropped > 0 then count ~by:dropped t "archive_dropped";
              arm (at +. period)))
   in
   arm (now t +. period)
@@ -334,16 +329,28 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   let metrics = Telemetry.Registry.create ~labels:[ ("design", "syntax") ] () in
   let ledger = Ledger.create () in
   Telemetry.Probe.attach_engine metrics engine;
-  let servers = Hashtbl.create 16 in
   let region_servers = Hashtbl.create 4 in
   let agents = Hashtbl.create 64 in
   let spaces = Hashtbl.create 4 in
   let redirects = Hashtbl.create 4 in
+  let t_ref = ref None in
+  let the_t () = match !t_ref with Some t -> t | None -> assert false in
+  (* The replica group owns every mailbox holder; chain/liveness are
+     late-bound through the system so reconfiguration and migration
+     stay visible to it. *)
+  let storage =
+    Replica_group.create ~mailbox_policy:config.mailbox_policy ~ledger ~tracer
+      ~counters
+      ~chain_of:(fun name ->
+        let t = the_t () in
+        authority_of t (canonical t name))
+      ~is_up:(fun node -> Netsim.Net.is_up (Pipeline.net (the_t ()).pipeline) node)
+      ()
+  in
   List.iter
     (fun node ->
       let region = region_of_node site.graph node in
-      Hashtbl.replace servers node
-        (Server.create ~mailbox_policy:config.mailbox_policy ~node ~region ());
+      Replica_group.add_holder storage ~node ~region;
       let existing =
         match Hashtbl.find_opt region_servers region with Some l -> l | None -> []
       in
@@ -351,16 +358,9 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       if not (Hashtbl.mem spaces region) then
         Hashtbl.replace spaces region (Naming.Name_space.create Naming.Name_space.By_host))
     site.servers;
-  let t_ref = ref None in
-  let the_t () = match !t_ref with Some t -> t | None -> assert false in
   let callbacks =
     {
-      Pipeline.server_of =
-        (fun node ->
-          match Hashtbl.find_opt servers node with
-          | Some s -> s
-          | None -> invalid_arg (Printf.sprintf "Syntax_system: node %d is not a server" node));
-      region_servers =
+      Pipeline.region_servers =
         (fun region ->
           match Hashtbl.find_opt region_servers region with Some l -> l | None -> []);
       canonical = (fun name -> canonical (the_t ()) name);
@@ -375,7 +375,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
           | Some a -> Some (User_agent.host a)
           | None -> None);
       submit_servers = (fun a -> User_agent.authority a);
-      on_deposit = (fun _ ~on:_ -> ());
+      on_deposit = (fun _ ~on:_ ~ack:_ -> ());
       cached_authority =
         (fun ~at name ->
           match cache_of (the_t ()) at with
@@ -407,9 +407,10 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   in
   let pipeline =
     Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
-      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger ~storage
       {
-        Pipeline.retry_timeout = config.retry_timeout;
+        Pipeline.default_pipeline_config with
+        retry_timeout = config.retry_timeout;
         resubmit_timeout = config.resubmit_timeout;
         max_retries = config.max_retries;
         service_rate = config.service_rate;
@@ -423,7 +424,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       engine;
       pipeline;
       graph = site.graph;
-      servers;
+      storage;
       region_servers;
       agents;
       spaces;
@@ -441,54 +442,24 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   in
   t_ref := Some t;
   Netsim.Net.on_status_change (net t) (fun ~time node up ->
-      if up then
-        match Hashtbl.find_opt servers node with
-        | Some srv -> Server.note_recovery srv ~at:time
-        | None -> ());
-  (* Authority lists: balanced primary assignment + nearest secondaries. *)
+      if up && Replica_group.mem_holder storage node then
+        Replica_group.note_recovery storage ~node ~at:time);
+  (* Authority chains: balanced primary assignment + §3.1.1 secondary
+     assignment ({!Loadbalance.Replicas}), load-spread so one crash
+     cannot dump all failover traffic on a single neighbour.  The
+     effective replication factor is capped here, explicitly — assign
+     itself refuses infeasible chain lengths. *)
   let problem = Loadbalance.Assignment.problem_of_site site in
   let assignment, _stats = Loadbalance.Balancer.run problem in
-  let server_arr = problem.Loadbalance.Assignment.servers in
+  let effective_replication = min config.replication (List.length site.servers) in
+  let replicas =
+    Loadbalance.Replicas.assign ~replication:effective_replication problem
+      assignment
+  in
   let host_index =
     let tbl = Hashtbl.create 16 in
     Array.iteri (fun i h -> Hashtbl.replace tbl h i) problem.Loadbalance.Assignment.hosts;
     tbl
-  in
-  let authority_list ~host_i ~user_k =
-    let row =
-      List.init (Array.length server_arr) (fun j ->
-          (j, Loadbalance.Assignment.get assignment ~host:host_i ~server:j))
-      |> List.filter (fun (_, c) -> c > 0)
-    in
-    let primary_j =
-      match row with
-      | [] -> 0
-      | _ ->
-          (* Weighted round-robin over the host's allocation row, so
-             named users land on servers proportionally to A_ij. *)
-          let total = List.fold_left (fun acc (_, c) -> acc + c) 0 row in
-          let slot = user_k mod total in
-          let rec pick acc = function
-            | [] -> fst (List.hd row)
-            | (j, c) :: rest -> if slot < acc + c then j else pick (acc + c) rest
-          in
-          pick 0 row
-    in
-    let primary = server_arr.(primary_j) in
-    let secondaries =
-      List.init (Array.length server_arr) Fun.id
-      |> List.filter (fun j -> j <> primary_j)
-      |> List.sort (fun a b ->
-             Float.compare
-               problem.Loadbalance.Assignment.comm.(host_i).(a)
-               problem.Loadbalance.Assignment.comm.(host_i).(b))
-      |> List.map (fun j -> server_arr.(j))
-    in
-    let rec take n = function
-      | [] -> []
-      | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
-    in
-    primary :: take (config.replication - 1) secondaries
   in
   List.iter
     (fun (host, _population) ->
@@ -501,7 +472,9 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
         let name =
           Naming.Name.make ~region ~host:host_label ~user:(Printf.sprintf "u%d" k)
         in
-        let authority = authority_list ~host_i ~user_k:k in
+        let authority =
+          Loadbalance.Replicas.chain_for replicas ~host:host_i ~user_slot:k
+        in
         Hashtbl.replace agents name (User_agent.create ~name ~host ~authority);
         let sp = Hashtbl.find spaces region in
         Naming.Name_space.register sp name;

@@ -2,11 +2,13 @@
     (§3.1), assembled over the simulated network.
 
     The system wires together: per-region name spaces partitioned
-    [By_host]; authority-server lists assigned by the §3.1.1
-    load-balancing algorithm (primary) plus nearest-server secondaries;
-    the three-phase delivery pipeline of §3.1.2 (connection setup,
-    name resolution and forwarding, deposit into "the first active
-    server from the list"); server-to-server acknowledgements with
+    [By_host]; authority chains assigned by the §3.1.1 load-balancing
+    algorithm (primary) plus {!Loadbalance.Replicas} secondaries;
+    replicated mailbox storage ({!Replica_group}) with quorum deposit
+    and failover GetMail; the three-phase delivery pipeline of §3.1.2
+    (connection setup, name resolution and forwarding, deposit into
+    "the first active server from the list");
+    server-to-server acknowledgements with
     timeout-driven retries, so transient server failures never lose
     deposited mail; sender-side resubmission as the outer safety net;
     the GetMail retrieval algorithm; reconfiguration; and §3.1.4
@@ -71,7 +73,15 @@ val now : t -> float
 val users : t -> Naming.Name.t list
 val agent : t -> Naming.Name.t -> User_agent.t
 val server_nodes : t -> Netsim.Graph.node list
-val server : t -> Netsim.Graph.node -> Server.t
+
+val storage : t -> Replica_group.t
+(** The replicated mailbox storage: every server node is a holder in
+    this group and all mailbox access goes through it. *)
+
+val authority_of : t -> Naming.Name.t -> Netsim.Graph.node list
+(** The user's ordered authority chain (primary first; [] for unknown
+    names) — the replication set of the quorum deposit. *)
+
 val space : t -> string -> Naming.Name_space.t option
 val counters : t -> Dsim.Stats.Counter.t
 

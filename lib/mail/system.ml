@@ -38,7 +38,8 @@ module Attribute : S with type t = Attribute_system.t = struct
   let users t = Location_system.users (base t)
   let agent t name = Location_system.agent (base t) name
   let server_nodes t = Location_system.server_nodes (base t)
-  let server t node = Location_system.server (base t) node
+  let storage t = Location_system.storage (base t)
+  let authority_of t name = Location_system.authority_of (base t) name
   let counters t = Location_system.counters (base t)
   let metrics t = Attribute_system.metrics t
   let tracer t = Location_system.tracer (base t)
@@ -92,6 +93,14 @@ let core_counters =
     "notifications";
     "redirects";
     "migrations";
+    "replica_copy_writes";
+    "replica_replicate_sends";
+    "replica_quorum_acks";
+    "replica_degraded_acks";
+    "replica_unavailable_acks";
+    "replica_purges";
+    "replica_resyncs";
+    "replica_failovers";
   ]
 
 let snapshot_metrics (type a) (module M : S with type t = a) (sys : a) =
@@ -142,12 +151,7 @@ let snapshot_metrics (type a) (module M : S with type t = a) (sys : a) =
     (Netsim.Net.route_cache_hits net);
   Telemetry.Registry.set_counter reg "route_invalidation"
     (Netsim.Net.route_invalidations net);
-  let storage =
-    List.fold_left
-      (fun acc node -> acc + Server.storage_bytes (M.server sys node))
-      0 (M.server_nodes sys)
-  in
-  set "storage_bytes" (float_of_int storage);
+  set "storage_bytes" (float_of_int (Replica_group.storage_bytes (M.storage sys)));
   Telemetry.Probe.sync_engine_profile reg (M.engine sys)
 
 let snapshot (Packed ((module M), sys)) = snapshot_metrics (module M) sys

@@ -29,7 +29,15 @@ module type S = sig
   val users : t -> Naming.Name.t list
   val agent : t -> Naming.Name.t -> User_agent.t
   val server_nodes : t -> Netsim.Graph.node list
-  val server : t -> Netsim.Graph.node -> Server.t
+
+  val storage : t -> Replica_group.t
+  (** The system's replicated mailbox storage: every server node is a
+      holder inside this group, and all mailbox access (deposit
+      copies, GetMail drains, recovery resync) goes through it. *)
+
+  val authority_of : t -> Naming.Name.t -> Netsim.Graph.node list
+  (** A user's current ordered authority chain (primary first) — the
+      replication set of the quorum deposit. *)
 
   val counters : t -> Dsim.Stats.Counter.t
   (** Raw internal tallies; prefer {!metrics} for anything public. *)

@@ -26,27 +26,63 @@ let random_outages ~rng ~nodes ~rate ~mean_duration ~horizon =
         gen 0. [])
       nodes
 
+(* The node's outage windows clipped to [0, horizon], sorted, with
+   overlaps merged into disjoint intervals. *)
+let down_intervals ~outages ~node ~horizon =
+  let mine =
+    List.filter (fun o -> o.node = node) outages
+    |> List.map (fun o -> (o.start, Float.min horizon (o.start +. o.duration)))
+    |> List.filter (fun (s, e) -> s < horizon && e > s)
+    |> List.sort (fun (s1, e1) (s2, e2) ->
+           match Float.compare s1 s2 with 0 -> Float.compare e1 e2 | c -> c)
+  in
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest ->
+        let rec absorb e = function
+          | (s', e') :: more when s' <= e -> absorb (Float.max e e') more
+          | more -> (e, more)
+        in
+        let e, more = absorb e rest in
+        merge ((s, e) :: acc) more
+  in
+  merge [] mine
+
+let measure intervals = List.fold_left (fun acc (s, e) -> acc +. (e -. s)) 0. intervals
+
 let availability ~outages ~node ~horizon =
   if horizon <= 0. then 1.
   else begin
-    let mine =
-      List.filter (fun o -> o.node = node) outages
-      |> List.map (fun o -> (o.start, Float.min horizon (o.start +. o.duration)))
-      |> List.filter (fun (s, e) -> s < horizon && e > s)
-      |> List.sort (fun (s1, e1) (s2, e2) ->
-             match Float.compare s1 s2 with 0 -> Float.compare e1 e2 | c -> c)
-    in
-    (* Merge overlapping intervals and total the downtime. *)
-    let rec merge acc = function
-      | [] -> acc
-      | (s, e) :: rest ->
-          let rec absorb e = function
-            | (s', e') :: more when s' <= e -> absorb (Float.max e e') more
-            | more -> (e, more)
-          in
-          let e, more = absorb e rest in
-          merge (acc +. (e -. s)) more
-    in
-    let down = merge 0. mine in
+    let down = measure (down_intervals ~outages ~node ~horizon) in
     (horizon -. down) /. horizon
   end
+
+(* Intersection of two sorted disjoint interval lists. *)
+let intersect a b =
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (s1, e1) :: ra, (s2, e2) :: rb ->
+        let s = Float.max s1 s2 and e = Float.min e1 e2 in
+        let acc = if s < e then (s, e) :: acc else acc in
+        if e1 <= e2 then go acc ra b else go acc a rb
+  in
+  go [] a b
+
+let group_availability ~outages ~nodes ~horizon =
+  if horizon <= 0. then 1.
+  else
+    match nodes with
+    | [] -> 0.
+    | first :: rest ->
+        (* The group is down only while every member is down: intersect
+           the members' downtime interval sets. *)
+        let all_down =
+          List.fold_left
+            (fun acc node ->
+              if acc = [] then []
+              else intersect acc (down_intervals ~outages ~node ~horizon))
+            (down_intervals ~outages ~node:first ~horizon)
+            rest
+        in
+        (horizon -. measure all_down) /. horizon

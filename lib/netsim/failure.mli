@@ -30,3 +30,11 @@ val random_outages :
 val availability : outages:outage list -> node:Graph.node -> horizon:float -> float
 (** Fraction of [0, horizon] during which [node] is up under the given
     schedule (overlaps collapsed). *)
+
+val group_availability :
+  outages:outage list -> nodes:Graph.node list -> horizon:float -> float
+(** Fraction of [0, horizon] during which {e at least one} of [nodes]
+    is up — the availability a replica group offers its users: the
+    group is only unavailable while every chain member is down
+    simultaneously.  [nodes = []] yields 0 (no server can ever
+    serve). *)

@@ -283,19 +283,25 @@ let serialisation t bytes =
 (* Random in-flight loss, decided at send time for determinism. *)
 let vanishes t = t.loss_rate > 0. && Dsim.Rng.bernoulli t.loss_rng t.loss_rate
 
-let send ?(bytes = 0) t ~src ~dst msg =
+(* Like {!send}, but a successful transmission also reports the
+   scheduled arrival latency — the deterministic upper bound on how
+   long the message can still be in flight.  [None] means the send was
+   refused (source down, destination unreachable, relay down).  A
+   message lost to random in-flight loss still reports its would-be
+   latency: the caller gets a conservative fence either way. *)
+let send_timed ?(bytes = 0) t ~src ~dst msg =
   check_node t src;
   check_node t dst;
   if not t.up.(src) then begin
     t.dropped <- t.dropped + 1;
-    false
+    None
   end
   else begin
     let r = route t src in
     let dist = r.tree.Shortest_path.dist in
     if not (Float.is_finite dist.(dst)) then begin
       t.dropped <- t.dropped + 1;
-      false
+      None
     end
     else begin
       (* One walk up the predecessor chain counts the hops and checks
@@ -311,26 +317,25 @@ let send ?(bytes = 0) t ~src ~dst msg =
       let hop_count, relays_up = if dst = src then (0, true) else walk dst 0 true in
       if not relays_up then begin
         t.dropped <- t.dropped + 1;
-        false
+        None
       end
       else begin
         t.sent <- t.sent + 1;
-        if vanishes t then begin
-          t.lost <- t.lost + 1;
-          true
-        end
-        else begin
-          let latency =
-            dist.(dst) +. (float_of_int hop_count *. serialisation t bytes)
-          in
+        let latency =
+          dist.(dst) +. (float_of_int hop_count *. serialisation t bytes)
+        in
+        if vanishes t then t.lost <- t.lost + 1
+        else
           ignore
             (Dsim.Engine.schedule_after t.engine latency
                (deliver t ~src ~dst ~hop_count msg));
-          true
-        end
+        Some latency
       end
     end
   end
+
+let send ?bytes t ~src ~dst msg =
+  Option.is_some (send_timed ?bytes t ~src ~dst msg)
 
 let send_neighbor ?(bytes = 0) t ~src ~dst msg =
   check_node t src;

@@ -121,6 +121,16 @@ val send : ?bytes:int -> 'msg t -> src:Graph.node -> dst:Graph.node -> 'msg -> b
     if the destination is down at delivery time.  [bytes] (default 0)
     adds a serialisation delay of [bytes / bandwidth] per hop. *)
 
+val send_timed :
+  ?bytes:int -> 'msg t -> src:Graph.node -> dst:Graph.node -> 'msg -> float option
+(** {!send}, but a successful transmission also reports the scheduled
+    arrival latency — a deterministic upper bound on how long the
+    message can still be in flight.  [None] iff {!send} would return
+    [false].  A message lost to random in-flight loss still reports
+    its would-be latency (the caller's fence stays conservative).
+    Senders whose dedup state is compactable use this to fence
+    compaction past every possible late arrival. *)
+
 val send_neighbor :
   ?bytes:int -> 'msg t -> src:Graph.node -> dst:Graph.node -> 'msg -> bool
 (** One-hop send; same liveness rules, latency = edge weight plus the

@@ -194,19 +194,25 @@ let tiny_world ?(config = Mail.Pipeline.default_pipeline_config) () =
   Netsim.Graph.add_edge g s1 s2 1.;
   Netsim.Graph.add_edge g s2 h2 1.;
   let engine = Dsim.Engine.create () in
-  let servers = Hashtbl.create 4 in
-  Hashtbl.replace servers s1 (Mail.Server.create ~node:s1 ~region:"r0" ());
-  Hashtbl.replace servers s2 (Mail.Server.create ~node:s2 ~region:"r0" ());
   let counters = Dsim.Stats.Counter.create () in
+  let pipeline_ref = ref None in
+  let the_pipeline () = Option.get !pipeline_ref in
+  let storage =
+    Mail.Replica_group.create ~counters
+      ~chain_of:(fun _ -> [ s2 ])
+      ~is_up:(fun node -> Netsim.Net.is_up (Mail.Pipeline.net (the_pipeline ())) node)
+      ()
+  in
+  Mail.Replica_group.add_holder storage ~node:s1 ~region:"r0";
+  Mail.Replica_group.add_holder storage ~node:s2 ~region:"r0";
   let callbacks =
     {
-      Mail.Pipeline.server_of = (fun node -> Hashtbl.find servers node);
-      region_servers = (fun r -> if r = "r0" then [ s1; s2 ] else []);
+      Mail.Pipeline.region_servers = (fun r -> if r = "r0" then [ s1; s2 ] else []);
       canonical = Fun.id;
       authority_of = (fun _ -> [ s2 ]);
       notify_target = (fun _ -> None);
       submit_servers = (fun _ -> [ s1; s2 ]);
-      on_deposit = (fun _ ~on:_ -> ());
+      on_deposit = (fun _ ~on:_ ~ack:_ -> ());
       cached_authority = (fun ~at:_ _ -> None);
       on_forward_resolved = (fun ~at:_ _ _ -> ());
       on_undeliverable = (fun _ ~reason:_ -> ());
@@ -216,8 +222,9 @@ let tiny_world ?(config = Mail.Pipeline.default_pipeline_config) () =
   in
   let pipeline =
     Mail.Pipeline.create ~engine ~graph:g ~trace:(Dsim.Trace.create ()) ~counters
-      config callbacks
+      ~storage config callbacks
   in
+  pipeline_ref := Some pipeline;
   (engine, pipeline, counters, (h1, s1, s2, h2))
 
 let agent h1 = Mail.User_agent.create ~name:(nm "alice") ~host:h1 ~authority:[ 1; 2 ]
@@ -358,9 +365,13 @@ let check_campaign name run =
     true
     (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics "fault_windows" > 0.);
   Alcotest.(check bool)
-    (Printf.sprintf "%s: availability dented" name)
+    (Printf.sprintf "%s: server uptime dented" name)
     true
-    (o.Mail.Scenario.availability < 1.);
+    (o.Mail.Scenario.server_uptime < 1.);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: replication keeps mailboxes more available than servers" name)
+    true
+    (o.Mail.Scenario.availability >= o.Mail.Scenario.server_uptime);
   Alcotest.(check int) (name ^ ": all submissions accounted") 120 v.Mail.Ledger.submitted;
   Alcotest.(check int) (name ^ ": nothing lost") 0 v.Mail.Ledger.lost;
   Alcotest.(check int) (name ^ ": nothing duplicated") 0 v.Mail.Ledger.duplicates;
@@ -368,6 +379,79 @@ let check_campaign name run =
 
 let test_campaign_syntax () =
   check_campaign "syntax" (Mail.Scenario.run_syntax (hier_site 13))
+
+let test_failover_keeps_invariant () =
+  (* The tentpole regression: under the standard fault campaign a
+     primary crash must actually be exercised — GetMail served by a
+     lower-priority chain member ([replica_failovers] > 0) — and the
+     delivery invariant must survive it with zero lost and zero
+     duplicated, while replicated mailbox availability clears the 0.99
+     target the raw server uptime misses. *)
+  let config = { Mail.Syntax_system.default_config with replication = 4 } in
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 13;
+      duration = 2500.;
+      mail_count = 150;
+      faults = Some Netsim.Fault.standard;
+    }
+  in
+  let o = Mail.Scenario.run_syntax ~config (hier_site 13) spec in
+  let failovers =
+    Telemetry.Registry.get_counter o.Mail.Scenario.metrics "replica_failovers"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "a failover actually occurred (%d)" failovers)
+    true (failovers > 0);
+  Alcotest.(check int) "effective replication" 4 o.Mail.Scenario.replication_factor;
+  Alcotest.(check bool)
+    (Printf.sprintf "availability >= 0.99 (%.4f)" o.Mail.Scenario.availability)
+    true
+    (o.Mail.Scenario.availability >= 0.99);
+  Alcotest.(check bool)
+    (Printf.sprintf "servers were genuinely unreliable (%.4f)"
+       o.Mail.Scenario.server_uptime)
+    true
+    (o.Mail.Scenario.server_uptime < 0.99);
+  let v = o.Mail.Scenario.ledger in
+  Alcotest.(check int) "zero lost across failover" 0 v.Mail.Ledger.lost;
+  Alcotest.(check int) "zero duplicated across failover" 0 v.Mail.Ledger.duplicates;
+  Alcotest.(check bool) "ledger ok" true v.Mail.Ledger.ok
+
+let test_late_replicate_never_resurrects () =
+  (* Regression: with a wide chain (replication 5, quorum 3) the
+     coordinator can reach quorum while Replicates to the remaining
+     chain members are still in flight.  The ledger then balances, the
+     id compacts (retrieved set, agent seen set), and the late arrival
+     used to store a *fresh* copy — served as a duplicate by the next
+     failover fetch.  In-flight message fences now keep the id
+     uncompactable until every scheduled arrival has passed.  This is
+     the exact run that caught the bug (scale topology, seed 1,
+     5000 messages, standard campaign). *)
+  let site =
+    let rng = Dsim.Rng.create 1 in
+    Netsim.Topology.scale_site ~rng
+      (Netsim.Topology.sized_hierarchy ~regions:6 ~hosts_per_region:8
+         ~servers_per_region:3 ~degree:10. ())
+  in
+  let config = { Mail.Syntax_system.default_config with replication = 5 } in
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 1;
+      duration = 5000.;
+      mail_count = 5000;
+      check_period = 250.;
+      faults = Some Netsim.Fault.standard;
+    }
+  in
+  let o = Mail.Scenario.run_syntax ~config site spec in
+  let v = o.Mail.Scenario.ledger in
+  Alcotest.(check int) "zero duplicates with a 5-wide chain" 0
+    v.Mail.Ledger.duplicates;
+  Alcotest.(check int) "zero lost" 0 v.Mail.Ledger.lost;
+  Alcotest.(check bool) "ledger ok" true v.Mail.Ledger.ok
 
 let test_campaign_location () =
   check_campaign "location"
@@ -405,6 +489,10 @@ let suite =
     ( "fault-campaign",
       [
         Alcotest.test_case "syntax survives campaign" `Slow test_campaign_syntax;
+        Alcotest.test_case "failover exercised, invariant intact" `Slow
+          test_failover_keeps_invariant;
+        Alcotest.test_case "late replicate never resurrects" `Slow
+          test_late_replicate_never_resurrects;
         Alcotest.test_case "location survives campaign" `Slow test_campaign_location;
         Alcotest.test_case "attribute survives campaign" `Slow test_campaign_attribute;
       ] );

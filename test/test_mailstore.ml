@@ -76,24 +76,36 @@ let test_mailbox_storage () =
 
 (* --- server --- *)
 
-let test_server_deposit_fetch () =
+let test_server_store_take () =
   let srv = Mail.Server.create ~node:3 ~region:"east" () in
   let m = msg ~id:5 ~at:1. () in
-  Mail.Server.deposit srv m ~at:2.;
+  Mail.Server.store srv m ~at:2.;
   Alcotest.(check bool) "marked deposited" true (Mail.Message.is_deposited m);
   Alcotest.(check bool) "on this server" true (m.Mail.Message.deposited_on = Some 3);
   Alcotest.(check int) "pending for bob" 1 (Mail.Server.pending_for srv (nm "bob"));
   Alcotest.(check int) "total pending" 1 (Mail.Server.total_pending srv);
-  let got = Mail.Server.fetch srv (nm "bob") ~at:4. in
+  let got = Mail.Server.take srv (nm "bob") ~at:4. in
   Alcotest.(check int) "fetched" 1 (List.length got);
   Alcotest.(check bool) "marked retrieved" true (Mail.Message.is_retrieved m);
   Alcotest.(check (list int)) "refetch empty" []
-    (List.map (fun m -> m.Mail.Message.id) (Mail.Server.fetch srv (nm "bob") ~at:5.));
-  Alcotest.(check int) "deposits counted" 1 (Mail.Server.deposits srv)
+    (List.map (fun m -> m.Mail.Message.id) (Mail.Server.take srv (nm "bob") ~at:5.));
+  Alcotest.(check int) "stores counted" 1 (Mail.Server.stores srv)
+
+let test_server_purge () =
+  let srv = Mail.Server.create ~node:3 ~region:"east" () in
+  Mail.Server.store srv (msg ~id:7 ()) ~at:0.;
+  Mail.Server.store srv (msg ~id:8 ()) ~at:0.;
+  Alcotest.(check int) "purged one copy" 1 (Mail.Server.purge srv (nm "bob") 7);
+  Alcotest.(check int) "one left" 1 (Mail.Server.pending_for srv (nm "bob"));
+  Alcotest.(check int) "absent id is a no-op" 0 (Mail.Server.purge srv (nm "bob") 7);
+  Alcotest.(check int) "unknown user is a no-op" 0 (Mail.Server.purge srv (nm "ghost") 8);
+  let got = Mail.Server.take srv (nm "bob") ~at:1. in
+  Alcotest.(check (list int)) "purged copy never served" [ 8 ]
+    (List.map (fun m -> m.Mail.Message.id) got)
 
 let test_server_unknown_user_fetch () =
   let srv = Mail.Server.create ~node:3 ~region:"east" () in
-  Alcotest.(check int) "empty" 0 (List.length (Mail.Server.fetch srv (nm "ghost") ~at:0.))
+  Alcotest.(check int) "empty" 0 (List.length (Mail.Server.take srv (nm "ghost") ~at:0.))
 
 let test_server_last_start () =
   let srv = Mail.Server.create ~node:3 ~region:"east" () in
@@ -103,14 +115,14 @@ let test_server_last_start () =
 
 let test_server_mailbox_count_and_cleanup () =
   let srv = Mail.Server.create ~mailbox_policy:Mail.Mailbox.Archive ~node:1 ~region:"r" () in
-  Mail.Server.deposit srv (msg ~id:1 ()) ~at:0.;
+  Mail.Server.store srv (msg ~id:1 ()) ~at:0.;
   let m2 =
     Mail.Message.create ~id:2 ~sender:(nm "bob") ~recipient:(nm "carol") ~submitted_at:0. ()
   in
-  Mail.Server.deposit srv m2 ~at:0.;
+  Mail.Server.store srv m2 ~at:0.;
   Alcotest.(check int) "two mailboxes" 2 (Mail.Server.mailbox_count srv);
-  ignore (Mail.Server.fetch srv (nm "bob") ~at:1.);
-  ignore (Mail.Server.fetch srv (nm "carol") ~at:1.);
+  ignore (Mail.Server.take srv (nm "bob") ~at:1.);
+  ignore (Mail.Server.take srv (nm "carol") ~at:1.);
   let dropped = Mail.Server.cleanup srv ~now:1000. ~max_age:10. in
   Alcotest.(check int) "archives cleaned" 2 dropped
 
@@ -126,7 +138,8 @@ let suite =
         Alcotest.test_case "archive policy" `Quick test_mailbox_archive_policy;
         Alcotest.test_case "cleanup keeps fresh" `Quick test_mailbox_cleanup_keeps_fresh;
         Alcotest.test_case "storage accounting" `Quick test_mailbox_storage;
-        Alcotest.test_case "server deposit/fetch" `Quick test_server_deposit_fetch;
+        Alcotest.test_case "server store/take" `Quick test_server_store_take;
+        Alcotest.test_case "server purge" `Quick test_server_purge;
         Alcotest.test_case "server unknown user" `Quick test_server_unknown_user_fetch;
         Alcotest.test_case "LastStartTime" `Quick test_server_last_start;
         Alcotest.test_case "mailboxes and cleanup" `Quick

@@ -46,15 +46,34 @@ let test_primary_heads_chain () =
         slots)
     r.Loadbalance.Replicas.chains
 
-let test_replication_capped_at_servers () =
+let test_infeasible_replication_raises () =
+  (* The old behaviour silently capped chains at the server count —
+     callers asking for replication 10 got 3-chains and no signal.
+     Infeasible replication is now an error; systems that want
+     best-effort cap explicitly with [min replication n_servers]. *)
   let p, t = balanced_fig1 () in
-  let r = Loadbalance.Replicas.assign ~replication:10 p t in
+  Alcotest.check_raises "infeasible replication rejected"
+    (Invalid_argument
+       "Replicas.assign: replication 10 exceeds server count 3 (cap explicitly \
+        if best-effort is intended)") (fun () ->
+      ignore (Loadbalance.Replicas.assign ~replication:10 p t))
+
+let test_effective_replication_echoed () =
+  let p, t = balanced_fig1 () in
+  let r2 = Loadbalance.Replicas.assign ~replication:2 p t in
+  Alcotest.(check int) "echoes what was assigned" 2
+    r2.Loadbalance.Replicas.replication;
+  let r3 = Loadbalance.Replicas.assign ~replication:3 p t in
+  Alcotest.(check int) "default-length chains echoed" 3
+    r3.Loadbalance.Replicas.replication;
   Array.iter
     (fun slots ->
       Array.iter
-        (fun chain -> Alcotest.(check int) "capped" 3 (List.length chain))
+        (fun chain ->
+          Alcotest.(check int) "chain length matches the echo" 2
+            (List.length chain))
         slots)
-    r.Loadbalance.Replicas.chains
+    r2.Loadbalance.Replicas.chains
 
 let test_chain_for_cycles_slots () =
   let p, t = balanced_fig1 () in
@@ -72,6 +91,32 @@ let test_secondary_load_spread () =
   Alcotest.(check int) "every user has a first secondary" 270 total_secondary;
   Alcotest.(check bool) "reasonably spread" true
     (Loadbalance.Replicas.secondary_imbalance p r < 1.0)
+
+let test_secondary_imbalance_single_server () =
+  (* With one server there are no secondaries at all: every chain is
+     the singleton primary, the secondary load is all zeros, and the
+     imbalance metric must report perfect evenness instead of
+     dividing by a zero spread. *)
+  let rng = Dsim.Rng.create 7 in
+  let site =
+    Netsim.Topology.random_mail_site ~rng ~hosts:4 ~servers:1
+      ~users_per_host:(5, 10) ~extra_edges:4
+  in
+  let p =
+    Loadbalance.Assignment.problem_of_site ~capacity:(fun _ -> 1000) site
+  in
+  let t, _ = Loadbalance.Balancer.run p in
+  let r = Loadbalance.Replicas.assign ~replication:1 p t in
+  Alcotest.(check int) "no secondary load" 0
+    (Array.fold_left ( + ) 0 r.Loadbalance.Replicas.secondary_load);
+  Alcotest.(check (float 1e-9)) "perfectly even" 0.
+    (Loadbalance.Replicas.secondary_imbalance p r);
+  Array.iter
+    (fun slots ->
+      Array.iter
+        (fun chain -> Alcotest.(check int) "singleton chain" 1 (List.length chain))
+        slots)
+    r.Loadbalance.Replicas.chains
 
 let test_incomplete_rejected () =
   let p, _ = balanced_fig1 () in
@@ -104,8 +149,8 @@ let prop_random_sites =
           site
       in
       let t, _ = Loadbalance.Balancer.run p in
-      let r = Loadbalance.Replicas.assign ~replication:3 p t in
       let want = min 3 servers in
+      let r = Loadbalance.Replicas.assign ~replication:want p t in
       Array.for_all
         (fun slots ->
           Array.for_all
@@ -115,17 +160,52 @@ let prop_random_sites =
             slots)
         r.Loadbalance.Replicas.chains)
 
+let prop_secondaries_distinct_from_primary =
+  QCheck.Test.make ~name:"secondaries are never the chain's own primary"
+    ~count:20
+    QCheck.(pair (int_range 3 15) (int_range 2 6))
+    (fun (hosts, servers) ->
+      let rng = Dsim.Rng.create ((hosts * 53) + servers) in
+      let site =
+        Netsim.Topology.random_mail_site ~rng ~hosts ~servers
+          ~users_per_host:(5, 30) ~extra_edges:hosts
+      in
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 site.Netsim.Topology.hosts in
+      let p =
+        Loadbalance.Assignment.problem_of_site
+          ~capacity:(fun _ -> 1 + (total * 2 / servers))
+          site
+      in
+      let t, _ = Loadbalance.Balancer.run p in
+      let r = Loadbalance.Replicas.assign ~replication:(min 3 servers) p t in
+      Array.for_all
+        (fun slots ->
+          Array.for_all
+            (fun chain ->
+              match chain with
+              | primary :: secondaries ->
+                  List.for_all (fun s -> s <> primary) secondaries
+              | [] -> false)
+            slots)
+        r.Loadbalance.Replicas.chains)
+
 let suite =
   [
     ( "replicas",
       [
         Alcotest.test_case "chains well formed" `Quick test_chains_well_formed;
         Alcotest.test_case "primary heads each chain" `Quick test_primary_heads_chain;
-        Alcotest.test_case "replication capped" `Quick test_replication_capped_at_servers;
+        Alcotest.test_case "infeasible replication raises" `Quick
+          test_infeasible_replication_raises;
+        Alcotest.test_case "effective replication echoed" `Quick
+          test_effective_replication_echoed;
         Alcotest.test_case "slot cycling" `Quick test_chain_for_cycles_slots;
         Alcotest.test_case "secondary load spread" `Quick test_secondary_load_spread;
+        Alcotest.test_case "single server: no secondaries" `Quick
+          test_secondary_imbalance_single_server;
         Alcotest.test_case "incomplete rejected" `Quick test_incomplete_rejected;
         Alcotest.test_case "bad replication rejected" `Quick test_bad_replication_rejected;
         QCheck_alcotest.to_alcotest prop_random_sites;
+        QCheck_alcotest.to_alcotest prop_secondaries_distinct_from_primary;
       ] );
   ]

@@ -208,7 +208,7 @@ let test_scheduled_cleanup () =
   ignore (Mail.Syntax_system.check_mail sys rcpt);
   (* the archived copy survives retrieval… *)
   let on = Option.get ((List.hd (Mail.Syntax_system.submitted sys)).Mail.Message.deposited_on) in
-  let srv = Mail.Syntax_system.server sys on in
+  let srv = Mail.Replica_group.holder (Mail.Syntax_system.storage sys) on in
   Alcotest.(check bool) "archived copy held" true (Mail.Server.storage_bytes srv > 0);
   (* …until the clean-up policy expires it. *)
   Mail.Syntax_system.schedule_cleanup sys ~period:100. ~until:1000. ~max_age:200.;

@@ -269,10 +269,10 @@ let test_getmail_one_poll_per_check () =
   Alcotest.(check bool) "checks traced" true (!checks > 0);
   (* trace-derived ratio equals the counter-derived one... *)
   Alcotest.(check int) "poll spans = polls counter"
-    (o.Mail.Scenario.counter "polls")
+    (Telemetry.Registry.get_counter o.Mail.Scenario.metrics "polls")
     !polls;
   Alcotest.(check int) "check traces = checks counter"
-    (o.Mail.Scenario.counter "checks")
+    (Telemetry.Registry.get_counter o.Mail.Scenario.metrics "checks")
     !checks;
   let per_check = float_of_int !polls /. float_of_int !checks in
   Alcotest.(check (float 1e-9)) "agrees with final_polls_per_check"
