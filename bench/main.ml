@@ -775,6 +775,11 @@ let experiment_scale ~quick ~stable () =
       mail_count;
       check_period = 250.;
       faults = Some Netsim.Fault.standard;
+      (* Observability on: one timeseries window per 50 virtual time
+         units (100 windows over the run) with the standard monitor
+         rules — the SLO section below summarises what fired. *)
+      sampling = Some 50.;
+      monitors = Telemetry.Monitor.standard;
     }
   in
   (* Replication 3 leaves mailbox availability just under the 0.99
@@ -828,6 +833,22 @@ let experiment_scale ~quick ~stable () =
     (counter "replica_purges") (counter "replica_resyncs");
   Format.printf "%a@." Mail.Ledger.pp_verdict o.Mail.Scenario.ledger;
   assert o.Mail.Scenario.ledger.Mail.Ledger.ok;
+  let monitor =
+    match o.Mail.Scenario.monitor with
+    | Some m -> m
+    | None -> assert false (* sampling is on above *)
+  in
+  Format.printf "@[<v>monitors: %a@]@." Telemetry.Monitor.pp_summary monitor;
+  (match o.Mail.Scenario.timeseries with
+  | Some ts ->
+      let oc = open_out "TIMESERIES.json" in
+      output_string oc
+        (Telemetry.Json.to_string ~indent:2 (Telemetry.Timeseries.to_json ts));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote TIMESERIES.json (%d windows)\n"
+        (Telemetry.Timeseries.window_count ts)
+  | None -> ());
   Telemetry.Json.Obj
     [
       ( "topology",
@@ -882,6 +903,7 @@ let experiment_scale ~quick ~stable () =
       ( "critical_path",
         Telemetry.Critical_path.to_json
           (Telemetry.Critical_path.analyze o.Mail.Scenario.tracer) );
+      ("slo", Telemetry.Monitor.summary_to_json monitor);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -940,7 +962,7 @@ let dump_bench_json ~scale () =
   let json =
     Telemetry.Json.Obj
       [
-        ("schema", Telemetry.Json.String "mailsys.bench/5");
+        ("schema", Telemetry.Json.String "mailsys.bench/6");
         ("scale", scale);
         ( "designs",
           Telemetry.Json.Obj
@@ -1149,7 +1171,7 @@ let () =
     let scale = experiment_scale ~quick ~stable () in
     let json =
       Telemetry.Json.Obj
-        [ ("schema", Telemetry.Json.String "mailsys.bench/5"); ("scale", scale) ]
+        [ ("schema", Telemetry.Json.String "mailsys.bench/6"); ("scale", scale) ]
     in
     let oc = open_out "BENCH.json" in
     output_string oc (Telemetry.Json.to_string ~indent:2 json);

@@ -53,3 +53,42 @@ let with_output ~what file write =
   | oc ->
       Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
       Printf.printf "%s written to %s\n" what file
+
+(* Pretty-printed JSON document to [file] through [with_output] — the
+   one way every subcommand writes its artifacts. *)
+let write_json ~what file json =
+  with_output ~what file (fun oc ->
+      output_string oc (Telemetry.Json.to_string ~indent:2 json);
+      output_char oc '\n')
+
+(* The byte-stability convention shared with the bench harness: JSON
+   artifacts normally embed the full registry including volatile
+   (wall-clock-derived) metrics; [--stable] excludes them so the
+   double-run determinism harness can byte-compare the files. *)
+let stable =
+  Arg.(
+    value
+    & flag
+    & info [ "stable" ]
+        ~doc:
+          "Byte-stable artifacts: exclude volatile (wall-clock-derived) \
+           metrics from JSON output so identical seeded runs compare \
+           byte-for-byte.")
+
+(* Observability sampling, shared by getmail/scale/monitor: how often
+   (in virtual time) the timeseries sampler and monitors run, and
+   where the TIMESERIES.json document goes. *)
+let resolution =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample-resolution" ] ~docv:"TIME"
+        ~doc:
+          "Virtual-time distance between observability windows (metric \
+           timeseries samples and monitor evaluations).")
+
+let timeseries_file =
+  output_file ~flag:"timeseries-out"
+    ~doc:
+      "Write the run's windowed metric timeseries (delta-encoded, \
+       mailsys.timeseries/1) to $(docv) as JSON."

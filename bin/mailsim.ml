@@ -52,7 +52,7 @@ let balance_cmd =
 
 let getmail_cmd =
   let run seed failure_rate duration mail_count policy faults metrics_file
-      trace_file trace_summary =
+      trace_file trace_summary resolution timeseries_file stable =
     let retrieval =
       match policy with
       | "getmail" -> Mail.Scenario.Get_mail
@@ -61,6 +61,14 @@ let getmail_cmd =
       | other -> failwith (Printf.sprintf "unknown policy %S" other)
     in
     let faults = Option.map Netsim.Fault.parse faults in
+    (* Sampling turns on when a timeseries was asked for (or a
+       resolution given explicitly). *)
+    let sampling =
+      match (resolution, timeseries_file) with
+      | Some r, _ -> Some r
+      | None, Some _ -> Some 50.
+      | None, None -> None
+    in
     let spec =
       {
         Mail.Scenario.default_spec with
@@ -70,6 +78,7 @@ let getmail_cmd =
         mail_count;
         retrieval;
         faults;
+        sampling;
       }
     in
     let o = Mail.Scenario.run_syntax (Netsim.Topology.paper_fig1 ()) spec in
@@ -89,11 +98,14 @@ let getmail_cmd =
     (match metrics_file with
     | None -> ()
     | Some file ->
-        with_output ~what:"metrics" file (fun oc ->
-            output_string oc
-              (Telemetry.Json.to_string ~indent:2
-                 (Telemetry.Registry.to_json o.Mail.Scenario.metrics));
-            output_char oc '\n'));
+        Cmdline.write_json ~what:"metrics" file
+          (Telemetry.Registry.to_json ~include_volatile:(not stable)
+             o.Mail.Scenario.metrics));
+    (match (timeseries_file, o.Mail.Scenario.timeseries) with
+    | Some file, Some ts ->
+        Cmdline.write_json ~what:"timeseries" file
+          (Telemetry.Timeseries.to_json ts)
+    | _ -> ());
     match trace_file with
     | None -> ()
     | Some file ->
@@ -167,12 +179,13 @@ let getmail_cmd =
     (Cmd.info "getmail" ~doc:"Drive a design-1 scenario and report §4 metrics (C1/C2).")
     Term.(
       const run $ seed_arg $ rate $ duration $ count $ policy $ faults
-      $ metrics_file $ trace_file $ trace_summary)
+      $ metrics_file $ trace_file $ trace_summary $ Cmdline.resolution
+      $ Cmdline.timeseries_file $ Cmdline.stable)
 
 (* --- faults ------------------------------------------------------------- *)
 
 let faults_cmd =
-  let run seed campaign duration mail_count ledger_file =
+  let run seed campaign duration mail_count ledger_file stable =
     let campaign = Netsim.Fault.parse campaign in
     let spec =
       {
@@ -204,30 +217,31 @@ let faults_cmd =
     (match ledger_file with
     | None -> ()
     | Some file ->
-        with_output ~what:"ledger report" file (fun oc ->
-            let entry (name, o) =
-              ( name,
-                Telemetry.Json.Obj
-                  [
-                    ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
-                    ( "fault_windows",
-                      Telemetry.Json.Float
-                        (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics
-                           "fault_windows") );
-                    ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
-                  ] )
-            in
-            let json =
-              Telemetry.Json.Obj
-                [
-                  ("schema", Telemetry.Json.String "mailsys.ledger/1");
-                  ("campaign", Telemetry.Json.String (Netsim.Fault.to_string campaign));
-                  ("seed", Telemetry.Json.Int seed);
-                  ("designs", Telemetry.Json.Obj (List.map entry results));
-                ]
-            in
-            output_string oc (Telemetry.Json.to_string ~indent:2 json);
-            output_char oc '\n'));
+        let entry (name, o) =
+          ( name,
+            Telemetry.Json.Obj
+              [
+                ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
+                ( "fault_windows",
+                  Telemetry.Json.Float
+                    (Telemetry.Registry.get_gauge o.Mail.Scenario.metrics
+                       "fault_windows") );
+                ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
+                ( "metrics",
+                  Telemetry.Registry.to_json ~include_volatile:(not stable)
+                    o.Mail.Scenario.metrics );
+              ] )
+        in
+        let json =
+          Telemetry.Json.Obj
+            [
+              ("schema", Telemetry.Json.String "mailsys.ledger/2");
+              ("campaign", Telemetry.Json.String (Netsim.Fault.to_string campaign));
+              ("seed", Telemetry.Json.Int seed);
+              ("designs", Telemetry.Json.Obj (List.map entry results));
+            ]
+        in
+        Cmdline.write_json ~what:"ledger report" file json);
     let all_ok =
       List.for_all (fun (_, o) -> o.Mail.Scenario.ledger.Mail.Ledger.ok) results
     in
@@ -254,13 +268,15 @@ let faults_cmd =
        ~doc:
          "Run one fault campaign against all three designs and check the \
           §3.1.2c no-lost-mail invariant; exits non-zero on any violation.")
-    Term.(const run $ seed_arg $ campaign $ duration $ count $ ledger_file)
+    Term.(
+      const run $ seed_arg $ campaign $ duration $ count $ ledger_file
+      $ Cmdline.stable)
 
 (* --- scale ------------------------------------------------------------- *)
 
 let scale_cmd =
   let run seed messages regions hosts_per_region servers_per_region degree
-      replication json_file =
+      replication json_file resolution timeseries_file stable =
     let site =
       let rng = Dsim.Rng.create seed in
       Netsim.Topology.scale_site ~rng
@@ -276,6 +292,11 @@ let scale_cmd =
         mail_count = messages;
         check_period = 250.;
         faults = Some Netsim.Fault.standard;
+        (* Observability is always on for the scale run: the JSON
+           report carries an SLO section, so the monitors must have
+           been evaluated. *)
+        sampling = Some (Option.value resolution ~default:50.);
+        monitors = Telemetry.Monitor.standard;
       }
     in
     let config =
@@ -313,37 +334,48 @@ let scale_cmd =
     Printf.printf "failovers         %d\n" (counter "replica_failovers");
     Format.printf "ledger            %a@." Mail.Ledger.pp_verdict
       o.Mail.Scenario.ledger;
+    let monitor =
+      match o.Mail.Scenario.monitor with Some m -> m | None -> assert false
+    in
+    Format.printf "@[<v>monitors          %a@]@." Telemetry.Monitor.pp_summary
+      monitor;
     (match json_file with
     | None -> ()
     | Some file ->
-        with_output ~what:"scale report" file (fun oc ->
-            let json =
-              Telemetry.Json.Obj
-                [
-                  ("schema", Telemetry.Json.String "mailsys.scale/2");
-                  ("seed", Telemetry.Json.Int seed);
-                  ("messages", Telemetry.Json.Int messages);
-                  ("engine_events", Telemetry.Json.Int o.Mail.Scenario.engine_events);
-                  ("events_per_virtual_time", Telemetry.Json.Float events_per_vt);
-                  ( "route",
-                    Telemetry.Json.Obj
-                      [
-                        ("recomputes", Telemetry.Json.Int recomputes);
-                        ("cache_hits", Telemetry.Json.Int hits);
-                        ("invalidations", Telemetry.Json.Int invalidations);
-                        ("hit_rate", Telemetry.Json.Float hit_rate);
-                      ] );
-                  ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
-                  ( "server_uptime",
-                    Telemetry.Json.Float o.Mail.Scenario.server_uptime );
-                  ( "replication_factor",
-                    Telemetry.Json.Int o.Mail.Scenario.replication_factor );
-                  ("failovers", Telemetry.Json.Int (counter "replica_failovers"));
-                  ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
-                ]
-            in
-            output_string oc (Telemetry.Json.to_string ~indent:2 json);
-            output_char oc '\n'));
+        let json =
+          Telemetry.Json.Obj
+            [
+              ("schema", Telemetry.Json.String "mailsys.scale/3");
+              ("seed", Telemetry.Json.Int seed);
+              ("messages", Telemetry.Json.Int messages);
+              ("engine_events", Telemetry.Json.Int o.Mail.Scenario.engine_events);
+              ("events_per_virtual_time", Telemetry.Json.Float events_per_vt);
+              ( "route",
+                Telemetry.Json.Obj
+                  [
+                    ("recomputes", Telemetry.Json.Int recomputes);
+                    ("cache_hits", Telemetry.Json.Int hits);
+                    ("invalidations", Telemetry.Json.Int invalidations);
+                    ("hit_rate", Telemetry.Json.Float hit_rate);
+                  ] );
+              ("availability", Telemetry.Json.Float o.Mail.Scenario.availability);
+              ("server_uptime", Telemetry.Json.Float o.Mail.Scenario.server_uptime);
+              ( "replication_factor",
+                Telemetry.Json.Int o.Mail.Scenario.replication_factor );
+              ("failovers", Telemetry.Json.Int (counter "replica_failovers"));
+              ("ledger", Mail.Ledger.verdict_to_json o.Mail.Scenario.ledger);
+              ("slo", Telemetry.Monitor.summary_to_json monitor);
+              ( "metrics",
+                Telemetry.Registry.to_json ~include_volatile:(not stable)
+                  o.Mail.Scenario.metrics );
+            ]
+        in
+        Cmdline.write_json ~what:"scale report" file json);
+    (match (timeseries_file, o.Mail.Scenario.timeseries) with
+    | Some file, Some ts ->
+        Cmdline.write_json ~what:"timeseries" file
+          (Telemetry.Timeseries.to_json ts)
+    | _ -> ());
     if not o.Mail.Scenario.ledger.Mail.Ledger.ok then begin
       Printf.eprintf "mailsim: delivery invariant violated\n";
       exit 1
@@ -379,7 +411,110 @@ let scale_cmd =
           counters (wall-clock numbers live in the bench harness).")
     Term.(
       const run $ seed_arg $ messages $ regions $ hosts $ servers $ degree
-      $ replication $ json_file)
+      $ replication $ json_file $ Cmdline.resolution $ Cmdline.timeseries_file
+      $ Cmdline.stable)
+
+(* --- monitor ------------------------------------------------------------ *)
+
+let monitor_cmd =
+  (* [--stable] is accepted for interface symmetry but has nothing to
+     scrub here: the timeseries never samples volatile metrics. *)
+  let run seed duration mail_count campaign rules resolution timeseries_file
+      _stable =
+    let campaign =
+      match campaign with
+      | Some s -> Netsim.Fault.parse s
+      | None -> Netsim.Fault.standard
+    in
+    let rules =
+      match rules with
+      | Some s -> Telemetry.Monitor.parse s
+      | None -> Telemetry.Monitor.standard
+    in
+    let resolution = Option.value resolution ~default:50. in
+    let spec =
+      {
+        Mail.Scenario.default_spec with
+        seed;
+        duration;
+        mail_count;
+        faults = Some campaign;
+        sampling = Some resolution;
+        monitors = rules;
+      }
+    in
+    (* Same multi-region site as the faults subcommand, so partition
+       campaigns have region boundaries to cut. *)
+    let o =
+      Mail.Scenario.run_syntax (hier_site ~seed ~regions:3 ~hosts_per_region:4)
+        spec
+    in
+    let monitor =
+      match o.Mail.Scenario.monitor with Some m -> m | None -> assert false
+    in
+    Printf.printf "campaign:   %s\n" (Netsim.Fault.to_string campaign);
+    Printf.printf "rules:      %s\n"
+      (Telemetry.Monitor.to_string (Telemetry.Monitor.rules monitor));
+    Printf.printf "resolution: %g (%d windows)\n\n" resolution
+      (Telemetry.Monitor.windows_evaluated monitor);
+    Format.printf "@[<v>%a@]@." Telemetry.Monitor.pp_summary monitor;
+    let alerts = Telemetry.Monitor.alerts monitor in
+    let shown = 20 in
+    List.iteri
+      (fun i (a : Telemetry.Monitor.alert) ->
+        if i < shown then
+          Printf.printf "w%-4d t=%-7.0f %s: %s\n" a.Telemetry.Monitor.a_window
+            a.Telemetry.Monitor.a_time a.Telemetry.Monitor.a_rule
+            a.Telemetry.Monitor.a_message)
+      alerts;
+    if List.length alerts > shown then
+      Printf.printf "... %d more alerts\n" (List.length alerts - shown);
+    (match (timeseries_file, o.Mail.Scenario.timeseries) with
+    | Some file, Some ts ->
+        Cmdline.write_json ~what:"timeseries" file
+          (Telemetry.Timeseries.to_json ts)
+    | _ -> ());
+    if not o.Mail.Scenario.ledger.Mail.Ledger.ok then begin
+      Printf.eprintf "mailsim: delivery invariant violated\n";
+      exit 1
+    end;
+    if Telemetry.Monitor.slo_violated monitor then begin
+      Printf.eprintf "mailsim: SLO violated (a burn-rate rule fired)\n";
+      exit 1
+    end
+  in
+  let campaign =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "campaign" ] ~docv:"CAMPAIGN"
+          ~doc:
+            ("Fault campaign to replay (default: the standard campaign). "
+           ^ Cmdline.campaign_syntax_doc))
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"RULES"
+          ~doc:
+            "Monitor rules, comma-separated \
+             $(b,NAME=METRIC[{k=v}][.SELECTOR]COND) with COND one of >x, <x, \
+             !n (no change for n windows) or ~t/w/b (SLO burn: value over t \
+             in more than fraction b of the last w windows).  Default: the \
+             standard rule set.")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Replay a scenario with per-window health monitors and report which \
+          rules fired; exits non-zero on an SLO (burn-rate) violation or a \
+          delivery-invariant failure.")
+    Term.(
+      const run $ seed_arg $ Cmdline.duration
+      $ Cmdline.messages ~default:300
+      $ campaign $ rules $ Cmdline.resolution $ Cmdline.timeseries_file
+      $ Cmdline.stable)
 
 (* --- replicas ---------------------------------------------------------- *)
 
@@ -718,6 +853,7 @@ let () =
             getmail_cmd;
             faults_cmd;
             scale_cmd;
+            monitor_cmd;
             replicas_cmd;
             mst_cmd;
             backbone_cmd;

@@ -47,6 +47,17 @@ let schedule_after ?category t delay action =
   if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
   schedule_at ?category t (t.clock +. delay) action
 
+let every ?category t ~period ~until f =
+  if period <= 0. then invalid_arg "Engine.every: period must be positive";
+  let rec arm at =
+    if at <= until then
+      ignore
+        (schedule_at ?category t at (fun () ->
+             f ();
+             arm (at +. period)))
+  in
+  arm (t.clock +. period)
+
 let cancel t id = Hashtbl.replace t.cancelled id ()
 
 let pending t =

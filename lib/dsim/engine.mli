@@ -28,6 +28,15 @@ val schedule_after : ?category:string -> t -> float -> (unit -> unit) -> event_i
 (** [schedule_after t delay f] runs [f] at [now t +. delay].
     @raise Invalid_argument if [delay < 0.]. *)
 
+val every :
+  ?category:string -> t -> period:float -> until:float -> (unit -> unit) -> unit
+(** [every t ~period ~until f] runs [f] at [now + period],
+    [now + 2*period], … up to and including [until] — the recurring
+    helper behind periodic virtual-time sampling.  Each firing re-arms
+    the next from inside the handler, so the events interleave in time
+    order with the rest of the schedule.
+    @raise Invalid_argument if [period <= 0.]. *)
+
 val cancel : t -> event_id -> unit
 (** Cancel a pending event; cancelling an already-fired or unknown
     event is a no-op. *)

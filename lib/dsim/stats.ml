@@ -176,11 +176,16 @@ module Reservoir = struct
     mutable filled : int;
     mutable seen : int;
     rng : Rng.t;
+    mutable sorted : (int * float array) option;
+        (* sorted copy of the retained sample, keyed by the [seen]
+           count it was computed at — percentile readouts happen in
+           bursts (p50/p90/p99 per metric sampling window), so one
+           sort serves them all until the next observation. *)
   }
 
   let create ?(capacity = 4096) rng =
     if capacity <= 0 then invalid_arg "Reservoir.create: capacity must be positive";
-    { sample = Array.make capacity 0.; filled = 0; seen = 0; rng }
+    { sample = Array.make capacity 0.; filled = 0; seen = 0; rng; sorted = None }
 
   let add t x =
     t.seen <- t.seen + 1;
@@ -197,11 +202,63 @@ module Reservoir = struct
 
   let values t = Array.sub t.sample 0 t.filled
 
+  (* In-place sort specialised to flat float arrays: monomorphic
+     accesses keep the floats unboxed, where [Array.sort] with a
+     comparator closure boxes two floats per comparison — this runs
+     once per metric sampling window on up to [capacity] samples.
+     Latencies are finite, so plain [<] ordering is total here. *)
+  let sort_floats (a : float array) =
+    let swap i j =
+      let x = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- x
+    in
+    let rec quick lo hi =
+      if hi - lo < 16 then
+        for i = lo + 1 to hi do
+          let x = a.(i) in
+          let j = ref (i - 1) in
+          while !j >= lo && a.(!j) > x do
+            a.(!j + 1) <- a.(!j);
+            decr j
+          done;
+          a.(!j + 1) <- x
+        done
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        (* median-of-three pivot, moved to [hi] *)
+        if a.(mid) < a.(lo) then swap mid lo;
+        if a.(hi) < a.(lo) then swap hi lo;
+        if a.(hi) < a.(mid) then swap hi mid;
+        swap mid hi;
+        let pivot = a.(hi) in
+        let store = ref lo in
+        for i = lo to hi - 1 do
+          if a.(i) < pivot then begin
+            swap i !store;
+            incr store
+          end
+        done;
+        swap !store hi;
+        quick lo (!store - 1);
+        quick (!store + 1) hi
+      end
+    in
+    if Array.length a > 1 then quick 0 (Array.length a - 1)
+
+  let sorted_values t =
+    match t.sorted with
+    | Some (seen, data) when seen = t.seen -> data
+    | _ ->
+        let data = Array.sub t.sample 0 t.filled in
+        sort_floats data;
+        t.sorted <- Some (t.seen, data);
+        data
+
   let percentile t p =
     if t.filled = 0 then nan
     else begin
-      let data = Array.sub t.sample 0 t.filled in
-      Array.sort Float.compare data;
+      let data = sorted_values t in
       let p = Float.max 0. (Float.min 100. p) in
       let rank = p /. 100. *. float_of_int (t.filled - 1) in
       let lo = int_of_float (Float.floor rank) in

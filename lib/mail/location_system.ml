@@ -190,6 +190,10 @@ let compact t =
   if dropped > 0 then count ~by:dropped t "compacted";
   dropped
 
+let publish_health t =
+  Pipeline.publish_gauges t.pipeline t.metrics;
+  Replica_group.publish_gauges t.storage ~users:(users t) t.metrics
+
 let retrieval_cost_stats t = t.retrieval_costs
 
 let check_mail_at t ~at name =
@@ -342,7 +346,7 @@ let create ?(config = default_config) ?(design_label = "location")
   let the_t () = match !t_ref with Some t -> t | None -> assert false in
   let storage =
     Replica_group.create ~mailbox_policy:config.mailbox_policy ~ledger ~tracer
-      ~counters
+      ~metrics ~counters
       ~chain_of:(fun name ->
         let t = the_t () in
         authority_of t (canonical t name))

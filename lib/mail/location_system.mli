@@ -134,6 +134,10 @@ val quiesce : ?step:float -> ?max_steps:int -> t -> unit
 val compact : t -> int
 (** Prune settled-message bookkeeping; see {!Syntax_system.compact}. *)
 
+val publish_health : t -> unit
+(** Publish pipeline and chain-health gauges; see
+    {!Syntax_system.publish_health}. *)
+
 (** {1 Reconfiguration and migration} *)
 
 val rebalance_hash : t -> groups:int -> int

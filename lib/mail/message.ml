@@ -13,6 +13,7 @@ type t = {
   mutable forward_hops : int;
   parts : Content.part list;
   mutable span : Telemetry.Span.t option;
+  mutable latency_observed : int;
 }
 
 let create ~id ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = [])
@@ -30,6 +31,7 @@ let create ~id ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = [])
     forward_hops = 0;
     parts;
     span = None;
+    latency_observed = 0;
   }
 
 let set_span t span = if t.span = None then t.span <- Some span

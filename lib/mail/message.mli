@@ -28,6 +28,14 @@ type t = {
   mutable span : Telemetry.Span.t option;
       (** root span of this message's trace, when a tracer is
           attached; lifecycle stages hang off it as children. *)
+  mutable latency_observed : int;
+      (** bitmask used by {!Mail.Replica_group} to observe each
+          latency into the registry histograms exactly once, at the
+          deposit / fetch that makes it known (bit 0 = delivery,
+          bit 1 = end-to-end).  A latency never changes once set, so
+          event-time observation equals a full rebuild from the
+          message list — without the per-window rescan that would
+          make timeseries sampling O(messages) per window. *)
 }
 
 val create :

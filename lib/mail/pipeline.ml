@@ -623,6 +623,25 @@ let submit t ~sender_agent ~msg =
 
 let pending_count t = Hashtbl.length t.pendings
 
+(* Health gauges the per-window monitors read: transfers still awaiting
+   acknowledgement, plus service-queue backlog (waiting jobs and, when
+   a server is mid-service, the job in flight). *)
+let publish_gauges t reg =
+  let depth, deepest =
+    (* lint: allow unsorted-fold — sum and max are order-independent *)
+    Hashtbl.fold
+      (fun _ q (sum, worst) ->
+        let d = Queue.length q.jobs + if q.busy then 1 else 0 in
+        (sum + d, max worst d))
+      t.queues (0, 0)
+  in
+  let set name v =
+    Telemetry.Registry.set_gauge (Telemetry.Registry.gauge reg name) v
+  in
+  set "pipeline_pending" (float_of_int (Hashtbl.length t.pendings));
+  set "queue_depth" (float_of_int depth);
+  set "queue_depth_max" (float_of_int deepest)
+
 let dedup_entries t =
   Hashtbl.length t.completed + Hashtbl.length t.dead
   + Hashtbl.length t.submit_spans + Hashtbl.length t.hop_sends

@@ -171,6 +171,12 @@ val submit :
 val pending_count : 'ctrl t -> int
 (** Transfers still awaiting acknowledgement. *)
 
+val publish_gauges : 'ctrl t -> Telemetry.Registry.t -> unit
+(** Publish the pipeline health gauges the per-window monitors read:
+    [pipeline_pending] (transfers awaiting acknowledgement),
+    [queue_depth] (jobs waiting or in service across all server
+    queues) and [queue_depth_max] (deepest single queue). *)
+
 val is_dead : 'ctrl t -> Message.id -> bool
 (** The message was declared undeliverable (and [on_undeliverable]
     fired); resubmissions for it have stopped. *)

@@ -38,10 +38,20 @@ type t = {
   counters : Dsim.Stats.Counter.t;
   ledger : Ledger.t option;
   tracer : Telemetry.Tracer.t option;
+  mutable gauge_chains : Netsim.Graph.node list list option;
+      (* distinct non-empty authority chains, memoised on the first
+         publish_gauges call — chain membership is fixed for the run
+         (failover changes who serves, not who belongs), and the
+         per-window sampler calls publish_gauges ~100 times per run. *)
+  latency : (Telemetry.Registry.histogram * Telemetry.Registry.histogram) option;
+      (* (delivery, end-to-end) registry histograms, fed at deposit /
+         fetch time — observing each latency the moment it becomes
+         known is what keeps per-window metric sampling cheap (no
+         rescan of the message list per window). *)
 }
 
-let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ?ledger ?tracer ~counters
-    ~chain_of ~is_up () =
+let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ?ledger ?tracer ?metrics
+    ~counters ~chain_of ~is_up () =
   {
     mailbox_policy;
     holders = Hashtbl.create 16;
@@ -52,7 +62,37 @@ let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ?ledger ?tracer ~count
     counters;
     ledger;
     tracer;
+    gauge_chains = None;
+    latency =
+      (* Registered eagerly so the metric names exist (and stay
+         comparable across designs) even before any mail flows. *)
+      Option.map
+        (fun reg ->
+          ( Telemetry.Registry.histogram ~lo:0. ~hi:500. ~buckets:50 reg
+              "delivery_latency",
+            Telemetry.Registry.histogram ~lo:0. ~hi:2000. ~buckets:50 reg
+              "end_to_end_latency" ))
+        metrics;
   }
+
+(* Push a message's latencies into the registry histograms exactly
+   once each (guarded by [Message.latency_observed]); a latency never
+   changes once set, so event-time observation equals a full rebuild
+   from the message list at a fraction of the sampling cost. *)
+let observe_latencies t m =
+  match t.latency with
+  | None -> ()
+  | Some (delivery, e2e) ->
+      (match Message.delivery_latency m with
+      | Some l when m.Message.latency_observed land 1 = 0 ->
+          m.Message.latency_observed <- m.Message.latency_observed lor 1;
+          Telemetry.Registry.observe delivery l
+      | _ -> ());
+      (match Message.end_to_end_latency m with
+      | Some l when m.Message.latency_observed land 2 = 0 ->
+          m.Message.latency_observed <- m.Message.latency_observed lor 2;
+          Telemetry.Registry.observe e2e l
+      | _ -> ())
 
 let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
 
@@ -94,6 +134,7 @@ let write t ~on msg ~at =
     if List.mem on c.nodes then Duplicate
     else begin
       Server.store (holder t on) msg ~at;
+      observe_latencies t msg;
       c.nodes <- on :: c.nodes;
       Option.iter (fun l -> Ledger.record_deposit l msg ~at) t.ledger;
       count t "replica_copy_writes";
@@ -121,6 +162,7 @@ let purge_copy t ~kind ~node (c : copy_state) (m : Message.t) =
 
 let fetch t ~on name ~at =
   let msgs = Server.take (holder t on) name ~at in
+  List.iter (observe_latencies t) msgs;
   (* Failover observability: mail served by a lower-priority chain
      member while the user's primary is down. *)
   (match t.chain_of name with
@@ -191,6 +233,56 @@ let total_pending t =
 
 let storage_bytes t =
   List.fold_left (fun acc node -> acc + Server.storage_bytes (holder t node)) 0 (nodes t)
+
+(* Chain-health gauges the per-window monitors read.  Chains are
+   shared across users, so health is computed once per distinct chain
+   (memoised on the node list); a chain is Degraded when at least one
+   holder is down but service survives, Down when every holder is. *)
+let publish_gauges t ~users reg =
+  let distinct =
+    match t.gauge_chains with
+    | Some chains -> chains
+    | None ->
+        let seen = Hashtbl.create 16 in
+        let chains =
+          List.filter_map
+            (fun user ->
+              let chain = t.chain_of user in
+              if chain <> [] && not (Hashtbl.mem seen chain) then begin
+                Hashtbl.replace seen chain ();
+                Some chain
+              end
+              else None)
+            users
+        in
+        t.gauge_chains <- Some chains;
+        chains
+  in
+  let chains = ref 0 and degraded = ref 0 and down = ref 0 in
+  let health_sum = ref 0. in
+  List.iter
+    (fun chain ->
+      let total = List.length chain in
+      let up = List.length (List.filter t.is_up chain) in
+      incr chains;
+      health_sum := !health_sum +. (float_of_int up /. float_of_int total);
+      if up = 0 then incr down
+      else if up < total then incr degraded)
+    distinct;
+  let holders_up =
+    (* lint: allow unsorted-fold — order-independent count *)
+    Hashtbl.fold
+      (fun node _ acc -> if t.is_up node then acc + 1 else acc)
+      t.holders 0
+  in
+  let set name v =
+    Telemetry.Registry.set_gauge (Telemetry.Registry.gauge reg name) v
+  in
+  set "replica_holders_up" (float_of_int holders_up);
+  set "replica_chains_degraded" (float_of_int !degraded);
+  set "replica_chains_down" (float_of_int !down);
+  set "chain_health"
+    (if !chains = 0 then 1. else !health_sum /. float_of_int !chains)
 
 let cleanup_all t ~now ~max_age =
   List.fold_left

@@ -39,6 +39,7 @@ val create :
   ?mailbox_policy:Mailbox.policy ->
   ?ledger:Ledger.t ->
   ?tracer:Telemetry.Tracer.t ->
+  ?metrics:Telemetry.Registry.t ->
   counters:Dsim.Stats.Counter.t ->
   chain_of:(Naming.Name.t -> Netsim.Graph.node list) ->
   is_up:(Netsim.Graph.node -> bool) ->
@@ -48,7 +49,12 @@ val create :
     (primary first) and [is_up] reports node liveness; both are
     consulted at call time, so late binding through the owning system
     is fine.  With [ledger], every copy write, purge and resync is
-    recorded ({!Ledger.record_deposit} / {!Ledger.record_purge}). *)
+    recorded ({!Ledger.record_deposit} / {!Ledger.record_purge}).
+    With [metrics], the [delivery_latency] and [end_to_end_latency]
+    histograms are registered eagerly and fed at deposit / fetch time
+    — each message's latency observed exactly once, the moment it
+    becomes known, so per-window timeseries sampling never has to
+    rescan the message list (see {!Mail.System.snapshot_metrics}). *)
 
 val add_holder : t -> node:Netsim.Graph.node -> region:string -> unit
 (** Register a mailbox holder (one per server node).
@@ -99,6 +105,17 @@ val view : t -> User_agent.server_view
 
 val total_pending : t -> int
 val storage_bytes : t -> int
+
+val publish_gauges :
+  t -> users:Naming.Name.t list -> Telemetry.Registry.t -> unit
+(** Publish chain-health gauges for the per-window monitors:
+    [replica_holders_up] (registered holders currently up),
+    [replica_chains_degraded] (distinct authority chains with at
+    least one holder down but at least one up),
+    [replica_chains_down] (chains with every holder down) and
+    [chain_health] (mean live fraction across distinct chains; [1.]
+    when no chains exist).  Chains are resolved through [chain_of]
+    for the given users and deduplicated on the node list. *)
 
 val cleanup_all : t -> now:float -> max_age:float -> int
 (** Run the archive clean-up policy over every holder. *)

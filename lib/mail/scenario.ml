@@ -10,6 +10,8 @@ type spec = {
   sender_skew : float;
   retrieval : retrieval_mode;
   faults : Netsim.Fault.campaign option;
+  sampling : float option;
+  monitors : Telemetry.Monitor.rule list;
 }
 
 let default_spec =
@@ -23,6 +25,8 @@ let default_spec =
     sender_skew = 0.9;
     retrieval = Get_mail;
     faults = None;
+    sampling = None;
+    monitors = [];
   }
 
 type outcome = {
@@ -37,6 +41,8 @@ type outcome = {
   metrics : Telemetry.Registry.t;
   tracer : Telemetry.Tracer.t;
   events : Dsim.Trace.t;
+  timeseries : Telemetry.Timeseries.t option;
+  monitor : Telemetry.Monitor.t option;
 }
 
 let pick_pair rng users =
@@ -154,6 +160,34 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
              arm_compact (at +. compact_period)))
   in
   arm_compact compact_period;
+  (* Observability: a periodic virtual-time sampling event refreshes
+     the registry (snapshot_metrics is idempotent), appends a
+     timeseries window and evaluates the monitor rules against it.
+     Alerts land in the engine trace (level Warn, category "monitor")
+     as well as in the alert_* counters the monitor registers. *)
+  let observability =
+    match spec.sampling with
+    | None -> None
+    | Some resolution ->
+        let ts = Telemetry.Timeseries.create ~resolution () in
+        let mon =
+          Telemetry.Monitor.create ~registry:(M.metrics sys) spec.monitors
+        in
+        let sample () =
+          System.snapshot_metrics (module M) sys;
+          let at = M.now sys in
+          ignore (Telemetry.Timeseries.sample ts ~at (M.metrics sys));
+          List.iter
+            (fun (a : Telemetry.Monitor.alert) ->
+              Dsim.Trace.warnf (M.trace sys) ~time:at ~category:"monitor"
+                "%s: %s" a.Telemetry.Monitor.a_rule
+                a.Telemetry.Monitor.a_message)
+            (Telemetry.Monitor.eval mon ~time:at (M.metrics sys))
+        in
+        Dsim.Engine.every ~category:"scenario.sample" engine ~period:resolution
+          ~until:spec.duration sample;
+        Some (ts, mon, sample)
+  in
   (* Run, restore, drain, final checks. *)
   Dsim.Engine.run ~until:spec.duration engine;
   Option.iter (Netsim.Fault.heal (M.net sys)) fault_schedule;
@@ -251,6 +285,16 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
        (match fault_schedule with
        | None -> 0
        | Some sched -> List.length sched.Netsim.Fault.windows));
+  (* One final window after drain and the end-of-run gauges above, so
+     the series always closes on the settled state (and a sampled run
+     has at least one window even when duration < resolution). *)
+  let timeseries, monitor =
+    match observability with
+    | None -> (None, None)
+    | Some (ts, mon, sample) ->
+        sample ();
+        (Some ts, Some mon)
+  in
   {
     report;
     availability;
@@ -263,6 +307,8 @@ let drive (type s) ?(on_check_tick = fun ~rng:_ _ -> ())
     metrics;
     tracer = M.tracer sys;
     events = M.trace sys;
+    timeseries;
+    monitor;
   }
 
 (* Roaming hook shared by the location-based designs: before a check,

@@ -27,11 +27,23 @@ type spec = {
       (** optional deterministic fault campaign (crashes, link cuts,
           partitions, bursts — see {!Netsim.Fault}), compiled with
           [~salt:seed] and armed on top of the legacy random outages. *)
+  sampling : float option;
+      (** virtual-time resolution of the observability sampler: when
+          set, a periodic engine event (category ["scenario.sample"])
+          refreshes the registry, appends a {!Telemetry.Timeseries}
+          window and evaluates the monitor rules every [resolution]
+          time units, plus one final window after the drain. *)
+  monitors : Telemetry.Monitor.rule list;
+      (** health rules evaluated per window (only when [sampling] is
+          set).  Alerts are written to the engine trace (level Warn,
+          category ["monitor"]) and counted as
+          [alert_fired{rule=...}] / [alert_total]. *)
 }
 
 val default_spec : spec
 (** seed 1, duration 5000, 300 messages, checks every 100, no
-    failures, skew 0.9, GetMail, no fault campaign. *)
+    failures, skew 0.9, GetMail, no fault campaign, no sampling, no
+    monitors. *)
 
 (** Per-scenario aggregates beyond the generic report. *)
 type outcome = {
@@ -79,6 +91,14 @@ type outcome = {
   events : Dsim.Trace.t;
       (** the run's bounded event log (the same one the systems write
           through; exportable via {!Dsim.Trace.to_json}). *)
+  timeseries : Telemetry.Timeseries.t option;
+      (** the windowed metric series recorded by the sampler;
+          [Some _] exactly when [spec.sampling] was set.  Export with
+          {!Telemetry.Timeseries.to_json} (the [TIMESERIES.json]
+          document). *)
+  monitor : Telemetry.Monitor.t option;
+      (** the evaluated monitor (alert stream, per-rule summaries, SLO
+          verdict); [Some _] exactly when [spec.sampling] was set. *)
 }
 
 val drive :

@@ -185,6 +185,10 @@ let compact t =
   if dropped > 0 then count ~by:dropped t "compacted";
   dropped
 
+let publish_health t =
+  Pipeline.publish_gauges t.pipeline t.metrics;
+  Replica_group.publish_gauges t.storage ~users:(users t) t.metrics
+
 let check_mail_at t ~at name =
   ignore
     (Dsim.Engine.schedule_at ~category:"mail.check" t.engine at (fun () ->
@@ -340,7 +344,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
      stay visible to it. *)
   let storage =
     Replica_group.create ~mailbox_policy:config.mailbox_policy ~ledger ~tracer
-      ~counters
+      ~metrics ~counters
       ~chain_of:(fun name ->
         let t = the_t () in
         authority_of t (canonical t name))

@@ -155,6 +155,11 @@ val compact : t -> int
     ledger confirms settled (counter ["compacted"]); returns entries
     dropped.  Bounds bookkeeping memory on long runs. *)
 
+val publish_health : t -> unit
+(** Publish the instantaneous health gauges the per-window monitors
+    read ({!Pipeline.publish_gauges},
+    {!Replica_group.publish_gauges}) into the metric registry. *)
+
 val schedule_cleanup : t -> period:float -> until:float -> max_age:float -> unit
 (** §3.1.2c archiving policy: every [period] time units (until
     [until]), every server drops archived copies older than [max_age];

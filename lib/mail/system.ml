@@ -58,6 +58,10 @@ module Attribute : S with type t = Attribute_system.t = struct
   let run_until t horizon = Location_system.run_until (base t) horizon
   let quiesce ?step ?max_steps t = Location_system.quiesce ?step ?max_steps (base t)
   let compact t = Location_system.compact (base t)
+
+  (* Safe to delegate: the attribute registry IS the base registry
+     (Attribute_system.metrics reads through [base]). *)
+  let publish_health t = Location_system.publish_health (base t)
 end
 
 (* --- packing ------------------------------------------------------------ *)
@@ -116,26 +120,12 @@ let snapshot_metrics (type a) (module M : S with type t = a) (sys : a) =
      metric name, labelled by event, to keep names comparable. *)
   Telemetry.Probe.sync_counters ~only:core_counters ~rest_as:"system_events" reg
     counters;
-  (* Latency histograms are rebuilt from the message list each time, so
-     the snapshot is idempotent. *)
-  let delivery =
-    Telemetry.Registry.histogram ~lo:0. ~hi:500. ~buckets:50 reg "delivery_latency"
-  in
-  let e2e =
-    Telemetry.Registry.histogram ~lo:0. ~hi:2000. ~buckets:50 reg
-      "end_to_end_latency"
-  in
-  Telemetry.Registry.clear_histogram delivery;
-  Telemetry.Registry.clear_histogram e2e;
-  List.iter
-    (fun m ->
-      (match Message.delivery_latency m with
-      | Some l -> Telemetry.Registry.observe delivery l
-      | None -> ());
-      match Message.end_to_end_latency m with
-      | Some l -> Telemetry.Registry.observe e2e l
-      | None -> ())
-    (M.submitted sys);
+  (* The delivery / end-to-end latency histograms are fed at deposit
+     and fetch time by the replica group ([Replica_group.create]'s
+     [?metrics]: each latency observed exactly once, the moment it
+     becomes known), so the snapshot has no per-message work to do —
+     per-window timeseries sampling stays cheap no matter how many
+     messages the run has accumulated. *)
   let net = M.net sys in
   let set name v = Telemetry.Registry.set_gauge (Telemetry.Registry.gauge reg name) v in
   set "messages_sent" (float_of_int (Netsim.Net.messages_sent net));
@@ -152,6 +142,12 @@ let snapshot_metrics (type a) (module M : S with type t = a) (sys : a) =
   Telemetry.Registry.set_counter reg "route_invalidation"
     (Netsim.Net.route_invalidations net);
   set "storage_bytes" (float_of_int (Replica_group.storage_bytes (M.storage sys)));
+  (* Instantaneous health gauges (pipeline backlog, chain health) and
+     the span-loss signal: sampled here so every timeseries window —
+     not just the end-of-run snapshot — carries a fresh reading. *)
+  M.publish_health sys;
+  Telemetry.Registry.set_counter reg "trace_dropped"
+    (Telemetry.Tracer.dropped (M.tracer sys));
   Telemetry.Probe.sync_engine_profile reg (M.engine sys)
 
 let snapshot (Packed ((module M), sys)) = snapshot_metrics (module M) sys

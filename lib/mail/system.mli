@@ -58,9 +58,13 @@ val snapshot_metrics : (module S with type t = 'a) -> 'a -> unit
     refresh the network/storage gauges ([messages_sent],
     [messages_delivered], [messages_dropped], [link_hops],
     [storage_bytes]), the route-cache counters
-    ([route_tree_recompute], [route_cache_hit], [route_invalidation])
-    and the engine profile.  Idempotent — safe to call repeatedly as a
-    run progresses. *)
+    ([route_tree_recompute], [route_cache_hit], [route_invalidation]),
+    the instantaneous health gauges
+    ({!System_intf.S.publish_health}: pipeline backlog and replica
+    chain health), the [trace_dropped] span-loss counter and the
+    engine profile.  Idempotent — safe to call repeatedly as a run
+    progresses, which is exactly what the per-window timeseries
+    sampler does. *)
 
 val snapshot : t -> unit
 (** {!snapshot_metrics} on a packed system. *)

@@ -82,4 +82,11 @@ module type S = sig
       for messages the ledger has confirmed settled; returns the
       number of entries dropped.  Keeps long-running simulations
       memory-bounded; safe to call at any time. *)
+
+  val publish_health : t -> unit
+  (** Publish the instantaneous health gauges the per-window monitors
+      read — pipeline backlog ({!Pipeline.publish_gauges}) and replica
+      chain health ({!Replica_group.publish_gauges}) — into
+      {!metrics}.  Called by [System.snapshot_metrics], so every
+      timeseries window carries a fresh reading. *)
 end

@@ -18,7 +18,14 @@ type stage = {
   mean : float;  (** mean per-trace sum. *)
   p50 : float;
   p90 : float;
-  p99 : float;  (** percentiles of the per-trace sums. *)
+  p99 : float;
+      (** percentiles of the per-trace sums, by linear interpolation:
+          with the [n] sums sorted ascending, percentile [p] reads
+          position [p/100 * (n-1)] and interpolates linearly between
+          the two neighbouring samples.  Degenerate inputs follow from
+          that rule: a single sample is every percentile ([rank 0]),
+          and an empty distribution reports [nan] (rendered as [null]
+          in JSON). *)
   max : float;
 }
 
@@ -32,7 +39,11 @@ type report = {
 val analyze : ?root:string -> Tracer.t -> report
 (** Analyze the tracer's retained spans; [root] defaults to
     ["message"] (pass e.g. ["getmail.check"] to break down retrieval
-    checks instead). *)
+    checks instead).  An empty tracer (or one with no matching root)
+    yields [traces = 0] and no stages.  A stage absent from some
+    traces is summarised over the traces that do contain it — its
+    [traces] count says how many — not padded with zeros, so a rare
+    stage's percentiles describe the traces where it happened. *)
 
 val to_json : report -> Json.t
 (** Stable shape: [{"root","traces","complete","stages":[{"stage",

@@ -221,6 +221,25 @@ let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) l
 let sorted_metrics t =
   List.map (fun ((name, labels), m) -> (name, labels, m)) (sorted_bindings t)
 
+type snapshot_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram
+
+let iter_sorted ?(include_volatile = false) f t =
+  List.iter
+    (fun (name, labels, m) ->
+      if (not include_volatile) && is_volatile t name then ()
+      else
+        let v =
+          match m with
+          | C c -> Counter_value c.c
+          | G g -> Gauge_value g.g
+          | H h -> Histogram_value h
+        in
+        f name labels v)
+    (sorted_metrics t)
+
 let to_json ?(include_volatile = false) t =
   let counters = ref [] and gauges = ref [] and histograms = ref [] in
   List.iter

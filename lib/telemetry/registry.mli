@@ -116,6 +116,25 @@ val merge : t -> t -> t
     labels are folded in, and the result has no base labels.
     @raise Invalid_argument on histogram bucket-layout mismatch. *)
 
+(** A metric's current reading during {!iter_sorted}.  Histograms hand
+    back their live handle, so visitors can query {!hist_count},
+    {!hist_mean} or {!percentile} without copying. *)
+type snapshot_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Histogram_value of histogram
+
+val iter_sorted :
+  ?include_volatile:bool ->
+  (string -> labels -> snapshot_value -> unit) ->
+  t ->
+  unit
+(** Visit every metric in deterministic (name, labels) order — the
+    same order {!to_json} serialises in.  Volatile metrics (see
+    {!mark_volatile}) are skipped unless [include_volatile] is set, so
+    periodic samplers (e.g. {!Timeseries}) inherit the byte-stability
+    convention for free. *)
+
 val to_json : ?include_volatile:bool -> t -> Json.t
 (** Volatile metrics (see {!mark_volatile}) are omitted unless
     [include_volatile] is set.  Stable shape:

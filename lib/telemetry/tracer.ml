@@ -63,6 +63,10 @@ let spans t =
 
 let total t = t.total
 
+(* Ring-buffer overwrites are otherwise silent: this is the span-loss
+   signal samplers publish as the [trace_dropped] counter. *)
+let dropped t = t.total - t.stored
+
 let count ?name ?trace t =
   let n = ref 0 in
   iter

@@ -41,6 +41,12 @@ val spans : t -> Span.t list
 val total : t -> int
 (** All spans ever collected, including dropped ones. *)
 
+val dropped : t -> int
+(** Spans lost to ring-buffer overflow ([total - retained]).  Published
+    by the metric snapshotters as the [trace_dropped] counter so a
+    too-small buffer is visible instead of silently truncating
+    critical-path analyses. *)
+
 val count : ?name:string -> ?trace:int -> t -> int
 (** Retained spans matching the optional filters. *)
 

@@ -24,14 +24,19 @@ one_run() {
   mkdir -p "$dir"
   (
     cd "$dir"
+    # --stable keeps the embedded metric registries free of volatile
+    # (wall-clock-derived) metrics so the artifacts byte-compare.
     OCAMLRUNPARAM=R dune exec --root "$ROOT" bin/mailsim.exe -- \
-      faults --seed 1 --ledger-out LEDGER.json >faults.txt
+      faults --seed 1 --stable --ledger-out LEDGER.json >faults.txt
     # A replicated run under the standard campaign: quorum deposit,
     # failover GetMail and recovery resync must all replay
     # byte-identically — SCALE.json carries the full ledger verdict
-    # plus the replica and failover counters (docs/REPLICATION.md).
+    # plus the replica and failover counters (docs/REPLICATION.md),
+    # the SLO section, and the run writes the windowed metric
+    # timeseries next to it (docs/MONITORING.md).
     OCAMLRUNPARAM=R dune exec --root "$ROOT" bin/mailsim.exe -- \
-      scale --messages 2000 --replication 4 --json-out SCALE.json >scale.txt
+      scale --messages 2000 --replication 4 --stable \
+      --json-out SCALE.json --timeseries-out TIMESERIES-scale.json >scale.txt
     # --scale-quick keeps the runs fast; --stable zeroes the scale
     # section's wall-clock-derived fields so BENCH.json (including the
     # scale benchmark's counters and critical path) byte-compares.
@@ -46,7 +51,8 @@ echo "determinism: run 2 (OCAMLRUNPARAM=R)"
 one_run "$WORK/run2"
 
 status=0
-for artifact in BENCH.json TRACE.jsonl LEDGER.json SCALE.json; do
+for artifact in BENCH.json TRACE.jsonl LEDGER.json SCALE.json \
+    TIMESERIES.json TIMESERIES-scale.json; do
   if cmp -s "$WORK/run1/$artifact" "$WORK/run2/$artifact"; then
     echo "determinism: $artifact byte-identical"
   else
@@ -57,6 +63,6 @@ for artifact in BENCH.json TRACE.jsonl LEDGER.json SCALE.json; do
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "determinism: OK (BENCH.json, TRACE.jsonl, LEDGER.json, SCALE.json stable under randomized hash seeds)"
+  echo "determinism: OK (BENCH.json, TRACE.jsonl, LEDGER.json, SCALE.json, TIMESERIES[-scale].json stable under randomized hash seeds)"
 fi
 exit "$status"
