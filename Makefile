@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-scale bench-scale-quick examples clean doc lint determinism
+.PHONY: all build test bench bench-scale bench-scale-quick examples clean doc lint analyze analyze-baseline determinism
 
 all: build
 
@@ -29,6 +29,21 @@ bench-scale-quick:
 lint:
 	dune build bin/lint
 	dune exec bin/lint/main.exe -- lib bin
+
+# Type-aware analysis over the .cmt typed ASTs: the hot-path
+# allocation ratchet (vs analysis_baseline.json), metric-name and
+# span/stage doc parity, and typed polymorphic-compare checks.  Needs
+# a full build first — .cmt files are a build artifact (docs/LINT.md).
+analyze:
+	dune build @all
+	dune exec bin/analyze/main.exe -- --json ANALYSIS.json lib bin
+
+# Conscious re-ratchet: rewrite analysis_baseline.json from the
+# current tree.  Review the diff — a count going up is a regression
+# you are choosing to accept.
+analyze-baseline:
+	dune build @all
+	dune exec bin/analyze/main.exe -- --write-baseline lib bin
 
 determinism:
 	scripts/check_determinism.sh

@@ -9,8 +9,12 @@
    R1 [unsorted-fold]   a Hashtbl.fold/iter that builds a list (its
                         callback contains a cons) inside a binding with
                         no List/Array sort — hash order escapes.
-   R2 [poly-compare]    bare polymorphic [compare]/[Stdlib.compare] or
-                        [Hashtbl.hash] — require typed comparators.
+   R2 [poly-compare]    [Hashtbl.hash]/[Hashtbl.seeded_hash] — require
+                        typed hash mixes.  Bare [compare] and the
+                        equality/ordering operators are checked
+                        type-directedly by mailsys.analyze (rule A4),
+                        which flags them only at types where
+                        polymorphic comparison is actually unsafe.
    R3 [wall-clock]      wall-clock or ambient entropy ([Sys.time],
                         [Unix.gettimeofday], global [Random.*]) in sim
                         code; use [Dsim.Rng] or the telemetry probe.
@@ -23,8 +27,16 @@
 
      (* lint: allow <rule> — reason *)
 
-   A suppression without a reason is itself reported [bad-suppression].
-   [missing-mli] is suppressed by an allow comment anywhere in the .ml. *)
+   The annotation may live inside a multi-line comment block; the
+   justification may continue over following lines, and the block
+   suppresses matching findings on any line it touches plus the line
+   directly after it.  A suppression without a reason is itself
+   reported [bad-suppression].  [missing-mli] is suppressed by an
+   allow comment anywhere in the .ml.
+
+   This module is shared with mailsys.analyze (bin/analyze), which
+   reuses the violation type, the suppression scanner and the source
+   walk for its own type-aware rules. *)
 
 type violation = { file : string; line : int; rule : string; message : string }
 
@@ -41,87 +53,194 @@ let pp_violation ppf v =
 
 (* --- suppression comments ---------------------------------------------- *)
 
-type allow = { a_line : int; a_rule : string; a_reason : bool }
+type allow = {
+  a_line : int;  (* line carrying the "lint: allow" marker *)
+  a_until : int;  (* last line the suppression covers (comment block
+                     end + 1, so an annotation above a construct works
+                     even when the justification spans lines) *)
+  a_rule : string;
+  a_reason : bool;
+}
 
 let known_rules =
   [ "unsorted-fold"; "poly-compare"; "wall-clock"; "stdout"; "missing-mli" ]
 
-(* Find "lint: allow <rule>[ — reason]" occurrences with line numbers.
-   A plain per-line scan is enough: the annotations are written on one
-   line by convention, and a miss only costs a (visible) finding. *)
+let analysis_rules = [ "hot-path-alloc"; "metric-name"; "span-drift" ]
+(* Rules owned by mailsys.analyze (bin/analyze); poly-compare is shared
+   between the two passes.  Both binaries accept suppressions of either
+   set, so an allow for an analyzer rule never trips the linter's
+   bad-suppression meta-rule. *)
+
+let all_rules = known_rules @ analysis_rules
+
+(* Comment blocks [(start_offset, end_offset_exclusive, end_line)] of
+   the source, honouring nesting and string literals (both outside and
+   inside comments — OCaml lexes strings within comments).  Best
+   effort: a miss only costs a (visible) finding. *)
+let comment_blocks source =
+  let n = String.length source in
+  let line = ref 1 in
+  let blocks = ref [] in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  (* skip a string literal starting at [i] (source.[i] = '"') *)
+  let skip_string () =
+    incr i;
+    let rec go () =
+      if !i < n then
+        match source.[!i] with
+        | '"' -> incr i
+        | '\\' when !i + 1 < n ->
+            bump source.[!i + 1];
+            i := !i + 2;
+            go ()
+        | c ->
+            bump c;
+            incr i;
+            go ()
+    in
+    go ()
+  in
+  let rec skip_comment depth start =
+    if !i >= n then blocks := (start, n, !line) :: !blocks
+    else if !i + 1 < n && source.[!i] = '*' && source.[!i + 1] = ')' then begin
+      i := !i + 2;
+      if depth = 1 then blocks := (start, !i, !line) :: !blocks
+      else skip_comment (depth - 1) start
+    end
+    else if !i + 1 < n && source.[!i] = '(' && source.[!i + 1] = '*' then begin
+      i := !i + 2;
+      skip_comment (depth + 1) start
+    end
+    else if source.[!i] = '"' then begin
+      skip_string ();
+      skip_comment depth start
+    end
+    else begin
+      bump source.[!i];
+      incr i;
+      skip_comment depth start
+    end
+  in
+  while !i < n do
+    if !i + 1 < n && source.[!i] = '(' && source.[!i + 1] = '*' then begin
+      let start = !i in
+      i := !i + 2;
+      skip_comment 1 start
+    end
+    else if source.[!i] = '"' then skip_string ()
+    else if
+      (* char literal '"' would otherwise open a bogus string *)
+      !i + 2 < n && source.[!i] = '\'' && source.[!i + 2] = '\''
+      && source.[!i + 1] <> '\\'
+    then begin
+      bump source.[!i + 1];
+      i := !i + 3
+    end
+    else begin
+      bump source.[!i];
+      incr i
+    end
+  done;
+  List.rev !blocks
+
+(* Find "lint: allow <rule>[ — reason]" annotations.  The marker, the
+   rule and the reason may be spread across the lines of one comment
+   block; outside any block (e.g. markdown files, where suppressions
+   ride in "<!-- lint: allow ... -->" comments) the annotation is read
+   to the end of its line. *)
 let scan_allows source =
-  let allows = ref [] in
-  let lines = String.split_on_char '\n' source in
-  List.iteri
-    (fun i line ->
-      let lnum = i + 1 in
-      let marker = "lint: allow " in
-      match
-        let rec find from =
-          if from + String.length marker > String.length line then None
-          else if String.sub line from (String.length marker) = marker then
-            Some (from + String.length marker)
-          else find (from + 1)
+  let marker = "lint: allow " in
+  let mlen = String.length marker in
+  let n = String.length source in
+  let blocks = comment_blocks source in
+  (* offset -> line, via a simple forward walk over all marker hits *)
+  let hits = ref [] in
+  let line = ref 1 in
+  for i = 0 to n - 1 do
+    if source.[i] = '\n' then incr line
+    else if i + mlen <= n && String.sub source i mlen = marker then
+      hits := (i, !line) :: !hits
+  done;
+  let line_end_of_offset off =
+    (* line number of the last line touched by [0, off) *)
+    let l = ref 1 in
+    for i = 0 to off - 1 do
+      if source.[i] = '\n' then incr l
+    done;
+    !l
+  in
+  List.rev_map
+    (fun (off, lnum) ->
+      let text_end, until =
+        match
+          List.find_opt (fun (s, e, _) -> off >= s && off < e) blocks
+        with
+        | Some (_, e, _) ->
+            (* strip the closing "*)" so a flush rule name parses *)
+            let e' = if e >= 2 then e - 2 else e in
+            (max (off + mlen) e', line_end_of_offset e + 1)
+        | None ->
+            let eol =
+              match String.index_from_opt source off '\n' with
+              | Some j -> j
+              | None -> n
+            in
+            (eol, lnum + 1)
+      in
+      let text = String.sub source (off + mlen) (text_end - (off + mlen)) in
+      (* collapse the block's newlines: the annotation reads as one line *)
+      let text =
+        String.map (function '\n' | '\r' | '\t' -> ' ' | c -> c) text
+      in
+      let text = String.trim text in
+      let rule =
+        match String.index_opt text ' ' with
+        | Some i -> String.sub text 0 i
+        | None -> text
+      in
+      let after =
+        String.sub text (String.length rule) (String.length text - String.length rule)
+      in
+      (* audited: the comment must carry a reason after a dash *)
+      let has_reason =
+        let dash i =
+          (* "—" (U+2014, 3 bytes) or "-" *)
+          after.[i] = '-'
+          || (i + 2 < String.length after
+             && Char.code after.[i] = 0xE2
+             && Char.code after.[i + 1] = 0x80)
         in
-        find 0
-      with
-      | None -> ()
-      | Some start ->
-          let rest = String.sub line start (String.length line - start) in
-          let rule =
-            match String.index_opt rest ' ' with
-            | Some i -> String.sub rest 0 i
-            | None ->
-                (* strip a trailing "*)" when the comment ends flush *)
-                let r = String.trim rest in
-                let r =
-                  if String.length r >= 2 && String.sub r (String.length r - 2) 2 = "*)"
-                  then String.trim (String.sub r 0 (String.length r - 2))
-                  else r
-                in
-                r
-          in
-          let rule_shaped =
-            String.length rule > 0
-            && String.for_all (function 'a' .. 'z' | '-' -> true | _ -> false) rule
-          in
-          let after =
-            String.sub rest (String.length rule)
-              (String.length rest - String.length rule)
-          in
-          (* audited: the comment must carry a reason after a dash *)
-          let has_reason =
-            let dash i =
-              (* "—" (U+2014, 3 bytes) or "-" *)
-              (after.[i] = '-')
-              || (i + 2 < String.length after
-                 && Char.code after.[i] = 0xE2
-                 && Char.code after.[i + 1] = 0x80)
-            in
-            let rec scan i seen_dash =
-              if i >= String.length after then false
-              else if seen_dash then
-                (* any word character after the dash counts as a reason *)
-                (match after.[i] with
-                | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
-                | _ -> scan (i + 1) true)
-              else if dash i then scan (i + 1) true
-              else scan (i + 1) false
-            in
-            scan 0 false
-          in
-          (* Prose merely mentioning the syntax (placeholders like
-             "<rule>") is not an annotation. *)
-          if rule_shaped then
-            allows := { a_line = lnum; a_rule = rule; a_reason = has_reason } :: !allows)
-    lines;
-  List.rev !allows
+        let rec scan i seen_dash =
+          if i >= String.length after then false
+          else if seen_dash then
+            (* any word character after the dash counts as a reason *)
+            match after.[i] with
+            | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+            | _ -> scan (i + 1) true
+          else if dash i then scan (i + 1) true
+          else scan (i + 1) false
+        in
+        scan 0 false
+      in
+      (* Prose merely mentioning the syntax (placeholders like
+         "<rule>") is not an annotation. *)
+      let rule_shaped =
+        String.length rule > 0
+        && String.for_all (function 'a' .. 'z' | '-' -> true | _ -> false) rule
+      in
+      if rule_shaped then
+        Some { a_line = lnum; a_until = until; a_rule = rule; a_reason = has_reason }
+      else None)
+    !hits
+  |> List.filter_map Fun.id
+  |> List.sort (fun a b -> Int.compare a.a_line b.a_line)
 
 let suppressed allows ~rule ~line =
   List.exists
     (fun a ->
       String.equal a.a_rule rule && a.a_reason
-      && (a.a_line = line || a.a_line = line - 1))
+      && line >= a.a_line && line <= a.a_until)
     allows
 
 let file_suppressed allows ~rule =
@@ -130,7 +249,7 @@ let file_suppressed allows ~rule =
 let allow_violations file allows =
   List.filter_map
     (fun a ->
-      if not (List.mem a.a_rule known_rules) then
+      if not (List.mem a.a_rule all_rules) then
         Some
           {
             file;
@@ -195,11 +314,10 @@ let is_sort_ident = function
 type binding_facts = {
   mutable escapes : Location.t list;  (* hashtbl fold/iter building lists *)
   mutable has_sort : bool;
-  mutable shadows_compare : bool;  (* a local [let compare] in scope *)
 }
 
 let analyze_binding expr =
-  let facts = { escapes = []; has_sort = false; shadows_compare = false } in
+  let facts = { escapes = []; has_sort = false } in
   let it =
     {
       Ast_iterator.default_iterator with
@@ -213,15 +331,6 @@ let analyze_binding expr =
                     facts.escapes <- e.pexp_loc :: facts.escapes
               | _ -> ())
           | Pexp_ident { txt; _ } when is_sort_ident txt -> facts.has_sort <- true
-          | Pexp_let (_, vbs, _) ->
-              if
-                List.exists
-                  (fun vb ->
-                    match vb.pvb_pat.ppat_desc with
-                    | Ppat_var { txt = "compare"; _ } -> true
-                    | _ -> false)
-                  vbs
-              then facts.shadows_compare <- true
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);
     }
@@ -232,7 +341,7 @@ let analyze_binding expr =
 (* R2/R3/R4 are plain ident scans, independent of binding structure. *)
 type ident_finding = { i_loc : Location.t; i_rule : string; i_msg : string }
 
-let ident_findings ~in_lib ~module_shadows_compare expr =
+let ident_findings ~in_lib expr =
   let out = ref [] in
   let add loc rule msg = out := { i_loc = loc; i_rule = rule; i_msg = msg } :: !out in
   let it =
@@ -243,12 +352,6 @@ let ident_findings ~in_lib ~module_shadows_compare expr =
           (match e.pexp_desc with
           | Pexp_ident { txt; loc } -> (
               match txt with
-              | Longident.Lident "compare"
-              | Longident.Ldot (Longident.Lident "Stdlib", "compare")
-                when not module_shadows_compare ->
-                  add loc "poly-compare"
-                    "bare polymorphic compare; use a typed comparator \
-                     (Int.compare, String.compare, a record comparator, ...)"
               | Longident.Ldot (m, ("hash" | "seeded_hash"))
                 when is_hashtbl_module m ->
                   add loc "poly-compare"
@@ -335,26 +438,10 @@ let check_structure ~path ~allows structure =
       violations := { file = path; line; rule; message } :: !violations
   in
   let lib = in_lib path in
-  (* Module-level [let compare] shadows later bare uses (e.g. Edge_id
-     defines its own compare, then uses it).  One positional pass. *)
-  let module_shadows = ref false in
   let rec walk_structure str = List.iter walk_item str
   and walk_item item =
     match item.pstr_desc with
-    | Pstr_value (_, vbs) ->
-        List.iter
-          (fun vb ->
-            (match vb.pvb_pat.ppat_desc with
-            | Ppat_var { txt = "compare"; _ } -> ()
-            | _ -> check_binding vb.pvb_expr);
-            (* the body of [let compare] itself is still checked, with
-               bare-compare allowed inside (it may recurse) *)
-            (match vb.pvb_pat.ppat_desc with
-            | Ppat_var { txt = "compare"; _ } ->
-                check_binding ~shadow:true vb.pvb_expr;
-                module_shadows := true
-            | _ -> ()))
-          vbs
+    | Pstr_value (_, vbs) -> List.iter (fun vb -> check_binding vb.pvb_expr) vbs
     | Pstr_module { pmb_expr; _ } -> walk_module_expr pmb_expr
     | Pstr_recmodule mbs -> List.iter (fun mb -> walk_module_expr mb.pmb_expr) mbs
     | Pstr_eval (e, _) -> check_binding e
@@ -366,7 +453,7 @@ let check_structure ~path ~allows structure =
     | Pmod_functor (_, body) -> walk_module_expr body
     | Pmod_constraint (me, _) -> walk_module_expr me
     | _ -> ()
-  and check_binding ?(shadow = false) expr =
+  and check_binding expr =
     let facts = analyze_binding expr in
     if not facts.has_sort then
       List.iter
@@ -376,10 +463,9 @@ let check_structure ~path ~allows structure =
              hash order escapes — List.sort with a typed comparator before \
              the result leaves this function")
         facts.escapes;
-    let shadows = shadow || !module_shadows || facts.shadows_compare in
     List.iter
       (fun f -> add f.i_loc f.i_rule f.i_msg)
-      (ident_findings ~in_lib:lib ~module_shadows_compare:shadows expr)
+      (ident_findings ~in_lib:lib expr)
   in
   walk_structure structure;
   !violations

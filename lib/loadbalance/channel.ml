@@ -4,7 +4,8 @@ type link_stats = {
   utilisation : float;
 }
 
-let norm u v = if u < v then (u, v) else (v, u)
+let norm (u : Netsim.Graph.node) (v : Netsim.Graph.node) =
+  if u < v then (u, v) else (v, u)
 
 let compare_link (u1, v1) (u2, v2) =
   match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c

@@ -6,7 +6,7 @@ type change =
   | Add_server of Netsim.Graph.node * int
   | Remove_server of Netsim.Graph.node
 
-let index_of arr v =
+let index_of (arr : Netsim.Graph.node array) v =
   let found = ref (-1) in
   Array.iteri (fun i x -> if x = v && !found < 0 then found := i) arr;
   !found

@@ -230,7 +230,7 @@ let send_fenced ?bytes t ~src ~dst wire (id : Message.id) =
    close the transit span; each (destination, message) keeps only the
    latest send — a retry supersedes the lost original. *)
 let record_hop t msg ~name ~src ~dst =
-  if t.tracer <> None && Message.span msg <> None then
+  if Option.is_some t.tracer && Option.is_some (Message.span msg) then
     Hashtbl.replace t.hop_sends (dst, msg.Message.id) (name, src, now t)
 
 let emit_hop t node ~time m =

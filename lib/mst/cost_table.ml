@@ -10,7 +10,7 @@ type t = { source : string; entries : entry list }
 let weight_of edges = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. edges
 
 (* Distance between two nodes along the backbone tree (unique path). *)
-let tree_distance edges src dst =
+let tree_distance edges (src : Netsim.Graph.node) (dst : Netsim.Graph.node) =
   if src = dst then 0.
   else begin
     let adj = Hashtbl.create 16 in

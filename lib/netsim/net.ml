@@ -112,7 +112,8 @@ let on_status_change t f = t.listeners <- t.listeners @ [ f ]
 (* --- Link outages.  Keys are normalised (min, max) endpoint pairs so
    either orientation names the same undirected edge. --- *)
 
-let norm_link u v = if u <= v then (u, v) else (v, u)
+let norm_link (u : Graph.node) (v : Graph.node) =
+  if u <= v then (u, v) else (v, u)
 
 let check_link t u v =
   check_node t u;

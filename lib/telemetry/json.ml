@@ -244,4 +244,4 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
-let equal = ( = )
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,3 @@
+type t = int
+
+let v = 0

@@ -1,0 +1,6 @@
+(* Fixture support: an abstract type, so fix_poly_bad can compare
+   values whose representation is hidden — the case A4 must flag. *)
+
+type t
+
+val v : t

@@ -1,0 +1,8 @@
+(* Fixture: A1 hot-path-alloc — [churn] has exactly three allocation
+   sites (the List.map call, its closure argument and the tuple the
+   closure builds); [calm] has none.  test_analyze.ml declares both
+   hot and checks the counts and the baseline ratchet against them. *)
+
+let churn xs = List.map (fun x -> (x, x)) xs
+
+let calm acc n = acc + n + 1

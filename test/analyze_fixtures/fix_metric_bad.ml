@@ -1,0 +1,11 @@
+(* Fixture: A2 metric-name failures.  [bump] is a local helper sink,
+   so the undocumented literal below must be traced through it; the
+   monitor-DSL literal references a metric nothing emits. *)
+
+let reg = Telemetry.Registry.create ()
+
+let bump name = Telemetry.Registry.incr (Telemetry.Registry.counter reg name)
+
+let observed () = bump "undocumented_metric"
+
+let dangling_rules = "watch=missing_metric>1"

@@ -1,0 +1,16 @@
+(* Fixture: A2 metric-name passes — a direct literal, plus a promoted
+   name list published through List.iter (the [core_counters] idiom in
+   lib/mail/system.ml).  All three names are documented by the
+   catalogue test_analyze.ml injects. *)
+
+let reg = Telemetry.Registry.create ()
+
+let direct () =
+  Telemetry.Registry.incr (Telemetry.Registry.counter reg "documented_metric")
+
+let promoted = [ "batch_metric_a"; "batch_metric_b" ]
+
+let publish v =
+  List.iter
+    (fun k -> Telemetry.Registry.set_gauge (Telemetry.Registry.gauge reg k) v)
+    promoted

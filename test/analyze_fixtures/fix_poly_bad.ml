@@ -1,0 +1,11 @@
+(* Fixture: A4 poly-compare failures — polymorphic comparison at a
+   function type, at an unresolved type variable, on lazy values and
+   at an abstract type.  Each line below must be flagged. *)
+
+let fn_eq (f : int -> int) (g : int -> int) = f = g
+
+let any_eq a b = compare a b = 0
+
+let lazy_cmp (a : int lazy_t) b = compare a b
+
+let abstract_eq (a : Fix_abstract.t) b = a = b

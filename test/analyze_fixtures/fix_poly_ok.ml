@@ -1,0 +1,17 @@
+(* Fixture: A4 poly-compare passes — structural comparison at ground
+   types, containers of ground types, and locally-declared records and
+   variants is deterministic and must NOT be flagged. *)
+
+type color = Red | Green | Blue of int
+
+type point = { x : float; y : float; tag : string }
+
+let ints_eq (a : int) b = a = b
+
+let lists_cmp (a : int list) b = compare a b
+
+let colors_lt (a : color) b = a < b
+
+let points_eq (a : point) b = a = b
+
+let pairs_cmp (a : (int * string) option) b = compare a b

@@ -1,0 +1,8 @@
+(* Fixture: A3 span-drift failures — [rogue.span] is created but not
+   in the injected stage tables, and this unit never calls Span.finish
+   so the open span also leaks. *)
+
+let tracer = Telemetry.Tracer.create ()
+
+let start_at t =
+  ignore (Telemetry.Tracer.span tracer ~name:"rogue.span" ~start:t ())

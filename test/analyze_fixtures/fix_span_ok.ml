@@ -1,0 +1,16 @@
+(* Fixture: A3 span-drift passes — a directly-closed span, a span
+   emitted through a local helper sink (the [emit_span] idiom in
+   lib/mail/pipeline.ml), and a literal that serves as weak evidence
+   for a documented stage emitted through a data structure. *)
+
+let tracer = Telemetry.Tracer.create ()
+
+let mark t =
+  ignore (Telemetry.Tracer.span tracer ~name:"closed.span" ~start:t ~finish:t ())
+
+let emit t ~name =
+  ignore (Telemetry.Tracer.span tracer ~name ~start:t ~finish:t ())
+
+let staged t = emit t ~name:"helper.span"
+
+let latent_evidence = "latent.span"

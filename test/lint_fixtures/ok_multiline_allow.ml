@@ -1,0 +1,11 @@
+(* Fixture: suppression — an allow annotation inside a multi-line
+   comment block suppresses the construct on the line after the block,
+   even when the justification wraps. *)
+
+(* lint: allow wall-clock — this justification continues onto a second
+   line, and the annotated construct sits below the whole block *)
+let elapsed () = Sys.time ()
+
+(* lint: allow wall-clock
+   — the reason dash may even start the continuation line *)
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,316 @@
+(* Tests for the type-aware analyzer (bin/analyze) over the compiled
+   fixture corpus in [analyze_fixtures/]: building that library is
+   what produces the .cmt files fed to Analyze_core, so every rule is
+   exercised on real typed ASTs.  Docs and baselines are injected
+   through [~read_source], never read from disk. *)
+
+let objs = Filename.concat "analyze_fixtures" ".analyze_fixtures.objs/byte"
+let cmt name = Filename.concat objs ("analyze_fixtures__Fix_" ^ name ^ ".cmt")
+let fixmod name = "Analyze_fixtures.Fix_" ^ name
+
+(* A markdown table in the shape the analyzer parses from
+   docs/METRICS.md and docs/TRACING.md. *)
+let table names =
+  "| name | axis | meaning |\n|---|---|---|\n"
+  ^ String.concat ""
+      (List.map (fun n -> Printf.sprintf "| `%s` | — | fixture |\n" n) names)
+
+let run ?(hot = []) ?(baseline = "") ?(metrics = []) ?(spans = []) cmts =
+  let read_source f =
+    if String.equal f "baseline.json" && baseline <> "" then Some baseline
+    else if String.equal f "METRICS.md" then Some (table metrics)
+    else if String.equal f "TRACING.md" then Some (table spans)
+    else None
+  in
+  Analyze_core.analyze_tree ~hot_set:hot ~baseline_file:"baseline.json"
+    ~read_source ~metrics_doc:("METRICS.md", []) ~tracing_doc:("TRACING.md", [])
+    cmts
+
+let findings analysis =
+  List.map
+    (fun v -> (v.Lint_core.line, v.Lint_core.rule))
+    analysis.Analyze_core.an_findings
+
+let messages analysis =
+  List.map (fun v -> v.Lint_core.message) analysis.Analyze_core.an_findings
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let check_rules msg expected analysis =
+  Alcotest.(check (list (pair int string))) msg expected (findings analysis)
+
+(* --- A1: hot-path allocation counting and the ratchet ------------------- *)
+
+let hot_fixture = [ (fixmod "hot", [ "churn"; "calm" ]) ]
+
+let baseline_json entries =
+  Telemetry.Json.to_string (Analyze_core.baseline_to_json entries)
+
+let churn = fixmod "hot" ^ ".churn"
+let calm = fixmod "hot" ^ ".calm"
+
+let test_a1_counts () =
+  let analysis =
+    run ~hot:hot_fixture
+      ~baseline:(baseline_json [ (churn, 3); (calm, 0) ])
+      [ cmt "hot" ]
+  in
+  check_rules "counts match the baseline: clean" [] analysis;
+  let hot_fns =
+    List.concat_map (fun f -> f.Analyze_core.f_hot) analysis.Analyze_core.an_facts
+  in
+  let sites name =
+    match
+      List.find_opt (fun h -> String.equal h.Analyze_core.hf_name name) hot_fns
+    with
+    | Some h ->
+        List.map (fun s -> s.Analyze_core.al_kind) h.Analyze_core.hf_sites
+        |> List.sort String.compare
+    | None -> Alcotest.failf "hot function %s not reported" name
+  in
+  Alcotest.(check (list string))
+    "churn: List.map call + closure + tuple"
+    [ "alloc-call"; "closure"; "tuple" ]
+    (sites churn);
+  Alcotest.(check (list string)) "calm: allocation-free" [] (sites calm)
+
+let test_a1_ratchet_red () =
+  let analysis =
+    run ~hot:hot_fixture
+      ~baseline:(baseline_json [ (churn, 2); (calm, 0) ])
+      [ cmt "hot" ]
+  in
+  check_rules "count above baseline fails"
+    [ (6, "hot-path-alloc") ]
+    analysis;
+  Alcotest.(check bool)
+    "message states count and baseline" true
+    (contains (List.hd (messages analysis)) "3 allocation site(s), baseline is 2")
+
+let test_a1_missing_entry () =
+  let analysis =
+    run ~hot:hot_fixture ~baseline:(baseline_json [ (calm, 0) ]) [ cmt "hot" ]
+  in
+  check_rules "function without a baseline entry fails"
+    [ (6, "hot-path-alloc") ]
+    analysis;
+  Alcotest.(check bool)
+    "message asks for a baseline" true
+    (contains (List.hd (messages analysis)) "no baseline entry")
+
+let test_a1_stale_entry () =
+  let analysis =
+    run ~hot:hot_fixture
+      ~baseline:
+        (baseline_json [ (churn, 3); (calm, 0); (fixmod "hot" ^ ".gone", 1) ])
+      [ cmt "hot" ]
+  in
+  check_rules "baseline entry without a function fails"
+    [ (1, "hot-path-alloc") ]
+    analysis;
+  Alcotest.(check bool)
+    "message points at the stale entry" true
+    (contains (List.hd (messages analysis)) "matches no function")
+
+let test_a1_improvement () =
+  let analysis =
+    run ~hot:hot_fixture
+      ~baseline:(baseline_json [ (churn, 5); (calm, 0) ])
+      [ cmt "hot" ]
+  in
+  check_rules "dropping below baseline is not a failure" [] analysis;
+  Alcotest.(check (list (triple string int int)))
+    "the improvement is reported for re-ratcheting"
+    [ (churn, 3, 5) ]
+    analysis.Analyze_core.an_improvements
+
+let test_a1_declared_missing () =
+  let analysis =
+    run
+      ~hot:[ (fixmod "hot", [ "churn"; "calm"; "ghost" ]) ]
+      ~baseline:(baseline_json [ (churn, 3); (calm, 0) ])
+      [ cmt "hot" ]
+  in
+  check_rules "declared hot function absent from the module fails"
+    [ (1, "hot-path-alloc") ]
+    analysis;
+  Alcotest.(check bool)
+    "message names the missing declaration" true
+    (contains (List.hd (messages analysis)) "ghost not found")
+
+(* --- A2: metric-name consistency ----------------------------------------- *)
+
+let test_a2_bad () =
+  let analysis =
+    run ~metrics:[ "ghost_metric" ] [ cmt "metric_bad" ]
+  in
+  (* one emitted-but-undocumented (through the local helper sink), one
+     documented-but-unemitted, one dangling monitor rule *)
+  check_rules "all three drift directions are found"
+    [ (3, "metric-name"); (9, "metric-name"); (11, "metric-name") ]
+    analysis;
+  let msgs = String.concat "\n" (messages analysis) in
+  Alcotest.(check bool) "undocumented emission" true
+    (contains msgs "\"undocumented_metric\" is emitted but undocumented");
+  Alcotest.(check bool) "stale catalogue entry" true
+    (contains msgs "\"ghost_metric\" has no emitter");
+  Alcotest.(check bool) "dangling monitor rule" true
+    (contains msgs "references metric \"missing_metric\"")
+
+let test_a2_ok () =
+  check_rules "helper-sink and promoted-list emissions match the catalogue" []
+    (run
+       ~metrics:[ "documented_metric"; "batch_metric_a"; "batch_metric_b" ]
+       [ cmt "metric_ok" ])
+
+(* --- A3: span/stage drift ------------------------------------------------ *)
+
+let test_a3_bad () =
+  let analysis = run ~spans:[ "documented.span" ] [ cmt "span_bad" ] in
+  (* the stale stage table entry (line 3 of the injected doc), the
+     undocumented creation and the unpaired open span *)
+  check_rules "undocumented, stale and leaking spans are all found"
+    [ (3, "span-drift"); (8, "span-drift"); (8, "span-drift") ]
+    analysis;
+  let msgs = String.concat "\n" (messages analysis) in
+  Alcotest.(check bool) "undocumented span" true
+    (contains msgs "\"rogue.span\" is created here but missing");
+  Alcotest.(check bool) "stale stage entry" true
+    (contains msgs "\"documented.span\" is never created");
+  Alcotest.(check bool) "unpaired open span" true
+    (contains msgs "never calls Span.finish")
+
+let test_a3_ok () =
+  (* closed.span directly, helper.span through the sink, latent.span by
+     literal evidence only *)
+  check_rules "closed, sink-emitted and literal-evidenced spans pass" []
+    (run
+       ~spans:[ "closed.span"; "helper.span"; "latent.span" ]
+       [ cmt "span_ok" ])
+
+(* --- A4: typed polymorphic comparison ------------------------------------ *)
+
+let test_a4_bad () =
+  let analysis = run [ cmt "poly_bad" ] in
+  check_rules
+    "function, tyvar, lazy and abstract comparisons are all flagged"
+    [ (5, "poly-compare"); (7, "poly-compare"); (9, "poly-compare");
+      (11, "poly-compare") ]
+    analysis;
+  let msgs = String.concat "\n" (messages analysis) in
+  Alcotest.(check bool) "abstract type named in the finding" true
+    (contains msgs "Fix_abstract.t is abstract")
+
+let test_a4_ok () =
+  check_rules
+    "ground types, containers, records and variants are not flagged" []
+    (run [ cmt "poly_ok" ])
+
+(* --- shared suppression machinery ---------------------------------------- *)
+
+let test_suppression_filter () =
+  let read_source _ =
+    Some "let x = 1 (* lint: allow metric-name — covered by fixture *)\n"
+  in
+  let viol rule =
+    { Lint_core.file = "x.ml"; line = 1; rule; message = "m" }
+  in
+  let kept =
+    Analyze_core.filter_suppressed ~read_source
+      [ viol "metric-name"; viol "span-drift" ]
+  in
+  Alcotest.(check (list string))
+    "only the matching rule is suppressed" [ "span-drift" ]
+    (List.map (fun v -> v.Lint_core.rule) kept)
+
+(* --- report and baseline serialisation ----------------------------------- *)
+
+let test_report_schema () =
+  let analysis =
+    run ~hot:hot_fixture
+      ~baseline:(baseline_json [ (churn, 3); (calm, 0) ])
+      [ cmt "hot" ]
+  in
+  let json =
+    Analyze_core.report_to_json ~baseline:analysis.Analyze_core.an_baseline
+      ~findings:analysis.Analyze_core.an_findings
+      ~facts_list:analysis.Analyze_core.an_facts
+  in
+  (match Telemetry.Json.member "schema" json with
+  | Some (Telemetry.Json.String s) ->
+      Alcotest.(check string) "schema tag" "mailsys.analysis/1" s
+  | _ -> Alcotest.fail "ANALYSIS.json has no schema tag");
+  match Telemetry.Json.member "hot" json with
+  | Some (Telemetry.Json.List hot) ->
+      Alcotest.(check int) "one entry per hot function" 2 (List.length hot)
+  | _ -> Alcotest.fail "ANALYSIS.json has no hot section"
+
+let test_baseline_roundtrip () =
+  let entries = [ (calm, 0); (churn, 3) ] in
+  let json = Telemetry.Json.of_string (baseline_json entries) in
+  (match Telemetry.Json.member "schema" json with
+  | Some (Telemetry.Json.String s) ->
+      Alcotest.(check string) "baseline schema tag" "mailsys.analysis-baseline/1" s
+  | _ -> Alcotest.fail "baseline has no schema tag");
+  Alcotest.(check (list (pair string int)))
+    "entries survive the roundtrip, sorted" entries
+    (Analyze_core.baseline_of_json json)
+
+(* --- doc-table parsing ---------------------------------------------------- *)
+
+let test_doc_parsing () =
+  let md =
+    "# t\n\
+     | name | axis |\n\
+     |---|---|\n\
+     | `plain_metric` | x |\n\
+     | `labelled{rule=\"r\"}` | x |\n\
+     | not_backticked | x |\n\
+     Also **`bold_metric{event=\"e\"}`** in prose.\n"
+  in
+  Alcotest.(check (list (pair string int)))
+    "first-cell backticks and bold entries, labels stripped"
+    [ ("plain_metric", 4); ("labelled", 5); ("bold_metric", 7) ]
+    (Analyze_core.doc_metric_names md);
+  Alcotest.(check (list (pair string int)))
+    "span names keep dotted shape"
+    [ ("forward.hop", 2) ]
+    (Analyze_core.doc_span_names "\n| `forward.hop` | x |\n")
+
+let suite =
+  [
+    ( "analyze",
+      [
+        Alcotest.test_case "A1: allocation sites counted" `Quick test_a1_counts;
+        Alcotest.test_case "A1: ratchet fails above baseline" `Quick
+          test_a1_ratchet_red;
+        Alcotest.test_case "A1: missing baseline entry fails" `Quick
+          test_a1_missing_entry;
+        Alcotest.test_case "A1: stale baseline entry fails" `Quick
+          test_a1_stale_entry;
+        Alcotest.test_case "A1: improvement reported, not failed" `Quick
+          test_a1_improvement;
+        Alcotest.test_case "A1: declared hot function must exist" `Quick
+          test_a1_declared_missing;
+        Alcotest.test_case "A2: drift in all three directions" `Quick
+          test_a2_bad;
+        Alcotest.test_case "A2: sinks and promoted lists pass" `Quick
+          test_a2_ok;
+        Alcotest.test_case "A3: undocumented, stale, leaking spans" `Quick
+          test_a3_bad;
+        Alcotest.test_case "A3: closed and sink-emitted spans pass" `Quick
+          test_a3_ok;
+        Alcotest.test_case "A4: unsafe comparisons flagged" `Quick test_a4_bad;
+        Alcotest.test_case "A4: safe comparisons pass" `Quick test_a4_ok;
+        Alcotest.test_case "suppressions shared with the linter" `Quick
+          test_suppression_filter;
+        Alcotest.test_case "ANALYSIS.json schema and shape" `Quick
+          test_report_schema;
+        Alcotest.test_case "baseline JSON roundtrip" `Quick
+          test_baseline_roundtrip;
+        Alcotest.test_case "doc-table name extraction" `Quick test_doc_parsing;
+      ] );
+  ]
