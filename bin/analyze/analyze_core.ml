@@ -60,9 +60,10 @@ type violation = Lint_core.violation = {
 let default_hot_set =
   [
     ( "Dsim.Engine",
-      [ "exec"; "step"; "next_live"; "settle_head"; "run"; "schedule_at"; "schedule_after" ] );
+      [ "exec"; "step"; "step_uninstrumented"; "settle_head"; "drain"; "run";
+        "schedule_at"; "schedule_after"; "schedule_after_cat" ] );
     ("Dsim.Heap", [ "push"; "pop"; "peek"; "sift_up"; "sift_down" ]);
-    ("Netsim.Net", [ "send"; "send_timed"; "route" ]);
+    ("Netsim.Net", [ "send"; "send_raw"; "send_timed"; "route" ]);
     ( "Mail.Pipeline",
       [
         "handle_wire";

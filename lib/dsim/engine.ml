@@ -1,149 +1,243 @@
 type event_id = int
+type category = int
 
-type event = { id : event_id; category : string; action : unit -> unit }
+type instrument = { timer : unit -> float; report : seconds:float -> unit }
 
-type profile = { events : int; handler_seconds : float }
-
-type prof_cell = { mutable p_events : int; mutable p_seconds : float }
-
-type instrument = {
-  timer : unit -> float;
-  report : category:string -> seconds:float -> unit;
-}
-
+(* The event queue is a flat [Heap.Arena]: priorities (virtual times),
+   sequence numbers (the event ids) and interned category ids live in
+   preallocated scalar arrays, and the only per-event heap payload is
+   the caller's action closure.  Scheduling an event allocates nothing
+   beyond whatever the caller's closure captures, and the dominant
+   recurring events (timer re-arms, periodic samplers) reuse a single
+   closure across firings. *)
 type t = {
-  queue : event Heap.t;
-  cancelled : (event_id, unit) Hashtbl.t;
-  profiles : (string, prof_cell) Hashtbl.t;
+  queue : (unit -> unit) Heap.Arena.t;
+  (* Cancelled ids as a growable bitset indexed by event id: ids are
+     dense, so this is O(1) with no hashing and one bit per event. *)
+  mutable cancelled : Bytes.t;
+  mutable cancelled_pending : int;
+  (* Interned categories: name -> id once at wiring time, then all
+     per-event accounting is an [int array] bump. *)
+  cat_ids : (string, category) Hashtbl.t;
+  mutable cat_names : string array;
+  mutable cat_events : int array;
+  mutable cat_count : int;
   mutable instrument : instrument option;
   mutable clock : float;
-  mutable next_id : event_id;
   mutable executed : int;
+  mutable handler_seconds : float;
 }
 
-let create () =
-  {
-    queue = Heap.create ();
-    cancelled = Hashtbl.create 16;
-    profiles = Hashtbl.create 8;
-    instrument = None;
-    clock = 0.;
-    next_id = 0;
-    executed = 0;
-  }
+let category t name =
+  match Hashtbl.find_opt t.cat_ids name with
+  | Some id -> id
+  | None ->
+      let id = t.cat_count in
+      if id = Array.length t.cat_names then begin
+        let cap = 2 * id in
+        let names = Array.make cap "" in
+        Array.blit t.cat_names 0 names 0 id;
+        t.cat_names <- names;
+        let events = Array.make cap 0 in
+        Array.blit t.cat_events 0 events 0 id;
+        t.cat_events <- events
+      end;
+      t.cat_names.(id) <- name;
+      t.cat_events.(id) <- 0;
+      Hashtbl.replace t.cat_ids name id;
+      t.cat_count <- id + 1;
+      id
+
+let category_name t cat =
+  if cat < 0 || cat >= t.cat_count then invalid_arg "Engine.category_name";
+  t.cat_names.(cat)
+
+let default_category = 0
+
+let create ?(capacity = 64) () =
+  let t =
+    {
+      queue = Heap.Arena.create ~capacity ~dummy:ignore ();
+      cancelled = Bytes.make 64 '\000';
+      cancelled_pending = 0;
+      cat_ids = Hashtbl.create 8;
+      cat_names = Array.make 8 "";
+      cat_events = Array.make 8 0;
+      cat_count = 0;
+      instrument = None;
+      clock = 0.;
+      executed = 0;
+      handler_seconds = 0.;
+    }
+  in
+  (* Intern the default category first so it is always id 0. *)
+  ignore (category t "event");
+  t
 
 let now t = t.clock
 
-let schedule_at ?(category = "event") t time action =
+let schedule_at_cat t cat time action =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Heap.push t.queue time { id; category; action };
-  id
+  Heap.Arena.push t.queue ~prio:time ~tag:cat action
 
-let schedule_after ?category t delay action =
-  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at ?category t (t.clock +. delay) action
-
-let every ?category t ~period ~until f =
-  if period <= 0. then invalid_arg "Engine.every: period must be positive";
-  let rec arm at =
-    if at <= until then
-      ignore
-        (schedule_at ?category t at (fun () ->
-             f ();
-             arm (at +. period)))
+let schedule_at ?category:cat t time action =
+  let cat =
+    match cat with None -> default_category | Some name -> category t name
   in
-  arm (t.clock +. period)
+  schedule_at_cat t cat time action
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
+let schedule_after_cat t cat delay action =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at_cat t cat (t.clock +. delay) action
+
+let schedule_after ?category:cat t delay action =
+  let cat =
+    match cat with None -> default_category | Some name -> category t name
+  in
+  schedule_after_cat t cat delay action
+
+(* A single reusable closure re-arms itself across firings, so a
+   long-running recurrence churns no per-tick closures. *)
+let every ?category:cat t ~period ~until f =
+  if period <= 0. then invalid_arg "Engine.every: period must be positive";
+  let cat =
+    match cat with None -> default_category | Some name -> category t name
+  in
+  let next = ref (t.clock +. period) in
+  let rec tick () =
+    f ();
+    let at = !next +. period in
+    if at <= until then begin
+      next := at;
+      ignore (schedule_at_cat t cat at tick)
+    end
+  in
+  if !next <= until then ignore (schedule_at_cat t cat !next tick)
+
+let is_cancelled t id =
+  let byte = id lsr 3 in
+  byte < Bytes.length t.cancelled
+  && Char.code (Bytes.unsafe_get t.cancelled byte) land (1 lsl (id land 7)) <> 0
+
+let cancel t id =
+  if id < 0 then invalid_arg "Engine.cancel: negative id";
+  let byte = id lsr 3 in
+  if byte >= Bytes.length t.cancelled then begin
+    let cap = max (2 * Bytes.length t.cancelled) (byte + 1) in
+    let b = Bytes.make cap '\000' in
+    Bytes.blit t.cancelled 0 b 0 (Bytes.length t.cancelled);
+    t.cancelled <- b
+  end;
+  let cur = Char.code (Bytes.get t.cancelled byte) in
+  let bit = 1 lsl (id land 7) in
+  if cur land bit = 0 then begin
+    Bytes.set t.cancelled byte (Char.chr (cur lor bit));
+    t.cancelled_pending <- t.cancelled_pending + 1
+  end
+
+let uncancel t id =
+  let byte = id lsr 3 in
+  let cur = Char.code (Bytes.get t.cancelled byte) in
+  Bytes.set t.cancelled byte (Char.chr (cur land lnot (1 lsl (id land 7))));
+  t.cancelled_pending <- t.cancelled_pending - 1
 
 let pending t =
   (* Cancelled events stay in the heap as tombstones until popped. *)
-  Heap.length t.queue - Hashtbl.length t.cancelled
+  Heap.Arena.length t.queue - t.cancelled_pending
 
 (* The engine itself never reads a wall clock: the instrument supplies
    its own timer (the telemetry probe passes one), so deterministic sim
    code stays free of ambient time sources. *)
 let set_instrument ?(timer = fun () -> 0.) t report =
   t.instrument <- Some { timer; report }
+
 let clear_instrument t = t.instrument <- None
 
-let prof_cell t category =
-  match Hashtbl.find_opt t.profiles category with
-  | Some c -> c
-  | None ->
-      let c = { p_events = 0; p_seconds = 0. } in
-      Hashtbl.replace t.profiles category c;
-      c
-
 let profile t =
-  Hashtbl.fold
-    (fun category c acc ->
-      (category, { events = c.p_events; handler_seconds = c.p_seconds }) :: acc)
-    t.profiles []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let acc = ref [] in
+  for id = t.cat_count - 1 downto 0 do
+    if t.cat_events.(id) > 0 then acc := (t.cat_names.(id), t.cat_events.(id)) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
-let exec t time ev =
+let handler_seconds t = t.handler_seconds
+
+(* Pop tombstones off the head; [true] if a live head remains. *)
+let rec settle_head t =
+  let q = t.queue in
+  if Heap.Arena.is_empty q then false
+  else if is_cancelled t (Heap.Arena.top_seq q) then begin
+    uncancel t (Heap.Arena.top_seq q);
+    Heap.Arena.drop q;
+    settle_head t
+  end
+  else true
+
+(* Execute the live head event: advance the clock, bump the category
+   cell, run the action.  The caller has already settled tombstones. *)
+let exec t =
+  let q = t.queue in
+  let time = Heap.Arena.top_prio q in
+  let cat = Heap.Arena.top_tag q in
+  let action = Heap.Arena.top q in
+  Heap.Arena.drop q;
   t.clock <- time;
   t.executed <- t.executed + 1;
-  let cell = prof_cell t ev.category in
-  cell.p_events <- cell.p_events + 1;
-  match t.instrument with
-  | None -> ev.action ()
-  | Some { timer; report } ->
-      (* Cost of the handler itself on the instrument's clock; virtual
-         time never advances inside one. *)
-      let t0 = timer () in
-      ev.action ();
-      let dt = timer () -. t0 in
-      cell.p_seconds <- cell.p_seconds +. dt;
-      report ~category:ev.category ~seconds:dt
+  t.cat_events.(cat) <- t.cat_events.(cat) + 1;
+  action ()
 
-(* Pop the next live event, discarding cancelled tombstones. *)
-let rec next_live t =
-  match Heap.pop t.queue with
-  | None -> None
-  | Some (time, ev) ->
-      if Hashtbl.mem t.cancelled ev.id then begin
-        Hashtbl.remove t.cancelled ev.id;
-        next_live t
-      end
-      else Some (time, ev)
+let step_uninstrumented t =
+  if settle_head t then begin
+    exec t;
+    true
+  end
+  else false
 
 let step t =
-  match next_live t with
-  | None -> false
-  | Some (time, ev) ->
-      exec t time ev;
-      true
+  match t.instrument with
+  | None -> step_uninstrumented t
+  | Some { timer; report } ->
+      let t0 = timer () in
+      let stepped = step_uninstrumented t in
+      let dt = timer () -. t0 in
+      t.handler_seconds <- t.handler_seconds +. dt;
+      report ~seconds:dt;
+      stepped
 
-(* Drop cancelled tombstones from the head so [peek] sees a live event. *)
-let rec settle_head t =
-  match Heap.peek t.queue with
-  | Some (_, ev) when Hashtbl.mem t.cancelled ev.id ->
-      ignore (Heap.pop t.queue);
-      Hashtbl.remove t.cancelled ev.id;
-      settle_head t
-  | _ -> ()
+let drain t horizon =
+  let q = t.queue in
+  let continue = ref true in
+  while !continue do
+    if settle_head t then
+      if Heap.Arena.top_prio q > horizon then continue := false else exec t
+    else continue := false
+  done
 
-let run ?until t =
+let run_events t until =
   let horizon = match until with Some h -> h | None -> infinity in
-  let rec loop () =
-    settle_head t;
-    match Heap.peek t.queue with
-    | None -> ()
-    | Some (time, _) when time > horizon -> ()
-    | Some _ ->
-        let time, ev = Heap.pop_exn t.queue in
-        exec t time ev;
-        loop ()
-  in
-  loop ();
+  drain t horizon;
   match until with
   | Some h when Float.is_finite h && t.clock < h -> t.clock <- h
   | _ -> ()
+
+(* The instrument times the whole run slice — one timer pair per
+   [run], not two per event — and reports the batch once. *)
+let run ?until t =
+  match t.instrument with
+  | None -> run_events t until
+  | Some { timer; report } ->
+      let t0 = timer () in
+      let finish () =
+        let dt = timer () -. t0 in
+        t.handler_seconds <- t.handler_seconds +. dt;
+        report ~seconds:dt
+      in
+      (try run_events t until
+       with e ->
+         finish ();
+         raise e);
+      finish ()
 
 let events_executed t = t.executed

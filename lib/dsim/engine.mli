@@ -5,36 +5,64 @@
     the engine pops events in time order (FIFO among simultaneous
     events) and executes them, which typically schedules further
     events.  There is no real concurrency: determinism is total given
-    the same seed and schedule. *)
+    the same seed and schedule.
+
+    The queue is a flat structure-of-arrays arena ({!Heap.Arena}):
+    scheduling an event stores a time, a sequence number and an
+    interned category id in preallocated scalar arrays, so the steady
+    state allocates nothing beyond the caller's action closure. *)
 
 type t
 
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
-val create : unit -> t
-(** Fresh engine with clock at 0. *)
+type category
+(** Interned event-category id.  Categories tag events for {!profile};
+    hot paths intern once at wiring time with {!category} and schedule
+    with {!schedule_at_cat}/{!schedule_after_cat} so no string is
+    touched per event. *)
+
+val create : ?capacity:int -> unit -> t
+(** Fresh engine with clock at 0.  [capacity] pre-sizes the event
+    arena (default 64) so a run that schedules a whole workload up
+    front skips the doubling regrowths. *)
 
 val now : t -> float
 (** Current virtual time. *)
 
+val category : t -> string -> category
+(** Intern a category name (idempotent).  The default category
+    ["event"] is always interned first. *)
+
+val category_name : t -> category -> string
+(** Inverse of {!category}.
+    @raise Invalid_argument on a foreign id. *)
+
 val schedule_at : ?category:string -> t -> float -> (unit -> unit) -> event_id
 (** [schedule_at t time f] runs [f] at virtual [time].  [category]
-    (default ["event"]) tags the event for {!profile} and the
-    instrumentation callback.
+    (default ["event"]) tags the event for {!profile}.
     @raise Invalid_argument if [time] is in the past. *)
 
 val schedule_after : ?category:string -> t -> float -> (unit -> unit) -> event_id
 (** [schedule_after t delay f] runs [f] at [now t +. delay].
     @raise Invalid_argument if [delay < 0.]. *)
 
+val schedule_at_cat : t -> category -> float -> (unit -> unit) -> event_id
+(** {!schedule_at} with a pre-interned category: the hot-path variant,
+    no string lookup per event. *)
+
+val schedule_after_cat : t -> category -> float -> (unit -> unit) -> event_id
+(** {!schedule_after} with a pre-interned category. *)
+
 val every :
   ?category:string -> t -> period:float -> until:float -> (unit -> unit) -> unit
 (** [every t ~period ~until f] runs [f] at [now + period],
     [now + 2*period], … up to and including [until] — the recurring
-    helper behind periodic virtual-time sampling.  Each firing re-arms
-    the next from inside the handler, so the events interleave in time
-    order with the rest of the schedule.
+    helper behind periodic virtual-time sampling.  One reusable event
+    closure re-arms itself from inside the handler, so the recurrence
+    interleaves in time order with the rest of the schedule without
+    churning a closure per tick.
     @raise Invalid_argument if [period <= 0.]. *)
 
 val cancel : t -> event_id -> unit
@@ -58,28 +86,28 @@ val events_executed : t -> int
 
 (** {1 Profiling}
 
-    The engine counts executed events per category.  When an
-    instrumentation callback is installed it also measures the time
-    spent inside each handler on the instrument's own clock — virtual
-    time never advances during one — and reports it after every event,
-    so a metrics registry can maintain live per-category tallies.
+    The engine counts executed events per interned category in flat
+    int cells.  When an instrumentation callback is installed, each
+    {!run} slice (and each {!step}) is timed as a batch on the
+    instrument's own clock — virtual time never advances inside a
+    handler — and reported once per slice, so a metrics registry pays
+    no per-event cost.
 
     The engine never reads a wall clock itself: the caller supplies
     [timer] (e.g. the telemetry probe passes [Sys.time]), keeping
     deterministic simulation code free of ambient time sources. *)
 
-type profile = { events : int; handler_seconds : float }
-(** [handler_seconds] stays 0 until an instrument with a real [timer]
-    is installed. *)
-
-val set_instrument :
-  ?timer:(unit -> float) -> t -> (category:string -> seconds:float -> unit) -> unit
+val set_instrument : ?timer:(unit -> float) -> t -> (seconds:float -> unit) -> unit
 (** Install the (single) instrumentation callback, replacing any
-    previous one.  Called after each executed event with its category
-    and the handler time measured with [timer] (default: a zero clock,
-    so [seconds] is 0 unless a real timer is supplied). *)
+    previous one.  Called after each {!run} slice and each {!step}
+    with the elapsed time measured with [timer] (default: a zero
+    clock, so [seconds] is 0 unless a real timer is supplied). *)
 
 val clear_instrument : t -> unit
 
-val profile : t -> (string * profile) list
-(** Per-category execution tallies, sorted by category name. *)
+val handler_seconds : t -> float
+(** Cumulative instrumented run-slice seconds (0 without a timer). *)
+
+val profile : t -> (string * int) list
+(** Executed-event count per category, sorted by category name;
+    categories with no executed events are omitted. *)

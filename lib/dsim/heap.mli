@@ -40,3 +40,44 @@ val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> (float * 'a) list
 (** Non-destructive snapshot in ascending priority (FIFO among ties). *)
+
+(** Flat structure-of-arrays min-heap: unboxed [float array] priorities,
+    [int array] sequence numbers and tags, payloads in their own array.
+    Pushing and popping move plain words between preallocated arrays,
+    so the steady state allocates nothing — this arena backs the
+    simulation engine's event queue.  Order is identical to the boxed
+    heap above: ascending priority, FIFO among ties. *)
+module Arena : sig
+  type 'a t
+
+  val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+  (** Preallocates all four backing arrays at [capacity] (default 64)
+      entries; the arena doubles past the hint automatically.  [dummy]
+      fills vacated payload slots so popped values are not retained.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> prio:float -> tag:int -> 'a -> int
+  (** Insert a payload with an integer [tag] riding along; returns the
+      entry's sequence number (dense from 0, the FIFO tie-break key).
+      @raise Invalid_argument if [prio] is NaN. *)
+
+  val top_prio : 'a t -> float
+  (** Priority of the minimum entry.  @raise Invalid_argument when empty. *)
+
+  val top_seq : 'a t -> int
+  (** Sequence number of the minimum entry. *)
+
+  val top_tag : 'a t -> int
+  (** Tag of the minimum entry. *)
+
+  val top : 'a t -> 'a
+  (** Payload of the minimum entry. *)
+
+  val drop : 'a t -> unit
+  (** Remove the minimum entry (read it with the [top_*] accessors
+      first — dropping clears the payload slot).
+      @raise Invalid_argument when empty. *)
+end

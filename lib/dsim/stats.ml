@@ -64,10 +64,21 @@ module Counter = struct
     | Some r -> r := !r + by
     | None -> Hashtbl.add t key (ref by)
 
+  (* Pre-resolved handle: one string hash at wiring time, then bumping
+     the counter is a raw int-ref update on the hot path. *)
+  let cell t key =
+    match Hashtbl.find_opt t key with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t key r;
+        r
+
   let get t key = match Hashtbl.find_opt t key with Some r -> !r | None -> 0
 
   let to_list t =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+    (* Never-bumped cells stay invisible, matching the incr-only days. *)
+    Hashtbl.fold (fun k r acc -> if !r <> 0 then (k, !r) :: acc else acc) t []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
   let pp ppf t =

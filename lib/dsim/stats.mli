@@ -33,11 +33,18 @@ module Counter : sig
 
   val create : unit -> t
   val incr : ?by:int -> t -> string -> unit
+
+  val cell : t -> string -> int ref
+  (** Pre-resolved handle for [key], created at zero on first use:
+      resolve once at wiring time, then bump the raw int ref on the
+      hot path with no hashing.  The same ref backs [incr]/[get]. *)
+
   val get : t -> string -> int
   (** Unknown keys read as 0. *)
 
   val to_list : t -> (string * int) list
-  (** Sorted by key. *)
+  (** Sorted by key; keys whose count is zero are omitted, so a
+      never-bumped {!cell} does not appear. *)
 
   val pp : Format.formatter -> t -> unit
 end

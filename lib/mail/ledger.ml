@@ -60,8 +60,8 @@ let record_fetch t (m : Message.t) ~at:_ =
   let st = entry t m.Message.id in
   st.copies_fetched <- st.copies_fetched + 1
 
-let record_purge t (m : Message.t) ~at:_ =
-  let st = entry t m.Message.id in
+let record_purge t id ~at:_ =
+  let st = entry t id in
   st.copies_purged <- st.copies_purged + 1
 
 let record_ack t (m : Message.t) ~degraded ~at:_ =

@@ -32,7 +32,7 @@ val record_fetch : t -> Message.t -> at:float -> unit
 (** A copy was drained out of a mailbox by a retrieval round — counted
     {e before} agent-side dedup, once per copy. *)
 
-val record_purge : t -> Message.t -> at:float -> unit
+val record_purge : t -> Message.id -> at:float -> unit
 (** A replica copy was dropped unfetched because another chain member
     already served the message ({!Replica_group} purge-on-fetch or
     recovery resync).  Purged copies count as accounted-for alongside

@@ -16,6 +16,7 @@ type config = {
   bandwidth : float option;
   service_rate : float option;
   loss_rate : float;
+  span_sample : int;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     bandwidth = None;
     service_rate = None;
     loss_rate = 0.;
+    span_sample = 1;
   }
 
 type t = {
@@ -40,12 +42,15 @@ type t = {
   storage : Replica_group.t;
   region_servers : (string, Netsim.Graph.node list) Hashtbl.t;
   agents : (Naming.Name.t, User_agent.t) Hashtbl.t;
+  intern : Naming.Intern.t;
+  mutable agents_by_uid : User_agent.t option array;
   primary_hosts : (Naming.Name.t, Netsim.Graph.node) Hashtbl.t;
   locations : (Naming.Name.t, Netsim.Graph.node) Hashtbl.t;
       (* the regionally shared current-location table; gossip messages
          carry its updates for traffic accounting. *)
   spaces : (string, Naming.Name_space.t) Hashtbl.t;
   redirects : (Naming.Name.t, Naming.Name.t) Hashtbl.t;
+  redirects_uid : (int, int) Hashtbl.t;
   mutable groups : int;
   retrieval_costs : Dsim.Stats.Summary.t;
   counters : Dsim.Stats.Counter.t;
@@ -78,6 +83,30 @@ let agent t name =
   | None ->
       invalid_arg
         (Printf.sprintf "Location_system: unknown user %s" (Naming.Name.to_string name))
+
+let uid_of t name = Naming.Intern.intern t.intern name
+
+let set_agent_uid t uid a =
+  let n = Array.length t.agents_by_uid in
+  if uid >= n then begin
+    let arr = Array.make (max (2 * n) (uid + 1)) None in
+    Array.blit t.agents_by_uid 0 arr 0 n;
+    t.agents_by_uid <- arr
+  end;
+  t.agents_by_uid.(uid) <- a
+
+let agent_by_uid t uid =
+  if uid >= 0 && uid < Array.length t.agents_by_uid then t.agents_by_uid.(uid)
+  else None
+
+let uids t =
+  let acc = ref [] in
+  for uid = Array.length t.agents_by_uid - 1 downto 0 do
+    (match t.agents_by_uid.(uid) with
+    | Some _ -> acc := uid :: !acc
+    | None -> ())
+  done;
+  !acc
 
 let storage t = t.storage
 let server_nodes t = Replica_group.nodes t.storage
@@ -127,12 +156,12 @@ let servers_by_distance t ~from_host ~region =
             (Netsim.Shortest_path.distance tree b))
         servers
 
-let rec canonical t name =
-  match Hashtbl.find_opt t.redirects name with
+let rec canonical_uid t uid =
+  match Hashtbl.find_opt t.redirects_uid uid with
   | Some target ->
       count t "redirects";
-      canonical t target
-  | None -> name
+      canonical_uid t target
+  | None -> uid
 
 (* --- operations -------------------------------------------------------- *)
 
@@ -167,9 +196,15 @@ let record_retrieval_cost t a (stats : User_agent.check_stats) =
 
 let check_mail t name =
   let a = agent t name in
+  let tracer =
+    (* Span sampling: trace the retrieval rounds of 1-in-N users,
+       selected by interned id so the choice is deterministic. *)
+    if t.config.span_sample <= 1 || User_agent.uid a mod t.config.span_sample = 0
+    then Some t.tracer
+    else None
+  in
   let stats =
-    User_agent.get_mail ~tracer:t.tracer ~ledger:t.ledger a ~view:(view t)
-      ~now:(now t)
+    User_agent.get_mail ?tracer ~ledger:t.ledger a ~view:(view t) ~now:(now t)
   in
   count t "checks";
   count ~by:stats.User_agent.polls t "polls";
@@ -192,7 +227,7 @@ let compact t =
 
 let publish_health t =
   Pipeline.publish_gauges t.pipeline t.metrics;
-  Replica_group.publish_gauges t.storage ~users:(users t) t.metrics
+  Replica_group.publish_gauges t.storage ~users:(fun () -> uids t) t.metrics
 
 let retrieval_cost_stats t = t.retrieval_costs
 
@@ -233,7 +268,10 @@ let submit_at t ~at ~sender ~recipient ?(subject = "") ?(body = "") () =
           (Naming.Name.to_string recipient)));
   let id = t.next_id in
   t.next_id <- id + 1;
-  let msg = Message.create ~id ~sender ~recipient ~subject ~body ~submitted_at:at () in
+  let msg =
+    Message.create ~id ~sender ~recipient ~recipient_uid:(uid_of t recipient)
+      ~subject ~body ~submitted_at:at ()
+  in
   t.submitted <- msg :: t.submitted;
   ignore
     (Dsim.Engine.schedule_at ~category:"mail.submit" t.engine at (fun () ->
@@ -301,8 +339,10 @@ let migrate_region t name ~new_host =
   in
   let authority = authority_of t new_name in
   let authority = if authority = [] then server_nodes t else authority in
-  let a' = User_agent.create ~name:new_name ~host:new_host ~authority in
+  let new_uid = uid_of t new_name in
+  let a' = User_agent.create ~uid:new_uid ~name:new_name ~host:new_host ~authority () in
   Hashtbl.replace t.agents new_name a';
+  set_agent_uid t new_uid (Some a');
   Hashtbl.replace t.primary_hosts new_name new_host;
   (match space t new_region with
   | Some sp ->
@@ -315,9 +355,12 @@ let migrate_region t name ~new_host =
   | Some sp -> Naming.Name_space.unregister sp name
   | None -> ());
   Hashtbl.remove t.agents name;
+  let old_uid = uid_of t name in
+  set_agent_uid t old_uid None;
   Hashtbl.remove t.locations name;
   Hashtbl.remove t.primary_hosts name;
   Hashtbl.replace t.redirects name new_name;
+  Hashtbl.replace t.redirects_uid old_uid new_uid;
   count t "migrations";
   new_name
 
@@ -336,6 +379,7 @@ let create ?(config = default_config) ?(design_label = "location")
   let metrics = Telemetry.Registry.create ~labels:[ ("design", design_label) ] () in
   let ledger = Ledger.create () in
   Telemetry.Probe.attach_engine metrics engine;
+  let intern = Naming.Intern.create ~capacity:256 () in
   let region_servers = Hashtbl.create 4 in
   let agents = Hashtbl.create 64 in
   let primary_hosts = Hashtbl.create 64 in
@@ -347,9 +391,9 @@ let create ?(config = default_config) ?(design_label = "location")
   let storage =
     Replica_group.create ~mailbox_policy:config.mailbox_policy ~ledger ~tracer
       ~metrics ~counters
-      ~chain_of:(fun name ->
+      ~chain_of:(fun uid ->
         let t = the_t () in
-        authority_of t (canonical t name))
+        authority_of t (Naming.Intern.name t.intern (canonical_uid t uid)))
       ~is_up:(fun node -> Netsim.Net.is_up (Pipeline.net (the_t ()).pipeline) node)
       ()
   in
@@ -370,12 +414,17 @@ let create ?(config = default_config) ?(design_label = "location")
       Pipeline.region_servers =
         (fun region ->
           match Hashtbl.find_opt region_servers region with Some l -> l | None -> []);
-      canonical = (fun name -> canonical (the_t ()) name);
-      authority_of = (fun name -> authority_of (the_t ()) name);
-      notify_target =
-        (fun name ->
+      uid_of = (fun name -> Naming.Intern.intern intern name);
+      name_of_uid = (fun uid -> Naming.Intern.name intern uid);
+      canonical_uid = (fun uid -> canonical_uid (the_t ()) uid);
+      authority_of_uid =
+        (fun uid -> authority_of (the_t ()) (Naming.Intern.name intern uid));
+      notify_target_uid =
+        (fun uid ->
           let t = the_t () in
-          if Hashtbl.mem t.agents name then Some (current_location t name) else None);
+          match agent_by_uid t uid with
+          | Some a -> Some (current_location t (User_agent.name a))
+          | None -> None);
       submit_servers =
         (fun a ->
           let t = the_t () in
@@ -409,9 +458,18 @@ let create ?(config = default_config) ?(design_label = "location")
             | None -> ());
     }
   in
+  let route_anchors =
+    (* Anchor routing on the infrastructure: every node that is not a
+       user host (servers, gateways, interior switches). *)
+    let is_host = Array.make (Netsim.Graph.node_count site.graph) false in
+    List.iter (fun (h, _) -> is_host.(h) <- true) site.hosts;
+    List.filter
+      (fun v -> not is_host.(v))
+      (List.init (Netsim.Graph.node_count site.graph) Fun.id)
+  in
   let pipeline =
     Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
-      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger ~storage
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger ~route_anchors ~storage
       {
         Pipeline.default_pipeline_config with
         retry_timeout = config.retry_timeout;
@@ -419,6 +477,7 @@ let create ?(config = default_config) ?(design_label = "location")
         max_retries = config.max_retries;
         service_rate = config.service_rate;
         service_seed = 0;
+        span_sample = config.span_sample;
       }
       callbacks
   in
@@ -431,10 +490,13 @@ let create ?(config = default_config) ?(design_label = "location")
       storage;
       region_servers;
       agents;
+      intern;
+      agents_by_uid = Array.make 256 None;
       primary_hosts;
       locations;
       spaces;
       redirects;
+      redirects_uid = Hashtbl.create 4;
       groups = config.hash_groups;
       retrieval_costs = Dsim.Stats.Summary.create ();
       counters;
@@ -460,7 +522,10 @@ let create ?(config = default_config) ?(design_label = "location")
         in
         let authority = authority_of t name in
         let authority = if authority = [] then server_nodes t else authority in
-        Hashtbl.replace agents name (User_agent.create ~name ~host ~authority);
+        let uid = uid_of t name in
+        let a = User_agent.create ~uid ~name ~host ~authority () in
+        Hashtbl.replace agents name a;
+        set_agent_uid t uid (Some a);
         Hashtbl.replace primary_hosts name host;
         let sp = Hashtbl.find spaces region in
         Naming.Name_space.register sp name;

@@ -30,6 +30,7 @@ type config = {
   bandwidth : float option;  (** as in {!Syntax_system.config}. *)
   service_rate : float option;  (** as in {!Syntax_system.config}. *)
   loss_rate : float;  (** as in {!Syntax_system.config}. *)
+  span_sample : int;  (** as in {!Syntax_system.config}. *)
 }
 
 val default_config : config

@@ -5,32 +5,55 @@ type t = {
   policy : policy;
   mutable pending : Message.t list;  (* newest first *)
   mutable archived : Message.t list;
+  (* Running tallies so per-window storage sampling is O(1) per
+     mailbox instead of walking both lists. *)
+  mutable npending : int;
+  mutable bytes : int;  (* pending + archived *)
 }
 
-let create ?(policy = Delete_on_retrieve) owner = { owner; policy; pending = []; archived = [] }
+let create ?(policy = Delete_on_retrieve) owner =
+  { owner; policy; pending = []; archived = []; npending = 0; bytes = 0 }
 
 let owner t = t.owner
 let policy t = t.policy
 
-let deposit t msg = t.pending <- msg :: t.pending
+let size (m : Message.t) =
+  String.length m.Message.body + String.length m.Message.subject + 64
 
-let pending t = List.length t.pending
+let deposit t msg =
+  t.pending <- msg :: t.pending;
+  t.npending <- t.npending + 1;
+  t.bytes <- t.bytes + size msg
+
+let pending t = t.npending
 let archived t = List.length t.archived
 
 let retrieve_all t =
   let msgs = List.rev t.pending in
   t.pending <- [];
+  t.npending <- 0;
   (match t.policy with
   | Archive -> t.archived <- List.rev_append msgs t.archived
-  | Delete_on_retrieve -> ());
+  | Delete_on_retrieve ->
+      List.iter (fun m -> t.bytes <- t.bytes - size m) msgs);
   msgs
 
 let peek t = List.rev t.pending
 
 let remove_pending t id =
-  let before = List.length t.pending in
-  t.pending <- List.filter (fun (m : Message.t) -> m.Message.id <> id) t.pending;
-  before - List.length t.pending
+  let removed = ref 0 in
+  t.pending <-
+    List.filter
+      (fun (m : Message.t) ->
+        if m.Message.id = id then begin
+          incr removed;
+          t.bytes <- t.bytes - size m;
+          false
+        end
+        else true)
+      t.pending;
+  t.npending <- t.npending - !removed;
+  !removed
 
 let cleanup t ~now ~max_age =
   let fresh, stale =
@@ -42,9 +65,7 @@ let cleanup t ~now ~max_age =
       t.archived
   in
   t.archived <- fresh;
+  List.iter (fun m -> t.bytes <- t.bytes - size m) stale;
   List.length stale
 
-let storage_bytes t =
-  let size (m : Message.t) = String.length m.Message.body + String.length m.Message.subject + 64 in
-  List.fold_left (fun acc m -> acc + size m) 0 t.pending
-  + List.fold_left (fun acc m -> acc + size m) 0 t.archived
+let storage_bytes t = t.bytes

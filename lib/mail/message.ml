@@ -4,6 +4,7 @@ type t = {
   id : id;
   sender : Naming.Name.t;
   mutable recipient : Naming.Name.t;
+  mutable recipient_uid : int;
   subject : string;
   body : string;
   submitted_at : float;
@@ -16,12 +17,13 @@ type t = {
   mutable latency_observed : int;
 }
 
-let create ~id ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = [])
-    ~submitted_at () =
+let create ~id ~sender ~recipient ?(recipient_uid = -1) ?(subject = "")
+    ?(body = "") ?(parts = []) ~submitted_at () =
   {
     id;
     sender;
     recipient;
+    recipient_uid;
     subject;
     body;
     submitted_at;

@@ -14,6 +14,11 @@ type t = {
   mutable recipient : Naming.Name.t;
       (** rewritten in place when a redirection for a migrated user
           applies (§3.1.4). *)
+  mutable recipient_uid : int;
+      (** the recipient's interned id ({!Naming.Intern}) in the owning
+          system, [-1] until resolved; rewritten together with
+          [recipient] on redirect.  The hot pipeline keys dedup tables
+          and authority-chain lookups on this int. *)
   subject : string;
   body : string;
   submitted_at : float;
@@ -42,6 +47,7 @@ val create :
   id:id ->
   sender:Naming.Name.t ->
   recipient:Naming.Name.t ->
+  ?recipient_uid:int ->
   ?subject:string ->
   ?body:string ->
   ?parts:Content.part list ->

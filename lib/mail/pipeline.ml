@@ -23,6 +23,9 @@ type config = {
   max_replicate_rounds : int;
   service_rate : float option;
   service_seed : int;
+  span_sample : int;
+      (* trace 1-in-N message lifecycles (by id, deterministic);
+         <= 1 traces every message *)
 }
 
 let default_pipeline_config =
@@ -34,13 +37,37 @@ let default_pipeline_config =
     max_replicate_rounds = 3;
     service_rate = None;
     service_seed = 0;
+    span_sample = 1;
   }
+
+(* Counter handles resolved once at wiring time ({!Dsim.Stats.Counter.cell}):
+   the dominant tallies bump raw int refs instead of hashing a string
+   per event.  Rare outcomes keep the stringly [count]. *)
+type cells = {
+  c_submitted : int ref;
+  c_submits_received : int ref;
+  c_submit_attempts : int ref;
+  c_submit_attempt_failures : int ref;
+  c_submit_deferred : int ref;
+  c_resubmissions : int ref;
+  c_retries : int ref;
+  c_deposits : int ref;
+  c_replicate_sends : int ref;
+  c_quorum_acks : int ref;
+  c_degraded_acks : int ref;
+  c_cache_hits : int ref;
+  c_notifications : int ref;
+}
 
 type 'ctrl callbacks = {
   region_servers : string -> Netsim.Graph.node list;
-  canonical : Naming.Name.t -> Naming.Name.t;
-  authority_of : Naming.Name.t -> Netsim.Graph.node list;
-  notify_target : Naming.Name.t -> Netsim.Graph.node option;
+  uid_of : Naming.Name.t -> int;
+      (* intern a recipient name; messages cache the id so the hot
+         path resolves each name at most once *)
+  name_of_uid : int -> Naming.Name.t;
+  canonical_uid : int -> int;  (* follow redirects, by interned id *)
+  authority_of_uid : int -> Netsim.Graph.node list;
+  notify_target_uid : int -> Netsim.Graph.node option;
   submit_servers : User_agent.t -> Netsim.Graph.node list;
   on_deposit : Message.t -> on:Netsim.Graph.node -> ack:ack -> unit;
   cached_authority :
@@ -100,11 +127,20 @@ type 'ctrl t = {
   storage : Replica_group.t;
   callbacks : 'ctrl callbacks;
   counters : Dsim.Stats.Counter.t;
+  cells : cells;
+  (* Timer categories interned once at wiring time; the per-event
+     schedule calls then touch no strings. *)
+  cat_retry : Dsim.Engine.category;
+  cat_replicate : Dsim.Engine.category;
+  cat_submit : Dsim.Engine.category;
+  cat_resubmit : Dsim.Engine.category;
+  cat_service : Dsim.Engine.category;
   trace : Dsim.Trace.t;
-  pendings : (Netsim.Graph.node * Message.id, pending) Hashtbl.t;
-  rounds : (Netsim.Graph.node * Message.id, round) Hashtbl.t;
+  n : int;  (* node count: (node, id) dedup keys pack into id * n + node *)
+  pendings : (int, pending) Hashtbl.t;
+  rounds : (int, round) Hashtbl.t;
       (* open replication rounds, keyed by coordinator *)
-  completed : (Netsim.Graph.node * Message.id, unit) Hashtbl.t;
+  completed : (int, unit) Hashtbl.t;
       (* finished rounds: a retransmitted Deposit is re-acked instantly *)
   dead : (Message.id, unit) Hashtbl.t;
       (* declared undeliverable: no further resubmissions *)
@@ -122,7 +158,7 @@ type 'ctrl t = {
   tracer : Telemetry.Tracer.t option;
   submit_spans : (Message.id, unit) Hashtbl.t;
       (* messages whose "submit" span was already emitted *)
-  hop_sends : (Netsim.Graph.node * Message.id, string * Netsim.Graph.node * float) Hashtbl.t;
+  hop_sends : (int, string * Netsim.Graph.node * float) Hashtbl.t;
       (* in-flight Forward/Deposit hops: span name, source, send time *)
   fences : (Message.id, float) Hashtbl.t;
       (* per id, the latest scheduled arrival time of any in-flight
@@ -135,6 +171,23 @@ type 'ctrl t = {
 }
 
 let net t = t.net
+
+(* Pack a (node, message-id) pair into one int: ids are dense and
+   [node < n], so [id * n + node] is collision-free and the dedup
+   tables hash an immediate instead of a boxed tuple. *)
+let nkey t node id = (id * t.n) + node
+let id_of_nkey t k = k / t.n
+
+(* The message's interned recipient id, resolved through the system at
+   most once and cached on the message itself. *)
+let ruid t (msg : Message.t) =
+  let u = msg.Message.recipient_uid in
+  if u >= 0 then u
+  else begin
+    let u = t.callbacks.uid_of msg.Message.recipient in
+    msg.Message.recipient_uid <- u;
+    u
+  end
 
 let queue_wait_stats t = t.queue_waits
 
@@ -195,8 +248,8 @@ let through_queue t node ?msg work =
             let service = Dsim.Rng.exponential t.service_rng rate in
             q.busy_total <- q.busy_total +. service;
             ignore
-              (Dsim.Engine.schedule_after ~category:"pipeline.service" t.engine
-                 service (fun () ->
+              (Dsim.Engine.schedule_after_cat t.engine t.cat_service service
+                 (fun () ->
                    job ();
                    q.served <- q.served + 1;
                    serve_next ()))
@@ -231,12 +284,12 @@ let send_fenced ?bytes t ~src ~dst wire (id : Message.id) =
    latest send — a retry supersedes the lost original. *)
 let record_hop t msg ~name ~src ~dst =
   if Option.is_some t.tracer && Option.is_some (Message.span msg) then
-    Hashtbl.replace t.hop_sends (dst, msg.Message.id) (name, src, now t)
+    Hashtbl.replace t.hop_sends (nkey t dst msg.Message.id) (name, src, now t)
 
 let emit_hop t node ~time m =
-  match Hashtbl.find_opt t.hop_sends (node, m.Message.id) with
+  match Hashtbl.find_opt t.hop_sends (nkey t node m.Message.id) with
   | Some (name, src, sent) ->
-      Hashtbl.remove t.hop_sends (node, m.Message.id);
+      Hashtbl.remove t.hop_sends (nkey t node m.Message.id);
       emit_span t m ~name ~start:sent ~finish:time
         [ ("src", node_label t src); ("dst", node_label t node) ]
   | None -> ()
@@ -254,33 +307,38 @@ let declare_dead t msg ~reason =
   end
 
 let arm_retry t (p : pending) step =
-  let rec fire () =
+  (* One handler closure per pending, allocated here and reused by
+     every re-arm: the steady-state retry tick — the dominant timer
+     kind under faults — schedules into the event arena without
+     boxing a fresh closure per round. *)
+  let rec handler () =
+    if not p.acked then
+      if not (Netsim.Net.is_up t.net p.holder) then
+        (* Pending state survives holder crashes — queued mail is
+           on disk — so a down holder must not burn the retry
+           budget toward "retries exhausted": just wait for the
+           holder to come back. *)
+        fire ()
+      else if p.attempts < t.config.max_retries then begin
+        p.attempts <- p.attempts + 1;
+        incr t.cells.c_retries;
+        step ();
+        fire ()
+      end
+      else begin
+        count t "gave_up";
+        Hashtbl.remove t.pendings (nkey t p.holder p.p_msg.Message.id);
+        declare_dead t p.p_msg ~reason:"retries exhausted"
+      end
+  and fire () =
     ignore
-      (Dsim.Engine.schedule_after ~category:"pipeline.retry" t.engine
-         t.config.retry_timeout (fun () ->
-           if not p.acked then
-             if not (Netsim.Net.is_up t.net p.holder) then
-               (* Pending state survives holder crashes — queued mail is
-                  on disk — so a down holder must not burn the retry
-                  budget toward "retries exhausted": just wait for the
-                  holder to come back. *)
-               fire ()
-             else if p.attempts < t.config.max_retries then begin
-               p.attempts <- p.attempts + 1;
-               count t "retries";
-               step ();
-               fire ()
-             end
-             else begin
-               count t "gave_up";
-               Hashtbl.remove t.pendings (p.holder, p.p_msg.Message.id);
-               declare_dead t p.p_msg ~reason:"retries exhausted"
-             end))
+      (Dsim.Engine.schedule_after_cat t.engine t.cat_retry t.config.retry_timeout
+         handler)
   in
   fire ()
 
 let pending_for t ~holder msg step =
-  let key = (holder, msg.Message.id) in
+  let key = nkey t holder msg.Message.id in
   match Hashtbl.find_opt t.pendings key with
   | Some p -> p.acked <- false
   | None ->
@@ -289,10 +347,10 @@ let pending_for t ~holder msg step =
       arm_retry t p step
 
 let ack_pending t ~holder id =
-  match Hashtbl.find_opt t.pendings (holder, id) with
+  match Hashtbl.find_opt t.pendings (nkey t holder id) with
   | Some p ->
       p.acked <- true;
-      Hashtbl.remove t.pendings (holder, id)
+      Hashtbl.remove t.pendings (nkey t holder id)
   | None -> ()
 
 (* Acknowledge one deposit upstream: clear the coordinator's own
@@ -311,7 +369,7 @@ let send_replicates t (r : round) =
         && (not (List.mem node r.stored))
         && Netsim.Net.is_up t.net node
       then begin
-        count t "replica_replicate_sends";
+        incr t.cells.c_replicate_sends;
         ignore
           (send_fenced ~bytes:(Message.size_bytes r.r_msg) t ~src:r.coordinator
              ~dst:node (Replicate r.r_msg) r.r_msg.Message.id)
@@ -322,10 +380,10 @@ let finish_round t (r : round) ~degraded =
   if not r.finished then begin
     r.finished <- true;
     let id = r.r_msg.Message.id in
-    Hashtbl.remove t.rounds (r.coordinator, id);
-    Hashtbl.replace t.completed (r.coordinator, id) ();
+    Hashtbl.remove t.rounds (nkey t r.coordinator id);
+    Hashtbl.replace t.completed (nkey t r.coordinator id) ();
     let ack = if degraded then Degraded else Quorum in
-    count t (if degraded then "replica_degraded_acks" else "replica_quorum_acks");
+    incr (if degraded then t.cells.c_degraded_acks else t.cells.c_quorum_acks);
     Option.iter (fun l -> Ledger.record_ack l r.r_msg ~degraded ~at:(now t)) t.ledger;
     emit_span t r.r_msg ~name:"deposit.replicate" ~start:r.started ~finish:(now t)
       [
@@ -335,7 +393,7 @@ let finish_round t (r : round) ~degraded =
         ("chain", string_of_int (List.length r.chain));
       ];
     t.callbacks.on_deposit r.r_msg ~on:r.coordinator ~ack;
-    (match t.callbacks.notify_target r.r_msg.Message.recipient with
+    (match t.callbacks.notify_target_uid (ruid t r.r_msg) with
     | Some host ->
         ignore
           (Netsim.Net.send t.net ~src:r.coordinator ~dst:host
@@ -344,17 +402,22 @@ let finish_round t (r : round) ~degraded =
     List.iter (fun up -> ack_upstream t ~on:r.coordinator ~upstream:up id) r.upstreams
   end
 
-let rec arm_round_timer t (r : round) =
-  ignore
-    (Dsim.Engine.schedule_after ~category:"pipeline.replicate" t.engine
-       t.config.replicate_timeout (fun () ->
-         if not r.finished then
-           if r.rounds_left <= 0 then finish_round t r ~degraded:true
-           else begin
-             r.rounds_left <- r.rounds_left - 1;
-             send_replicates t r;
-             arm_round_timer t r
-           end))
+let arm_round_timer t (r : round) =
+  (* Like [arm_retry]: one reusable handler per replication round. *)
+  let rec handler () =
+    if not r.finished then
+      if r.rounds_left <= 0 then finish_round t r ~degraded:true
+      else begin
+        r.rounds_left <- r.rounds_left - 1;
+        send_replicates t r;
+        fire ()
+      end
+  and fire () =
+    ignore
+      (Dsim.Engine.schedule_after_cat t.engine t.cat_replicate
+         t.config.replicate_timeout handler)
+  in
+  fire ()
 
 (* Quorum deposit (the tentpole): the coordinator — the first active
    server of the recipient's chain — writes its local copy, then the
@@ -363,7 +426,7 @@ let rec arm_round_timer t (r : round) =
    out (degraded ack: at least the coordinator's copy is on disk, so
    mail is never lost, only under-replicated). *)
 let do_deposit t ~on ~upstream msg =
-  let key = (on, msg.Message.id) in
+  let key = nkey t on msg.Message.id in
   if Hashtbl.mem t.completed key then ack_upstream t ~on ~upstream msg.Message.id
   else
     match Hashtbl.find_opt t.rounds key with
@@ -371,12 +434,12 @@ let do_deposit t ~on ~upstream msg =
         if not (List.mem upstream r.upstreams) then
           r.upstreams <- upstream :: r.upstreams
     | None ->
-        let recipient = t.callbacks.canonical msg.Message.recipient in
-        let chain = t.callbacks.authority_of recipient in
+        let cuid = t.callbacks.canonical_uid (ruid t msg) in
+        let chain = t.callbacks.authority_of_uid cuid in
         let chain = if List.mem on chain then chain else on :: chain in
         (match Replica_group.write t.storage ~on msg ~at:(now t) with
         | Replica_group.Stored ->
-            count t "deposits";
+            incr t.cells.c_deposits;
             emit_span t msg ~name:"deposit" ~start:(now t) ~finish:(now t)
               [ ("server", node_label t on) ]
         | Replica_group.Duplicate | Replica_group.Superseded -> ());
@@ -420,18 +483,24 @@ let rec deposit_with t ~at_server msg authority =
            (Deposit msg) msg.Message.id)
 
 and deposit_phase t ~at_server msg =
-  let recipient = t.callbacks.canonical msg.Message.recipient in
-  if not (Naming.Name.equal recipient msg.Message.recipient) then begin
+  let uid = ruid t msg in
+  let cuid = t.callbacks.canonical_uid uid in
+  if cuid <> uid then begin
     let old_name = msg.Message.recipient in
-    msg.Message.recipient <- recipient;
+    msg.Message.recipient <- t.callbacks.name_of_uid cuid;
+    msg.Message.recipient_uid <- cuid;
     t.callbacks.on_redirected msg ~old_name
   end;
-  deposit_with t ~at_server msg (t.callbacks.authority_of recipient)
+  deposit_with t ~at_server msg (t.callbacks.authority_of_uid cuid)
 
 (* Phase 2 (§3.1.2b): resolution and forwarding toward the
    recipient's region, short-circuited by the resolution cache. *)
 let rec resolve_phase t ~at_server msg =
-  let recipient = t.callbacks.canonical msg.Message.recipient in
+  let cuid = t.callbacks.canonical_uid (ruid t msg) in
+  let recipient =
+    if cuid = msg.Message.recipient_uid then msg.Message.recipient
+    else t.callbacks.name_of_uid cuid
+  in
   if
     String.equal (Naming.Name.region recipient)
       (Replica_group.region t.storage at_server)
@@ -443,7 +512,7 @@ let rec resolve_phase t ~at_server msg =
         (* A cached resolution lets this server deposit directly,
            skipping the forwarding hop.  Retries re-enter
            [resolve_phase], so a stale entry degrades to a forward. *)
-        count t "resolution_cache_hits";
+        incr t.cells.c_cache_hits;
         (match first_active t authority with
         | Some target when target <> at_server ->
             pending_for t ~holder:at_server msg (fun () ->
@@ -476,7 +545,7 @@ let rec resolve_phase t ~at_server msg =
                     resolve_phase t ~at_server msg)
             | Some target ->
                 t.callbacks.on_forward_resolved ~at:at_server recipient
-                  (t.callbacks.authority_of recipient);
+                  (t.callbacks.authority_of_uid cuid);
                 pending_for t ~holder:at_server msg (fun () ->
                     resolve_phase t ~at_server msg);
                 msg.Message.forward_hops <- msg.Message.forward_hops + 1;
@@ -504,7 +573,7 @@ let end_work t (m : Message.t) =
 let handle_wire t node ~time ~src msg =
   match msg with
   | Submit m ->
-      count t "submits_received";
+      incr t.cells.c_submits_received;
       if not (Hashtbl.mem t.submit_spans m.Message.id) then begin
         Hashtbl.replace t.submit_spans m.Message.id ();
         (* Connection setup: submission at the sender's host until the
@@ -543,7 +612,7 @@ let handle_wire t node ~time ~src msg =
           ());
       ignore (Netsim.Net.send t.net ~src:node ~dst:src (Replicated m.Message.id))
   | Replicated id -> (
-      match Hashtbl.find_opt t.rounds (node, id) with
+      match Hashtbl.find_opt t.rounds (nkey t node id) with
       | Some r when not r.finished ->
           if not (List.mem src r.stored) then begin
             r.stored <- src :: r.stored;
@@ -551,7 +620,7 @@ let handle_wire t node ~time ~src msg =
           end
       | _ -> ())
   | Ack id -> ack_pending t ~holder:node id
-  | Notify _ -> count t "notifications"
+  | Notify _ -> incr t.cells.c_notifications
   | Ctrl c -> t.callbacks.on_ctrl node ~time ~src c
 
 (* Connection setup (§3.1.2a): try servers in the agent's order;
@@ -565,11 +634,11 @@ let rec try_submit t msg sender_agent =
     let rec attempt = function
       | [] ->
           (* No server reachable right now: defer the whole attempt. *)
-          count t "submit_deferred";
+          incr t.cells.c_submit_deferred;
           arm_submit_timer t msg sender_agent ~delay:t.config.retry_timeout
             ~resubmission:false
       | s :: rest ->
-          count t "submit_attempts";
+          incr t.cells.c_submit_attempts;
           if
             Netsim.Net.is_up t.net s
             && send_fenced ~bytes:(Message.size_bytes msg) t
@@ -582,7 +651,7 @@ let rec try_submit t msg sender_agent =
               ~resubmission:true
           else begin
             (* Server down, or unreachable through downed relays. *)
-            count t "submit_attempt_failures";
+            incr t.cells.c_submit_attempt_failures;
             attempt rest
           end
     in
@@ -593,19 +662,22 @@ and arm_submit_timer t msg sender_agent ~delay ~resubmission =
   let id = msg.Message.id in
   if not (Hashtbl.mem t.submit_timers id) then begin
     Hashtbl.replace t.submit_timers id ();
-    let category = if resubmission then "pipeline.resubmit" else "pipeline.submit" in
+    let category = if resubmission then t.cat_resubmit else t.cat_submit in
     ignore
-      (Dsim.Engine.schedule_after ~category t.engine delay (fun () ->
+      (Dsim.Engine.schedule_after_cat t.engine category delay (fun () ->
            Hashtbl.remove t.submit_timers id;
            if (not (Message.is_deposited msg)) && not (is_dead t id) then begin
-             if resubmission then count t "resubmissions";
+             if resubmission then incr t.cells.c_resubmissions;
              try_submit t msg sender_agent
            end))
   end
 
 let submit t ~sender_agent ~msg =
   (match t.tracer with
-  | Some tracer when Message.span msg = None ->
+  | Some tracer
+    when Message.span msg = None
+         && (t.config.span_sample <= 1
+            || msg.Message.id mod t.config.span_sample = 0) ->
       Message.set_span msg
         (Telemetry.Tracer.span tracer ~name:"message"
            ~start:msg.Message.submitted_at
@@ -617,7 +689,8 @@ let submit t ~sender_agent ~msg =
              ]
            ())
   | _ -> ());
-  count t "submitted";
+  incr t.cells.c_submitted;
+  ignore (ruid t msg);
   Option.iter (fun l -> Ledger.record_submit l msg ~at:(now t)) t.ledger;
   try_submit t msg sender_agent
 
@@ -653,10 +726,10 @@ let prunable t ~ledger =
      not reached its scheduled arrival yet can all produce further
      events for the id. *)
   let live = Hashtbl.create 64 in
-  Hashtbl.iter (fun (_, id) _ -> Hashtbl.replace live id ()) t.pendings;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace live (id_of_nkey t k) ()) t.pendings;
   Hashtbl.iter (fun id _ -> Hashtbl.replace live id ()) t.in_work;
   Hashtbl.iter (fun id _ -> Hashtbl.replace live id ()) t.submit_timers;
-  Hashtbl.iter (fun (_, id) _ -> Hashtbl.replace live id ()) t.rounds;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace live (id_of_nkey t k) ()) t.rounds;
   let horizon = now t in
   Hashtbl.iter
     (fun id until -> if until >= horizon then Hashtbl.replace live id ())
@@ -687,15 +760,16 @@ let compact t keep_out =
         incr dropped)
       doomed
   in
-  prune t.completed snd;
+  prune t.completed (id_of_nkey t);
   prune t.dead Fun.id;
   prune t.submit_spans Fun.id;
-  prune t.hop_sends snd;
+  prune t.hop_sends (id_of_nkey t);
   !dropped
 
 let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rate
-    ?ledger ~storage config callbacks =
+    ?ledger ?route_anchors ~storage config callbacks =
   let net = Netsim.Net.create ~engine ~trace ?bandwidth ?loss_rate graph in
+  Option.iter (Netsim.Net.set_route_anchors net) route_anchors;
   (* Registered eagerly (even when the service model is off) so every
      design's registry exposes the same metric names. *)
   let queue_wait_hist =
@@ -703,6 +777,24 @@ let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rat
       (fun reg ->
         Telemetry.Registry.histogram ~lo:0. ~hi:100. ~buckets:40 reg "queue_wait")
       metrics
+  in
+  let cells =
+    let cell = Dsim.Stats.Counter.cell counters in
+    {
+      c_submitted = cell "submitted";
+      c_submits_received = cell "submits_received";
+      c_submit_attempts = cell "submit_attempts";
+      c_submit_attempt_failures = cell "submit_attempt_failures";
+      c_submit_deferred = cell "submit_deferred";
+      c_resubmissions = cell "resubmissions";
+      c_retries = cell "retries";
+      c_deposits = cell "deposits";
+      c_replicate_sends = cell "replica_replicate_sends";
+      c_quorum_acks = cell "replica_quorum_acks";
+      c_degraded_acks = cell "replica_degraded_acks";
+      c_cache_hits = cell "resolution_cache_hits";
+      c_notifications = cell "notifications";
+    }
   in
   let t =
     {
@@ -712,7 +804,14 @@ let create ~engine ~graph ~trace ~counters ?metrics ?tracer ?bandwidth ?loss_rat
       storage;
       callbacks;
       counters;
+      cells;
+      cat_retry = Dsim.Engine.category engine "pipeline.retry";
+      cat_replicate = Dsim.Engine.category engine "pipeline.replicate";
+      cat_submit = Dsim.Engine.category engine "pipeline.submit";
+      cat_resubmit = Dsim.Engine.category engine "pipeline.resubmit";
+      cat_service = Dsim.Engine.category engine "pipeline.service";
       trace;
+      n = Netsim.Graph.node_count graph;
       pendings = Hashtbl.create 64;
       rounds = Hashtbl.create 64;
       completed = Hashtbl.create 64;

@@ -60,22 +60,37 @@ type config = {
           the processing/queueing delay the paper's cost model charges
           as [Q(ρ) + z].  [None] (default) makes processing free. *)
   service_seed : int;  (** seed of the service-time stream. *)
+  span_sample : int;
+      (** trace one message lifecycle in [span_sample] (selected by
+          [id mod span_sample = 0], so the choice is deterministic and
+          scale-independent).  [<= 1] (default) traces every message;
+          large scale runs sample to keep span allocation off the hot
+          path. *)
 }
 
 val default_pipeline_config : config
 (** retry 50, resubmit 400, max_retries 50, replicate 25 × 3 rounds,
-    no service model. *)
+    no service model, span_sample 1. *)
 
 type 'ctrl callbacks = {
   region_servers : string -> Netsim.Graph.node list;
       (** servers able to resolve names of that region ([] = unknown
           region). *)
-  canonical : Naming.Name.t -> Naming.Name.t;
-      (** follow redirections for migrated users (identity if none). *)
-  authority_of : Naming.Name.t -> Netsim.Graph.node list;
+  uid_of : Naming.Name.t -> int;
+      (** intern a recipient name to its dense id ({!Naming.Intern}).
+          The pipeline resolves each message's recipient at most once
+          and caches the id on the message
+          ([Message.recipient_uid]). *)
+  name_of_uid : int -> Naming.Name.t;
+      (** inverse of [uid_of]; used only on the cold redirect path to
+          rewrite the recipient name. *)
+  canonical_uid : int -> int;
+      (** follow redirections for migrated users by interned id
+          (identity if none). *)
+  authority_of_uid : int -> Netsim.Graph.node list;
       (** the recipient's ordered authority chain (primary first) —
           also the replication set of the quorum write. *)
-  notify_target : Naming.Name.t -> Netsim.Graph.node option;
+  notify_target_uid : int -> Netsim.Graph.node option;
       (** host to send the new-mail alert to ([None] = no alert). *)
   submit_servers : User_agent.t -> Netsim.Graph.node list;
       (** servers the sender's agent tries for connection setup, in
@@ -118,11 +133,15 @@ val create :
   ?bandwidth:float ->
   ?loss_rate:float ->
   ?ledger:Ledger.t ->
+  ?route_anchors:Netsim.Graph.node list ->
   storage:Replica_group.t ->
   config ->
   'ctrl callbacks ->
   'ctrl t
 (** Builds the network and registers a pipeline handler on every node.
+    [route_anchors], when given, names the infrastructure nodes whose
+    shortest-path trees answer all routing queries
+    (see {!Netsim.Net.set_route_anchors}).
     [storage] is the replica group holding every mailbox — the
     pipeline writes copies through it and never touches {!Server}
     directly.

@@ -24,17 +24,21 @@
 type write_status = Stored | Duplicate | Superseded
 
 type copy_state = {
-  owner : Naming.Name.t;
+  owner_uid : int;  (* interned recipient id — the storage key *)
   mutable nodes : Netsim.Graph.node list;  (* holders with an unfetched copy *)
 }
 
 type t = {
   mailbox_policy : Mailbox.policy;
   holders : (Netsim.Graph.node, Server.t) Hashtbl.t;
-  chain_of : Naming.Name.t -> Netsim.Graph.node list;
+  chain_of : int -> Netsim.Graph.node list;  (* by interned user id *)
   is_up : Netsim.Graph.node -> bool;
   copies : (Message.id, copy_state) Hashtbl.t;
   retrieved : (Message.id, unit) Hashtbl.t;
+  resync_queue : (Netsim.Graph.node, Message.id list ref) Hashtbl.t;
+      (* per down-holder, ids retrieved elsewhere while it was out —
+         queued at fetch time so a recovery resync walks its own stale
+         set instead of scanning the whole copy table. *)
   counters : Dsim.Stats.Counter.t;
   ledger : Ledger.t option;
   tracer : Telemetry.Tracer.t option;
@@ -59,6 +63,7 @@ let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ?ledger ?tracer ?metri
     is_up;
     copies = Hashtbl.create 256;
     retrieved = Hashtbl.create 256;
+    resync_queue = Hashtbl.create 16;
     counters;
     ledger;
     tracer;
@@ -115,9 +120,15 @@ let nodes t =
 
 let region t node = Server.region (holder t node)
 let last_start t node = Server.last_start (holder t node)
-let chain t name = t.chain_of name
+let chain t uid = t.chain_of uid
 
 let quorum_of chain = (List.length chain / 2) + 1
+
+(* [List.mem] on node lists, specialised to ints so the hot membership
+   checks skip the polymorphic comparator. *)
+let rec mem_node (x : int) = function
+  | [] -> false
+  | y :: tl -> y = x || mem_node x tl
 
 let write t ~on msg ~at =
   let id = msg.Message.id in
@@ -127,11 +138,11 @@ let write t ~on msg ~at =
       match Hashtbl.find_opt t.copies id with
       | Some c -> c
       | None ->
-          let c = { owner = msg.Message.recipient; nodes = [] } in
+          let c = { owner_uid = msg.Message.recipient_uid; nodes = [] } in
           Hashtbl.replace t.copies id c;
           c
     in
-    if List.mem on c.nodes then Duplicate
+    if mem_node on c.nodes then Duplicate
     else begin
       Server.store (holder t on) msg ~at;
       observe_latencies t msg;
@@ -151,21 +162,21 @@ let no_copies t id = not (Hashtbl.mem t.copies id)
 
 (* Drop the copy of [id] held on [node] without serving it.  [kind]
    names the counter: purge-on-fetch vs recovery resync. *)
-let purge_copy t ~kind ~node (c : copy_state) (m : Message.t) =
-  let dropped = Server.purge (holder t node) c.owner m.Message.id in
+let purge_copy t ~kind ~node (c : copy_state) id =
+  let dropped = Server.purge (holder t node) ~uid:c.owner_uid id in
   if dropped > 0 then begin
-    Option.iter (fun l -> Ledger.record_purge l m ~at:0.) t.ledger;
+    Option.iter (fun l -> Ledger.record_purge l id ~at:0.) t.ledger;
     count ~by:dropped t kind
   end;
   c.nodes <- List.filter (fun n -> n <> node) c.nodes;
-  if c.nodes = [] then Hashtbl.remove t.copies m.Message.id
+  if c.nodes = [] then Hashtbl.remove t.copies id
 
-let fetch t ~on name ~at =
-  let msgs = Server.take (holder t on) name ~at in
+let fetch t ~on ~uid name ~at =
+  let msgs = Server.take (holder t on) ~uid ~at in
   List.iter (observe_latencies t) msgs;
   (* Failover observability: mail served by a lower-priority chain
      member while the user's primary is down. *)
-  (match t.chain_of name with
+  (match t.chain_of uid with
   | primary :: _ when primary <> on && (not (t.is_up primary)) && msgs <> [] ->
       count t "replica_failovers";
       (match t.tracer with
@@ -193,39 +204,53 @@ let fetch t ~on name ~at =
           (* Purge live chain members now; down members keep their
              recorded copy until [note_recovery] resyncs them. *)
           let live = List.filter t.is_up c.nodes |> List.sort Int.compare in
-          List.iter (fun node -> purge_copy t ~kind:"replica_purges" ~node c m) live;
-          if c.nodes = [] then Hashtbl.remove t.copies m.Message.id)
+          List.iter
+            (fun node -> purge_copy t ~kind:"replica_purges" ~node c m.Message.id)
+            live;
+          if c.nodes = [] then Hashtbl.remove t.copies m.Message.id
+          else
+            (* Whatever survives the live purge is held by down chain
+               members: queue the id so their recovery resync finds it
+               without scanning the copy table. *)
+            List.iter
+              (fun node ->
+                let q =
+                  match Hashtbl.find_opt t.resync_queue node with
+                  | Some q -> q
+                  | None ->
+                      let q = ref [] in
+                      Hashtbl.add t.resync_queue node q;
+                      q
+                in
+                q := m.Message.id :: !q)
+              c.nodes)
     msgs;
   msgs
 
 let note_recovery t ~node ~at =
   Server.note_recovery (holder t node) ~at;
   (* Resync: every copy this holder kept through the outage whose id
-     was retrieved elsewhere in the meantime is now stale — purge. *)
-  let stale =
-    (* lint: allow unsorted-fold — collects ids only; sorted before any effect *)
-    Hashtbl.fold
-      (fun id c acc ->
-        if Hashtbl.mem t.retrieved id && List.mem node c.nodes then (id, c) :: acc
-        else acc)
-      t.copies []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  in
-  List.iter
-    (fun (id, c) ->
-      (* Rebuild a minimal message view for the ledger: purge is
-         recorded per copy by id, so only the id matters. *)
-      let m =
-        Message.create ~id ~sender:c.owner ~recipient:c.owner ~submitted_at:0. ()
-      in
-      purge_copy t ~kind:"replica_resyncs" ~node c m)
-    stale
+     was retrieved elsewhere in the meantime is now stale — purge.
+     The stale set was queued per holder at retrieve time; membership
+     is re-checked here because a fetch, compact or an earlier
+     recovery may have already cleared an entry. *)
+  match Hashtbl.find_opt t.resync_queue node with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove t.resync_queue node;
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt t.copies id with
+          | Some c when Hashtbl.mem t.retrieved id && mem_node node c.nodes ->
+              purge_copy t ~kind:"replica_resyncs" ~node c id
+          | _ -> ())
+        (List.sort_uniq Int.compare !q)
 
 let view t =
   {
     User_agent.is_alive = t.is_up;
     last_start = (fun node -> last_start t node);
-    fetch = (fun node name ~at -> fetch t ~on:node name ~at);
+    fetch = (fun node ~uid name ~at -> fetch t ~on:node ~uid name ~at);
   }
 
 let total_pending t =
@@ -243,6 +268,8 @@ let publish_gauges t ~users reg =
     match t.gauge_chains with
     | Some chains -> chains
     | None ->
+        (* [users] is a thunk so later windows never materialise the
+           (possibly million-entry) user list again. *)
         let seen = Hashtbl.create 16 in
         let chains =
           List.filter_map
@@ -253,7 +280,7 @@ let publish_gauges t ~users reg =
                 Some chain
               end
               else None)
-            users
+            (users ())
         in
         t.gauge_chains <- Some chains;
         chains

@@ -41,12 +41,12 @@ val create :
   ?tracer:Telemetry.Tracer.t ->
   ?metrics:Telemetry.Registry.t ->
   counters:Dsim.Stats.Counter.t ->
-  chain_of:(Naming.Name.t -> Netsim.Graph.node list) ->
+  chain_of:(int -> Netsim.Graph.node list) ->
   is_up:(Netsim.Graph.node -> bool) ->
   unit ->
   t
-(** [chain_of] maps a user to their current ordered authority chain
-    (primary first) and [is_up] reports node liveness; both are
+(** [chain_of] maps a user (by interned id, {!Naming.Intern}) to their
+    current ordered authority chain (primary first) and [is_up] reports node liveness; both are
     consulted at call time, so late binding through the owning system
     is fine.  With [ledger], every copy write, purge and resync is
     recorded ({!Ledger.record_deposit} / {!Ledger.record_purge}).
@@ -70,7 +70,8 @@ val nodes : t -> Netsim.Graph.node list
 
 val region : t -> Netsim.Graph.node -> string
 val last_start : t -> Netsim.Graph.node -> float
-val chain : t -> Naming.Name.t -> Netsim.Graph.node list
+val chain : t -> int -> Netsim.Graph.node list
+(** By interned user id. *)
 
 val quorum_of : Netsim.Graph.node list -> int
 (** Majority write quorum of a chain: [length / 2 + 1] — 1 for a
@@ -81,7 +82,9 @@ val write : t -> on:Netsim.Graph.node -> Message.t -> at:float -> write_status
     write), with the dedup/refusal rules above.  Only [Stored]
     actually touches the holder and the ledger. *)
 
-val fetch : t -> on:Netsim.Graph.node -> Naming.Name.t -> at:float -> Message.t list
+val fetch :
+  t -> on:Netsim.Graph.node -> uid:int -> Naming.Name.t -> at:float ->
+  Message.t list
 (** Drain the user's mailbox on one holder (the GetMail poll).  Every
     served message is marked retrieved group-wide; its copies on live
     other chain members are purged now, down members at resync.
@@ -106,8 +109,7 @@ val view : t -> User_agent.server_view
 val total_pending : t -> int
 val storage_bytes : t -> int
 
-val publish_gauges :
-  t -> users:Naming.Name.t list -> Telemetry.Registry.t -> unit
+val publish_gauges : t -> users:(unit -> int list) -> Telemetry.Registry.t -> unit
 (** Publish chain-health gauges for the per-window monitors:
     [replica_holders_up] (registered holders currently up),
     [replica_chains_degraded] (distinct authority chains with at

@@ -3,8 +3,12 @@ type t = {
   region : string;
   mailbox_policy : Mailbox.policy;
   mutable last_start : float;
-  mailboxes : (Naming.Name.t, Mailbox.t) Hashtbl.t;
+  mailboxes : (int, Mailbox.t) Hashtbl.t;  (* keyed by interned user id *)
   mutable stores : int;
+  (* Running holder-wide totals, kept in step around every mailbox
+     mutation so per-window sampling never walks the mailbox table. *)
+  mutable pending_total : int;
+  mutable bytes_total : int;
 }
 
 let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ~node ~region () =
@@ -15,6 +19,8 @@ let create ?(mailbox_policy = Mailbox.Delete_on_retrieve) ~node ~region () =
     last_start = 0.;
     mailboxes = Hashtbl.create 16;
     stores = 0;
+    pending_total = 0;
+    bytes_total = 0;
   }
 
 let node t = t.node
@@ -22,45 +28,56 @@ let region t = t.region
 let last_start t = t.last_start
 let note_recovery t ~at = t.last_start <- at
 
-let mailbox t name =
-  match Hashtbl.find_opt t.mailboxes name with
+let mailbox t ~uid name =
+  match Hashtbl.find_opt t.mailboxes uid with
   | Some mb -> mb
   | None ->
       let mb = Mailbox.create ~policy:t.mailbox_policy name in
-      Hashtbl.add t.mailboxes name mb;
+      Hashtbl.add t.mailboxes uid mb;
       mb
 
+(* Run one mailbox mutation, folding its effect into the holder-wide
+   running totals. *)
+let tracked t mb f =
+  let b0 = Mailbox.storage_bytes mb and p0 = Mailbox.pending mb in
+  let r = f () in
+  t.bytes_total <- t.bytes_total + Mailbox.storage_bytes mb - b0;
+  t.pending_total <- t.pending_total + Mailbox.pending mb - p0;
+  r
+
 let store t msg ~at =
-  Mailbox.deposit (mailbox t msg.Message.recipient) msg;
+  let mb = mailbox t ~uid:msg.Message.recipient_uid msg.Message.recipient in
+  tracked t mb (fun () -> Mailbox.deposit mb msg);
   t.stores <- t.stores + 1;
   Message.mark_deposited msg ~at ~on:t.node
 
-let take t name ~at =
-  match Hashtbl.find_opt t.mailboxes name with
+let take t ~uid ~at =
+  match Hashtbl.find_opt t.mailboxes uid with
   | None -> []
   | Some mb ->
-      let msgs = Mailbox.retrieve_all mb in
+      let msgs = tracked t mb (fun () -> Mailbox.retrieve_all mb) in
       List.iter (fun m -> Message.mark_retrieved m ~at) msgs;
       msgs
 
-let purge t name id =
-  match Hashtbl.find_opt t.mailboxes name with
+let purge t ~uid id =
+  match Hashtbl.find_opt t.mailboxes uid with
   | None -> 0
-  | Some mb -> Mailbox.remove_pending mb id
+  | Some mb -> tracked t mb (fun () -> Mailbox.remove_pending mb id)
 
-let pending_for t name =
-  match Hashtbl.find_opt t.mailboxes name with
+let pending_for t ~uid =
+  match Hashtbl.find_opt t.mailboxes uid with
   | Some mb -> Mailbox.pending mb
   | None -> 0
 
-let total_pending t = Hashtbl.fold (fun _ mb acc -> acc + Mailbox.pending mb) t.mailboxes 0
+let total_pending t = t.pending_total
 
 let mailbox_count t = Hashtbl.length t.mailboxes
 
 let stores t = t.stores
 
-let storage_bytes t =
-  Hashtbl.fold (fun _ mb acc -> acc + Mailbox.storage_bytes mb) t.mailboxes 0
+let storage_bytes t = t.bytes_total
 
 let cleanup t ~now ~max_age =
-  Hashtbl.fold (fun _ mb acc -> acc + Mailbox.cleanup mb ~now ~max_age) t.mailboxes 0
+  Hashtbl.fold
+    (fun _ mb acc -> acc + tracked t mb (fun () -> Mailbox.cleanup mb ~now ~max_age))
+    t.mailboxes 0

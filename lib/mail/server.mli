@@ -32,20 +32,21 @@ val note_recovery : t -> at:float -> unit
     holder). *)
 
 val store : t -> Message.t -> at:float -> unit
-(** Write one copy into the recipient's mailbox (created on first use)
-    and mark the message deposited ({!Message.mark_deposited} is
-    first-copy-wins, so replica copies do not skew latency). *)
+(** Write one copy into the recipient's mailbox (created on first use,
+    keyed by the message's interned [recipient_uid]) and mark the
+    message deposited ({!Message.mark_deposited} is first-copy-wins,
+    so replica copies do not skew latency). *)
 
-val take : t -> Naming.Name.t -> at:float -> Message.t list
-(** Drain-and-return the user's pending mail, marking each message
-    retrieved. *)
+val take : t -> uid:int -> at:float -> Message.t list
+(** Drain-and-return the user's pending mail (by interned id), marking
+    each message retrieved. *)
 
-val purge : t -> Naming.Name.t -> Message.id -> int
+val purge : t -> uid:int -> Message.id -> int
 (** Drop an unfetched pending copy of one message — the replica-group
     maintenance call after another chain member already served it.
     Returns the number of copies dropped. *)
 
-val pending_for : t -> Naming.Name.t -> int
+val pending_for : t -> uid:int -> int
 val total_pending : t -> int
 val mailbox_count : t -> int
 

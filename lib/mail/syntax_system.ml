@@ -11,6 +11,7 @@ type config = {
   bandwidth : float option;
   service_rate : float option;
   loss_rate : float;
+  span_sample : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     bandwidth = None;
     service_rate = None;
     loss_rate = 0.;
+    span_sample = 1;
   }
 
 type t = {
@@ -35,8 +37,13 @@ type t = {
   storage : Replica_group.t;
   region_servers : (string, Netsim.Graph.node list) Hashtbl.t;
   agents : (Naming.Name.t, User_agent.t) Hashtbl.t;
+  intern : Naming.Intern.t;
+      (* user names -> dense ids; the pipeline, storage and redirect
+         hot paths all key on the id *)
+  mutable agents_by_uid : User_agent.t option array;
   spaces : (string, Naming.Name_space.t) Hashtbl.t;
   redirects : (Naming.Name.t, Naming.Name.t) Hashtbl.t;
+  redirects_uid : (int, int) Hashtbl.t;  (* mirror of [redirects], by id *)
   caches : (Netsim.Graph.node, Netsim.Graph.node list Naming.Cache.t) Hashtbl.t;
   bounced : (Message.id, unit) Hashtbl.t;
   counters : Dsim.Stats.Counter.t;
@@ -70,6 +77,30 @@ let agent t name =
       invalid_arg
         (Printf.sprintf "Syntax_system: unknown user %s" (Naming.Name.to_string name))
 
+let uid_of t name = Naming.Intern.intern t.intern name
+
+let set_agent_uid t uid a =
+  let n = Array.length t.agents_by_uid in
+  if uid >= n then begin
+    let arr = Array.make (max (2 * n) (uid + 1)) None in
+    Array.blit t.agents_by_uid 0 arr 0 n;
+    t.agents_by_uid <- arr
+  end;
+  t.agents_by_uid.(uid) <- a
+
+let agent_by_uid t uid =
+  if uid >= 0 && uid < Array.length t.agents_by_uid then t.agents_by_uid.(uid)
+  else None
+
+let uids t =
+  let acc = ref [] in
+  for uid = Array.length t.agents_by_uid - 1 downto 0 do
+    (match t.agents_by_uid.(uid) with
+    | Some _ -> acc := uid :: !acc
+    | None -> ())
+  done;
+  !acc
+
 let storage t = t.storage
 let server_nodes t = Replica_group.nodes t.storage
 
@@ -81,6 +112,13 @@ let authority_of t name =
 let space t region = Hashtbl.find_opt t.spaces region
 
 let count ?by t key = Dsim.Stats.Counter.incr ?by t.counters key
+
+let rec canonical_uid t uid =
+  match Hashtbl.find_opt t.redirects_uid uid with
+  | Some target ->
+      count t "redirects";
+      canonical_uid t target
+  | None -> uid
 
 let region_of_node g v =
   let r = Netsim.Graph.region g v in
@@ -126,6 +164,7 @@ let bounce t (msg : Message.t) ~reason =
         t.next_id <- id + 1;
         let bounce_msg =
           Message.create ~id ~sender:msg.Message.sender ~recipient:msg.Message.sender
+            ~recipient_uid:(uid_of t msg.Message.sender)
             ~subject:(bounce_prefix ^ msg.Message.subject)
             ~body:
               (Printf.sprintf "message to %s could not be delivered: %s"
@@ -146,7 +185,8 @@ let submit_at t ~at ~sender ~recipient ?(subject = "") ?(body = "") ?(parts = []
   let id = t.next_id in
   t.next_id <- id + 1;
   let msg =
-    Message.create ~id ~sender ~recipient ~subject ~body ~parts ~submitted_at:at ()
+    Message.create ~id ~sender ~recipient ~recipient_uid:(uid_of t recipient)
+      ~subject ~body ~parts ~submitted_at:at ()
   in
   t.submitted <- msg :: t.submitted;
   ignore
@@ -163,9 +203,15 @@ let view t = Replica_group.view t.storage
 
 let check_mail t name =
   let a = agent t name in
+  let tracer =
+    (* Span sampling: trace the retrieval rounds of 1-in-N users,
+       selected by interned id so the choice is deterministic. *)
+    if t.config.span_sample <= 1 || User_agent.uid a mod t.config.span_sample = 0
+    then Some t.tracer
+    else None
+  in
   let stats =
-    User_agent.get_mail ~tracer:t.tracer ~ledger:t.ledger a ~view:(view t)
-      ~now:(now t)
+    User_agent.get_mail ?tracer ~ledger:t.ledger a ~view:(view t) ~now:(now t)
   in
   count t "checks";
   count ~by:stats.User_agent.polls t "polls";
@@ -187,7 +233,7 @@ let compact t =
 
 let publish_health t =
   Pipeline.publish_gauges t.pipeline t.metrics;
-  Replica_group.publish_gauges t.storage ~users:(users t) t.metrics
+  Replica_group.publish_gauges t.storage ~users:(fun () -> uids t) t.metrics
 
 let check_mail_at t ~at name =
   ignore
@@ -245,7 +291,10 @@ let add_user t ~host ~user =
          (Naming.Name.to_string name));
   let authority = nearest_servers t ~host ~n:t.config.replication in
   let authority = if authority = [] then server_nodes t else authority in
-  Hashtbl.replace t.agents name (User_agent.create ~name ~host ~authority);
+  let uid = uid_of t name in
+  let a = User_agent.create ~uid ~name ~host ~authority () in
+  Hashtbl.replace t.agents name a;
+  set_agent_uid t uid (Some a);
   (match space t region with
   | Some sp ->
       Naming.Name_space.register sp name;
@@ -259,6 +308,7 @@ let add_user t ~host ~user =
 let remove_user t name =
   let _ = agent t name in
   Hashtbl.remove t.agents name;
+  set_agent_uid t (uid_of t name) None;
   (match space t (Naming.Name.region name) with
   | Some sp -> Naming.Name_space.unregister sp name
   | None -> ());
@@ -287,8 +337,10 @@ let migrate_user t name ~new_host =
   in
   (* Add at the new location… *)
   let authority = nearest_servers t ~host:new_host ~n:t.config.replication in
-  let a' = User_agent.create ~name:new_name ~host:new_host ~authority in
+  let new_uid = uid_of t new_name in
+  let a' = User_agent.create ~uid:new_uid ~name:new_name ~host:new_host ~authority () in
   Hashtbl.replace t.agents new_name a';
+  set_agent_uid t new_uid (Some a');
   (match space t new_region with
   | Some sp ->
       Naming.Name_space.register sp new_name;
@@ -301,7 +353,10 @@ let migrate_user t name ~new_host =
   | Some sp -> Naming.Name_space.unregister sp name
   | None -> ());
   Hashtbl.remove t.agents name;
+  let old_uid = uid_of t name in
+  set_agent_uid t old_uid None;
   Hashtbl.replace t.redirects name new_name;
+  Hashtbl.replace t.redirects_uid old_uid new_uid;
   (* stale cached resolutions for the old name must not survive *)
   Hashtbl.iter (fun _ cache -> Naming.Cache.invalidate cache name) t.caches;
   count t "migrations";
@@ -315,13 +370,6 @@ let server_utilisation t node = Pipeline.server_utilisation t.pipeline node
 
 (* --- construction ------------------------------------------------------ *)
 
-let rec canonical t name =
-  match Hashtbl.find_opt t.redirects name with
-  | Some target ->
-      count t "redirects";
-      canonical t target
-  | None -> name
-
 let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   if config.replication <= 0 then invalid_arg "Syntax_system.create: replication <= 0";
   if config.users_per_host <= 0 then
@@ -333,6 +381,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   let metrics = Telemetry.Registry.create ~labels:[ ("design", "syntax") ] () in
   let ledger = Ledger.create () in
   Telemetry.Probe.attach_engine metrics engine;
+  let intern = Naming.Intern.create ~capacity:256 () in
   let region_servers = Hashtbl.create 4 in
   let agents = Hashtbl.create 64 in
   let spaces = Hashtbl.create 4 in
@@ -345,9 +394,11 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
   let storage =
     Replica_group.create ~mailbox_policy:config.mailbox_policy ~ledger ~tracer
       ~metrics ~counters
-      ~chain_of:(fun name ->
+      ~chain_of:(fun uid ->
         let t = the_t () in
-        authority_of t (canonical t name))
+        match agent_by_uid t (canonical_uid t uid) with
+        | Some a -> User_agent.authority a
+        | None -> [])
       ~is_up:(fun node -> Netsim.Net.is_up (Pipeline.net (the_t ()).pipeline) node)
       ()
   in
@@ -367,15 +418,17 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       Pipeline.region_servers =
         (fun region ->
           match Hashtbl.find_opt region_servers region with Some l -> l | None -> []);
-      canonical = (fun name -> canonical (the_t ()) name);
-      authority_of =
-        (fun name ->
-          match Hashtbl.find_opt agents name with
+      uid_of = (fun name -> Naming.Intern.intern intern name);
+      name_of_uid = (fun uid -> Naming.Intern.name intern uid);
+      canonical_uid = (fun uid -> canonical_uid (the_t ()) uid);
+      authority_of_uid =
+        (fun uid ->
+          match agent_by_uid (the_t ()) uid with
           | Some a -> User_agent.authority a
           | None -> []);
-      notify_target =
-        (fun name ->
-          match Hashtbl.find_opt agents name with
+      notify_target_uid =
+        (fun uid ->
+          match agent_by_uid (the_t ()) uid with
           | Some a -> Some (User_agent.host a)
           | None -> None);
       submit_servers = (fun a -> User_agent.authority a);
@@ -409,9 +462,18 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       on_ctrl = (fun _ ~time:_ ~src:_ () -> ());
     }
   in
+  let route_anchors =
+    (* Anchor routing on the infrastructure: every node that is not a
+       user host (servers, gateways, interior switches). *)
+    let is_host = Array.make (Netsim.Graph.node_count site.graph) false in
+    List.iter (fun (h, _) -> is_host.(h) <- true) site.hosts;
+    List.filter
+      (fun v -> not is_host.(v))
+      (List.init (Netsim.Graph.node_count site.graph) Fun.id)
+  in
   let pipeline =
     Pipeline.create ~engine ~graph:site.graph ~trace ~counters ~metrics ~tracer
-      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger ~storage
+      ?bandwidth:config.bandwidth ~loss_rate:config.loss_rate ~ledger ~route_anchors ~storage
       {
         Pipeline.default_pipeline_config with
         retry_timeout = config.retry_timeout;
@@ -419,6 +481,7 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
         max_retries = config.max_retries;
         service_rate = config.service_rate;
         service_seed = 0;
+        span_sample = config.span_sample;
       }
       callbacks
   in
@@ -431,8 +494,11 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
       storage;
       region_servers;
       agents;
+      intern;
+      agents_by_uid = Array.make 256 None;
       spaces;
       redirects;
+      redirects_uid = Hashtbl.create 4;
       caches = Hashtbl.create 8;
       bounced = Hashtbl.create 8;
       counters;
@@ -479,7 +545,10 @@ let create ?(config = default_config) (site : Netsim.Topology.mail_site) =
         let authority =
           Loadbalance.Replicas.chain_for replicas ~host:host_i ~user_slot:k
         in
-        Hashtbl.replace agents name (User_agent.create ~name ~host ~authority);
+        let uid = uid_of t name in
+        let a = User_agent.create ~uid ~name ~host ~authority () in
+        Hashtbl.replace agents name a;
+        set_agent_uid t uid (Some a);
         let sp = Hashtbl.find spaces region in
         Naming.Name_space.register sp name;
         Naming.Name_space.assign_context sp

@@ -48,6 +48,10 @@ type config = {
       (** probability each transmission vanishes in flight (default
           0): the random message loss the acknowledgement/retry
           machinery absorbs. *)
+  span_sample : int;
+      (** trace one message lifecycle (and one user's retrieval
+          rounds) in [span_sample]; [<= 1] (default) traces
+          everything.  See {!Pipeline.config}. *)
 }
 
 val default_config : config

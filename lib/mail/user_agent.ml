@@ -1,5 +1,6 @@
 type t = {
   name : Naming.Name.t;
+  uid : int;  (* interned id of [name] in the owning system; -1 standalone *)
   mutable host : Netsim.Graph.node;
   mutable authority : Netsim.Graph.node list;
   mutable last_checking : float;
@@ -14,10 +15,11 @@ type t = {
       (* delivery is at-least-once; the agent deduplicates. *)
 }
 
-let create ~name ~host ~authority =
+let create ?(uid = -1) ~name ~host ~authority () =
   if authority = [] then invalid_arg "User_agent.create: empty authority list";
   {
     name;
+    uid;
     host;
     authority;
     last_checking = 0.;
@@ -28,6 +30,7 @@ let create ~name ~host ~authority =
   }
 
 let name t = t.name
+let uid t = t.uid
 let host t = t.host
 let authority t = t.authority
 let set_authority t servers =
@@ -49,7 +52,8 @@ let last_checking_time t = t.last_checking
 type server_view = {
   is_alive : Netsim.Graph.node -> bool;
   last_start : Netsim.Graph.node -> float;
-  fetch : Netsim.Graph.node -> Naming.Name.t -> at:float -> Message.t list;
+  fetch :
+    Netsim.Graph.node -> uid:int -> Naming.Name.t -> at:float -> Message.t list;
 }
 
 type check_stats = { polls : int; failed_polls : int; retrieved : int }
@@ -148,7 +152,7 @@ let get_mail ?tracer ?ledger t ~view ~now =
     | s :: rest ->
         incr polls;
         if view.is_alive s then begin
-          let fetched = take (view.fetch s t.name ~at:now) in
+          let fetched = take (view.fetch s ~uid:t.uid t.name ~at:now) in
           record_poll ~server:s ~alive:true ~fetched;
           remove_pus t s;
           if t.last_checking > view.last_start s then () else scan rest
@@ -168,7 +172,7 @@ let get_mail ?tracer ?ledger t ~view ~now =
     (fun s ->
       if view.is_alive s then begin
         incr polls;
-        let fetched = take (view.fetch s t.name ~at:now) in
+        let fetched = take (view.fetch s ~uid:t.uid t.name ~at:now) in
         record_poll ~server:s ~alive:true ~fetched;
         remove_pus t s
       end)
@@ -185,7 +189,7 @@ let poll_all ?tracer ?ledger t ~view ~now =
     (fun s ->
       incr polls;
       if view.is_alive s then begin
-        let msgs = fresh_only ?ledger t ~now (view.fetch s t.name ~at:now) in
+        let msgs = fresh_only ?ledger t ~now (view.fetch s ~uid:t.uid t.name ~at:now) in
         retrieved := !retrieved + List.length msgs;
         t.inbox <- List.rev_append msgs t.inbox;
         record_poll ~server:s ~alive:true ~fetched:msgs
@@ -208,7 +212,7 @@ let naive_check ?tracer ?ledger t ~view ~now =
     | s :: rest ->
         incr polls;
         if view.is_alive s then begin
-          let msgs = fresh_only ?ledger t ~now (view.fetch s t.name ~at:now) in
+          let msgs = fresh_only ?ledger t ~now (view.fetch s ~uid:t.uid t.name ~at:now) in
           retrieved := !retrieved + List.length msgs;
           t.inbox <- List.rev_append msgs t.inbox;
           record_poll ~server:s ~alive:true ~fetched:msgs

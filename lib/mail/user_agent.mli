@@ -15,10 +15,23 @@
 
 type t
 
-val create : name:Naming.Name.t -> host:Netsim.Graph.node -> authority:Netsim.Graph.node list -> t
-(** @raise Invalid_argument on an empty authority list. *)
+val create :
+  ?uid:int ->
+  name:Naming.Name.t ->
+  host:Netsim.Graph.node ->
+  authority:Netsim.Graph.node list ->
+  unit ->
+  t
+(** [uid] is the name's interned id in the owning system
+    ({!Naming.Intern}); [-1] (the default) for standalone agents.
+    @raise Invalid_argument on an empty authority list. *)
 
 val name : t -> Naming.Name.t
+
+val uid : t -> int
+(** The interned id passed at creation; every fetch through
+    {!server_view} carries it so storage keys mailboxes on ints. *)
+
 val host : t -> Netsim.Graph.node
 val authority : t -> Netsim.Graph.node list
 
@@ -44,7 +57,8 @@ val last_checking_time : t -> float
 type server_view = {
   is_alive : Netsim.Graph.node -> bool;
   last_start : Netsim.Graph.node -> float;
-  fetch : Netsim.Graph.node -> Naming.Name.t -> at:float -> Message.t list;
+  fetch :
+    Netsim.Graph.node -> uid:int -> Naming.Name.t -> at:float -> Message.t list;
 }
 
 (** Outcome of one retrieval round. *)

@@ -1,0 +1,45 @@
+(* Dense interning of user names.  Scenario wiring interns every
+   registered [region.host.user] name once; after that the hot mail
+   path carries plain ints — routing, dedup and chain lookups index
+   arrays or hash immediates instead of hashing three strings per
+   touch.  Ids are allocated contiguously from 0 in interning order,
+   which is itself deterministic (registration order), so ids are
+   stable across runs. *)
+
+module H = Hashtbl.Make (Name)
+
+type t = {
+  ids : int H.t;
+  mutable names : Name.t array;  (* id -> name; dense prefix [0, count) *)
+  mutable count : int;
+}
+
+let dummy = Name.make ~region:"x" ~host:"x" ~user:"x"
+
+let create ?(capacity = 256) () =
+  let capacity = max 1 capacity in
+  { ids = H.create capacity; names = Array.make capacity dummy; count = 0 }
+
+let intern t name =
+  match H.find_opt t.ids name with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.names then begin
+        let grown = Array.make (2 * id) dummy in
+        Array.blit t.names 0 grown 0 id;
+        t.names <- grown
+      end;
+      t.names.(id) <- name;
+      H.replace t.ids name id;
+      t.count <- id + 1;
+      id
+
+let find_opt t name = H.find_opt t.ids name
+
+let name t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Intern.name: unknown id %d" id);
+  t.names.(id)
+
+let count t = t.count

@@ -1,0 +1,24 @@
+(** Dense name interning for the flat mail hot path.
+
+    Interns {!Name.t} values to contiguous ids starting at 0, in
+    interning order.  Systems intern every user name at wiring time;
+    messages then carry ids, so per-message routing, dedup and
+    authority-chain lookups key on ints instead of hashing the three
+    name components. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val intern : t -> Name.t -> int
+(** Idempotent: the same name always yields the same id. *)
+
+val find_opt : t -> Name.t -> int option
+(** Lookup without allocating a fresh id. *)
+
+val name : t -> int -> Name.t
+(** Inverse of {!intern}.
+    @raise Invalid_argument on an id never handed out. *)
+
+val count : t -> int
+(** Number of distinct names interned. *)

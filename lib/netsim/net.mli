@@ -23,11 +23,15 @@ type 'msg handler = time:float -> src:Graph.node -> 'msg -> unit
 type invalidation =
   | Full  (** Any link flip drops every cached shortest-path tree. *)
   | Scoped
-      (** A link cut drops only the trees that route over the link; a
-          link restore drops only the trees the restored edge could
-          shorten (or re-tie-break).  Produces byte-identical routing
-          answers to [Full] — the choice only changes how much Dijkstra
-          work is redone, which the route counters below expose. *)
+      (** A link flip only appends to a flip log; each cached tree
+          reconciles the flips it has not seen on its next query.  A
+          cut touches only the trees that route over the link, a
+          restore only the trees the restored edge could shorten (or
+          re-tie-break) — every other flip is a cursor bump, so trees
+          nobody queries between flips cost nothing to keep.  Produces
+          byte-identical routing answers to [Full] — the choice only
+          changes how much Dijkstra work is redone, which the route
+          counters below expose. *)
 
 val create :
   engine:Dsim.Engine.t ->
@@ -94,14 +98,30 @@ val hops : 'msg t -> Graph.node -> Graph.node -> int
 val first_hop : 'msg t -> src:Graph.node -> dst:Graph.node -> Graph.node option
 (** The neighbour of [src] that begins the shortest path to [dst]
     ([None] when unreachable or [dst = src]).  O(1) from the cached
-    per-source next-hop table. *)
+    next-hop table of the owning tree (or one predecessor read when
+    the query is answered from an anchored destination's tree). *)
+
+val set_route_anchors : 'msg t -> Graph.node list -> unit
+(** Declare the route anchors: the only nodes that keep cached
+    shortest-path trees warm.  A [(src, dst)] query is answered from
+    the anchored endpoint's tree — paths on the undirected graph are
+    symmetric, so distance and hop count are unchanged, though the
+    deterministic tie-break may pick a different equal-length path
+    than the source's own tree would.  Queries between two
+    non-anchors fall back to the source's tree.  Mail deployments
+    anchor the infrastructure (servers, gateways): every hop of every
+    message has one, so the fault campaign repairs a few hundred
+    shared trees instead of one per host.  Drops all cached routes;
+    call before traffic starts. *)
 
 (** Route-cache accounting since creation — the observables behind the
     invalidation policies.  A recompute is one full Dijkstra run; a
     cache hit is a routing query answered from a cached tree; an
-    invalidation is one cached tree dropped by a link flip.  Not reset
-    by {!reset_counters}: they describe cache behaviour over the
-    network's whole life, not per-experiment traffic. *)
+    invalidation is one cached tree repaired in place or dropped
+    because of a link flip (under [Scoped], counted lazily, when the
+    tree next answers a query).  Not reset by {!reset_counters}: they
+    describe cache behaviour over the network's whole life, not
+    per-experiment traffic. *)
 
 val route_recomputes : 'msg t -> int
 val route_cache_hits : 'msg t -> int

@@ -89,6 +89,107 @@ let first_hops t =
   done;
   hop
 
+(* --- flat adjacency + arena Dijkstra ------------------------------- *)
+
+type adjacency = {
+  adj_n : int;
+  adj_index : int array;
+  adj_dst : int array;
+  adj_weight : float array;
+  adj_edge : int array;
+}
+
+let compile g =
+  let n = Graph.node_count g in
+  (* Undirected edge ids follow [Graph.edges] order (u < v, sorted), so
+     the numbering is deterministic and shared with every consumer. *)
+  let ids = Hashtbl.create (max 16 (2 * Graph.edge_count g)) in
+  List.iteri
+    (fun i (u, v, _) -> Hashtbl.replace ids ((u * n) + v) i)
+    (Graph.edges g);
+  let index = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  let neighbors = Array.init n (Graph.neighbors g) in
+  Array.iteri
+    (fun u l ->
+      index.(u) <- !total;
+      total := !total + List.length l)
+    neighbors;
+  index.(n) <- !total;
+  let sz = max 1 !total in
+  let dst = Array.make sz 0 in
+  let weight = Array.make sz 0. in
+  let edge = Array.make sz 0 in
+  Array.iteri
+    (fun u l ->
+      let i = ref index.(u) in
+      List.iter
+        (fun (v, w) ->
+          dst.(!i) <- v;
+          weight.(!i) <- w;
+          let key = if u < v then (u * n) + v else (v * n) + u in
+          edge.(!i) <- Hashtbl.find ids key;
+          incr i)
+        l)
+    neighbors;
+  { adj_n = n; adj_index = index; adj_dst = dst; adj_weight = weight; adj_edge = edge }
+
+type scratch = {
+  mutable settled : Bytes.t;
+  queue : unit Dsim.Heap.Arena.t;
+}
+
+let scratch ?(capacity = 256) n =
+  { settled = Bytes.make (max 1 n) '\000'; queue = Dsim.Heap.Arena.create ~capacity ~dummy:() () }
+
+let bit_set bits i =
+  Char.code (Bytes.unsafe_get bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let dijkstra_flat ~adj ?edge_down ws source =
+  let n = adj.adj_n in
+  if source < 0 || source >= n then
+    invalid_arg "Shortest_path.dijkstra_flat: bad source";
+  if Bytes.length ws.settled < n then ws.settled <- Bytes.make n '\000'
+  else Bytes.fill ws.settled 0 n '\000';
+  let settled = ws.settled in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let via = Array.make n (-1) in
+  let q = ws.queue in
+  let filtered, down =
+    match edge_down with None -> (false, Bytes.empty) | Some b -> (true, b)
+  in
+  dist.(source) <- 0.;
+  ignore (Dsim.Heap.Arena.push q ~prio:0. ~tag:source ());
+  while not (Dsim.Heap.Arena.is_empty q) do
+    let d = Dsim.Heap.Arena.top_prio q in
+    let u = Dsim.Heap.Arena.top_tag q in
+    Dsim.Heap.Arena.drop q;
+    if Bytes.get settled u = '\000' && d <= dist.(u) then begin
+      Bytes.set settled u '\001';
+      let du = dist.(u) in
+      for i = adj.adj_index.(u) to adj.adj_index.(u + 1) - 1 do
+        let v = adj.adj_dst.(i) in
+        if
+          Bytes.get settled v = '\000'
+          && ((not filtered) || not (bit_set down adj.adj_edge.(i)))
+        then begin
+          let nd = du +. adj.adj_weight.(i) in
+          (* Strict improvement, or equal cost through a smaller
+             predecessor: identical tie-break to [dijkstra], so both
+             implementations return byte-identical trees. *)
+          if nd < dist.(v) || (nd = dist.(v) && u < prev.(v)) then begin
+            dist.(v) <- nd;
+            prev.(v) <- u;
+            via.(v) <- adj.adj_edge.(i);
+            ignore (Dsim.Heap.Arena.push q ~prio:nd ~tag:v ())
+          end
+        end
+      done
+    end
+  done;
+  ({ source; dist; prev }, via)
+
 let all_pairs g = Array.of_list (List.map (dijkstra g) (Graph.nodes g))
 
 let next_hop_table g src = first_hops (dijkstra g src)

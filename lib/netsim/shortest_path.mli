@@ -53,3 +53,43 @@ val eccentricity : Graph.t -> Graph.node -> float
 
 val diameter : Graph.t -> float
 (** Max eccentricity over all nodes ([0.] for empty graphs). *)
+
+(** {1 Flat routing core}
+
+    The cached-routing hot path compiles the graph once into a
+    structure-of-arrays adjacency (CSR layout) and runs Dijkstra over
+    it with a reusable arena queue: no per-edge closures, no tuple
+    keys, no per-relaxation allocation.  Link outages arrive as a
+    bitset indexed by undirected edge id. *)
+
+type adjacency = {
+  adj_n : int;  (** node count *)
+  adj_index : int array;  (** per-source slice bounds, length [n + 1] *)
+  adj_dst : int array;  (** directed neighbour per slot *)
+  adj_weight : float array;  (** edge weight per slot *)
+  adj_edge : int array;  (** undirected edge id per slot *)
+}
+
+val compile : Graph.t -> adjacency
+(** Compile the graph's adjacency into flat arrays.  Undirected edge
+    ids are positions in the sorted [Graph.edges] list, so every
+    consumer shares one deterministic numbering. *)
+
+type scratch
+(** Reusable Dijkstra workspace (settled set + arena queue). *)
+
+val scratch : ?capacity:int -> int -> scratch
+(** [scratch n] sizes the workspace for an [n]-node graph; it regrows
+    on demand. *)
+
+val dijkstra_flat :
+  adj:adjacency -> ?edge_down:Bytes.t -> scratch -> Graph.node ->
+  tree * int array
+(** Single-source shortest paths over the compiled adjacency.
+    [edge_down] marks unusable undirected edges by id (bit set =
+    down); omitted means every edge is usable.  Returns the tree plus
+    the via-edge table: for every reached non-source node, the
+    undirected edge id of its predecessor link ([-1] otherwise) — the
+    exact dependency set scoped route invalidation indexes, with no
+    tuple or list allocation.  Tie-breaks match {!dijkstra}, so both
+    return byte-identical trees on the same outage set. *)

@@ -1,11 +1,13 @@
 (** Glue between the simulation substrate and a metrics registry. *)
 
 val attach_engine : Registry.t -> Dsim.Engine.t -> unit
-(** Install an instrumentation callback on the engine so the registry
-    maintains, live, a counter [engine_events{category=...}] per event
-    category and a cumulative gauge [engine_handler_seconds] of
-    wall-clock time spent inside handlers.  Replaces any previously
-    installed instrument.
+(** Install an instrumentation callback on the engine that feeds a
+    cumulative gauge [engine_handler_seconds] of wall-clock time spent
+    executing events, batched: the engine reports once per run slice,
+    not per event.  Replaces any previously installed instrument.  The
+    per-category [engine_events{category=...}] counters are filled by
+    {!sync_engine_profile} at snapshot time from the engine's flat
+    profile cells — nothing touches the registry on the per-event path.
 
     This is the only place the repository reads a wall clock: the probe
     supplies the engine's instrument timer, and the gauge it feeds is
@@ -14,8 +16,8 @@ val attach_engine : Registry.t -> Dsim.Engine.t -> unit
 
 val sync_engine_profile : Registry.t -> Dsim.Engine.t -> unit
 (** Copy the engine's own per-category tallies into the registry
-    (absolute set) — the pull-based counterpart of {!attach_engine},
-    useful when no live instrument was installed. *)
+    (absolute set) — the batched flush behind
+    [engine_events{category=...}]; every metrics snapshot calls it. *)
 
 val sync_counters : ?labels:Registry.labels -> ?only:string list ->
   ?rest_as:string -> Registry.t -> Dsim.Stats.Counter.t -> unit

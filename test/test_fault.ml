@@ -205,12 +205,15 @@ let tiny_world ?(config = Mail.Pipeline.default_pipeline_config) () =
   in
   Mail.Replica_group.add_holder storage ~node:s1 ~region:"r0";
   Mail.Replica_group.add_holder storage ~node:s2 ~region:"r0";
+  let intern = Naming.Intern.create () in
   let callbacks =
     {
       Mail.Pipeline.region_servers = (fun r -> if r = "r0" then [ s1; s2 ] else []);
-      canonical = Fun.id;
-      authority_of = (fun _ -> [ s2 ]);
-      notify_target = (fun _ -> None);
+      uid_of = Naming.Intern.intern intern;
+      name_of_uid = Naming.Intern.name intern;
+      canonical_uid = Fun.id;
+      authority_of_uid = (fun _ -> [ s2 ]);
+      notify_target_uid = (fun _ -> None);
       submit_servers = (fun _ -> [ s1; s2 ]);
       on_deposit = (fun _ ~on:_ ~ack:_ -> ());
       cached_authority = (fun ~at:_ _ -> None);
@@ -227,7 +230,8 @@ let tiny_world ?(config = Mail.Pipeline.default_pipeline_config) () =
   pipeline_ref := Some pipeline;
   (engine, pipeline, counters, (h1, s1, s2, h2))
 
-let agent h1 = Mail.User_agent.create ~name:(nm "alice") ~host:h1 ~authority:[ 1; 2 ]
+let agent h1 =
+  Mail.User_agent.create ~name:(nm "alice") ~host:h1 ~authority:[ 1; 2 ] ()
 
 let test_no_submit_timer_storm () =
   (* Regression: [try_submit] used to arm BOTH the retry-deferral timer
@@ -294,14 +298,16 @@ let test_no_false_retry_exhaustion () =
 (* --- user-agent PUS list and compaction ------------------------------ *)
 
 let test_pus_fifo_order () =
-  let ua = Mail.User_agent.create ~name:(nm "alice") ~host:0 ~authority:[ 10; 11; 12 ] in
+  let ua =
+    Mail.User_agent.create ~name:(nm "alice") ~host:0 ~authority:[ 10; 11; 12 ] ()
+  in
   let down = Hashtbl.create 4 in
   List.iter (fun s -> Hashtbl.replace down s ()) [ 10; 11; 12 ];
   let view =
     {
       Mail.User_agent.is_alive = (fun s -> not (Hashtbl.mem down s));
       last_start = (fun _ -> 0.);
-      fetch = (fun _ _ ~at:_ -> []);
+      fetch = (fun _ ~uid:_ _ ~at:_ -> []);
     }
   in
   ignore (Mail.User_agent.get_mail ua ~view ~now:10.);
@@ -453,6 +459,44 @@ let test_late_replicate_never_resurrects () =
   Alcotest.(check int) "zero lost" 0 v.Mail.Ledger.lost;
   Alcotest.(check bool) "ledger ok" true v.Mail.Ledger.ok
 
+let test_pooled_reuse_never_aliases () =
+  (* Flat-core regression: the pipeline now re-arms one pooled closure
+     per retry/replication timer and the net reuses delivery slots, so
+     a stale firing crediting the *wrong* message would surface in the
+     ledger as a lost or duplicated copy.  Run a full standard fault
+     campaign at replication 3 with lifecycle sampling on (both the
+     traced and untraced submit paths exercised) and require the
+     ledger to balance exactly: pooled reuse must not alias state. *)
+  let config =
+    { Mail.Syntax_system.default_config with replication = 3; span_sample = 4 }
+  in
+  let spec =
+    {
+      Mail.Scenario.default_spec with
+      seed = 29;
+      duration = 2500.;
+      mail_count = 150;
+      faults = Some Netsim.Fault.standard;
+    }
+  in
+  let o = Mail.Scenario.run_syntax ~config (hier_site 29) spec in
+  let v = o.Mail.Scenario.ledger in
+  let retries = Telemetry.Registry.get_counter o.Mail.Scenario.metrics "retries" in
+  let rounds =
+    Telemetry.Registry.get_counter o.Mail.Scenario.metrics "replica_replicate_sends"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled retry timers actually re-armed (%d)" retries)
+    true (retries > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "pooled replication rounds actually ran (%d)" rounds)
+    true (rounds > 0);
+  Alcotest.(check int) "all submissions accounted" 150 v.Mail.Ledger.submitted;
+  Alcotest.(check int) "zero lost under pooled reuse" 0 v.Mail.Ledger.lost;
+  Alcotest.(check int) "zero duplicated under pooled reuse" 0
+    v.Mail.Ledger.duplicates;
+  Alcotest.(check bool) "ledger ok" true v.Mail.Ledger.ok
+
 let test_campaign_location () =
   check_campaign "location"
     (Mail.Scenario.run_location ~roam_probability:0.3 (hier_site 13))
@@ -493,6 +537,8 @@ let suite =
           test_failover_keeps_invariant;
         Alcotest.test_case "late replicate never resurrects" `Slow
           test_late_replicate_never_resurrects;
+        Alcotest.test_case "pooled reuse never aliases" `Slow
+          test_pooled_reuse_never_aliases;
         Alcotest.test_case "location survives campaign" `Slow test_campaign_location;
         Alcotest.test_case "attribute survives campaign" `Slow test_campaign_attribute;
       ] );

@@ -2,9 +2,10 @@
 
 let nm u = Naming.Name.make ~region:"east" ~host:"h1" ~user:u
 
+(* bob interns to uid 1, carol to uid 2 in these storage tests. *)
 let msg ?(id = 0) ?(at = 0.) () =
-  Mail.Message.create ~id ~sender:(nm "alice") ~recipient:(nm "bob") ~subject:"s"
-    ~body:"hello" ~submitted_at:at ()
+  Mail.Message.create ~id ~sender:(nm "alice") ~recipient:(nm "bob") ~recipient_uid:1
+    ~subject:"s" ~body:"hello" ~submitted_at:at ()
 
 (* --- message lifecycle --- *)
 
@@ -82,30 +83,30 @@ let test_server_store_take () =
   Mail.Server.store srv m ~at:2.;
   Alcotest.(check bool) "marked deposited" true (Mail.Message.is_deposited m);
   Alcotest.(check bool) "on this server" true (m.Mail.Message.deposited_on = Some 3);
-  Alcotest.(check int) "pending for bob" 1 (Mail.Server.pending_for srv (nm "bob"));
+  Alcotest.(check int) "pending for bob" 1 (Mail.Server.pending_for srv ~uid:1);
   Alcotest.(check int) "total pending" 1 (Mail.Server.total_pending srv);
-  let got = Mail.Server.take srv (nm "bob") ~at:4. in
+  let got = Mail.Server.take srv ~uid:1 ~at:4. in
   Alcotest.(check int) "fetched" 1 (List.length got);
   Alcotest.(check bool) "marked retrieved" true (Mail.Message.is_retrieved m);
   Alcotest.(check (list int)) "refetch empty" []
-    (List.map (fun m -> m.Mail.Message.id) (Mail.Server.take srv (nm "bob") ~at:5.));
+    (List.map (fun m -> m.Mail.Message.id) (Mail.Server.take srv ~uid:1 ~at:5.));
   Alcotest.(check int) "stores counted" 1 (Mail.Server.stores srv)
 
 let test_server_purge () =
   let srv = Mail.Server.create ~node:3 ~region:"east" () in
   Mail.Server.store srv (msg ~id:7 ()) ~at:0.;
   Mail.Server.store srv (msg ~id:8 ()) ~at:0.;
-  Alcotest.(check int) "purged one copy" 1 (Mail.Server.purge srv (nm "bob") 7);
-  Alcotest.(check int) "one left" 1 (Mail.Server.pending_for srv (nm "bob"));
-  Alcotest.(check int) "absent id is a no-op" 0 (Mail.Server.purge srv (nm "bob") 7);
-  Alcotest.(check int) "unknown user is a no-op" 0 (Mail.Server.purge srv (nm "ghost") 8);
-  let got = Mail.Server.take srv (nm "bob") ~at:1. in
+  Alcotest.(check int) "purged one copy" 1 (Mail.Server.purge srv ~uid:1 7);
+  Alcotest.(check int) "one left" 1 (Mail.Server.pending_for srv ~uid:1);
+  Alcotest.(check int) "absent id is a no-op" 0 (Mail.Server.purge srv ~uid:1 7);
+  Alcotest.(check int) "unknown user is a no-op" 0 (Mail.Server.purge srv ~uid:99 8);
+  let got = Mail.Server.take srv ~uid:1 ~at:1. in
   Alcotest.(check (list int)) "purged copy never served" [ 8 ]
     (List.map (fun m -> m.Mail.Message.id) got)
 
 let test_server_unknown_user_fetch () =
   let srv = Mail.Server.create ~node:3 ~region:"east" () in
-  Alcotest.(check int) "empty" 0 (List.length (Mail.Server.take srv (nm "ghost") ~at:0.))
+  Alcotest.(check int) "empty" 0 (List.length (Mail.Server.take srv ~uid:99 ~at:0.))
 
 let test_server_last_start () =
   let srv = Mail.Server.create ~node:3 ~region:"east" () in
@@ -117,12 +118,13 @@ let test_server_mailbox_count_and_cleanup () =
   let srv = Mail.Server.create ~mailbox_policy:Mail.Mailbox.Archive ~node:1 ~region:"r" () in
   Mail.Server.store srv (msg ~id:1 ()) ~at:0.;
   let m2 =
-    Mail.Message.create ~id:2 ~sender:(nm "bob") ~recipient:(nm "carol") ~submitted_at:0. ()
+    Mail.Message.create ~id:2 ~sender:(nm "bob") ~recipient:(nm "carol")
+      ~recipient_uid:2 ~submitted_at:0. ()
   in
   Mail.Server.store srv m2 ~at:0.;
   Alcotest.(check int) "two mailboxes" 2 (Mail.Server.mailbox_count srv);
-  ignore (Mail.Server.take srv (nm "bob") ~at:1.);
-  ignore (Mail.Server.take srv (nm "carol") ~at:1.);
+  ignore (Mail.Server.take srv ~uid:1 ~at:1.);
+  ignore (Mail.Server.take srv ~uid:2 ~at:1.);
   let dropped = Mail.Server.cleanup srv ~now:1000. ~max_age:10. in
   Alcotest.(check int) "archives cleaned" 2 dropped
 

@@ -98,6 +98,44 @@ let prop_hash_consistent_with_equal =
       let copy = Naming.Name.of_string_exn (Naming.Name.to_string n) in
       Naming.Name.hash n = Naming.Name.hash copy)
 
+(* Interning round trip: an interned id recovers a Name.t whose string
+   form is byte-identical to the original, and re-interning the
+   recovered name yields the same id (idempotence). *)
+let prop_intern_roundtrip =
+  QCheck.Test.make ~name:"intern id -> name -> string roundtrip" ~count:500
+    (QCheck.make
+       ~print:(fun ns -> String.concat ", " (List.map Naming.Name.to_string ns))
+       QCheck.Gen.(list_size (int_range 1 40) name_gen))
+    (fun names ->
+      let intern = Naming.Intern.create () in
+      let ids = List.map (Naming.Intern.intern intern) names in
+      List.for_all2
+        (fun n id ->
+          let back = Naming.Intern.name intern id in
+          String.equal (Naming.Name.to_string back) (Naming.Name.to_string n)
+          && Naming.Intern.intern intern back = id
+          && Naming.Intern.find_opt intern n = Some id)
+        names ids)
+
+let prop_intern_dense_ids =
+  QCheck.Test.make ~name:"intern ids are dense in first-seen order" ~count:200
+    (QCheck.make
+       ~print:(fun ns -> String.concat ", " (List.map Naming.Name.to_string ns))
+       QCheck.Gen.(list_size (int_range 1 40) name_gen))
+    (fun names ->
+      let intern = Naming.Intern.create () in
+      ignore (List.map (Naming.Intern.intern intern) names);
+      let distinct =
+        List.sort_uniq Naming.Name.compare names |> List.length
+      in
+      Naming.Intern.count intern = distinct
+      && List.for_all
+           (fun n ->
+             match Naming.Intern.find_opt intern n with
+             | Some id -> id >= 0 && id < distinct
+             | None -> false)
+           names)
+
 let suite =
   [
     ( "name",
@@ -112,5 +150,7 @@ let suite =
         Alcotest.test_case "syntax patterns" `Quick test_patterns;
         QCheck_alcotest.to_alcotest prop_roundtrip;
         QCheck_alcotest.to_alcotest prop_hash_consistent_with_equal;
+        QCheck_alcotest.to_alcotest prop_intern_roundtrip;
+        QCheck_alcotest.to_alcotest prop_intern_dense_ids;
       ] );
   ]

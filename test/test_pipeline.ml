@@ -29,12 +29,15 @@ let tiny_world () =
   Mail.Replica_group.add_holder storage ~node:s2 ~region:"r0";
   let deposits = ref [] in
   let acks = ref [] in
+  let intern = Naming.Intern.create () in
   let callbacks =
     {
       Mail.Pipeline.region_servers = (fun r -> if r = "r0" then [ s1; s2 ] else []);
-      canonical = Fun.id;
-      authority_of = (fun _ -> [ s2; s1 ]);
-      notify_target = (fun _ -> Some h2);
+      uid_of = Naming.Intern.intern intern;
+      name_of_uid = Naming.Intern.name intern;
+      canonical_uid = Fun.id;
+      authority_of_uid = (fun _ -> [ s2; s1 ]);
+      notify_target_uid = (fun _ -> Some h2);
       submit_servers = (fun _ -> [ s1; s2 ]);
       on_deposit =
         (fun m ~on ~ack ->
@@ -60,7 +63,8 @@ let tiny_world () =
   pipeline_ref := Some pipeline;
   (engine, pipeline, counters, deposits, acks, (h1, s1, s2, h2))
 
-let agent h1 = Mail.User_agent.create ~name:(nm "alice") ~host:h1 ~authority:[ 1; 2 ]
+let agent h1 =
+  Mail.User_agent.create ~name:(nm "alice") ~host:h1 ~authority:[ 1; 2 ] ()
 
 let msg id = Mail.Message.create ~id ~sender:(nm "alice") ~recipient:(nm "bob") ~submitted_at:0. ()
 
@@ -153,12 +157,15 @@ let test_ctrl_dispatch () =
   in
   Mail.Replica_group.add_holder storage ~node:a ~region:"r0";
   Mail.Replica_group.add_holder storage ~node:b ~region:"r0";
+  let intern = Naming.Intern.create () in
   let callbacks =
     {
       Mail.Pipeline.region_servers = (fun _ -> [ a; b ]);
-      canonical = Fun.id;
-      authority_of = (fun _ -> [ a ]);
-      notify_target = (fun _ -> None);
+      uid_of = Naming.Intern.intern intern;
+      name_of_uid = Naming.Intern.name intern;
+      canonical_uid = Fun.id;
+      authority_of_uid = (fun _ -> [ a ]);
+      notify_target_uid = (fun _ -> None);
       submit_servers = (fun _ -> [ a ]);
       on_deposit = (fun _ ~on:_ ~ack:_ -> ());
       cached_authority = (fun ~at:_ _ -> None);

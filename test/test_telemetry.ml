@@ -188,6 +188,9 @@ let test_engine_probe () =
   ignore (Dsim.Engine.schedule_after ~category:"tick" engine 2. (fun () -> ()));
   ignore (Dsim.Engine.schedule_after engine 3. (fun () -> ()));
   Dsim.Engine.run engine;
+  (* Counters flow through the batched profile flush, not a per-event
+     callback. *)
+  Telemetry.Probe.sync_engine_profile reg engine;
   Alcotest.(check int) "tick events" 2
     (R.get_counter ~labels:[ ("category", "tick") ] reg "engine_events");
   Alcotest.(check int) "default category" 1

@@ -24,18 +24,19 @@ let view w =
     Mail.User_agent.is_alive = (fun s -> w.alive.(s));
     last_start = (fun s -> w.started.(s));
     fetch =
-      (fun s _name ~at ->
+      (fun s ~uid:_ _name ~at ->
         w.fetches <- (s, at) :: w.fetches;
         let mail = w.boxes.(s) in
         w.boxes.(s) <- [];
         mail);
   }
 
-let agent () = Mail.User_agent.create ~name:(nm "bob") ~host:7 ~authority:[ 0; 1; 2 ]
+let agent () =
+  Mail.User_agent.create ~name:(nm "bob") ~host:7 ~authority:[ 0; 1; 2 ] ()
 
 let test_create_validation () =
   try
-    ignore (Mail.User_agent.create ~name:(nm "x") ~host:0 ~authority:[]);
+    ignore (Mail.User_agent.create ~name:(nm "x") ~host:0 ~authority:[] ());
     Alcotest.fail "empty authority accepted"
   with Invalid_argument _ -> ()
 
